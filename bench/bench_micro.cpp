@@ -1,0 +1,202 @@
+// E9 — micro-benchmarks of the machinery itself (google-benchmark):
+// event queue, lock manager, reliable broadcast sequencing, serialization
+// graph checking, and end-to-end transaction throughput in the simulator.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cc/lock_manager.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "cc/scheduler.h"
+#include "net/broadcast.h"
+#include "sim/event_queue.h"
+#include "verify/serialization_graph.h"
+
+namespace fragdb {
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.Schedule(static_cast<SimTime>(rng.NextBelow(1000000)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.PopNext());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+void BM_LockManagerSharedChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LockManager lm;
+    for (TxnId t = 0; t < n; ++t) {
+      lm.Acquire(t, t % 16, LockMode::kShared, [](Status) {});
+    }
+    for (TxnId t = 0; t < n; ++t) lm.ReleaseAll(t);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LockManagerSharedChurn)->Arg(1000);
+
+void BM_LockManagerExclusiveConvoy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LockManager lm;
+    int granted = 0;
+    for (TxnId t = 0; t < n; ++t) {
+      lm.Acquire(t, 1, LockMode::kExclusive,
+                 [&granted](Status) { ++granted; });
+    }
+    for (TxnId t = 0; t < n; ++t) lm.ReleaseAll(t);
+    benchmark::DoNotOptimize(granted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LockManagerExclusiveConvoy)->Arg(1000);
+
+void BM_ReliableBroadcastFanout(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  struct Tag : MessagePayload {};
+  for (auto _ : state) {
+    Simulator sim;
+    Topology topo = Topology::FullMesh(nodes, Millis(1));
+    Network net(&sim, &topo);
+    ReliableBroadcast rb(&net, nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+      net.SetHandler(n, [&rb, n](const Message& m) {
+        rb.HandleIfBroadcast(n, m);
+      });
+    }
+    for (int i = 0; i < 100; ++i) rb.Broadcast(0, std::make_shared<Tag>());
+    sim.RunToQuiescence();
+    benchmark::DoNotOptimize(rb.DeliveredUpTo(1, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * (nodes - 1));
+}
+BENCHMARK(BM_ReliableBroadcastFanout)->Arg(4)->Arg(16);
+
+void BM_GlobalSerializationGraphCheck(benchmark::State& state) {
+  // Build a history of n committed transactions over 64 objects, then
+  // time the graph build + cycle check.
+  const int n = static_cast<int>(state.range(0));
+  History history;
+  Rng rng(7);
+  for (TxnId id = 1; id <= n; ++id) {
+    TxnRecord rec;
+    rec.id = id;
+    rec.type_fragment = static_cast<FragmentId>(id % 8);
+    rec.home = static_cast<NodeId>(id % 4);
+    history.RegisterTxn(rec);
+    history.MarkCommitted(id, id / 8 + 1);
+    QuasiTxn q;
+    q.origin_txn = id;
+    q.fragment = rec.type_fragment;
+    q.seq = id / 8 + 1;
+    q.writes = {{static_cast<ObjectId>(rng.NextBelow(64)), id}};
+    history.RecordInstall(rec.home, q, id);
+    ReadRecord r;
+    r.reader = id;
+    r.object = static_cast<ObjectId>(rng.NextBelow(64));
+    r.version_writer = kInvalidTxn;
+    r.version_seq = 0;
+    history.RecordRead(r);
+  }
+  for (auto _ : state) {
+    TxnGraph g = BuildGlobalSerializationGraph(history);
+    benchmark::DoNotOptimize(g.Acyclic());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GlobalSerializationGraphCheck)->Arg(200)->Arg(1000);
+
+void BM_ClusterCommitThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClusterConfig config;
+    config.control = ControlOption::kFragmentwise;
+    auto cluster = std::make_unique<Cluster>(
+        config, Topology::FullMesh(4, Millis(1)));
+    FragmentId f = cluster->DefineFragment("F");
+    ObjectId x = *cluster->DefineObject(f, "x", 0);
+    AgentId agent = cluster->DefineUserAgent("a");
+    (void)cluster->AssignToken(f, agent);
+    (void)cluster->SetAgentHome(agent, 0);
+    (void)cluster->Start();
+    state.ResumeTiming();
+
+    int committed = 0;
+    for (int i = 0; i < 200; ++i) {
+      TxnSpec spec;
+      spec.agent = agent;
+      spec.write_fragment = f;
+      spec.read_set = {x};
+      spec.body = [x](const std::vector<Value>& reads)
+          -> Result<std::vector<WriteOp>> {
+        return std::vector<WriteOp>{{x, reads[0] + 1}};
+      };
+      cluster->Submit(spec, [&committed](const TxnResult& r) {
+        if (r.status.ok()) ++committed;
+      });
+    }
+    cluster->RunToQuiescence();
+    benchmark::DoNotOptimize(committed);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_ClusterCommitThroughput);
+
+
+void BM_TopologyPathLatency(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Topology topo = Topology::Ring(n, Millis(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.PathLatency(0, n / 2));
+  }
+}
+BENCHMARK(BM_TopologyPathLatency)->Arg(8)->Arg(32);
+
+void BM_SchedulerRunLocal(benchmark::State& state) {
+  Catalog catalog;
+  FragmentId f = catalog.AddFragment("F");
+  ObjectId x = *catalog.AddObject(f, "x", 0);
+  Simulator sim;
+  ObjectStore store(&catalog);
+  LockManager locks;
+  Scheduler sched(0, &sim, &store, &locks, Scheduler::Config{}, {});
+  TxnSpec spec;
+  spec.agent = 0;
+  spec.write_fragment = f;
+  spec.read_set = {x};
+  spec.body = [x](const std::vector<Value>& reads)
+      -> Result<std::vector<WriteOp>> {
+    return std::vector<WriteOp>{{x, reads[0] + 1}};
+  };
+  TxnId id = 1;
+  SeqNum seq = 0;
+  for (auto _ : state) {
+    sched.RunLocal(id++, spec, false, [&seq] { return ++seq; },
+                   [](TxnResult) {});
+    sim.RunToQuiescence();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerRunLocal);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextZipf(1000, 0.9));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+}  // namespace
+}  // namespace fragdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+#ifndef FRAGDB_BENCH_BENCH_UTIL_H_
+#define FRAGDB_BENCH_BENCH_UTIL_H_
+
+// Small table-printing helpers shared by the experiment binaries.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fragdb_bench {
+
+/// Prints a fixed-width row: columns are padded to `widths`.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", w, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(const std::vector<int>& widths) {
+  int total = 0;
+  for (int w : widths) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+inline std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+inline std::string Num(double v, int decimals = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string Int(long long v) { return std::to_string(v); }
+
+}  // namespace fragdb_bench
+
+#endif  // FRAGDB_BENCH_BENCH_UTIL_H_

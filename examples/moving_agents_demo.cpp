@@ -1,0 +1,112 @@
+// The four §4.4 agent-movement protocols side by side: an agent moves to
+// the far side of a partition while its last update is still trapped at
+// the old home. Each protocol handles the "missing transaction" problem
+// differently — this demo shows when the agent reopens for business and
+// what happens to the trapped update.
+//
+//   ./moving_agents_demo
+
+#include <cstdio>
+#include <memory>
+
+#include "core/cluster.h"
+#include "verify/checkers.h"
+
+using namespace fragdb;
+
+namespace {
+
+struct Outcome {
+  bool update_after_move_served = false;
+  SimTime reopened_at = -1;
+  Value x_final = -1, y_final = -1;
+  bool consistent = false;
+};
+
+Outcome RunScenario(MoveProtocol protocol) {
+  ClusterConfig config;
+  config.control = ControlOption::kFragmentwise;
+  config.move_protocol = protocol;
+  config.agent_travel_time = Millis(20);
+  Cluster cluster(config, Topology::FullMesh(4, Millis(5)));
+  FragmentId frag = cluster.DefineFragment("F");
+  ObjectId x = *cluster.DefineObject(frag, "x", 0);
+  ObjectId y = *cluster.DefineObject(frag, "y", 0);
+  AgentId agent = cluster.DefineUserAgent("mover");
+  (void)cluster.AssignToken(frag, agent);
+  (void)cluster.SetAgentHome(agent, 0);
+  if (!cluster.Start().ok()) return {};
+
+  // Trap an update at node 0 behind a partition.
+  (void)cluster.Partition({{0}, {1, 2, 3}});
+  auto update = [&](ObjectId obj, Value v,
+                    std::function<void(const TxnResult&)> cb) {
+    TxnSpec spec;
+    spec.agent = agent;
+    spec.write_fragment = frag;
+    spec.body = [obj, v](const std::vector<Value>&)
+        -> Result<std::vector<WriteOp>> {
+      return std::vector<WriteOp>{{obj, v}};
+    };
+    cluster.Submit(spec, std::move(cb));
+  };
+  update(x, 111, nullptr);
+  cluster.RunFor(Millis(10));
+
+  Outcome out;
+  (void)cluster.MoveAgent(agent, 2, [&](Status st) {
+    if (st.ok()) out.reopened_at = cluster.Now();
+  });
+  cluster.RunFor(Millis(50));
+  update(y, 222, [&](const TxnResult& r) {
+    out.update_after_move_served = r.status.ok();
+  });
+  cluster.RunFor(Millis(300));
+  cluster.HealAll();
+  cluster.RunToQuiescence();
+
+  out.x_final = cluster.ReadAt(3, x);
+  out.y_final = cluster.ReadAt(3, y);
+  out.consistent = CheckMutualConsistency(cluster.Replicas()).ok;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "scenario: T1 (x=111) commits at node 0, trapped by a partition;\n"
+      "the agent moves to node 2 (other side) and issues T2 (y=222).\n\n");
+  std::printf("%-26s %-10s %-12s %-8s %-8s %-10s\n", "protocol",
+              "reopened", "T2 served", "x", "y", "consistent");
+  struct Row {
+    MoveProtocol protocol;
+    const char* name;
+  };
+  const Row rows[] = {
+      {MoveProtocol::kMajorityCommit, "majority-commit(4.4.1)"},
+      {MoveProtocol::kMoveWithData, "move-with-data(4.4.2A)"},
+      {MoveProtocol::kMoveWithSeqNum, "move-with-seqnum(4.4.2B)"},
+      {MoveProtocol::kOmitPrep, "omit-prep(4.4.3)"},
+  };
+  for (const Row& row : rows) {
+    Outcome out = RunScenario(row.protocol);
+    char reopened[32];
+    if (out.reopened_at >= 0) {
+      std::snprintf(reopened, sizeof(reopened), "%lldms",
+                    (long long)(out.reopened_at / 1000));
+    } else {
+      std::snprintf(reopened, sizeof(reopened), "blocked");
+    }
+    std::printf("%-26s %-10s %-12s %-8lld %-8lld %-10s\n", row.name,
+                reopened, out.update_after_move_served ? "yes" : "no",
+                (long long)out.x_final, (long long)out.y_final,
+                out.consistent ? "yes" : "NO");
+  }
+  std::printf(
+      "\nnotes: majority-commit blocks T1 itself (no majority at node 0);\n"
+      "move-with-data carries x=111 across; move-with-seqnum waits for the\n"
+      "trapped T1 (T2 runs only after heal); omit-prep reopens instantly\n"
+      "and repackages the missing T1 after heal. All converge.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's §4.2 wholesale-company example: the read-access graph is a
+// star (central office reads every warehouse), which is elementarily
+// acyclic — so the design gets global serializability with ZERO read
+// synchronization, and warehouses keep selling through any partition.
+//
+//   ./warehouse_demo
+
+#include <cstdio>
+
+#include "verify/checkers.h"
+#include "workload/warehouse.h"
+
+using namespace fragdb;
+
+int main() {
+  WarehouseWorkload::Options opt;
+  opt.warehouses = 3;
+  opt.products = 2;
+  opt.initial_stock = 100;
+  opt.restock_target = 280;
+  WarehouseWorkload wh(opt);
+  Status started = wh.Start();
+  if (!started.ok()) {
+    std::printf("start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  Cluster& cluster = wh.cluster();
+  std::printf("read-access graph: C -> {W0, W1, W2} (elementarily acyclic: %s)\n\n",
+              cluster.rag().ElementarilyAcyclic() ? "yes" : "no");
+
+  // Fully fragment the network; every warehouse still sells.
+  (void)cluster.Partition({{0}, {1}, {2}, {3}});
+  std::printf("network fully fragmented: {0} {1} {2} {3}\n");
+  int served = 0;
+  for (int w = 0; w < 3; ++w) {
+    wh.Sell(w, 0, 20, [&served, w](const TxnResult& r) {
+      if (r.status.ok()) ++served;
+      std::printf("warehouse %d sells 20 of product 0: %s\n", w,
+                  r.status.ToString().c_str());
+    });
+  }
+  cluster.RunFor(Millis(100));
+  std::printf("sales served during total partition: %d/3\n\n", served);
+
+  cluster.HealAll();
+  cluster.RunToQuiescence();
+  wh.RunCentralPlan(nullptr);
+  cluster.RunToQuiescence();
+  std::printf("after heal, central purchasing plan (target %lld/product):\n",
+              (long long)opt.restock_target);
+  for (int p = 0; p < 2; ++p) {
+    std::printf("  product %d: order %lld units\n", p,
+                (long long)wh.PlanFor(p));
+  }
+
+  CheckReport global = CheckGlobalSerializability(cluster.history());
+  CheckReport consistent = CheckMutualConsistency(cluster.Replicas());
+  std::printf("globally serializable (Theorem, no read locks!): %s\n",
+              global.ok ? "yes" : global.detail.c_str());
+  std::printf("replicas mutually consistent: %s\n",
+              consistent.ok ? "yes" : "no");
+  return global.ok && consistent.ok ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+#ifndef FRAGDB_CC_LOCK_MANAGER_H_
+#define FRAGDB_CC_LOCK_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "cc/transaction.h"
+
+namespace fragdb {
+
+enum class LockMode { kShared, kExclusive };
+
+/// Strict two-phase lock table for one node (the paper's per-node "local
+/// concurrency control mechanism", §2.2). Shared/exclusive modes, FIFO wait
+/// queues, lock upgrade for a sole shared holder, waits-for deadlock
+/// detection with youngest-transaction victim selection.
+///
+/// The lock manager is asynchronous: Acquire() invokes the callback
+/// immediately if the lock is granted, otherwise queues the request and
+/// invokes the callback when it is granted, cancelled, or chosen as a
+/// deadlock victim (Status::Aborted).
+class LockManager {
+ public:
+  using GrantCallback = std::function<void(Status)>;
+
+  LockManager() = default;
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests `mode` on `resource` for `txn`. Re-acquiring a held lock in
+  /// the same or weaker mode grants immediately; requesting kExclusive
+  /// while being the sole kShared holder upgrades (waiting if needed).
+  void Acquire(TxnId txn, ResourceId resource, LockMode mode,
+               GrantCallback cb);
+
+  /// Releases every lock held by `txn` and cancels its waiting requests
+  /// (their callbacks fire with Status::Aborted). Grants any now-eligible
+  /// waiters, in FIFO order.
+  void ReleaseAll(TxnId txn);
+
+  /// Releases one lock held by `txn`. No-op if not held.
+  void Release(TxnId txn, ResourceId resource);
+
+  /// Cancels a pending (not yet granted) request; its callback fires with
+  /// Status::TimedOut. Returns false if no such waiting request exists.
+  bool CancelWait(TxnId txn, ResourceId resource);
+
+  /// Builds the waits-for graph and, if it has a cycle, aborts the
+  /// youngest (largest-id) transaction on the cycle by cancelling all its
+  /// waits with Status::Aborted and releasing its held locks. Returns the
+  /// victim, or kInvalidTxn if no deadlock exists.
+  ///
+  /// The built-in cluster strategies acquire resources in globally sorted
+  /// order and never deadlock; this exists for standalone library use and
+  /// is exercised by tests.
+  TxnId DetectAndResolveDeadlock();
+
+  /// True if `txn` currently holds `resource` in at least `mode`.
+  bool Holds(TxnId txn, ResourceId resource, LockMode mode) const;
+
+  size_t waiting_count() const;
+  size_t held_count() const;
+
+ private:
+  struct Request {
+    TxnId txn;
+    LockMode mode;
+    GrantCallback cb;
+  };
+  struct Entry {
+    // Current holders. Invariant: either one exclusive holder or any
+    // number of shared holders.
+    std::map<TxnId, LockMode> holders;
+    std::deque<Request> waiters;
+  };
+
+  /// Grants eligible waiters at the front of the queue.
+  void PumpQueue(ResourceId resource);
+  bool Compatible(const Entry& e, TxnId txn, LockMode mode) const;
+
+  std::map<ResourceId, Entry> table_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_CC_LOCK_MANAGER_H_

@@ -1,0 +1,221 @@
+#include "cc/scheduler.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+Scheduler::Scheduler(NodeId node, Simulator* sim, ObjectStore* store,
+                     LockManager* locks, Config config, Hooks hooks)
+    : node_(node),
+      sim_(sim),
+      store_(store),
+      locks_(locks),
+      config_(config),
+      hooks_(std::move(hooks)) {}
+
+void Scheduler::RunLocal(TxnId id, TxnSpec spec, bool write_lock_preacquired,
+                         std::function<SeqNum()> seq_alloc,
+                         std::function<void(TxnResult)> done) {
+  const bool needs_lock =
+      !spec.read_only() && !write_lock_preacquired;
+  if (!needs_lock) {
+    bool owns = false;
+    sim_->After(config_.exec_time,
+                [this, id, spec = std::move(spec), owns,
+                 seq_alloc = std::move(seq_alloc), done = std::move(done)] {
+                  ExecuteBody(id, spec, owns, seq_alloc, done);
+                });
+    return;
+  }
+  ResourceId resource = FragmentResource(spec.write_fragment);
+  locks_->Acquire(
+      id, resource, LockMode::kExclusive,
+      [this, id, spec = std::move(spec), seq_alloc = std::move(seq_alloc),
+       done = std::move(done)](Status st) {
+        if (!st.ok()) {
+          TxnResult result;
+          result.id = id;
+          result.status = st;
+          result.finished_at = sim_->Now();
+          done(result);
+          return;
+        }
+        sim_->After(config_.exec_time, [this, id, spec, seq_alloc, done] {
+          ExecuteBody(id, spec, /*owns_write_lock=*/true, seq_alloc, done);
+        });
+      });
+}
+
+void Scheduler::ExecuteBody(TxnId id, const TxnSpec& spec,
+                            bool owns_write_lock,
+                            const std::function<SeqNum()>& seq_alloc,
+                            const std::function<void(TxnResult)>& done) {
+  TxnResult result;
+  result.id = id;
+
+  // Read the declared read set from the local replica, atomically (this
+  // whole function runs inside one simulator event).
+  result.reads.reserve(spec.read_set.size());
+  for (ObjectId o : spec.read_set) {
+    const VersionInfo& seen = store_->Info(o);
+    result.reads.push_back(seen.value);
+    if (hooks_.on_read) hooks_.on_read(id, o, seen, sim_->Now());
+  }
+
+  Result<std::vector<WriteOp>> body_out = spec.body
+      ? spec.body(result.reads)
+      : Result<std::vector<WriteOp>>(std::vector<WriteOp>{});
+
+  if (!body_out.ok()) {
+    result.status = body_out.status();
+  } else if (spec.read_only() && !body_out->empty()) {
+    result.status = Status::PermissionDenied(
+        "read-only transaction attempted to write");
+  } else {
+    // Initiation requirement (paper §3.2): every object modified must be
+    // contained in the initiating agent's fragment.
+    Status init_ok = Status::Ok();
+    for (const WriteOp& w : *body_out) {
+      if (!store_->catalog()->ValidObject(w.object) ||
+          store_->catalog()->FragmentOf(w.object) != spec.write_fragment) {
+        init_ok = Status::PermissionDenied(
+            "write outside the initiating agent's fragment");
+        break;
+      }
+    }
+    if (!init_ok.ok()) {
+      result.status = init_ok;
+    } else {
+      result.writes = std::move(*body_out);
+      if (!result.writes.empty() || !spec.read_only()) {
+        // Commit an update transaction (possibly with zero writes, which
+        // still consumes a sequence number so replicas agree on history).
+        result.frag_seq = seq_alloc ? seq_alloc() : 0;
+        QuasiTxn quasi;
+        quasi.origin_txn = id;
+        quasi.fragment = spec.write_fragment;
+        quasi.seq = result.frag_seq;
+        quasi.origin_node = node_;
+        quasi.origin_time = sim_->Now();
+        quasi.writes = result.writes;
+        for (const WriteOp& w : result.writes) {
+          store_->Write(w.object, w.value, id, result.frag_seq, sim_->Now());
+        }
+        if (hooks_.on_install && !spec.read_only()) {
+          hooks_.on_install(node_, quasi, sim_->Now());
+        }
+      }
+      result.status = Status::Ok();
+    }
+  }
+
+  result.finished_at = sim_->Now();
+  if (owns_write_lock) locks_->ReleaseAll(id);
+  done(std::move(result));
+}
+
+void Scheduler::Prepare(TxnId id, TxnSpec spec, bool write_lock_preacquired,
+                        std::function<void(TxnResult)> prepared_fn) {
+  auto prepared =
+      std::make_shared<std::function<void(TxnResult)>>(std::move(prepared_fn));
+  auto execute = [this, id, spec, prepared] {
+    TxnResult result;
+    result.id = id;
+    result.reads.reserve(spec.read_set.size());
+    for (ObjectId o : spec.read_set) {
+      const VersionInfo& seen = store_->Info(o);
+      result.reads.push_back(seen.value);
+      if (hooks_.on_read) hooks_.on_read(id, o, seen, sim_->Now());
+    }
+    Result<std::vector<WriteOp>> body_out = spec.body
+        ? spec.body(result.reads)
+        : Result<std::vector<WriteOp>>(std::vector<WriteOp>{});
+    if (!body_out.ok()) {
+      result.status = body_out.status();
+    } else {
+      Status init_ok = Status::Ok();
+      for (const WriteOp& w : *body_out) {
+        if (!store_->catalog()->ValidObject(w.object) ||
+            store_->catalog()->FragmentOf(w.object) != spec.write_fragment) {
+          init_ok = Status::PermissionDenied(
+              "write outside the initiating agent's fragment");
+          break;
+        }
+      }
+      if (!init_ok.ok()) {
+        result.status = init_ok;
+      } else {
+        result.writes = std::move(*body_out);
+        result.status = Status::Ok();
+      }
+    }
+    result.finished_at = sim_->Now();
+    (*prepared)(std::move(result));
+  };
+
+  if (spec.read_only() || write_lock_preacquired) {
+    sim_->After(config_.exec_time, std::move(execute));
+    return;
+  }
+  locks_->Acquire(id, FragmentResource(spec.write_fragment),
+                  LockMode::kExclusive,
+                  [this, id, execute = std::move(execute),
+                   prepared](Status st) mutable {
+                    if (!st.ok()) {
+                      TxnResult result;
+                      result.id = id;
+                      result.status = st;
+                      result.finished_at = sim_->Now();
+                      (*prepared)(std::move(result));
+                      return;
+                    }
+                    sim_->After(config_.exec_time, std::move(execute));
+                  });
+}
+
+void Scheduler::CommitPrepared(TxnId id, FragmentId fragment,
+                               const std::vector<WriteOp>& writes, SeqNum seq,
+                               bool release_locks) {
+  QuasiTxn quasi;
+  quasi.origin_txn = id;
+  quasi.fragment = fragment;
+  quasi.seq = seq;
+  quasi.origin_node = node_;
+  quasi.origin_time = sim_->Now();
+  quasi.writes = writes;
+  for (const WriteOp& w : writes) {
+    store_->Write(w.object, w.value, id, seq, sim_->Now());
+  }
+  if (hooks_.on_install) hooks_.on_install(node_, quasi, sim_->Now());
+  if (release_locks) locks_->ReleaseAll(id);
+}
+
+void Scheduler::AbortPrepared(TxnId id, bool release_locks) {
+  if (release_locks) locks_->ReleaseAll(id);
+}
+
+void Scheduler::Install(QuasiTxn quasi, TxnId install_id,
+                        std::function<void()> done) {
+  ResourceId resource = FragmentResource(quasi.fragment);
+  locks_->Acquire(
+      install_id, resource, LockMode::kExclusive,
+      [this, quasi = std::move(quasi), install_id,
+       done = std::move(done)](Status st) {
+        // Quasi-transactions are never deadlock victims: they request a
+        // single resource, so they cannot close a waits-for cycle.
+        FRAGDB_CHECK(st.ok());
+        sim_->After(config_.install_time, [this, quasi, install_id, done] {
+          for (const WriteOp& w : quasi.writes) {
+            store_->Write(w.object, w.value, quasi.origin_txn, quasi.seq,
+                          sim_->Now());
+          }
+          if (hooks_.on_install) hooks_.on_install(node_, quasi, sim_->Now());
+          locks_->ReleaseAll(install_id);
+          done();
+        });
+      });
+}
+
+}  // namespace fragdb

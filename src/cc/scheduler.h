@@ -1,0 +1,111 @@
+#ifndef FRAGDB_CC_SCHEDULER_H_
+#define FRAGDB_CC_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+
+#include "cc/lock_manager.h"
+#include "cc/transaction.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "storage/object_store.h"
+
+namespace fragdb {
+
+/// One node's local transaction scheduler (paper §2.2): executes locally
+/// initiated transactions under strict 2PL at fragment granularity, and
+/// installs quasi-transactions from remote agents atomically. The caller
+/// (the core node runtime) is responsible for submitting a fragment's
+/// quasi-transactions in sequence order; the scheduler guarantees each
+/// install is atomic with respect to local transactions.
+class Scheduler {
+ public:
+  struct Config {
+    /// Simulated latency of executing a transaction body (lock grant to
+    /// commit).
+    SimTime exec_time = Micros(100);
+    /// Simulated latency of installing one quasi-transaction.
+    SimTime install_time = Micros(50);
+  };
+
+  /// Observation hooks, wired to the verification history by the cluster.
+  struct Hooks {
+    /// A local transaction body observed `seen` for `object`.
+    std::function<void(TxnId txn, ObjectId object, const VersionInfo& seen,
+                       SimTime at)>
+        on_read;
+    /// A (quasi-)transaction's writes were installed in this replica.
+    /// Fires at the home node for the original commit and at every remote
+    /// node when the quasi-transaction is applied.
+    std::function<void(NodeId node, const QuasiTxn& quasi, SimTime at)>
+        on_install;
+  };
+
+  Scheduler(NodeId node, Simulator* sim, ObjectStore* store,
+            LockManager* locks, Config config, Hooks hooks);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Executes a locally initiated transaction:
+  ///  1. acquires the exclusive fragment lock for update transactions
+  ///     (unless `write_lock_preacquired` — the §4.1 lock-plan path
+  ///     acquires every lock up front in global order);
+  ///  2. after Config::exec_time, reads the declared read set from the
+  ///     local replica and runs the body;
+  ///  3. on success validates the initiation requirement (writes confined
+  ///     to `spec.write_fragment`), assigns the fragment sequence via
+  ///     `seq_alloc`, applies the writes, and reports the install hook;
+  ///  4. releases locks it acquired itself and invokes `done`.
+  /// Locks acquired by the caller stay held (strict 2PL: the caller
+  /// releases after commit).
+  void RunLocal(TxnId id, TxnSpec spec, bool write_lock_preacquired,
+                std::function<SeqNum()> seq_alloc,
+                std::function<void(TxnResult)> done);
+
+  /// Atomically installs a quasi-transaction: exclusive fragment lock,
+  /// Config::install_time, apply, hook, release, done. `install_id` is a
+  /// fresh transaction id naming the install in the lock table (the
+  /// paper's "write-only transaction local to the receiving node").
+  void Install(QuasiTxn quasi, TxnId install_id, std::function<void()> done);
+
+  /// Two-phase variant for the §4.4.1 majority-commit protocol: performs
+  /// the read/execute part of RunLocal but neither applies writes nor
+  /// releases locks. `prepared` receives the tentative result (body
+  /// status, computed writes, observed reads; frag_seq unset). The caller
+  /// must follow with CommitPrepared or AbortPrepared.
+  void Prepare(TxnId id, TxnSpec spec, bool write_lock_preacquired,
+               std::function<void(TxnResult)> prepared);
+
+  /// Applies a prepared transaction's writes under sequence `seq`, fires
+  /// the install hook, and releases the transaction's local locks if
+  /// `release_locks`.
+  void CommitPrepared(TxnId id, FragmentId fragment,
+                      const std::vector<WriteOp>& writes, SeqNum seq,
+                      bool release_locks);
+
+  /// Drops a prepared transaction, releasing its local locks if requested.
+  void AbortPrepared(TxnId id, bool release_locks);
+
+  NodeId node() const { return node_; }
+  ObjectStore* store() { return store_; }
+  LockManager* locks() { return locks_; }
+  const Config& config() const { return config_; }
+
+ private:
+  void ExecuteBody(TxnId id, const TxnSpec& spec, bool owns_write_lock,
+                   const std::function<SeqNum()>& seq_alloc,
+                   const std::function<void(TxnResult)>& done);
+
+  NodeId node_;
+  Simulator* sim_;
+  ObjectStore* store_;
+  LockManager* locks_;
+  Config config_;
+  Hooks hooks_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_CC_SCHEDULER_H_

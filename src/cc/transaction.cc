@@ -1,0 +1,6 @@
+#include "cc/transaction.h"
+
+// Transaction types are header-only; this file exists so the build has a
+// translation unit to attach future out-of-line helpers to.
+
+namespace fragdb {}  // namespace fragdb

@@ -1,0 +1,64 @@
+#ifndef FRAGDB_COMMON_LOGGING_H_
+#define FRAGDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fragdb {
+
+/// Severity levels for the library's diagnostic log.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded. Defaults to
+/// kWarning so tests and benches are quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+/// Stream-style collector used by the FRAGDB_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fragdb
+
+#define FRAGDB_LOG(level)                                                  \
+  if (::fragdb::LogLevel::level < ::fragdb::GetLogLevel()) {               \
+  } else                                                                   \
+    ::fragdb::internal::LogMessage(::fragdb::LogLevel::level, __FILE__,    \
+                                   __LINE__)                               \
+        .stream()
+
+/// Fatal invariant check for programmer errors (not data errors). Prints
+/// the condition and aborts; never compiled out.
+#define FRAGDB_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FRAGDB_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // FRAGDB_COMMON_LOGGING_H_

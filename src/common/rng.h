@@ -1,0 +1,64 @@
+#ifndef FRAGDB_COMMON_RNG_H_
+#define FRAGDB_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fragdb {
+
+/// Deterministic pseudo-random number generator (xoshiro256**, seeded via
+/// SplitMix64). All randomness in simulations flows through instances of
+/// this class so that every experiment is reproducible from its seed.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances with the same seed produce
+  /// identical streams on every platform.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses
+  /// rejection sampling, so the distribution is exactly uniform.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed double with the given mean (> 0). Used for
+  /// inter-arrival times of transactions and partition events.
+  double NextExponential(double mean);
+
+  /// Zipf-distributed integer in [0, n) with skew `theta` in [0, 1).
+  /// theta = 0 is uniform; larger values skew access toward low indices.
+  /// Uses the standard YCSB-style rejection-free approximation.
+  uint64_t NextZipf(uint64_t n, double theta);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each node or
+  /// workload source its own stream while keeping the run reproducible.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_COMMON_RNG_H_

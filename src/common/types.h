@@ -1,0 +1,57 @@
+#ifndef FRAGDB_COMMON_TYPES_H_
+#define FRAGDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace fragdb {
+
+/// Identifier of a computer site ("node" in the paper). Nodes are numbered
+/// densely from 0.
+using NodeId = int32_t;
+
+/// Identifier of a database fragment F_i. Fragments are numbered densely
+/// from 0. There is exactly one token per fragment, so a FragmentId also
+/// identifies the fragment's token.
+using FragmentId = int32_t;
+
+/// Identifier of an agent (a user or a node that can own tokens).
+using AgentId = int32_t;
+
+/// Globally unique identifier of a data object. Objects are numbered
+/// densely from 0 across all fragments.
+using ObjectId = int64_t;
+
+/// Value stored in a data object. The paper's examples (balances, seat
+/// counts, request flags) are all integer-valued; a 64-bit integer keeps
+/// replica comparison and predicate evaluation exact.
+using Value = int64_t;
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = int64_t;
+
+/// Per-fragment sequence number assigned to committed update transactions.
+/// Replicas install a fragment's quasi-transactions in sequence order.
+using SeqNum = int64_t;
+
+/// Globally unique transaction identifier (assigned by the cluster in
+/// commit order at the home node; uniqueness is what matters).
+using TxnId = int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr FragmentId kInvalidFragment = -1;
+inline constexpr AgentId kInvalidAgent = -1;
+inline constexpr ObjectId kInvalidObject = -1;
+inline constexpr TxnId kInvalidTxn = -1;
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Microsecond helpers for readable test/bench code.
+inline constexpr SimTime Micros(int64_t n) { return n; }
+inline constexpr SimTime Millis(int64_t n) { return n * 1000; }
+inline constexpr SimTime Seconds(int64_t n) { return n * 1000 * 1000; }
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_COMMON_TYPES_H_

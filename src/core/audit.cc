@@ -1,0 +1,61 @@
+#include "core/audit.h"
+
+#include <sstream>
+
+namespace fragdb {
+
+AuditReport AuditRun(const Cluster& cluster) {
+  AuditReport report;
+  const History& history = cluster.history();
+  report.global_serializability = CheckGlobalSerializability(history);
+  report.fragmentwise = CheckFragmentwiseSerializability(
+      history, cluster.catalog().fragment_count());
+  for (FragmentId f = 0; f < cluster.catalog().fragment_count(); ++f) {
+    CheckReport p1 = CheckProperty1(history, f);
+    if (!p1.ok) {
+      report.fragment_failures.push_back("F" + std::to_string(f) + " P1: " +
+                                         p1.detail);
+    }
+    CheckReport p2 = CheckProperty2(history, f);
+    if (!p2.ok) {
+      report.fragment_failures.push_back("F" + std::to_string(f) + " P2: " +
+                                         p2.detail);
+    }
+  }
+  report.replica_consistency = cluster.CheckReplicaSetConsistency();
+  report.configured_property = cluster.CheckConfiguredProperty();
+  for (const auto& [id, rec] : history.txns()) {
+    (void)id;
+    if (rec.committed) {
+      ++report.committed_txns;
+    } else {
+      ++report.uncommitted_txns;
+    }
+  }
+  report.installs = static_cast<int>(history.installs().size());
+  report.reads = static_cast<int>(history.reads().size());
+  return report;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream os;
+  auto line = [&](const char* name, const CheckReport& r) {
+    os << "  " << name << ": " << (r.ok ? "OK" : "FAIL");
+    if (!r.detail.empty()) os << " (" << r.detail << ")";
+    os << "\n";
+  };
+  os << "audit:\n";
+  line("configured property   ", configured_property);
+  line("replica consistency   ", replica_consistency);
+  line("global serializability", global_serializability);
+  line("fragmentwise (P1+P2)  ", fragmentwise);
+  for (const std::string& f : fragment_failures) {
+    os << "    " << f << "\n";
+  }
+  os << "  txns: " << committed_txns << " committed, " << uncommitted_txns
+     << " uncommitted; installs: " << installs << "; reads: " << reads
+     << "\n";
+  return os.str();
+}
+
+}  // namespace fragdb

@@ -1,0 +1,47 @@
+#ifndef FRAGDB_CORE_AUDIT_H_
+#define FRAGDB_CORE_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "verify/checkers.h"
+
+namespace fragdb {
+
+/// One-call audit of a finished run: every checker the library offers,
+/// evaluated against the cluster's recorded history and current replicas,
+/// plus summary counts. Intended for the end of tests, benches, and
+/// examples ("did this run uphold everything it promised?").
+struct AuditReport {
+  // History properties.
+  CheckReport global_serializability;
+  CheckReport fragmentwise;  // Properties 1+2 over every fragment
+  /// Per-fragment Property 1 / Property 2 failure details (empty = clean).
+  std::vector<std::string> fragment_failures;
+  // Replica state (meaningful at quiescence), replica-set aware.
+  CheckReport replica_consistency;
+  // The property the cluster's configuration promises.
+  CheckReport configured_property;
+  // Counts.
+  int committed_txns = 0;
+  int uncommitted_txns = 0;
+  int installs = 0;
+  int reads = 0;
+
+  /// True when the configured property and replica consistency both hold.
+  bool ok() const {
+    return configured_property.ok && replica_consistency.ok;
+  }
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Runs every checker against `cluster`. Call at quiescence: the replica
+/// comparison is meaningless while propagation is still in flight.
+AuditReport AuditRun(const Cluster& cluster);
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_CORE_AUDIT_H_

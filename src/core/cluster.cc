@@ -1,0 +1,856 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+const char* ControlOptionName(ControlOption option) {
+  switch (option) {
+    case ControlOption::kReadLocks:
+      return "read-locks(4.1)";
+    case ControlOption::kAcyclicReads:
+      return "acyclic-reads(4.2)";
+    case ControlOption::kFragmentwise:
+      return "fragmentwise(4.3)";
+  }
+  return "?";
+}
+
+const char* MoveProtocolName(MoveProtocol protocol) {
+  switch (protocol) {
+    case MoveProtocol::kForbidden:
+      return "fixed-agents";
+    case MoveProtocol::kMajorityCommit:
+      return "majority-commit(4.4.1)";
+    case MoveProtocol::kMoveWithData:
+      return "move-with-data(4.4.2A)";
+    case MoveProtocol::kMoveWithSeqNum:
+      return "move-with-seqnum(4.4.2B)";
+    case MoveProtocol::kOmitPrep:
+      return "omit-prep(4.4.3)";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig config, Topology topology)
+    : config_(config), topology_(std::move(topology)) {
+  network_ = std::make_unique<Network>(&sim_, &topology_);
+}
+
+Cluster::~Cluster() = default;
+
+// --------------------------------------------------------------------------
+// Schema & design
+// --------------------------------------------------------------------------
+
+FragmentId Cluster::DefineFragment(std::string name) {
+  FRAGDB_CHECK(!started_);
+  return catalog_.AddFragment(std::move(name));
+}
+
+Result<ObjectId> Cluster::DefineObject(FragmentId fragment, std::string name,
+                                       Value initial_value) {
+  FRAGDB_CHECK(!started_);
+  return catalog_.AddObject(fragment, std::move(name), initial_value);
+}
+
+AgentId Cluster::DefineUserAgent(std::string name) {
+  FRAGDB_CHECK(!started_);
+  return catalog_.AddUserAgent(std::move(name));
+}
+
+AgentId Cluster::DefineNodeAgent(NodeId node, std::string name) {
+  FRAGDB_CHECK(!started_);
+  return catalog_.AddNodeAgent(node, std::move(name));
+}
+
+Status Cluster::AssignToken(FragmentId fragment, AgentId agent) {
+  FRAGDB_CHECK(!started_);
+  return catalog_.AssignToken(fragment, agent);
+}
+
+Status Cluster::SetAgentHome(AgentId agent, NodeId node) {
+  if (node < 0 || node >= topology_.node_count()) {
+    return Status::InvalidArgument("no such node");
+  }
+  FRAGDB_CHECK(!started_);
+  return catalog_.SetHome(agent, node);
+}
+
+Status Cluster::DeclareRead(FragmentId from, FragmentId to) {
+  FRAGDB_CHECK(!started_);
+  if (!catalog_.ValidFragment(from) || !catalog_.ValidFragment(to)) {
+    return Status::InvalidArgument("no such fragment");
+  }
+  declared_reads_.emplace_back(from, to);
+  return Status::Ok();
+}
+
+Status Cluster::SetReplicaSet(FragmentId fragment,
+                              std::vector<NodeId> nodes) {
+  if (started_) return Status::FailedPrecondition("cluster already started");
+  for (NodeId n : nodes) {
+    if (n < 0 || n >= topology_.node_count()) {
+      return Status::InvalidArgument("replica node out of range");
+    }
+  }
+  return catalog_.SetReplicaSet(fragment, std::move(nodes));
+}
+
+void Cluster::SetCorrectiveAction(FragmentId fragment,
+                                  CorrectiveAction action) {
+  corrective_[fragment] = std::move(action);
+}
+
+Status Cluster::SetFragmentControl(FragmentId fragment,
+                                   ControlOption control) {
+  if (started_) return Status::FailedPrecondition("cluster already started");
+  if (!catalog_.ValidFragment(fragment)) {
+    return Status::InvalidArgument("no such fragment");
+  }
+  control_override_[fragment] = control;
+  return Status::Ok();
+}
+
+ControlOption Cluster::ControlFor(FragmentId fragment) const {
+  auto it = control_override_.find(fragment);
+  return it == control_override_.end() ? config_.control : it->second;
+}
+
+Status Cluster::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  rag_ = std::make_unique<ReadAccessGraph>(catalog_.fragment_count());
+  for (const auto& [from, to] : declared_reads_) {
+    FRAGDB_RETURN_IF_ERROR(rag_->AddEdge(from, to));
+  }
+  for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+    Result<NodeId> home = catalog_.HomeOfFragment(f);
+    if (!home.ok()) {
+      return Status::FailedPrecondition(
+          "fragment " + catalog_.FragmentName(f) +
+          " has no agent with a home node");
+    }
+    if (!catalog_.ReplicatedAt(f, *home)) {
+      return Status::FailedPrecondition(
+          "fragment " + catalog_.FragmentName(f) +
+          " is not replicated at its agent's home node");
+    }
+  }
+  // Validate the §4.2 restriction over the fragments it actually governs:
+  // the read-access subgraph among kAcyclicReads-typed fragments must be
+  // elementarily acyclic (all fragments, when that is the cluster default
+  // and nothing is overridden).
+  {
+    ReadAccessGraph acyclic_group(catalog_.fragment_count());
+    bool any_acyclic = false;
+    for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+      if (ControlFor(f) == ControlOption::kAcyclicReads) any_acyclic = true;
+    }
+    if (any_acyclic) {
+      for (const auto& [from, to] : declared_reads_) {
+        if (ControlFor(from) == ControlOption::kAcyclicReads &&
+            ControlFor(to) == ControlOption::kAcyclicReads) {
+          FRAGDB_RETURN_IF_ERROR(acyclic_group.AddEdge(from, to));
+        }
+      }
+      if (!acyclic_group.ElementarilyAcyclic()) {
+        return Status::FailedPrecondition(
+            "kAcyclicReads requires an elementarily acyclic read-access "
+            "graph over the fragments it governs");
+      }
+    }
+  }
+  for (NodeId n = 0; n < topology_.node_count(); ++n) {
+    runtimes_.push_back(std::make_unique<NodeRuntime>(this, n));
+    network_->SetHandler(n, [this, n](const Message& msg) {
+      runtimes_[n]->HandleMessage(msg);
+    });
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// Submission
+// --------------------------------------------------------------------------
+
+namespace {
+
+TxnResult FailResult(TxnId id, Status status, SimTime now) {
+  TxnResult r;
+  r.id = id;
+  r.status = std::move(status);
+  r.finished_at = now;
+  return r;
+}
+
+}  // namespace
+
+Status Cluster::ValidateSpec(NodeId node, const TxnSpec& spec,
+                             FragmentId* type_fragment) const {
+  if (!spec.read_only()) {
+    if (!catalog_.ValidFragment(spec.write_fragment)) {
+      return Status::InvalidArgument("no such write fragment");
+    }
+    Result<AgentId> owner = catalog_.AgentOf(spec.write_fragment);
+    if (!owner.ok() || *owner != spec.agent) {
+      return Status::PermissionDenied(
+          "agent does not hold the token for the written fragment");
+    }
+    Result<NodeId> home = catalog_.HomeOf(spec.agent);
+    if (!home.ok() || *home != node) {
+      return Status::PermissionDenied(
+          "update transactions must run at the agent's home node");
+    }
+    *type_fragment = spec.write_fragment;
+  } else {
+    if (spec.agent != kInvalidAgent && catalog_.ValidAgent(spec.agent) &&
+        !catalog_.TokensOf(spec.agent).empty()) {
+      *type_fragment = catalog_.TokensOf(spec.agent)[0];
+    } else {
+      *type_fragment = kInvalidFragment;
+    }
+  }
+  for (ObjectId o : spec.read_set) {
+    if (!catalog_.ValidObject(o)) {
+      return Status::InvalidArgument("no such object in read set");
+    }
+    if (!catalog_.ReplicatedAt(catalog_.FragmentOf(o), node)) {
+      return Status::PermissionDenied(
+          "fragment " + catalog_.FragmentName(catalog_.FragmentOf(o)) +
+          " is not replicated at this node");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::CheckRagConformance(const TxnSpec& spec,
+                                    FragmentId type_fragment) const {
+  ControlOption effective = type_fragment == kInvalidFragment
+                                ? config_.control
+                                : ControlFor(type_fragment);
+  if (effective != ControlOption::kAcyclicReads) return Status::Ok();
+  if (type_fragment == kInvalidFragment) {
+    // Anonymous reader: a single-fragment read is always safe; wider reads
+    // need the explicit opt-in.
+    std::set<FragmentId> frags;
+    for (ObjectId o : spec.read_set) frags.insert(catalog_.FragmentOf(o));
+    if (frags.size() <= 1) return Status::Ok();
+    if (spec.read_only() && config_.allow_nonconforming_readonly) {
+      return Status::Ok();
+    }
+    return Status::PermissionDenied(
+        "multi-fragment anonymous read violates the read-access graph");
+  }
+  for (ObjectId o : spec.read_set) {
+    FragmentId f = catalog_.FragmentOf(o);
+    if (f == type_fragment) continue;
+    if (rag_->HasEdge(type_fragment, f)) continue;
+    if (spec.read_only() && config_.allow_nonconforming_readonly) continue;
+    return Status::PermissionDenied(
+        "read of " + catalog_.FragmentName(f) +
+        " not declared in the read-access graph");
+  }
+  return Status::Ok();
+}
+
+void Cluster::Submit(const TxnSpec& spec, TxnCallback done) {
+  FRAGDB_CHECK(started_);
+  if (!done) done = [](const TxnResult&) {};
+  Result<NodeId> home = catalog_.HomeOf(spec.agent);
+  if (!home.ok()) {
+    done(FailResult(kInvalidTxn,
+                    Status::FailedPrecondition("agent has no home node"),
+                    sim_.Now()));
+    return;
+  }
+  auto state_it = agent_state_.find(spec.agent);
+  if (state_it != agent_state_.end()) {
+    AgentState& st = state_it->second;
+    if (st.phase == AgentPhase::kInTransit && !spec.read_only()) {
+      done(FailResult(kInvalidTxn,
+                      Status::Unavailable("agent is in transit"), sim_.Now()));
+      return;
+    }
+    if (st.phase == AgentPhase::kCatchingUp && !spec.read_only()) {
+      // §4.4.2B: the agent waits at the new home until it catches up.
+      st.queued.emplace_back(spec, std::move(done));
+      return;
+    }
+  }
+  SubmitAt(*home, spec, std::move(done));
+}
+
+void Cluster::SubmitReadOnlyAt(NodeId node, const TxnSpec& spec,
+                               TxnCallback done) {
+  FRAGDB_CHECK(started_);
+  if (!done) done = [](const TxnResult&) {};
+  if (!spec.read_only()) {
+    done(FailResult(kInvalidTxn,
+                    Status::InvalidArgument(
+                        "SubmitReadOnlyAt requires a read-only transaction"),
+                    sim_.Now()));
+    return;
+  }
+  SubmitAt(node, spec, std::move(done));
+}
+
+void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
+  if (node < 0 || node >= topology_.node_count()) {
+    done(FailResult(kInvalidTxn, Status::InvalidArgument("no such node"),
+                    sim_.Now()));
+    return;
+  }
+  if (!topology_.IsNodeUp(node)) {
+    done(FailResult(kInvalidTxn, Status::Unavailable("node is down"),
+                    sim_.Now()));
+    return;
+  }
+  FragmentId type_fragment = kInvalidFragment;
+  Status st = ValidateSpec(node, spec, &type_fragment);
+  if (st.ok()) st = CheckRagConformance(spec, type_fragment);
+  if (!st.ok()) {
+    done(FailResult(kInvalidTxn, st, sim_.Now()));
+    return;
+  }
+
+  TxnId id = NewTxnId();
+  TxnRecord rec;
+  rec.id = id;
+  rec.agent = spec.agent;
+  rec.type_fragment = type_fragment;
+  rec.home = node;
+  rec.read_only = spec.read_only();
+  rec.label = spec.label;
+  history_.RegisterTxn(rec);
+  Trace("submit", "T" + std::to_string(id) +
+                      (spec.label.empty() ? "" : " " + spec.label) +
+                      " at N" + std::to_string(node));
+
+  auto run = [this, id, node, spec, done](bool x_preacquired,
+                                          std::function<void()> after) {
+    if (!spec.read_only() &&
+        config_.move_protocol == MoveProtocol::kMajorityCommit) {
+      ExecuteMajority(id, node, spec, x_preacquired, done, std::move(after));
+    } else {
+      ExecuteAndPropagate(id, node, spec, x_preacquired, done,
+                          std::move(after));
+    }
+  };
+
+  ControlOption effective = type_fragment == kInvalidFragment
+                                ? config_.control
+                                : ControlFor(type_fragment);
+  if (effective != ControlOption::kReadLocks) {
+    run(false, [] {});
+    return;
+  }
+
+  // §4.1: build the lock plan — shared locks on every fragment read
+  // (acquired at that fragment's home node) plus the exclusive lock on the
+  // written fragment, all in globally sorted fragment order (deadlock
+  // freedom).
+  auto plan = std::make_shared<std::vector<LockPlanStep>>();
+  std::set<FragmentId> read_frags;
+  for (ObjectId o : spec.read_set) read_frags.insert(catalog_.FragmentOf(o));
+  read_frags.erase(spec.write_fragment);
+  std::set<FragmentId> all;
+  for (FragmentId f : read_frags) all.insert(f);
+  if (!spec.read_only()) all.insert(spec.write_fragment);
+  for (FragmentId f : all) {
+    LockPlanStep step;
+    step.fragment = f;
+    step.mode = (f == spec.write_fragment && !spec.read_only())
+                    ? LockMode::kExclusive
+                    : LockMode::kShared;
+    Result<NodeId> home = catalog_.HomeOfFragment(f);
+    step.home = home.ok() ? *home : node;
+    if (step.mode == LockMode::kExclusive) step.home = node;
+    plan->push_back(step);
+  }
+  AcquireLockPlan(id, node, plan, 0, done, spec,
+                  [this, run, plan, id, node, spec, done](bool x_pre) {
+                    auto after = [this, id, node, plan] {
+                      ReleasePlanLocks(id, node, *plan, plan->size());
+                    };
+                    run(x_pre, after);
+                  });
+}
+
+void Cluster::AcquireLockPlan(TxnId id, NodeId node,
+                              std::shared_ptr<std::vector<LockPlanStep>> plan,
+                              size_t next, TxnCallback done,
+                              const TxnSpec& spec,
+                              std::function<void(bool x_preacquired)> run) {
+  if (next >= plan->size()) {
+    bool x_pre = !spec.read_only();
+    run(x_pre);
+    return;
+  }
+  const LockPlanStep& step = (*plan)[next];
+  auto proceed = [this, id, node, plan, next, done, spec, run](Status st) {
+    if (!st.ok()) {
+      FailLockPlan(id, node, *plan, next, spec, done,
+                   Status::Unavailable("read lock unavailable: " +
+                                       st.ToString()));
+      return;
+    }
+    AcquireLockPlan(id, node, plan, next + 1, done, spec, run);
+  };
+  if (step.home == node) {
+    runtimes_[node]->locks().Acquire(id, FragmentResource(step.fragment),
+                                     step.mode, proceed);
+    return;
+  }
+  // Remote shared lock with timeout.
+  auto key = std::make_pair(id, step.fragment);
+  RemoteLockWait wait;
+  wait.cont = proceed;
+  wait.home = step.home;
+  wait.requester = node;
+  wait.timeout_event = sim_.After(config_.remote_lock_timeout, [this, key] {
+    auto it = remote_waits_.find(key);
+    if (it == remote_waits_.end() || it->second.abandoned) return;
+    it->second.abandoned = true;
+    auto cont = std::move(it->second.cont);
+    // Entry stays so a late grant is released; cont fails the plan.
+    cont(Status::TimedOut("remote read lock timed out"));
+  });
+  remote_waits_[key] = std::move(wait);
+  auto req = std::make_shared<ReadLockRequest>();
+  req->txn = id;
+  req->fragment = step.fragment;
+  req->requester = node;
+  Status send = network_->Send(node, step.home, req);
+  FRAGDB_CHECK(send.ok());
+}
+
+void Cluster::OnRemoteLockGrant(NodeId node, const ReadLockGrant& grant) {
+  auto key = std::make_pair(grant.txn, grant.fragment);
+  auto it = remote_waits_.find(key);
+  if (it == remote_waits_.end()) return;
+  RemoteLockWait& wait = it->second;
+  if (wait.abandoned) {
+    // Grant arrived after the timeout: release it right back.
+    auto rel = std::make_shared<ReadLockRelease>();
+    rel->txn = grant.txn;
+    rel->fragment = grant.fragment;
+    network_->Send(node, wait.home, rel);
+    remote_waits_.erase(it);
+    return;
+  }
+  sim_.Cancel(wait.timeout_event);
+  auto cont = std::move(wait.cont);
+  remote_waits_.erase(it);
+  cont(Status::Ok());
+}
+
+void Cluster::FailLockPlan(TxnId id, NodeId node,
+                           const std::vector<LockPlanStep>& plan,
+                           size_t acquired, const TxnSpec& spec,
+                           TxnCallback done, Status why) {
+  (void)spec;
+  ReleasePlanLocks(id, node, plan, acquired);
+  done(FailResult(id, std::move(why), sim_.Now()));
+}
+
+void Cluster::ReleasePlanLocks(TxnId id, NodeId node,
+                               const std::vector<LockPlanStep>& plan,
+                               size_t acquired) {
+  bool released_local = false;
+  for (size_t i = 0; i < acquired && i < plan.size(); ++i) {
+    const LockPlanStep& step = plan[i];
+    if (step.home == node) {
+      if (!released_local) {
+        runtimes_[node]->locks().ReleaseAll(id);
+        released_local = true;
+      }
+    } else {
+      auto rel = std::make_shared<ReadLockRelease>();
+      rel->txn = id;
+      rel->fragment = step.fragment;
+      network_->Send(node, step.home, rel);
+    }
+  }
+  // Drop any still-pending remote waits of this transaction (the grant, if
+  // it ever comes, is released by the abandoned path).
+  for (auto it = remote_waits_.begin(); it != remote_waits_.end();) {
+    if (it->first.first == id && !it->second.abandoned) {
+      sim_.Cancel(it->second.timeout_event);
+      it = remote_waits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Execution paths
+// --------------------------------------------------------------------------
+
+void Cluster::ExecuteAndPropagate(TxnId id, NodeId node, const TxnSpec& spec,
+                                  bool x_preacquired, TxnCallback done,
+                                  std::function<void()> after) {
+  NodeRuntime& rt = *runtimes_[node];
+  FragmentId wf = spec.write_fragment;
+  std::function<SeqNum()> seq_alloc;
+  if (!spec.read_only()) {
+    seq_alloc = [this, node, wf]() -> SeqNum {
+      return runtimes_[node]->stream(wf).next_seq++;
+    };
+  }
+  rt.scheduler().RunLocal(
+      id, spec, x_preacquired, seq_alloc,
+      [this, id, node, spec, done, after](TxnResult result) {
+        Trace(result.status.ok()
+                  ? "commit"
+                  : (result.status.IsFailedPrecondition() ? "decline"
+                                                          : "fail"),
+              "T" + std::to_string(id) + " " + result.status.ToString());
+        if (result.status.ok()) {
+          history_.MarkCommitted(id, result.frag_seq);
+          if (!spec.read_only()) {
+            QuasiTxn quasi;
+            quasi.origin_txn = id;
+            quasi.fragment = spec.write_fragment;
+            quasi.seq = result.frag_seq;
+            quasi.origin_node = node;
+            quasi.origin_time = result.finished_at;
+            quasi.writes = result.writes;
+            NodeRuntime& rt = *runtimes_[node];
+            rt.RecordLocalCommit(quasi);
+            auto msg = std::make_shared<QuasiTxnMsg>();
+            msg->quasi = quasi;
+            msg->epoch = rt.stream(spec.write_fragment).epoch;
+            Status st = SendToReplicas(node, spec.write_fragment, msg);
+            FRAGDB_CHECK(st.ok());
+          }
+        }
+        after();
+        done(std::move(result));
+      });
+}
+
+void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
+                              bool x_preacquired, TxnCallback done,
+                              std::function<void()> after) {
+  NodeRuntime& rt = *runtimes_[node];
+  FragmentId wf = spec.write_fragment;
+  bool release_locks = !x_preacquired;
+  rt.scheduler().Prepare(
+      id, spec, x_preacquired,
+      [this, id, node, wf, release_locks, done,
+       after](TxnResult prepared) {
+        NodeRuntime& rt = *runtimes_[node];
+        if (!prepared.status.ok()) {
+          rt.scheduler().AbortPrepared(id, release_locks);
+          Trace(prepared.status.IsFailedPrecondition() ? "decline" : "fail",
+                "T" + std::to_string(id) + " " + prepared.status.ToString());
+          after();
+          done(std::move(prepared));
+          return;
+        }
+        FragmentStream& stream = rt.stream(wf);
+        SeqNum seq = stream.next_seq++;
+        auto result = std::make_shared<TxnResult>(std::move(prepared));
+        result->frag_seq = seq;
+
+        QuasiTxn quasi;
+        quasi.origin_txn = id;
+        quasi.fragment = wf;
+        quasi.seq = seq;
+        quasi.origin_node = node;
+        quasi.origin_time = sim_.Now();
+        quasi.writes = result->writes;
+
+        auto prep = std::make_shared<QuasiPrepare>();
+        prep->quasi = quasi;
+        prep->epoch = stream.epoch;
+        Status st = SendToReplicas(node, wf, prep);
+        FRAGDB_CHECK(st.ok());
+
+        TxnId key = id;
+        AckWait wait;
+        wait.fragment = wf;
+        wait.needed = MajoritySizeFor(wf);
+        wait.on_majority = [this, id, node, wf, seq, quasi, release_locks,
+                            result, done, after, key] {
+          NodeRuntime& rt = *runtimes_[node];
+          rt.scheduler().CommitPrepared(id, wf, quasi.writes, seq,
+                                        release_locks);
+          history_.MarkCommitted(id, seq);
+          rt.RecordLocalCommit(quasi);
+          auto cmt = std::make_shared<QuasiCommit>();
+          cmt->fragment = wf;
+          cmt->seq = seq;
+          Status s2 = SendToReplicas(node, wf, cmt);
+          FRAGDB_CHECK(s2.ok());
+          result->status = Status::Ok();
+          result->finished_at = sim_.Now();
+          Trace("commit", "T" + std::to_string(id) + " OK (majority)");
+          after();
+          done(*result);
+        };
+        wait.timeout_event =
+            sim_.After(config_.majority_ack_timeout, [this, id, node, wf,
+                                                      release_locks, result,
+                                                      done, after, key] {
+              auto it = ack_waits_.find(key);
+              if (it == ack_waits_.end()) return;
+              ack_waits_.erase(it);
+              NodeRuntime& rt = *runtimes_[node];
+              // Roll the tentative sequence back; the exclusive fragment
+              // lock is still held, so nothing else allocated meanwhile.
+              rt.stream(wf).next_seq--;
+              rt.scheduler().AbortPrepared(id, release_locks);
+              result->status = Status::Unavailable(
+                  "majority acknowledgments not received");
+              result->finished_at = sim_.Now();
+              Trace("fail", "T" + std::to_string(id) +
+                                " Unavailable: no majority acks");
+              after();
+              done(*result);
+            });
+        if (wait.acks >= wait.needed) {
+          // Single-node majority: commit immediately.
+          sim_.Cancel(wait.timeout_event);
+          auto go = wait.on_majority;
+          go();
+          return;
+        }
+        ack_waits_[key] = std::move(wait);
+      });
+}
+
+void Cluster::OnMajorityAck(const QuasiAck& ack) {
+  auto it = ack_waits_.find(ack.txn);
+  if (it == ack_waits_.end()) return;
+  AckWait& wait = it->second;
+  wait.acks += 1;
+  if (wait.acks >= wait.needed) {
+    sim_.Cancel(wait.timeout_event);
+    auto go = std::move(wait.on_majority);
+    ack_waits_.erase(it);
+    go();
+  }
+}
+
+int Cluster::MajoritySize() const { return topology_.node_count() / 2 + 1; }
+
+int Cluster::MajoritySizeFor(FragmentId fragment) const {
+  const std::vector<NodeId>& set = catalog_.ReplicaSet(fragment);
+  if (set.empty()) return MajoritySize();
+  return static_cast<int>(set.size()) / 2 + 1;
+}
+
+Status Cluster::SendToReplicas(NodeId from, FragmentId fragment,
+                               std::shared_ptr<const MessagePayload> payload) {
+  const std::vector<NodeId>& set = catalog_.ReplicaSet(fragment);
+  if (set.empty()) return network_->SendToAll(from, payload);
+  for (NodeId to : set) {
+    if (to == from) continue;
+    FRAGDB_RETURN_IF_ERROR(network_->Send(from, to, payload));
+  }
+  return Status::Ok();
+}
+
+CheckReport Cluster::CheckReplicaSetConsistency() const {
+  for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+    std::vector<NodeId> members = catalog_.ReplicaSet(f);
+    if (members.empty()) {
+      for (NodeId n = 0; n < topology_.node_count(); ++n) {
+        members.push_back(n);
+      }
+    }
+    if (members.size() < 2) continue;
+    const ObjectStore& first = runtimes_[members[0]]->store();
+    for (size_t i = 1; i < members.size(); ++i) {
+      const ObjectStore& other = runtimes_[members[i]]->store();
+      for (ObjectId o : catalog_.ObjectsIn(f)) {
+        if (first.Read(o) != other.Read(o)) {
+          return CheckReport::Fail(
+              "fragment " + catalog_.FragmentName(f) + " diverges between "
+              "replicas " + std::to_string(members[0]) + " and " +
+              std::to_string(members[i]) + " on " + catalog_.ObjectName(o));
+        }
+      }
+    }
+  }
+  return CheckReport::Pass();
+}
+
+// --------------------------------------------------------------------------
+// §4.4.3 repackaging & corrective actions
+// --------------------------------------------------------------------------
+
+void Cluster::CommitRepackaged(NodeId home, FragmentId fragment,
+                               const QuasiTxn& missing,
+                               std::vector<WriteOp> kept) {
+  Result<AgentId> agent = catalog_.AgentOf(fragment);
+  FRAGDB_CHECK(agent.ok());
+
+  auto commit_writes = [this, home, fragment, agent](
+                           std::vector<WriteOp> writes, std::string label,
+                           std::function<void()> then) {
+    NodeRuntime& rt = *runtimes_[home];
+    TxnId id = NewTxnId();
+    TxnRecord rec;
+    rec.id = id;
+    rec.agent = *agent;
+    rec.type_fragment = fragment;
+    rec.home = home;
+    rec.read_only = false;
+    rec.label = label;
+    history_.RegisterTxn(rec);
+    TxnSpec spec;
+    spec.agent = *agent;
+    spec.write_fragment = fragment;
+    spec.body = [writes](const std::vector<Value>&)
+        -> Result<std::vector<WriteOp>> { return writes; };
+    spec.label = std::move(label);
+    auto seq_alloc = [this, home, fragment]() -> SeqNum {
+      return runtimes_[home]->stream(fragment).next_seq++;
+    };
+    rt.scheduler().RunLocal(
+        id, spec, /*write_lock_preacquired=*/false, seq_alloc,
+        [this, id, home, fragment, then](TxnResult result) {
+          if (result.status.ok()) {
+            history_.MarkCommitted(id, result.frag_seq);
+            QuasiTxn quasi;
+            quasi.origin_txn = id;
+            quasi.fragment = fragment;
+            quasi.seq = result.frag_seq;
+            quasi.origin_node = home;
+            quasi.origin_time = result.finished_at;
+            quasi.writes = result.writes;
+            NodeRuntime& rt = *runtimes_[home];
+            rt.RecordLocalCommit(quasi);
+            auto msg = std::make_shared<QuasiTxnMsg>();
+            msg->quasi = quasi;
+            msg->epoch = rt.stream(fragment).epoch;
+            Status st = SendToReplicas(home, fragment, msg);
+            FRAGDB_CHECK(st.ok());
+          }
+          if (then) then();
+        });
+  };
+
+  auto run_corrective = [this, home, fragment, missing, kept,
+                         commit_writes] {
+    const CorrectiveAction* action = corrective_action(fragment);
+    if (action == nullptr) return;
+    std::vector<WriteOp> extra =
+        (*action)(missing, kept, runtimes_[home]->store());
+    if (extra.empty()) return;
+    commit_writes(std::move(extra),
+                  "corrective(T" + std::to_string(missing.origin_txn) + ")",
+                  nullptr);
+  };
+
+  Trace("repackage", "T" + std::to_string(missing.origin_txn) + " at N" +
+                         std::to_string(home) + ", kept " +
+                         std::to_string(kept.size()) + "/" +
+                         std::to_string(missing.writes.size()) + " writes");
+  if (kept.empty()) {
+    run_corrective();
+    return;
+  }
+  commit_writes(kept,
+                "repackage(T" + std::to_string(missing.origin_txn) + ")",
+                run_corrective);
+}
+
+void Cluster::Trace(const char* kind, std::string detail) {
+  if (!trace_sink_) return;
+  TraceEvent ev;
+  ev.at = sim_.Now();
+  ev.kind = kind;
+  ev.detail = std::move(detail);
+  trace_sink_(ev);
+}
+
+const CorrectiveAction* Cluster::corrective_action(FragmentId f) const {
+  auto it = corrective_.find(f);
+  return it == corrective_.end() ? nullptr : &it->second;
+}
+
+// --------------------------------------------------------------------------
+// Environment control & inspection
+// --------------------------------------------------------------------------
+
+Status Cluster::Partition(const std::vector<std::vector<NodeId>>& groups) {
+  std::string detail;
+  for (const auto& group : groups) {
+    detail += "{";
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (i > 0) detail += ",";
+      detail += std::to_string(group[i]);
+    }
+    detail += "}";
+  }
+  Trace("partition", detail);
+  return topology_.Partition(groups);
+}
+
+void Cluster::HealAll() {
+  Trace("heal", "");
+  topology_.HealAll();
+}
+
+Status Cluster::SetLinkUp(NodeId a, NodeId b, bool up) {
+  return topology_.SetLinkUp(a, b, up);
+}
+
+Status Cluster::SetNodeUp(NodeId node, bool up) {
+  Trace(up ? "node-up" : "node-down", "N" + std::to_string(node));
+  return topology_.SetNodeUp(node, up);
+}
+
+void Cluster::RunFor(SimTime duration) { sim_.RunUntil(sim_.Now() + duration); }
+void Cluster::RunUntil(SimTime deadline) { sim_.RunUntil(deadline); }
+void Cluster::RunToQuiescence() { sim_.RunToQuiescence(); }
+SimTime Cluster::Now() const { return sim_.Now(); }
+
+int Cluster::node_count() const { return topology_.node_count(); }
+
+Value Cluster::ReadAt(NodeId node, ObjectId object) const {
+  FRAGDB_CHECK(node >= 0 && node < static_cast<NodeId>(runtimes_.size()));
+  return runtimes_[node]->store().Read(object);
+}
+
+const NetworkStats& Cluster::net_stats() const { return network_->stats(); }
+
+std::vector<const ObjectStore*> Cluster::Replicas() const {
+  std::vector<const ObjectStore*> out;
+  out.reserve(runtimes_.size());
+  for (const auto& rt : runtimes_) out.push_back(&rt->store());
+  return out;
+}
+
+CheckReport Cluster::CheckConfiguredProperty() const {
+  if (config_.move_protocol == MoveProtocol::kOmitPrep) {
+    // §4.4.3 promises only mutual consistency, which is a quiescence-time
+    // replica comparison, not a history property.
+    CheckReport r = CheckReport::Pass();
+    r.detail =
+        "omit-prep moves promise only mutual consistency; compare replicas "
+        "at quiescence with CheckMutualConsistency";
+    return r;
+  }
+  // With per-fragment overrides, global serializability is promised only
+  // when every fragment (and the default, which governs anonymous
+  // readers) is an SR-grade option.
+  bool all_sr = config_.control != ControlOption::kFragmentwise;
+  for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+    if (ControlFor(f) == ControlOption::kFragmentwise) all_sr = false;
+  }
+  if (all_sr) return CheckGlobalSerializability(history_);
+  return CheckFragmentwiseSerializability(history_,
+                                          catalog_.fragment_count());
+}
+
+}  // namespace fragdb

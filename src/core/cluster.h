@@ -1,0 +1,314 @@
+#ifndef FRAGDB_CORE_CLUSTER_H_
+#define FRAGDB_CORE_CLUSTER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/transaction.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "core/node.h"
+#include "net/broadcast.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "storage/catalog.h"
+#include "storage/read_access_graph.h"
+#include "verify/checkers.h"
+#include "verify/history.h"
+
+namespace fragdb {
+
+/// A corrective action (paper §2, §4.4.3): application logic run by the
+/// fragment's agent when a late/missing transaction surfaces an anomaly.
+/// Receives the missing transaction as originally issued, the subset of
+/// its writes that was actually applied after repackaging, and the home
+/// node's current replica; returns additional writes (within the same
+/// fragment) to commit as a corrective transaction — e.g., assessing an
+/// overdraft fine. Return empty for "nothing to correct".
+using CorrectiveAction = std::function<std::vector<WriteOp>(
+    const QuasiTxn& missing, const std::vector<WriteOp>& applied,
+    const ObjectStore& store)>;
+
+/// One structured event in the cluster's activity trace.
+struct TraceEvent {
+  SimTime at = 0;
+  /// "submit", "commit", "decline", "fail", "install", "move-start",
+  /// "move-finish", "recover", "repackage", "corrective", "partition",
+  /// "heal".
+  std::string kind;
+  std::string detail;
+};
+
+/// The fragments-and-agents distributed database: the paper's full system
+/// in one façade. Construction order:
+///   1. build a Topology, construct the Cluster;
+///   2. define fragments, objects, agents; assign tokens and homes;
+///      declare the read-access graph;
+///   3. Start() — validates the design against the configured control
+///      option and spins up the per-node runtimes;
+///   4. drive: Submit() transactions, Partition()/HealAll() the network,
+///      MoveAgent() under a §4.4 protocol, advance simulated time;
+///   5. inspect: per-replica reads, the recorded History, the checkers.
+class Cluster {
+ public:
+  using TxnCallback = std::function<void(const TxnResult&)>;
+  using MoveCallback = std::function<void(Status)>;
+
+  Cluster(ClusterConfig config, Topology topology);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- Schema & design (before Start) -----------------------------------
+
+  FragmentId DefineFragment(std::string name);
+  Result<ObjectId> DefineObject(FragmentId fragment, std::string name,
+                                Value initial_value);
+  AgentId DefineUserAgent(std::string name);
+  AgentId DefineNodeAgent(NodeId node, std::string name);
+  Status AssignToken(FragmentId fragment, AgentId agent);
+  Status SetAgentHome(AgentId agent, NodeId node);
+
+  /// Declares that transactions initiated by A(`from`) read fragment `to`
+  /// (an edge of the §4.2 read-access graph).
+  Status DeclareRead(FragmentId from, FragmentId to);
+
+  /// Extension (paper Conclusions): replicate `fragment` only at `nodes`.
+  /// Reads of the fragment are then served only at member nodes; the
+  /// agent's home (and any move/recovery target) must be a member;
+  /// §4.4.1 majorities are counted within the replica set. Call before
+  /// Start().
+  Status SetReplicaSet(FragmentId fragment, std::vector<NodeId> nodes);
+
+  /// Registers the corrective action for a fragment (used by §4.4.3).
+  void SetCorrectiveAction(FragmentId fragment, CorrectiveAction action);
+
+  /// Extension (paper Conclusions): combine strategies in one system by
+  /// overriding the control option for a single fragment. Transactions of
+  /// type `fragment` follow the override instead of the cluster default:
+  /// kReadLocks types build lock plans, kAcyclicReads types must conform
+  /// to the read-access graph (validated over the overridden types at
+  /// Start), kFragmentwise types read freely. Call before Start().
+  Status SetFragmentControl(FragmentId fragment, ControlOption control);
+
+  /// The control option governing transactions of type `fragment`.
+  ControlOption ControlFor(FragmentId fragment) const;
+
+  /// Validates the design (every fragment has an agent with a home; under
+  /// kAcyclicReads the read-access graph must be elementarily acyclic) and
+  /// builds the per-node runtimes. No schema changes after this.
+  Status Start();
+
+  // --- Transactions -------------------------------------------------------
+
+  /// Submits a transaction on behalf of its initiating agent, at the
+  /// agent's current home node. Update transactions must satisfy the
+  /// initiation requirement (agent holds the written fragment's token).
+  /// `done` fires when the transaction commits, declines, or fails.
+  void Submit(const TxnSpec& spec, TxnCallback done);
+
+  /// Submits a read-only transaction at an explicit node (reads are free
+  /// for all users at all nodes; under §4.1 they still take read locks).
+  /// `spec.agent` may be kInvalidAgent for an anonymous reader.
+  void SubmitReadOnlyAt(NodeId node, const TxnSpec& spec, TxnCallback done);
+
+  /// Moves a user agent (and the tokens it holds) to a new home node using
+  /// the configured §4.4 protocol. `done` fires when the agent is open for
+  /// business at the new home.
+  Status MoveAgent(AgentId agent, NodeId to_node, MoveCallback done);
+
+  /// Extension of §4.4.1's token-loss remark ("it can be reconstituted
+  /// through an election"): re-attach a user agent at `to_node` WITHOUT
+  /// contacting the old home (presumed crashed or unreachable). Requires
+  /// MoveProtocol::kMajorityCommit — every committed update reached a
+  /// majority, so the new home reconstructs the stream from a majority
+  /// and then opens a fresh epoch (an M0 announcement invalidates any
+  /// zombie transactions the old home may later disgorge; they are
+  /// repackaged like §4.4.3 missing transactions).
+  Status RecoverAgent(AgentId agent, NodeId to_node, MoveCallback done);
+
+  // --- Environment control ------------------------------------------------
+
+  Status Partition(const std::vector<std::vector<NodeId>>& groups);
+  void HealAll();
+  Status SetLinkUp(NodeId a, NodeId b, bool up);
+  /// Crash-stops (or revives) a node: it cannot send, receive, relay, or
+  /// accept submissions while down. State is stable storage — it survives
+  /// the outage (the paper assumes durable copies). HealAll() does not
+  /// revive downed nodes.
+  Status SetNodeUp(NodeId node, bool up);
+
+  void RunFor(SimTime duration);
+  void RunUntil(SimTime deadline);
+  /// Drains all pending work. Note: while links are down, queued messages
+  /// stay queued; quiescence means nothing more can happen *now*.
+  void RunToQuiescence();
+  SimTime Now() const;
+
+  // --- Inspection ----------------------------------------------------------
+
+  int node_count() const;
+  Value ReadAt(NodeId node, ObjectId object) const;
+  const Catalog& catalog() const { return catalog_; }
+  const ReadAccessGraph& rag() const { return *rag_; }
+  const History& history() const { return history_; }
+  const NetworkStats& net_stats() const;
+  const ClusterConfig& config() const { return config_; }
+  std::vector<const ObjectStore*> Replicas() const;
+  Simulator& sim() { return sim_; }
+  Topology& topology() { return topology_; }
+  NodeRuntime& runtime(NodeId node) { return *runtimes_[node]; }
+
+  /// Convenience: checks the correctness property the configured control
+  /// option promises (global serializability for kReadLocks/kAcyclicReads,
+  /// fragmentwise serializability for kFragmentwise). Mutual consistency
+  /// is a separate, quiescence-time check (CheckMutualConsistency).
+  CheckReport CheckConfiguredProperty() const;
+
+  /// Registers an observer for the cluster's structured event trace
+  /// (transaction lifecycle, installs, moves, partitions). Pass nullptr
+  /// to disable. Tracing is off by default and costs nothing when off.
+  void SetTraceSink(std::function<void(const TraceEvent&)> sink) {
+    trace_sink_ = std::move(sink);
+  }
+
+  /// Quiescence-time mutual consistency that honors partial replication:
+  /// each fragment's contents are compared across its replica set only.
+  /// Equivalent to CheckMutualConsistency(Replicas()) under full
+  /// replication.
+  CheckReport CheckReplicaSetConsistency() const;
+
+  // --- Internal surface (used by NodeRuntime and the move protocols) ------
+
+  Network& network() { return *network_; }
+  const ClusterConfig& cfg() const { return config_; }
+  History& mutable_history() { return history_; }
+  TxnId NewTxnId() { return next_txn_id_++; }
+  int MajoritySize() const;
+  /// §4.4.1 majority within `fragment`'s replica set (the whole network
+  /// under full replication).
+  int MajoritySizeFor(FragmentId fragment) const;
+  /// Sends `payload` to every node holding a copy of `fragment` (except
+  /// `from`).
+  Status SendToReplicas(NodeId from, FragmentId fragment,
+                        std::shared_ptr<const MessagePayload> payload);
+  const CorrectiveAction* corrective_action(FragmentId f) const;
+  /// Called by runtimes when a fragment's applied sequence advances, so
+  /// §4.4.2B catch-up waits can complete.
+  void OnAppliedAdvanced(NodeId node, FragmentId fragment);
+  /// A remote read-lock grant arrived at `node` (§4.1).
+  void OnRemoteLockGrant(NodeId node, const ReadLockGrant& grant);
+  /// A majority-commit acknowledgment arrived at the home node (§4.4.1).
+  void OnMajorityAck(const QuasiAck& ack);
+  /// §4.4.3 A(2): commit the surviving writes of a missing transaction as
+  /// a fresh update transaction at `home`, then run the fragment's
+  /// corrective action.
+  void CommitRepackaged(NodeId home, FragmentId fragment,
+                        const QuasiTxn& missing, std::vector<WriteOp> kept);
+  /// Emits a trace event if a sink is registered.
+  void Trace(const char* kind, std::string detail);
+
+ private:
+  enum class AgentPhase { kSettled, kInTransit, kCatchingUp };
+  struct AgentState {
+    AgentPhase phase = AgentPhase::kSettled;
+    /// §4.4.2B: submissions queued while the new home catches up.
+    std::deque<std::pair<TxnSpec, TxnCallback>> queued;
+    /// §4.4.2B: per fragment, the sequence the new home must reach.
+    std::map<FragmentId, SeqNum> must_reach;
+    MoveCallback move_done;
+  };
+
+  struct LockPlanStep {
+    FragmentId fragment;
+    LockMode mode;
+    NodeId home;
+  };
+  /// An outstanding §4.1 remote read-lock request. After a timeout the
+  /// request is abandoned but remembered, so a late grant is immediately
+  /// released back.
+  struct RemoteLockWait {
+    std::function<void(Status)> cont;
+    EventId timeout_event = -1;
+    bool abandoned = false;
+    NodeId home = kInvalidNode;
+    NodeId requester = kInvalidNode;
+  };
+  /// An update transaction waiting for §4.4.1 majority acknowledgments.
+  struct AckWait {
+    FragmentId fragment = kInvalidFragment;
+    int acks = 1;  // self
+    int needed = 0;
+    std::function<void()> on_majority;
+    EventId timeout_event = -1;
+  };
+
+  /// Validation + registration shared by Submit/SubmitReadOnlyAt.
+  void SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done);
+  Status ValidateSpec(NodeId node, const TxnSpec& spec,
+                      FragmentId* type_fragment) const;
+  /// §4.2 conformance check for `spec` as type `type_fragment`.
+  Status CheckRagConformance(const TxnSpec& spec,
+                             FragmentId type_fragment) const;
+
+  /// Acquires the §4.1 lock plan step by step, then `run`.
+  void AcquireLockPlan(TxnId id, NodeId node,
+                       std::shared_ptr<std::vector<LockPlanStep>> plan,
+                       size_t next, TxnCallback done, const TxnSpec& spec,
+                       std::function<void(bool x_preacquired)> run);
+  void FailLockPlan(TxnId id, NodeId node,
+                    const std::vector<LockPlanStep>& plan, size_t acquired,
+                    const TxnSpec& spec, TxnCallback done, Status why);
+  void ReleasePlanLocks(TxnId id, NodeId node,
+                        const std::vector<LockPlanStep>& plan,
+                        size_t acquired);
+
+  /// Normal-path execution (§4.1–§4.3): run locally, then broadcast.
+  void ExecuteAndPropagate(TxnId id, NodeId node, const TxnSpec& spec,
+                           bool x_preacquired, TxnCallback done,
+                           std::function<void()> after);
+  /// §4.4.1 execution: prepare, collect majority acks, commit, broadcast.
+  void ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
+                       bool x_preacquired, TxnCallback done,
+                       std::function<void()> after);
+
+  // Move-protocol orchestration (implemented in move_protocols.cc).
+  void StartMove(AgentId agent, NodeId from, NodeId to);
+  void ArriveMove(AgentId agent, NodeId from, NodeId to,
+                  std::vector<ObjectStore::FragmentSnapshot> snapshots,
+                  std::map<FragmentId, SeqNum> carried_seqs,
+                  std::map<FragmentId, std::map<SeqNum, QuasiTxn>> logs);
+  void FinishMove(AgentId agent);
+  void DrainQueuedSubmissions(AgentId agent);
+
+  friend class NodeRuntime;
+
+  ClusterConfig config_;
+  Simulator sim_;
+  Topology topology_;
+  std::unique_ptr<Network> network_;
+  Catalog catalog_;
+  std::unique_ptr<ReadAccessGraph> rag_;  // built at Start()
+  std::vector<std::pair<FragmentId, FragmentId>> declared_reads_;
+  std::map<FragmentId, ControlOption> control_override_;
+  std::map<FragmentId, CorrectiveAction> corrective_;
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+  std::map<AgentId, AgentState> agent_state_;
+  std::map<std::pair<TxnId, FragmentId>, RemoteLockWait> remote_waits_;
+  std::map<TxnId, AckWait> ack_waits_;
+  History history_;
+  std::function<void(const TraceEvent&)> trace_sink_;
+  TxnId next_txn_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_CORE_CLUSTER_H_

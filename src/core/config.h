@@ -1,0 +1,78 @@
+#ifndef FRAGDB_CORE_CONFIG_H_
+#define FRAGDB_CORE_CONFIG_H_
+
+#include "cc/scheduler.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// The read-synchronization strategies of paper §4 (the spectrum of Fig.
+/// 1.1, within the fragments-and-agents framework).
+enum class ControlOption {
+  /// §4.1 — fixed agents; transactions take (possibly remote) read locks
+  /// on every fragment they read. Globally serializable; reads of a
+  /// fragment block while its agent's home node is unreachable.
+  kReadLocks,
+  /// §4.2 — fixed agents; no read locks, but the declared read-access
+  /// graph must be elementarily acyclic and transactions must conform to
+  /// it. Globally serializable (the paper's Theorem).
+  kAcyclicReads,
+  /// §4.3 — fixed agents; no read restrictions at all. Guarantees
+  /// fragmentwise serializability and mutual consistency.
+  kFragmentwise,
+};
+
+/// The agent-movement protocols of paper §4.4.
+enum class MoveProtocol {
+  /// Agents never move (§4.1–§4.3 default).
+  kForbidden,
+  /// §4.4.1 — permanent preparatory actions: every update commits only
+  /// after a majority of nodes acknowledge its quasi-transaction; a moving
+  /// agent catches up from a majority before resuming.
+  kMajorityCommit,
+  /// §4.4.2A — the agent transports a snapshot of its fragment(s) and
+  /// resumes immediately at the new home.
+  kMoveWithData,
+  /// §4.4.2B — the agent carries only the last sequence number; the new
+  /// home waits until it has installed all earlier quasi-transactions.
+  kMoveWithSeqNum,
+  /// §4.4.3 — no preparatory actions: resume immediately; an M0 catch-up
+  /// broadcast, repackaging of missing transactions, and centralized
+  /// corrective actions restore mutual consistency (fragmentwise
+  /// serializability may be lost).
+  kOmitPrep,
+};
+
+/// Returns a short human-readable name for reports.
+const char* ControlOptionName(ControlOption option);
+const char* MoveProtocolName(MoveProtocol protocol);
+
+/// Tuning knobs for a cluster run. All times are simulated.
+struct ClusterConfig {
+  ControlOption control = ControlOption::kFragmentwise;
+  MoveProtocol move_protocol = MoveProtocol::kForbidden;
+
+  /// Per-node scheduler costs.
+  Scheduler::Config scheduler;
+
+  /// §4.1: how long a transaction waits for a remote read-lock grant
+  /// before aborting as Unavailable.
+  SimTime remote_lock_timeout = Millis(200);
+
+  /// §4.4.1: how long the home node waits for majority acknowledgments
+  /// before aborting the update as Unavailable.
+  SimTime majority_ack_timeout = Millis(200);
+
+  /// Physical travel time of a moving agent (the paper's tape in a truck /
+  /// card in a pocket).
+  SimTime agent_travel_time = Millis(20);
+
+  /// §4.2: permit read-only transactions that violate the read-access
+  /// graph (the paper allows them when the application tolerates
+  /// non-serializable *output*; the database itself is unaffected).
+  bool allow_nonconforming_readonly = false;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_CORE_CONFIG_H_

@@ -1,0 +1,121 @@
+#ifndef FRAGDB_CORE_MESSAGES_H_
+#define FRAGDB_CORE_MESSAGES_H_
+
+#include <vector>
+
+#include "cc/transaction.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace fragdb {
+
+/// Epoch of a fragment's update stream. Bumped only by the §4.4.3
+/// omit-preparatory-actions move, which deliberately abandons the old
+/// stream (other protocols keep the sequence contiguous across moves).
+using Epoch = int32_t;
+
+/// A quasi-transaction plus its stream position, as broadcast by the home
+/// node (§2.2: "(T; d1,v1; d2,v2; ...)").
+struct QuasiTxnMsg : MessagePayload {
+  QuasiTxn quasi;
+  Epoch epoch = 0;
+
+  size_t ByteSize() const override {
+    return 48 + quasi.writes.size() * 16;
+  }
+};
+
+/// §4.1 remote read-lock protocol.
+struct ReadLockRequest : MessagePayload {
+  TxnId txn = kInvalidTxn;
+  FragmentId fragment = kInvalidFragment;
+  NodeId requester = kInvalidNode;
+};
+struct ReadLockGrant : MessagePayload {
+  TxnId txn = kInvalidTxn;
+  FragmentId fragment = kInvalidFragment;
+};
+struct ReadLockRelease : MessagePayload {
+  TxnId txn = kInvalidTxn;
+  FragmentId fragment = kInvalidFragment;
+};
+
+/// §4.4.1 majority-commit protocol: prepare / ack / commit.
+struct QuasiPrepare : MessagePayload {
+  QuasiTxn quasi;
+  Epoch epoch = 0;
+  size_t ByteSize() const override {
+    return 48 + quasi.writes.size() * 16;
+  }
+};
+struct QuasiAck : MessagePayload {
+  TxnId txn = kInvalidTxn;  // the prepared transaction being acknowledged
+  FragmentId fragment = kInvalidFragment;
+  SeqNum seq = 0;
+  NodeId acker = kInvalidNode;
+};
+struct QuasiCommit : MessagePayload {
+  FragmentId fragment = kInvalidFragment;
+  SeqNum seq = 0;
+};
+
+/// §4.4.1 move catch-up: the new home asks everyone how far the fragment's
+/// stream goes and fetches what it misses.
+struct SeqQuery : MessagePayload {
+  FragmentId fragment = kInvalidFragment;
+  NodeId requester = kInvalidNode;
+  int64_t move_id = 0;
+};
+struct SeqReply : MessagePayload {
+  FragmentId fragment = kInvalidFragment;
+  SeqNum applied_seq = 0;
+  NodeId replier = kInvalidNode;
+  int64_t move_id = 0;
+};
+struct FetchMissing : MessagePayload {
+  FragmentId fragment = kInvalidFragment;
+  SeqNum from_seq = 0;  // exclusive
+  SeqNum to_seq = 0;    // inclusive
+  NodeId requester = kInvalidNode;
+  int64_t move_id = 0;
+};
+struct MissingData : MessagePayload {
+  FragmentId fragment = kInvalidFragment;
+  std::vector<QuasiTxn> quasis;
+  int64_t move_id = 0;
+  size_t ByteSize() const override {
+    size_t n = 32;
+    for (const auto& q : quasis) n += 48 + q.writes.size() * 16;
+    return n;
+  }
+};
+
+/// §4.4.3 move announcement: "M0 = (T1, ..., Ti)", carrying the prefix of
+/// the old stream the new home has, so behind nodes can catch up, plus the
+/// new epoch metadata.
+struct M0Msg : MessagePayload {
+  FragmentId fragment = kInvalidFragment;
+  NodeId new_home = kInvalidNode;
+  Epoch new_epoch = 0;
+  SeqNum base_seq = 0;  // "i": last old-stream txn installed at new home
+  std::vector<QuasiTxn> old_stream;  // T1..Ti
+  size_t ByteSize() const override {
+    size_t n = 48;
+    for (const auto& q : old_stream) n += 48 + q.writes.size() * 16;
+    return n;
+  }
+};
+
+/// §4.4.3: a third node forwards a missing old-stream transaction to the
+/// new home instead of processing it (protocol step B(2)).
+struct ForwardMissing : MessagePayload {
+  QuasiTxn quasi;
+  Epoch old_epoch = 0;
+  size_t ByteSize() const override {
+    return 48 + quasi.writes.size() * 16;
+  }
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_CORE_MESSAGES_H_

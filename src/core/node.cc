@@ -1,0 +1,461 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/cluster.h"
+
+namespace fragdb {
+
+NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id)
+    : cluster_(cluster), id_(id) {
+  store_ = std::make_unique<ObjectStore>(&cluster->catalog());
+  locks_ = std::make_unique<LockManager>();
+  Scheduler::Hooks hooks;
+  hooks.on_read = [this](TxnId txn, ObjectId object, const VersionInfo& seen,
+                         SimTime at) {
+    ReadRecord r;
+    r.reader = txn;
+    r.node = id_;
+    r.object = object;
+    r.version_writer = seen.writer;
+    r.version_seq = seen.frag_seq;
+    r.at = at;
+    cluster_->mutable_history().RecordRead(r);
+  };
+  hooks.on_install = [this](NodeId node, const QuasiTxn& quasi, SimTime at) {
+    cluster_->mutable_history().RecordInstall(node, quasi, at);
+  };
+  scheduler_ = std::make_unique<Scheduler>(id, &cluster->sim(), store_.get(),
+                                           locks_.get(),
+                                           cluster->cfg().scheduler, hooks);
+  streams_.resize(cluster->catalog().fragment_count());
+}
+
+void NodeRuntime::HandleMessage(const Message& msg) {
+  const MessagePayload* p = msg.payload.get();
+  if (auto* m = dynamic_cast<const QuasiTxnMsg*>(p)) {
+    OnQuasi(*m);
+  } else if (auto* m = dynamic_cast<const ReadLockRequest*>(p)) {
+    OnReadLockRequest(msg.from, *m);
+  } else if (auto* m = dynamic_cast<const ReadLockGrant*>(p)) {
+    OnReadLockGrant(*m);
+  } else if (auto* m = dynamic_cast<const ReadLockRelease*>(p)) {
+    OnReadLockRelease(*m);
+  } else if (auto* m = dynamic_cast<const QuasiPrepare*>(p)) {
+    OnPrepare(msg.from, *m);
+  } else if (auto* m = dynamic_cast<const QuasiAck*>(p)) {
+    OnAck(*m);
+  } else if (auto* m = dynamic_cast<const QuasiCommit*>(p)) {
+    OnCommit(*m);
+  } else if (auto* m = dynamic_cast<const M0Msg*>(p)) {
+    OnM0(*m);
+  } else if (auto* m = dynamic_cast<const ForwardMissing*>(p)) {
+    OnForwardMissing(*m);
+  } else if (auto* m = dynamic_cast<const SeqQuery*>(p)) {
+    OnSeqQuery(msg.from, *m);
+  } else if (auto* m = dynamic_cast<const SeqReply*>(p)) {
+    OnSeqReply(*m);
+  } else if (auto* m = dynamic_cast<const FetchMissing*>(p)) {
+    OnFetchMissing(msg.from, *m);
+  } else if (auto* m = dynamic_cast<const MissingData*>(p)) {
+    OnMissingData(*m);
+  } else {
+    FRAGDB_LOG(kWarning) << "node " << id_ << ": unknown message payload";
+  }
+}
+
+// --------------------------------------------------------------------------
+// Update stream machinery
+// --------------------------------------------------------------------------
+
+void NodeRuntime::OnQuasi(const QuasiTxnMsg& msg) {
+  EnqueueQuasi(msg.quasi, msg.epoch);
+}
+
+void NodeRuntime::EnqueueQuasi(const QuasiTxn& quasi, Epoch epoch) {
+  FragmentStream& s = streams_[quasi.fragment];
+  if (epoch < s.epoch) {
+    // §4.4.3: an old-stream straggler arriving after the epoch moved on.
+    Result<NodeId> home = cluster_->catalog().HomeOfFragment(quasi.fragment);
+    if (home.ok() && *home == id_) {
+      RepackageMissing(quasi);
+    } else if (home.ok()) {
+      auto fwd = std::make_shared<ForwardMissing>();
+      fwd->quasi = quasi;
+      fwd->old_epoch = epoch;
+      cluster_->network().Send(id_, *home, fwd);
+    }
+    return;
+  }
+  if (epoch > s.epoch) {
+    // New-epoch traffic before the M0 that opens the epoch (defensive:
+    // per-channel FIFO normally prevents this).
+    s.future[epoch].push_back(quasi);
+    return;
+  }
+  // During a pending transition, old-stream transactions past the base are
+  // already doomed; forward them to the new home (§4.4.3 B(2)).
+  if (s.transition.active && quasi.seq > s.transition.base_seq) {
+    auto fwd = std::make_shared<ForwardMissing>();
+    fwd->quasi = quasi;
+    fwd->old_epoch = epoch;
+    cluster_->network().Send(id_, s.transition.new_home, fwd);
+    return;
+  }
+  if (quasi.seq <= s.applied_seq || s.log.count(quasi.seq) > 0 ||
+      s.holdback.count(quasi.seq) > 0) {
+    return;  // duplicate
+  }
+  s.holdback[quasi.seq] = quasi;
+  TryInstallNext(quasi.fragment);
+}
+
+void NodeRuntime::TryInstallNext(FragmentId f) {
+  FragmentStream& s = streams_[f];
+  if (s.install_in_flight) return;
+  auto it = s.holdback.find(s.applied_seq + 1);
+  if (it == s.holdback.end()) return;
+  QuasiTxn quasi = it->second;
+  s.holdback.erase(it);
+  s.install_in_flight = true;
+  TxnId install_id = cluster_->NewTxnId();
+  scheduler_->Install(quasi, install_id, [this, f, quasi] {
+    FragmentStream& stream = streams_[f];
+    stream.applied_seq = quasi.seq;
+    stream.log[quasi.seq] = quasi;
+    stream.install_in_flight = false;
+    cluster_->Trace("install", "T" + std::to_string(quasi.origin_txn) +
+                                   " seq=" + std::to_string(quasi.seq) +
+                                   " at N" + std::to_string(id_));
+    OnAppliedAdvanced(f);
+    TryInstallNext(f);
+  });
+}
+
+void NodeRuntime::OnAppliedAdvanced(FragmentId f) {
+  MaybeCompleteTransition(f);
+  if (catchup_.active && catchup_.fragment == f) MaybeFinishCatchUp();
+  cluster_->OnAppliedAdvanced(id_, f);
+}
+
+void NodeRuntime::MaybeCompleteTransition(FragmentId f) {
+  FragmentStream& s = streams_[f];
+  FragmentStream::PendingTransition& t = s.transition;
+  if (!t.active) return;
+  if (s.applied_seq < t.base_seq) {
+    TryInstallNext(f);
+    return;
+  }
+  // Old-stream holdback entries past the base leave the lineage: forward
+  // them to the new home so it can repackage (§4.4.3 B(2)).
+  for (const auto& [seq, quasi] : s.holdback) {
+    if (seq > t.base_seq) {
+      auto fwd = std::make_shared<ForwardMissing>();
+      fwd->quasi = quasi;
+      fwd->old_epoch = s.epoch;
+      cluster_->network().Send(id_, t.new_home, fwd);
+    }
+  }
+  s.holdback.clear();
+  // If this replica ran ahead of the new home, its extra installs are no
+  // longer part of the official lineage; the new stream overwrites them.
+  s.log.erase(s.log.upper_bound(t.base_seq), s.log.end());
+  s.applied_seq = std::min(s.applied_seq, t.base_seq);
+  s.epoch = t.new_epoch;
+  s.epoch_base = t.base_seq;
+  // Prepared-but-uncommitted entries and early commit commands belong to
+  // the abandoned stream.
+  s.prepared.clear();
+  s.early_commits.clear();
+  t.active = false;
+  auto fut = s.future.find(s.epoch);
+  if (fut != s.future.end()) {
+    for (const QuasiTxn& quasi : fut->second) {
+      if (quasi.seq > s.applied_seq && s.holdback.count(quasi.seq) == 0) {
+        s.holdback[quasi.seq] = quasi;
+      }
+    }
+    s.future.erase(fut);
+  }
+  TryInstallNext(f);
+}
+
+void NodeRuntime::RecordLocalCommit(const QuasiTxn& quasi) {
+  FragmentStream& s = streams_[quasi.fragment];
+  s.log[quasi.seq] = quasi;
+  s.applied_seq = std::max(s.applied_seq, quasi.seq);
+}
+
+// --------------------------------------------------------------------------
+// §4.1 remote read locks
+// --------------------------------------------------------------------------
+
+void NodeRuntime::OnReadLockRequest(NodeId from, const ReadLockRequest& msg) {
+  TxnId txn = msg.txn;
+  FragmentId fragment = msg.fragment;
+  locks_->Acquire(
+      txn, FragmentResource(fragment), LockMode::kShared,
+      [this, from, txn, fragment](Status st) {
+        if (!st.ok()) return;  // released/cancelled before grant
+        auto grant = std::make_shared<ReadLockGrant>();
+        grant->txn = txn;
+        grant->fragment = fragment;
+        cluster_->network().Send(id_, from, grant);
+      });
+}
+
+void NodeRuntime::OnReadLockGrant(const ReadLockGrant& msg) {
+  cluster_->OnRemoteLockGrant(id_, msg);
+}
+
+void NodeRuntime::OnReadLockRelease(const ReadLockRelease& msg) {
+  if (!locks_->CancelWait(msg.txn, FragmentResource(msg.fragment))) {
+    locks_->Release(msg.txn, FragmentResource(msg.fragment));
+  }
+}
+
+// --------------------------------------------------------------------------
+// §4.4.1 majority commit
+// --------------------------------------------------------------------------
+
+void NodeRuntime::OnPrepare(NodeId from, const QuasiPrepare& msg) {
+  FragmentStream& s = streams_[msg.quasi.fragment];
+  SeqNum seq = msg.quasi.seq;
+  if (seq <= s.applied_seq || s.log.count(seq) > 0) {
+    // Already installed (duplicate); still acknowledge.
+  } else if (s.early_commits.count(seq) > 0) {
+    s.early_commits.erase(seq);
+    s.holdback[seq] = msg.quasi;
+    TryInstallNext(msg.quasi.fragment);
+  } else {
+    s.prepared[seq] = msg.quasi;
+  }
+  auto ack = std::make_shared<QuasiAck>();
+  ack->txn = msg.quasi.origin_txn;
+  ack->fragment = msg.quasi.fragment;
+  ack->seq = seq;
+  ack->acker = id_;
+  cluster_->network().Send(id_, from, ack);
+}
+
+void NodeRuntime::OnAck(const QuasiAck& msg) { cluster_->OnMajorityAck(msg); }
+
+void NodeRuntime::OnCommit(const QuasiCommit& msg) {
+  FragmentStream& s = streams_[msg.fragment];
+  auto it = s.prepared.find(msg.seq);
+  if (it == s.prepared.end()) {
+    if (msg.seq > s.applied_seq && s.log.count(msg.seq) == 0) {
+      s.early_commits.insert(msg.seq);
+    }
+    return;
+  }
+  QuasiTxn quasi = it->second;
+  s.prepared.erase(it);
+  if (quasi.seq > s.applied_seq && s.holdback.count(quasi.seq) == 0 &&
+      s.log.count(quasi.seq) == 0) {
+    s.holdback[quasi.seq] = quasi;
+  }
+  TryInstallNext(msg.fragment);
+}
+
+// --------------------------------------------------------------------------
+// §4.4.3 omit-prep move
+// --------------------------------------------------------------------------
+
+void NodeRuntime::BeginOmitPrepEpoch(FragmentId fragment) {
+  FragmentStream& s = streams_[fragment];
+  // This node is the new home. Seal its view of the old stream: the
+  // contiguously applied prefix becomes the new base.
+  s.epoch += 1;
+  s.epoch_base = s.applied_seq;
+  s.next_seq = s.applied_seq + 1;
+  s.prepared.clear();
+  s.early_commits.clear();
+  // Holdback entries beyond the contiguous prefix are old-stream
+  // transactions with gaps before them; they are "missing transactions
+  // that have just been found" (§4.4.3 A(2)) and get repackaged.
+  std::map<SeqNum, QuasiTxn> leftover;
+  leftover.swap(s.holdback);
+  s.transition.active = false;
+
+  auto m0 = std::make_shared<M0Msg>();
+  m0->fragment = fragment;
+  m0->new_home = id_;
+  m0->new_epoch = s.epoch;
+  m0->base_seq = s.epoch_base;
+  for (const auto& [seq, quasi] : s.log) {
+    if (seq <= s.epoch_base) m0->old_stream.push_back(quasi);
+  }
+  Status st = cluster_->SendToReplicas(id_, fragment, m0);
+  FRAGDB_CHECK(st.ok());
+
+  for (const auto& [seq, quasi] : leftover) {
+    (void)seq;
+    RepackageMissing(quasi);
+  }
+}
+
+void NodeRuntime::OnM0(const M0Msg& msg) {
+  FragmentStream& s = streams_[msg.fragment];
+  if (msg.new_epoch <= s.epoch) return;  // duplicate / superseded
+  if (s.transition.active && msg.new_epoch <= s.transition.new_epoch) return;
+  s.transition.new_epoch = msg.new_epoch;
+  s.transition.base_seq = msg.base_seq;
+  s.transition.new_home = msg.new_home;
+  s.transition.active = true;
+  // Catch up from the M0 content (§4.4.3 B(1)).
+  for (const QuasiTxn& quasi : msg.old_stream) {
+    if (quasi.seq > s.applied_seq && s.log.count(quasi.seq) == 0 &&
+        s.holdback.count(quasi.seq) == 0) {
+      s.holdback[quasi.seq] = quasi;
+    }
+  }
+  MaybeCompleteTransition(msg.fragment);
+}
+
+void NodeRuntime::OnForwardMissing(const ForwardMissing& msg) {
+  Result<NodeId> home =
+      cluster_->catalog().HomeOfFragment(msg.quasi.fragment);
+  if (!home.ok()) return;
+  if (*home == id_) {
+    RepackageMissing(msg.quasi);
+  } else {
+    // The agent moved again; pass it along.
+    auto fwd = std::make_shared<ForwardMissing>(msg);
+    cluster_->network().Send(id_, *home, fwd);
+  }
+}
+
+void NodeRuntime::RepackageMissing(const QuasiTxn& missing) {
+  if (repackaged_.count(missing.origin_txn) > 0) return;
+  repackaged_.insert(missing.origin_txn);
+  FragmentId f = missing.fragment;
+  FragmentStream& s = streams_[f];
+  // §4.4.3 A(2): drop updates to items already overwritten by more recent
+  // transactions. "More recent" means written by the new stream (frag_seq
+  // beyond the epoch base) or by a later old-stream transaction.
+  std::vector<WriteOp> kept;
+  for (const WriteOp& w : missing.writes) {
+    const VersionInfo& current = store_->Info(w.object);
+    if (current.frag_seq <= s.epoch_base && current.frag_seq < missing.seq) {
+      kept.push_back(w);
+    }
+  }
+  cluster_->CommitRepackaged(id_, f, missing, kept);
+}
+
+// --------------------------------------------------------------------------
+// §4.4.2A move-with-data
+// --------------------------------------------------------------------------
+
+void NodeRuntime::AdoptSnapshot(const ObjectStore::FragmentSnapshot& snapshot,
+                                SeqNum applied_seq,
+                                std::map<SeqNum, QuasiTxn> log) {
+  FragmentId f = snapshot.fragment;
+  FragmentStream& s = streams_[f];
+  // The carried copy is at least as fresh as anything this replica has
+  // (it came from the fragment's only update source).
+  store_->InstallSnapshot(snapshot);
+  s.applied_seq = std::max(s.applied_seq, applied_seq);
+  s.next_seq = s.applied_seq + 1;
+  s.log = std::move(log);
+  // Quasi-transactions the snapshot already covers are duplicates now.
+  s.holdback.erase(s.holdback.begin(),
+                   s.holdback.upper_bound(s.applied_seq));
+  TryInstallNext(f);
+}
+
+// --------------------------------------------------------------------------
+// §4.4.1 move catch-up
+// --------------------------------------------------------------------------
+
+void NodeRuntime::MajorityCatchUp(FragmentId fragment,
+                                  std::function<void()> done) {
+  FRAGDB_CHECK(!catchup_.active);
+  catchup_ = CatchUpState{};
+  catchup_.fragment = fragment;
+  catchup_.move_id = next_move_id_++;
+  catchup_.done = std::move(done);
+  catchup_.active = true;
+  catchup_.replies[id_] = streams_[fragment].applied_seq;
+  auto query = std::make_shared<SeqQuery>();
+  query->fragment = fragment;
+  query->requester = id_;
+  query->move_id = catchup_.move_id;
+  Status st = cluster_->SendToReplicas(id_, fragment, query);
+  FRAGDB_CHECK(st.ok());
+  MaybeFinishCatchUp();
+}
+
+void NodeRuntime::OnSeqQuery(NodeId from, const SeqQuery& msg) {
+  auto reply = std::make_shared<SeqReply>();
+  reply->fragment = msg.fragment;
+  reply->applied_seq = streams_[msg.fragment].applied_seq;
+  reply->replier = id_;
+  reply->move_id = msg.move_id;
+  cluster_->network().Send(id_, from, reply);
+}
+
+void NodeRuntime::OnSeqReply(const SeqReply& msg) {
+  if (!catchup_.active || msg.move_id != catchup_.move_id) return;
+  catchup_.replies[msg.replier] = msg.applied_seq;
+  MaybeFinishCatchUp();
+}
+
+void NodeRuntime::MaybeFinishCatchUp() {
+  if (!catchup_.active) return;
+  if (static_cast<int>(catchup_.replies.size()) <
+      cluster_->MajoritySizeFor(catchup_.fragment)) {
+    return;
+  }
+  SeqNum target = 0;
+  NodeId best = id_;
+  for (const auto& [node, seq] : catchup_.replies) {
+    if (seq > target) {
+      target = seq;
+      best = node;
+    }
+  }
+  catchup_.target = std::max(catchup_.target, target);
+  FragmentStream& s = streams_[catchup_.fragment];
+  if (s.applied_seq >= catchup_.target) {
+    s.next_seq = s.applied_seq + 1;
+    catchup_.active = false;
+    auto done = std::move(catchup_.done);
+    if (done) done();
+    return;
+  }
+  if (!catchup_.fetching && best != id_) {
+    catchup_.fetching = true;
+    auto fetch = std::make_shared<FetchMissing>();
+    fetch->fragment = catchup_.fragment;
+    fetch->from_seq = s.applied_seq;
+    fetch->to_seq = catchup_.target;
+    fetch->requester = id_;
+    fetch->move_id = catchup_.move_id;
+    cluster_->network().Send(id_, best, fetch);
+  }
+}
+
+void NodeRuntime::OnFetchMissing(NodeId from, const FetchMissing& msg) {
+  auto data = std::make_shared<MissingData>();
+  data->fragment = msg.fragment;
+  data->move_id = msg.move_id;
+  const FragmentStream& s = streams_[msg.fragment];
+  for (auto it = s.log.upper_bound(msg.from_seq);
+       it != s.log.end() && it->first <= msg.to_seq; ++it) {
+    data->quasis.push_back(it->second);
+  }
+  cluster_->network().Send(id_, from, data);
+}
+
+void NodeRuntime::OnMissingData(const MissingData& msg) {
+  for (const QuasiTxn& quasi : msg.quasis) {
+    EnqueueQuasi(quasi, streams_[msg.fragment].epoch);
+  }
+  // Installs advance asynchronously; OnAppliedAdvanced re-checks catch-up.
+}
+
+}  // namespace fragdb

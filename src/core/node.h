@@ -1,0 +1,161 @@
+#ifndef FRAGDB_CORE_NODE_H_
+#define FRAGDB_CORE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "cc/scheduler.h"
+#include "cc/transaction.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "net/message.h"
+#include "storage/object_store.h"
+
+namespace fragdb {
+
+class Cluster;
+
+/// Per-node, per-fragment state of the update stream: where this replica
+/// is in the fragment's quasi-transaction sequence, what is held back, and
+/// the log of everything applied (kept for §4.4 catch-up and M0 content).
+struct FragmentStream {
+  /// Current epoch of the stream at this replica. Only the §4.4.3 move
+  /// bumps epochs; all other protocols keep sequences contiguous.
+  Epoch epoch = 0;
+  /// Sequence at which the current epoch began ("i" in §4.4.3); versions
+  /// with frag_seq <= epoch_base are old-stream, > epoch_base new-stream.
+  SeqNum epoch_base = 0;
+  /// Highest contiguously applied sequence in the current lineage.
+  SeqNum applied_seq = 0;
+  /// Next sequence this node would assign (meaningful at the home node).
+  SeqNum next_seq = 1;
+  /// Same-epoch quasi-transactions waiting for their predecessors.
+  std::map<SeqNum, QuasiTxn> holdback;
+  /// Quasi-transactions from a future epoch, waiting for the M0 that opens
+  /// it (defensive; FIFO channels normally deliver M0 first).
+  std::map<Epoch, std::vector<QuasiTxn>> future;
+  /// Applied lineage: seq -> quasi-transaction. Entries past an epoch
+  /// transition's base are discarded (they left the official lineage).
+  std::map<SeqNum, QuasiTxn> log;
+  /// §4.4.1: prepared but not yet committed quasi-transactions.
+  std::map<SeqNum, QuasiTxn> prepared;
+  /// §4.4.1: commit commands that arrived before their prepare (defensive).
+  std::set<SeqNum> early_commits;
+  /// An install is running in the scheduler; the next starts when it ends.
+  bool install_in_flight = false;
+  /// In-progress §4.4.3 epoch transition at a non-home replica.
+  struct PendingTransition {
+    Epoch new_epoch = 0;
+    SeqNum base_seq = 0;
+    NodeId new_home = kInvalidNode;
+    bool active = false;
+  } transition;
+};
+
+/// One node's protocol machine: owns the replica (store, lock table,
+/// scheduler), runs the install pipeline that applies each fragment's
+/// quasi-transactions in stream order, services §4.1 remote read-lock
+/// requests, and executes the replica side of every §4.4 move protocol.
+///
+/// This type is an implementation detail of Cluster; it is exposed in a
+/// header for tests.
+class NodeRuntime {
+ public:
+  NodeRuntime(Cluster* cluster, NodeId id);
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  NodeId id() const { return id_; }
+  ObjectStore& store() { return *store_; }
+  const ObjectStore& store() const { return *store_; }
+  LockManager& locks() { return *locks_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  FragmentStream& stream(FragmentId f) { return streams_[f]; }
+
+  /// Network receive entry point (wired as the node's handler).
+  void HandleMessage(const Message& msg);
+
+  /// Feeds a quasi-transaction into the stream machinery (from the network
+  /// or from §4.4 catch-up paths). Applies epoch rules: stale-epoch
+  /// transactions are forwarded to the fragment's current home (§4.4.3
+  /// B(2)) or repackaged if this node is the home (A(2)).
+  void EnqueueQuasi(const QuasiTxn& quasi, Epoch epoch);
+
+  /// Records a locally committed transaction in this node's stream log
+  /// (the home node's own install).
+  void RecordLocalCommit(const QuasiTxn& quasi);
+
+  /// §4.4.3 A(2): repackage a missing old-stream transaction at the (new)
+  /// home: drop overwritten writes, commit the rest as a fresh update
+  /// transaction, then run the fragment's corrective action if configured.
+  void RepackageMissing(const QuasiTxn& missing);
+
+  /// §4.4.2A arrival: atomically replaces the fragment contents and stream
+  /// position with the snapshot the agent carried.
+  void AdoptSnapshot(const ObjectStore::FragmentSnapshot& snapshot,
+                     SeqNum applied_seq, std::map<SeqNum, QuasiTxn> log);
+
+  /// §4.4.3 arrival at the *new home*: bump the epoch, broadcast M0 with
+  /// the old-stream prefix this node has, and reopen for business.
+  void BeginOmitPrepEpoch(FragmentId fragment);
+
+  /// §4.4.1 arrival: query all nodes for the fragment's high-water mark,
+  /// fetch what this node misses from a majority, then invoke `done`.
+  void MajorityCatchUp(FragmentId fragment, std::function<void()> done);
+
+ private:
+  // --- Stream machinery -------------------------------------------------
+  void TryInstallNext(FragmentId f);
+  void MaybeCompleteTransition(FragmentId f);
+  void OnAppliedAdvanced(FragmentId f);
+
+  // --- Message handlers --------------------------------------------------
+  void OnQuasi(const QuasiTxnMsg& msg);
+  void OnReadLockRequest(NodeId from, const ReadLockRequest& msg);
+  void OnReadLockGrant(const ReadLockGrant& msg);
+  void OnReadLockRelease(const ReadLockRelease& msg);
+  void OnPrepare(NodeId from, const QuasiPrepare& msg);
+  void OnAck(const QuasiAck& msg);
+  void OnCommit(const QuasiCommit& msg);
+  void OnM0(const M0Msg& msg);
+  void OnForwardMissing(const ForwardMissing& msg);
+  void OnSeqQuery(NodeId from, const SeqQuery& msg);
+  void OnSeqReply(const SeqReply& msg);
+  void OnFetchMissing(NodeId from, const FetchMissing& msg);
+  void OnMissingData(const MissingData& msg);
+
+  // --- §4.4.1 catch-up state --------------------------------------------
+  struct CatchUpState {
+    FragmentId fragment = kInvalidFragment;
+    int64_t move_id = 0;
+    std::map<NodeId, SeqNum> replies;
+    SeqNum target = 0;
+    bool fetching = false;
+    std::function<void()> done;
+    bool active = false;
+  };
+  void MaybeFinishCatchUp();
+
+  Cluster* cluster_;
+  NodeId id_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<FragmentStream> streams_;
+  CatchUpState catchup_;
+  int64_t next_move_id_ = 1;
+  /// §4.4.3: origin transactions already repackaged at this (home) node,
+  /// so duplicate forwards are ignored.
+  std::set<TxnId> repackaged_;
+
+  friend class Cluster;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_CORE_NODE_H_

@@ -1,0 +1,154 @@
+#include "net/broadcast.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+namespace {
+
+struct BroadcastEnvelope : MessagePayload {
+  NodeId origin;
+  SeqNum seq;
+  std::shared_ptr<const MessagePayload> inner;
+
+  size_t ByteSize() const override { return 16 + inner->ByteSize(); }
+};
+
+struct BroadcastAck : MessagePayload {
+  NodeId origin;    // whose stream is acknowledged
+  NodeId receiver;  // who acknowledges
+  SeqNum up_to;     // cumulative: everything <= up_to delivered
+  size_t ByteSize() const override { return 24; }
+};
+
+}  // namespace
+
+ReliableBroadcast::ReliableBroadcast(Network* network, int node_count)
+    : network_(network),
+      next_seq_(node_count, 1),
+      receivers_(node_count),
+      handlers_(node_count),
+      sent_(node_count),
+      acked_(node_count, std::vector<SeqNum>(node_count, 0)),
+      timer_running_(node_count, false) {
+  for (auto& r : receivers_) {
+    r.next_expected.assign(node_count, 1);
+    r.buffered.resize(node_count);
+  }
+}
+
+ReliableBroadcast::ReliableBroadcast(Network* network, int node_count,
+                                     Simulator* sim, Options options)
+    : ReliableBroadcast(network, node_count) {
+  sim_ = sim;
+  options_ = options;
+}
+
+void ReliableBroadcast::Subscribe(NodeId node, Handler handler) {
+  FRAGDB_CHECK(node >= 0 && node < static_cast<NodeId>(handlers_.size()));
+  handlers_[node] = std::move(handler);
+}
+
+void ReliableBroadcast::SendEnvelope(
+    NodeId origin, NodeId to, SeqNum seq,
+    std::shared_ptr<const MessagePayload> inner) {
+  auto env = std::make_shared<BroadcastEnvelope>();
+  env->origin = origin;
+  env->seq = seq;
+  env->inner = std::move(inner);
+  Status st = network_->Send(origin, to, env);
+  FRAGDB_CHECK(st.ok());
+}
+
+SeqNum ReliableBroadcast::Broadcast(
+    NodeId origin, std::shared_ptr<const MessagePayload> payload) {
+  FRAGDB_CHECK(origin >= 0 && origin < static_cast<NodeId>(next_seq_.size()));
+  SeqNum seq = next_seq_[origin]++;
+  if (sim_ != nullptr) {
+    sent_[origin][seq] = payload;
+    EnsureTimer(origin);
+  }
+  for (NodeId to = 0; to < static_cast<NodeId>(next_seq_.size()); ++to) {
+    if (to == origin) continue;
+    SendEnvelope(origin, to, seq, payload);
+  }
+  return seq;
+}
+
+void ReliableBroadcast::EnsureTimer(NodeId origin) {
+  if (timer_running_[origin]) return;
+  timer_running_[origin] = true;
+  sim_->Every(options_.retransmit_interval, [this, origin]() -> bool {
+    bool keep = RetransmitPass(origin);
+    if (!keep) timer_running_[origin] = false;
+    return keep;
+  });
+}
+
+bool ReliableBroadcast::RetransmitPass(NodeId origin) {
+  SeqNum last = next_seq_[origin] - 1;
+  bool outstanding = false;
+  SeqNum min_acked = last;
+  for (NodeId r = 0; r < static_cast<NodeId>(next_seq_.size()); ++r) {
+    if (r == origin) continue;
+    SeqNum acked = acked_[origin][r];
+    min_acked = std::min(min_acked, acked);
+    if (acked >= last) continue;
+    outstanding = true;
+    for (SeqNum seq = acked + 1; seq <= last; ++seq) {
+      auto it = sent_[origin].find(seq);
+      if (it == sent_[origin].end()) continue;
+      ++retransmissions_;
+      SendEnvelope(origin, r, seq, it->second);
+    }
+  }
+  // Everything acked by everyone can be garbage-collected.
+  sent_[origin].erase(sent_[origin].begin(),
+                      sent_[origin].upper_bound(min_acked));
+  return outstanding;
+}
+
+void ReliableBroadcast::SendAck(NodeId node, NodeId origin) {
+  auto ack = std::make_shared<BroadcastAck>();
+  ack->origin = origin;
+  ack->receiver = node;
+  ack->up_to = receivers_[node].next_expected[origin] - 1;
+  // Best effort; a lost ack is covered by the next one (cumulative).
+  (void)network_->Send(node, origin, ack);
+}
+
+bool ReliableBroadcast::HandleIfBroadcast(NodeId node, const Message& msg) {
+  if (auto ack = std::dynamic_pointer_cast<const BroadcastAck>(msg.payload)) {
+    acked_[ack->origin][ack->receiver] =
+        std::max(acked_[ack->origin][ack->receiver], ack->up_to);
+    return true;
+  }
+  auto env = std::dynamic_pointer_cast<const BroadcastEnvelope>(msg.payload);
+  if (env == nullptr) return false;
+  ReceiverState& state = receivers_[node];
+  SeqNum& expected = state.next_expected[env->origin];
+  if (env->seq >= expected) {
+    state.buffered[env->origin][env->seq] = env->inner;
+    auto& buf = state.buffered[env->origin];
+    while (true) {
+      auto it = buf.find(expected);
+      if (it == buf.end()) break;
+      auto inner = it->second;
+      buf.erase(it);
+      SeqNum seq = expected;
+      ++expected;
+      if (handlers_[node]) handlers_[node](env->origin, seq, inner);
+    }
+  }
+  // Duplicates (seq < expected) are dropped but still acknowledged.
+  if (sim_ != nullptr) SendAck(node, env->origin);
+  return true;
+}
+
+SeqNum ReliableBroadcast::DeliveredUpTo(NodeId node, NodeId origin) const {
+  return receivers_[node].next_expected[origin] - 1;
+}
+
+}  // namespace fragdb

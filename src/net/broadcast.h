@@ -1,0 +1,109 @@
+#ifndef FRAGDB_NET_BROADCAST_H_
+#define FRAGDB_NET_BROADCAST_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace fragdb {
+
+/// The reliable broadcast mechanism of paper §2.2: (1) all messages are
+/// eventually delivered; (2) messages broadcast by one node are processed
+/// at every other node in the order they were sent (per-origin sequence
+/// numbers with a hold-back buffer at each receiver).
+///
+/// Delivery guarantee (1) has two modes:
+///  * Without a retransmit timer (two-argument constructor), it is
+///    inherited from Network's store-and-forward queueing — sufficient
+///    when the channel never drops routed messages.
+///  * With a Simulator and Options, receivers send cumulative
+///    acknowledgments and the origin retransmits unacknowledged suffixes
+///    on a timer — sufficient even over a lossy channel
+///    (Network::SetLossProbability). Note that outstanding retransmit
+///    timers keep the event queue busy; drive lossy simulations with
+///    RunUntil, or heal/deliver everything before RunToQuiescence.
+///
+/// The broadcast does not own the node's Network handler; the node runtime
+/// forwards incoming messages to HandleIfBroadcast() and keeps anything
+/// that returns false for its own protocols.
+class ReliableBroadcast {
+ public:
+  /// Delivery callback: (origin node, per-origin sequence, payload).
+  using Handler = std::function<void(
+      NodeId origin, SeqNum seq, std::shared_ptr<const MessagePayload>)>;
+
+  struct Options {
+    /// How often an origin rescans for unacknowledged messages.
+    SimTime retransmit_interval = Millis(50);
+  };
+
+  /// Store-and-forward mode: no acks, no retransmission.
+  ReliableBroadcast(Network* network, int node_count);
+
+  /// Retransmitting mode: tolerates message loss.
+  ReliableBroadcast(Network* network, int node_count, Simulator* sim,
+                    Options options);
+
+  ReliableBroadcast(const ReliableBroadcast&) = delete;
+  ReliableBroadcast& operator=(const ReliableBroadcast&) = delete;
+
+  /// Registers the in-order delivery handler for `node`.
+  void Subscribe(NodeId node, Handler handler);
+
+  /// Broadcasts `payload` from `origin` to all other nodes. Returns the
+  /// sequence number assigned (1-based, per origin). The origin itself does
+  /// not receive its own broadcast.
+  SeqNum Broadcast(NodeId origin, std::shared_ptr<const MessagePayload> payload);
+
+  /// If `msg` is a broadcast envelope (or acknowledgment), runs the
+  /// hold-back/ack logic for `node` and returns true. Returns false for
+  /// unrelated messages.
+  bool HandleIfBroadcast(NodeId node, const Message& msg);
+
+  /// Next sequence number `node` would assign (1 + messages broadcast).
+  SeqNum NextSeq(NodeId node) const { return next_seq_[node]; }
+
+  /// Highest sequence delivered at `node` from `origin` (0 if none).
+  SeqNum DeliveredUpTo(NodeId node, NodeId origin) const;
+
+  /// Total envelope retransmissions performed (retransmitting mode).
+  uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct ReceiverState {
+    // Per origin: next expected sequence and out-of-order buffer.
+    std::vector<SeqNum> next_expected;
+    std::vector<std::map<SeqNum, std::shared_ptr<const MessagePayload>>>
+        buffered;
+  };
+
+  void SendEnvelope(NodeId origin, NodeId to, SeqNum seq,
+                    std::shared_ptr<const MessagePayload> inner);
+  void SendAck(NodeId node, NodeId origin);
+  void EnsureTimer(NodeId origin);
+  /// Retransmits unacked suffixes; returns true while work remains.
+  bool RetransmitPass(NodeId origin);
+
+  Network* network_;
+  Simulator* sim_ = nullptr;  // null in store-and-forward mode
+  Options options_;
+  std::vector<SeqNum> next_seq_;
+  std::vector<ReceiverState> receivers_;
+  std::vector<Handler> handlers_;
+  /// Retransmitting mode: per origin, retained payloads by sequence.
+  std::vector<std::map<SeqNum, std::shared_ptr<const MessagePayload>>> sent_;
+  /// Retransmitting mode: acked_[origin][receiver] = cumulative ack.
+  std::vector<std::vector<SeqNum>> acked_;
+  std::vector<bool> timer_running_;
+  uint64_t retransmissions_ = 0;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_NET_BROADCAST_H_

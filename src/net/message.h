@@ -1,0 +1,33 @@
+#ifndef FRAGDB_NET_MESSAGE_H_
+#define FRAGDB_NET_MESSAGE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Base class for everything sent through the simulated network. Each
+/// protocol defines its own payload structs; receivers dispatch with
+/// dynamic_cast (message rates in the simulator are far below where that
+/// costs anything).
+struct MessagePayload {
+  virtual ~MessagePayload() = default;
+
+  /// Approximate wire size in bytes, for overhead accounting in the
+  /// experiments. Payloads carrying variable data override this.
+  virtual size_t ByteSize() const { return 64; }
+};
+
+/// A message in flight (or queued while its destination is unreachable).
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  SimTime sent_at = 0;
+  std::shared_ptr<const MessagePayload> payload;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_NET_MESSAGE_H_

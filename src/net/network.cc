@@ -1,0 +1,108 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+Network::Network(Simulator* sim, Topology* topology)
+    : sim_(sim), topology_(topology) {
+  handlers_.resize(topology->node_count());
+  topology_->OnChange([this] { FlushPending(); });
+}
+
+void Network::SetHandler(NodeId node,
+                         std::function<void(const Message&)> handler) {
+  FRAGDB_CHECK(node >= 0 && node < static_cast<NodeId>(handlers_.size()));
+  handlers_[node] = std::move(handler);
+}
+
+Status Network::Send(NodeId from, NodeId to,
+                     std::shared_ptr<const MessagePayload> payload) {
+  if (from < 0 || from >= topology_->node_count() || to < 0 ||
+      to >= topology_->node_count()) {
+    return Status::InvalidArgument("bad endpoint");
+  }
+  FRAGDB_CHECK(payload != nullptr);
+  SimTime sent_at = sim_->Now();
+  if (from != to) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload->ByteSize();
+  }
+  if (from == to) {
+    Dispatch(from, to, sim_->Now(), std::move(payload), sent_at);
+    return Status::Ok();
+  }
+  Result<SimTime> lat = topology_->PathLatency(from, to);
+  if (!lat.ok()) {
+    ++stats_.messages_queued;
+    pending_.push_back(Message{from, to, sent_at, std::move(payload)});
+    return Status::Ok();
+  }
+  if (loss_rng_ != nullptr && loss_rng_->NextBool(loss_probability_)) {
+    ++stats_.messages_dropped;
+    return Status::Ok();
+  }
+  Dispatch(from, to, sim_->Now() + *lat, std::move(payload), sent_at);
+  return Status::Ok();
+}
+
+void Network::SetLossProbability(double p, uint64_t seed) {
+  loss_probability_ = p;
+  loss_rng_ = p > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
+}
+
+Status Network::SendToAll(NodeId from,
+                          std::shared_ptr<const MessagePayload> payload) {
+  for (NodeId to = 0; to < topology_->node_count(); ++to) {
+    if (to == from) continue;
+    FRAGDB_RETURN_IF_ERROR(Send(from, to, payload));
+  }
+  return Status::Ok();
+}
+
+void Network::Dispatch(NodeId from, NodeId to, SimTime deliver_at,
+                       std::shared_ptr<const MessagePayload> payload,
+                       SimTime sent_at) {
+  // Enforce per-channel FIFO: never deliver before a message sent earlier
+  // on the same (from, to) channel.
+  auto key = std::make_pair(from, to);
+  auto it = channel_floor_.find(key);
+  if (it != channel_floor_.end()) {
+    deliver_at = std::max(deliver_at, it->second);
+  }
+  channel_floor_[key] = deliver_at;
+  sim_->At(deliver_at, [this, from, to, sent_at, p = std::move(payload)] {
+    ++stats_.messages_delivered;
+    if (handlers_[to]) {
+      handlers_[to](Message{from, to, sent_at, p});
+    }
+  });
+}
+
+void Network::FlushPending() {
+  // Topology change callbacks can fire while we are already flushing (a
+  // protocol may flip links from inside a handler); the outer flush will
+  // pick up anything new.
+  if (flushing_) return;
+  flushing_ = true;
+  std::deque<Message> still_pending;
+  while (!pending_.empty()) {
+    Message m = std::move(pending_.front());
+    pending_.pop_front();
+    Result<SimTime> lat = topology_->PathLatency(m.from, m.to);
+    if (!lat.ok()) {
+      still_pending.push_back(std::move(m));
+      continue;
+    }
+    Dispatch(m.from, m.to, sim_->Now() + *lat, std::move(m.payload),
+             m.sent_at);
+  }
+  pending_ = std::move(still_pending);
+  flushing_ = false;
+}
+
+size_t Network::pending_count() const { return pending_.size(); }
+
+}  // namespace fragdb

@@ -1,0 +1,97 @@
+#ifndef FRAGDB_NET_NETWORK_H_
+#define FRAGDB_NET_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace fragdb {
+
+/// Traffic counters, exposed per run for the overhead experiments (E8).
+struct NetworkStats {
+  uint64_t messages_sent = 0;       // Send() calls to a different node
+  uint64_t messages_delivered = 0;  // handler invocations
+  uint64_t messages_queued = 0;     // deferred because destination unreachable
+  uint64_t messages_dropped = 0;    // lost to SetLossProbability
+  uint64_t bytes_sent = 0;
+};
+
+/// Store-and-forward message service over a Topology.
+///
+/// Semantics (and the one deliberate simplification, see DESIGN.md §2):
+///  * If the destination is reachable when Send() is called, the message is
+///    delivered after the current minimum-latency path delay; a link that
+///    fails while the message is "in flight" does not destroy it (as if the
+///    packet slipped through just before the cut).
+///  * If the destination is unreachable, the message is queued at the
+///    sender and retransmitted when connectivity changes. Combined with
+///    eventual healing this yields the reliable delivery the paper's
+///    broadcast mechanism requires.
+///  * Each ordered (from, to) pair is a FIFO channel: deliveries never
+///    overtake each other even when path latencies change (TCP-like).
+class Network {
+ public:
+  /// `sim` and `topology` must outlive the network.
+  Network(Simulator* sim, Topology* topology);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the receive handler for `node`. One handler per node; the
+  /// node runtime dispatches payloads internally.
+  void SetHandler(NodeId node, std::function<void(const Message&)> handler);
+
+  /// Sends `payload` from `from` to `to`. Self-sends are delivered after
+  /// zero delay (still through the event queue, never reentrantly).
+  Status Send(NodeId from, NodeId to,
+              std::shared_ptr<const MessagePayload> payload);
+
+  /// Sends to every node except `from`.
+  Status SendToAll(NodeId from, std::shared_ptr<const MessagePayload> payload);
+
+  /// Enables independent random loss of routed messages with probability
+  /// `p` (deterministic from `seed`). Queued messages are never lost —
+  /// they were never transmitted. Self-sends are never dropped. Layers
+  /// that promise reliable delivery (ReliableBroadcast with a retransmit
+  /// timer) must be configured to cope; the Cluster assumes a loss-free
+  /// channel underneath (see DESIGN.md).
+  void SetLossProbability(double p, uint64_t seed);
+
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Number of messages currently queued waiting for connectivity.
+  size_t pending_count() const;
+
+ private:
+  void Dispatch(NodeId from, NodeId to, SimTime deliver_at,
+                std::shared_ptr<const MessagePayload> payload,
+                SimTime sent_at);
+  void FlushPending();
+
+  Simulator* sim_;
+  Topology* topology_;
+  std::vector<std::function<void(const Message&)>> handlers_;
+  // Messages waiting for a route, in send order per sender.
+  std::deque<Message> pending_;
+  // FIFO channel floor: earliest permissible next delivery per (from, to).
+  std::map<std::pair<NodeId, NodeId>, SimTime> channel_floor_;
+  NetworkStats stats_;
+  bool flushing_ = false;
+  double loss_probability_ = 0.0;
+  std::unique_ptr<Rng> loss_rng_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_NET_NETWORK_H_

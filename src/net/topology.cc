@@ -1,0 +1,221 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace fragdb {
+
+Topology::Topology(int node_count)
+    : node_count_(node_count), node_up_(node_count, true) {}
+
+bool Topology::LinkUsable(const std::pair<NodeId, NodeId>& key,
+                          const Link& link) const {
+  return link.up && node_up_[key.first] && node_up_[key.second];
+}
+
+Status Topology::SetNodeUp(NodeId node, bool up) {
+  if (!ValidNode(node)) return Status::InvalidArgument("no such node");
+  if (node_up_[node] != up) {
+    node_up_[node] = up;
+    NotifyChange();
+  }
+  return Status::Ok();
+}
+
+bool Topology::IsNodeUp(NodeId node) const {
+  return ValidNode(node) && node_up_[node];
+}
+
+Topology Topology::FullMesh(int node_count, SimTime link_latency) {
+  Topology t(node_count);
+  for (NodeId a = 0; a < node_count; ++a) {
+    for (NodeId b = a + 1; b < node_count; ++b) {
+      t.AddLink(a, b, link_latency);
+    }
+  }
+  return t;
+}
+
+Topology Topology::Line(int node_count, SimTime link_latency) {
+  Topology t(node_count);
+  for (NodeId a = 0; a + 1 < node_count; ++a) {
+    t.AddLink(a, a + 1, link_latency);
+  }
+  return t;
+}
+
+Topology Topology::Ring(int node_count, SimTime link_latency) {
+  Topology t = Line(node_count, link_latency);
+  if (node_count > 2) t.AddLink(node_count - 1, 0, link_latency);
+  return t;
+}
+
+Topology Topology::Star(int node_count, SimTime link_latency) {
+  Topology t(node_count);
+  for (NodeId a = 1; a < node_count; ++a) {
+    t.AddLink(0, a, link_latency);
+  }
+  return t;
+}
+
+Status Topology::AddLink(NodeId a, NodeId b, SimTime latency) {
+  if (!ValidNode(a) || !ValidNode(b) || a == b) {
+    return Status::InvalidArgument("bad link endpoints");
+  }
+  if (latency < 0) return Status::InvalidArgument("negative latency");
+  auto [it, inserted] = links_.emplace(Key(a, b), Link{latency, true});
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("link exists");
+  NotifyChange();
+  return Status::Ok();
+}
+
+Status Topology::SetLinkUp(NodeId a, NodeId b, bool up) {
+  auto it = links_.find(Key(a, b));
+  if (it == links_.end()) return Status::NotFound("no such link");
+  if (it->second.up != up) {
+    it->second.up = up;
+    NotifyChange();
+  }
+  return Status::Ok();
+}
+
+bool Topology::HasLink(NodeId a, NodeId b) const {
+  return links_.count(Key(a, b)) > 0;
+}
+
+bool Topology::IsLinkUp(NodeId a, NodeId b) const {
+  auto it = links_.find(Key(a, b));
+  return it != links_.end() && it->second.up;
+}
+
+Status Topology::Partition(const std::vector<std::vector<NodeId>>& groups) {
+  std::vector<int> group_of(node_count_, -1);
+  int g = 0;
+  for (const auto& group : groups) {
+    for (NodeId n : group) {
+      if (!ValidNode(n)) return Status::InvalidArgument("bad node in group");
+      if (group_of[n] != -1) {
+        return Status::InvalidArgument("node in two groups");
+      }
+      group_of[n] = g;
+    }
+    ++g;
+  }
+  for (NodeId n = 0; n < node_count_; ++n) {
+    if (group_of[n] == -1) {
+      return Status::InvalidArgument("node missing from groups");
+    }
+  }
+  bool changed = false;
+  for (auto& [key, link] : links_) {
+    bool want_up = group_of[key.first] == group_of[key.second];
+    if (link.up != want_up) {
+      link.up = want_up;
+      changed = true;
+    }
+  }
+  if (changed) NotifyChange();
+  return Status::Ok();
+}
+
+void Topology::HealAll() {
+  bool changed = false;
+  for (auto& [key, link] : links_) {
+    (void)key;
+    if (!link.up) {
+      link.up = true;
+      changed = true;
+    }
+  }
+  if (changed) NotifyChange();
+}
+
+bool Topology::Reachable(NodeId a, NodeId b) const {
+  if (!ValidNode(a) || !ValidNode(b)) return false;
+  if (!node_up_[a] || !node_up_[b]) return false;
+  if (a == b) return true;
+  return PathLatency(a, b).ok();
+}
+
+Result<SimTime> Topology::PathLatency(NodeId a, NodeId b) const {
+  if (!ValidNode(a) || !ValidNode(b)) {
+    return Status::InvalidArgument("bad node");
+  }
+  if (!node_up_[a] || !node_up_[b]) {
+    return Status::Unavailable("endpoint node is down");
+  }
+  if (a == b) return SimTime{0};
+  // Dijkstra over up links. Node counts are small (tens), so an adjacency
+  // scan per step is fine.
+  std::vector<SimTime> dist(node_count_, kSimTimeMax);
+  dist[a] = 0;
+  using Item = std::pair<SimTime, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.emplace(0, a);
+  while (!pq.empty()) {
+    auto [d, n] = pq.top();
+    pq.pop();
+    if (d > dist[n]) continue;
+    if (n == b) return d;
+    for (const auto& [key, link] : links_) {
+      if (!LinkUsable(key, link)) continue;
+      NodeId other;
+      if (key.first == n) {
+        other = key.second;
+      } else if (key.second == n) {
+        other = key.first;
+      } else {
+        continue;
+      }
+      SimTime nd = d + link.latency;
+      if (nd < dist[other]) {
+        dist[other] = nd;
+        pq.emplace(nd, other);
+      }
+    }
+  }
+  return Status::Unavailable("unreachable");
+}
+
+std::vector<std::vector<NodeId>> Topology::Components() const {
+  std::vector<int> comp(node_count_, -1);
+  std::vector<std::vector<NodeId>> out;
+  for (NodeId start = 0; start < node_count_; ++start) {
+    if (comp[start] != -1) continue;
+    int c = static_cast<int>(out.size());
+    out.emplace_back();
+    std::queue<NodeId> bfs;
+    bfs.push(start);
+    comp[start] = c;
+    while (!bfs.empty()) {
+      NodeId n = bfs.front();
+      bfs.pop();
+      out[c].push_back(n);
+      for (const auto& [key, link] : links_) {
+        if (!LinkUsable(key, link)) continue;
+        NodeId other = kInvalidNode;
+        if (key.first == n) other = key.second;
+        if (key.second == n) other = key.first;
+        if (other != kInvalidNode && comp[other] == -1) {
+          comp[other] = c;
+          bfs.push(other);
+        }
+      }
+    }
+    std::sort(out[c].begin(), out[c].end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Topology::OnChange(std::function<void()> fn) {
+  listeners_.push_back(std::move(fn));
+}
+
+void Topology::NotifyChange() {
+  for (auto& fn : listeners_) fn();
+}
+
+}  // namespace fragdb

@@ -1,0 +1,103 @@
+#ifndef FRAGDB_NET_TOPOLOGY_H_
+#define FRAGDB_NET_TOPOLOGY_H_
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Point-to-point communication network of arbitrary topology (paper §3.1):
+/// undirected links with individual latencies and up/down state. The
+/// topology answers reachability and shortest-latency-path queries over the
+/// links that are currently up, and notifies listeners when connectivity
+/// changes (so queued messages can be flushed).
+class Topology {
+ public:
+  /// Creates a topology over `node_count` nodes and no links.
+  explicit Topology(int node_count);
+
+  /// Full mesh with identical per-link latency — the common test fixture.
+  static Topology FullMesh(int node_count, SimTime link_latency);
+
+  /// A line (chain) topology: 0-1-2-...-n-1. Useful for multi-hop tests.
+  static Topology Line(int node_count, SimTime link_latency);
+
+  /// A ring: 0-1-...-n-1-0. A single link failure leaves everything
+  /// reachable (the other way around); two failures partition.
+  static Topology Ring(int node_count, SimTime link_latency);
+
+  /// A star centered on node 0. Losing a spoke isolates exactly one node
+  /// — the classic central-office WAN of the paper's era.
+  static Topology Star(int node_count, SimTime link_latency);
+
+  int node_count() const { return node_count_; }
+
+  /// Adds an undirected link; fails if it exists or endpoints are invalid.
+  Status AddLink(NodeId a, NodeId b, SimTime latency);
+
+  /// Brings a link up/down. Fails if the link does not exist.
+  Status SetLinkUp(NodeId a, NodeId b, bool up);
+
+  /// Marks a whole node down (crash-stop) or back up. A down node cannot
+  /// send, receive, or relay: every incident link behaves as down, and
+  /// paths may not route through it. Orthogonal to link state — HealAll()
+  /// does NOT revive downed nodes.
+  Status SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  bool HasLink(NodeId a, NodeId b) const;
+  bool IsLinkUp(NodeId a, NodeId b) const;
+
+  /// Severs every link that crosses between two different groups and brings
+  /// links inside a group up. Every node must appear in exactly one group;
+  /// returns InvalidArgument otherwise.
+  Status Partition(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Brings every link back up.
+  void HealAll();
+
+  /// True if a path of up links connects a and b (a == b is reachable).
+  bool Reachable(NodeId a, NodeId b) const;
+
+  /// Latency of the minimum-latency path over up links, or error if
+  /// unreachable. Zero for a == b.
+  Result<SimTime> PathLatency(NodeId a, NodeId b) const;
+
+  /// Connected components over up links, each sorted; components sorted by
+  /// smallest member. Used by quorum logic and by tests.
+  std::vector<std::vector<NodeId>> Components() const;
+
+  /// Registers a callback invoked after any connectivity change (link state
+  /// flip, partition, heal). Listeners are invoked in registration order.
+  void OnChange(std::function<void()> fn);
+
+ private:
+  struct Link {
+    SimTime latency;
+    bool up;
+  };
+
+  static std::pair<NodeId, NodeId> Key(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+  bool ValidNode(NodeId n) const { return n >= 0 && n < node_count_; }
+  void NotifyChange();
+
+  /// Effective link state: configured up AND both endpoints up.
+  bool LinkUsable(const std::pair<NodeId, NodeId>& key,
+                  const Link& link) const;
+
+  int node_count_;
+  std::map<std::pair<NodeId, NodeId>, Link> links_;
+  std::vector<bool> node_up_;
+  std::vector<std::function<void()>> listeners_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_NET_TOPOLOGY_H_

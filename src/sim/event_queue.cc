@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
+  EventId id = next_id_++;
+  auto entry = std::make_unique<Entry>();
+  entry->time = when;
+  entry->id = id;
+  entry->fn = std::move(fn);
+  heap_.push(entry.get());
+  entries_.emplace(id, std::move(entry));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second->cancelled) return false;
+  it->second->cancelled = true;
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    Entry* e = heap_.top();
+    heap_.pop();
+    entries_.erase(e->id);
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  DropCancelledHead();
+  if (heap_.empty()) return kSimTimeMax;
+  return heap_.top()->time;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  DropCancelledHead();
+  FRAGDB_CHECK(!heap_.empty());
+  Entry* e = heap_.top();
+  heap_.pop();
+  Fired fired{e->time, e->id, std::move(e->fn)};
+  entries_.erase(e->id);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace fragdb

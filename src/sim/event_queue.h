@@ -1,0 +1,76 @@
+#ifndef FRAGDB_SIM_EVENT_QUEUE_H_
+#define FRAGDB_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Handle for cancelling a scheduled event.
+using EventId = int64_t;
+
+/// Priority queue of timed callbacks with deterministic ordering: events
+/// fire in (time, insertion sequence) order, so two events scheduled for
+/// the same instant fire in the order they were scheduled. This is the
+/// root of the whole library's reproducibility.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` to fire at absolute time `when`. Returns a handle that
+  /// can be passed to Cancel().
+  EventId Schedule(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op returning false. Cancelled entries are reclaimed lazily.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; kSimTimeMax if empty.
+  SimTime NextTime();
+
+  /// The earliest pending event, popped. Requires !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired PopNext();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // doubles as insertion sequence: monotonically increasing
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct Later {
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->id > b->id;
+    }
+  };
+
+  /// Pops (and frees) cancelled entries sitting at the head of the heap.
+  void DropCancelledHead();
+
+  std::priority_queue<Entry*, std::vector<Entry*>, Later> heap_;
+  std::unordered_map<EventId, std::unique_ptr<Entry>> entries_;
+  EventId next_id_ = 0;
+  size_t live_count_ = 0;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_SIM_EVENT_QUEUE_H_

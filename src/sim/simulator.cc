@@ -1,0 +1,46 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+EventId Simulator::At(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  return queue_.Schedule(when, std::move(fn));
+}
+
+EventId Simulator::After(SimTime delay, std::function<void()> fn) {
+  FRAGDB_CHECK(delay >= 0);
+  return queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::Every(SimTime period, std::function<bool()> fn) {
+  FRAGDB_CHECK(period > 0);
+  After(period, [this, period, fn = std::move(fn)] {
+    if (fn()) Every(period, fn);
+  });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  EventQueue::Fired fired = queue_.PopNext();
+  FRAGDB_CHECK(fired.time >= now_);
+  now_ = fired.time;
+  ++events_executed_;
+  fired.fn();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::RunToQuiescence() {
+  while (Step()) {
+  }
+}
+
+}  // namespace fragdb

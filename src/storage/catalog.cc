@@ -1,0 +1,152 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+FragmentId Catalog::AddFragment(std::string name) {
+  FragmentId id = static_cast<FragmentId>(fragments_.size());
+  fragments_.push_back(FragmentInfo{std::move(name), kInvalidAgent, {}, {}});
+  return id;
+}
+
+Result<ObjectId> Catalog::AddObject(FragmentId fragment, std::string name,
+                                    Value initial_value) {
+  if (!ValidFragment(fragment)) {
+    return Status::InvalidArgument("no such fragment");
+  }
+  ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back(ObjectInfo{std::move(name), fragment, initial_value});
+  fragments_[fragment].objects.push_back(id);
+  return id;
+}
+
+AgentId Catalog::AddUserAgent(std::string name) {
+  AgentId id = static_cast<AgentId>(agents_.size());
+  agents_.push_back(AgentInfo{std::move(name), AgentKind::kUser,
+                              kInvalidNode, {}});
+  return id;
+}
+
+AgentId Catalog::AddNodeAgent(NodeId node, std::string name) {
+  AgentId id = static_cast<AgentId>(agents_.size());
+  agents_.push_back(AgentInfo{std::move(name), AgentKind::kNode, node, {}});
+  return id;
+}
+
+Status Catalog::AssignToken(FragmentId fragment, AgentId agent) {
+  if (!ValidFragment(fragment)) {
+    return Status::InvalidArgument("no such fragment");
+  }
+  if (!ValidAgent(agent)) return Status::InvalidArgument("no such agent");
+  if (fragments_[fragment].agent != kInvalidAgent) {
+    return Status::AlreadyExists("fragment already has an agent");
+  }
+  fragments_[fragment].agent = agent;
+  agents_[agent].tokens.push_back(fragment);
+  return Status::Ok();
+}
+
+Status Catalog::SetReplicaSet(FragmentId fragment,
+                              std::vector<NodeId> nodes) {
+  if (!ValidFragment(fragment)) {
+    return Status::InvalidArgument("no such fragment");
+  }
+  if (nodes.empty()) {
+    return Status::InvalidArgument("replica set must be non-empty");
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  fragments_[fragment].replicas = std::move(nodes);
+  return Status::Ok();
+}
+
+bool Catalog::ReplicatedAt(FragmentId fragment, NodeId node) const {
+  FRAGDB_CHECK(ValidFragment(fragment));
+  const std::vector<NodeId>& set = fragments_[fragment].replicas;
+  if (set.empty()) return true;
+  return std::binary_search(set.begin(), set.end(), node);
+}
+
+const std::vector<NodeId>& Catalog::ReplicaSet(FragmentId fragment) const {
+  FRAGDB_CHECK(ValidFragment(fragment));
+  return fragments_[fragment].replicas;
+}
+
+Status Catalog::SetHome(AgentId agent, NodeId node) {
+  if (!ValidAgent(agent)) return Status::InvalidArgument("no such agent");
+  AgentInfo& info = agents_[agent];
+  if (info.kind == AgentKind::kNode && info.home != node) {
+    return Status::PermissionDenied("node agents cannot move");
+  }
+  info.home = node;
+  return Status::Ok();
+}
+
+const std::string& Catalog::FragmentName(FragmentId f) const {
+  FRAGDB_CHECK(ValidFragment(f));
+  return fragments_[f].name;
+}
+
+const std::string& Catalog::ObjectName(ObjectId o) const {
+  FRAGDB_CHECK(ValidObject(o));
+  return objects_[o].name;
+}
+
+const std::string& Catalog::AgentName(AgentId a) const {
+  FRAGDB_CHECK(ValidAgent(a));
+  return agents_[a].name;
+}
+
+FragmentId Catalog::FragmentOf(ObjectId o) const {
+  FRAGDB_CHECK(ValidObject(o));
+  return objects_[o].fragment;
+}
+
+const std::vector<ObjectId>& Catalog::ObjectsIn(FragmentId f) const {
+  FRAGDB_CHECK(ValidFragment(f));
+  return fragments_[f].objects;
+}
+
+Value Catalog::InitialValue(ObjectId o) const {
+  FRAGDB_CHECK(ValidObject(o));
+  return objects_[o].initial_value;
+}
+
+Result<AgentId> Catalog::AgentOf(FragmentId fragment) const {
+  if (!ValidFragment(fragment)) {
+    return Status::InvalidArgument("no such fragment");
+  }
+  if (fragments_[fragment].agent == kInvalidAgent) {
+    return Status::NotFound("fragment has no agent");
+  }
+  return fragments_[fragment].agent;
+}
+
+const std::vector<FragmentId>& Catalog::TokensOf(AgentId agent) const {
+  FRAGDB_CHECK(ValidAgent(agent));
+  return agents_[agent].tokens;
+}
+
+AgentKind Catalog::KindOf(AgentId agent) const {
+  FRAGDB_CHECK(ValidAgent(agent));
+  return agents_[agent].kind;
+}
+
+Result<NodeId> Catalog::HomeOf(AgentId agent) const {
+  if (!ValidAgent(agent)) return Status::InvalidArgument("no such agent");
+  if (agents_[agent].home == kInvalidNode) {
+    return Status::NotFound("agent has no home node");
+  }
+  return agents_[agent].home;
+}
+
+Result<NodeId> Catalog::HomeOfFragment(FragmentId fragment) const {
+  Result<AgentId> agent = AgentOf(fragment);
+  if (!agent.ok()) return agent.status();
+  return HomeOf(*agent);
+}
+
+}  // namespace fragdb

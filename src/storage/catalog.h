@@ -1,0 +1,135 @@
+#ifndef FRAGDB_STORAGE_CATALOG_H_
+#define FRAGDB_STORAGE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Kind of principal that can own tokens (paper §3.1: "a user as well as a
+/// computer node").
+enum class AgentKind { kUser, kNode };
+
+/// The database schema plus the agent directory: fragments, the data
+/// objects inside them, agents, token ownership, and each agent's current
+/// home node.
+///
+/// The catalog is logically replicated everywhere and changes only through
+/// the controlled operations below; in the simulation it is a single shared
+/// structure standing in for a directory service. Token *ownership*
+/// (which agent controls which fragment) is fixed after setup; what moves
+/// in §4.4 is the agent's home node.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // --- Schema definition (setup phase) ---------------------------------
+
+  /// Defines a new fragment F_i. Names are for diagnostics only.
+  FragmentId AddFragment(std::string name);
+
+  /// Defines a data object inside `fragment` with the given initial value.
+  Result<ObjectId> AddObject(FragmentId fragment, std::string name,
+                             Value initial_value);
+
+  /// Defines a user agent (e.g., a bank customer).
+  AgentId AddUserAgent(std::string name);
+
+  /// Defines a node agent: the node itself owns tokens; its home is fixed.
+  AgentId AddNodeAgent(NodeId node, std::string name);
+
+  /// Gives `agent` the token for `fragment`. Each fragment has exactly one
+  /// token; re-assigning fails. One agent may hold several tokens (the
+  /// paper's central office holds BALANCES and every RECORDED(i)).
+  Status AssignToken(FragmentId fragment, AgentId agent);
+
+  /// Sets a user agent's home node. Node agents cannot move.
+  Status SetHome(AgentId agent, NodeId node);
+
+  /// Extension (paper Conclusions: "databases that are not fully
+  /// replicated"): restricts a fragment to a set of replica nodes. By
+  /// default every fragment is replicated everywhere. The set must be
+  /// non-empty; the cluster validates at Start that the agent's home is a
+  /// member. Reads of the fragment are then possible only at members.
+  Status SetReplicaSet(FragmentId fragment, std::vector<NodeId> nodes);
+
+  /// True if `fragment` has a copy at `node` (always true without an
+  /// explicit replica set).
+  bool ReplicatedAt(FragmentId fragment, NodeId node) const;
+
+  /// The explicit replica set (sorted), or empty meaning "everywhere".
+  const std::vector<NodeId>& ReplicaSet(FragmentId fragment) const;
+
+  // --- Queries ----------------------------------------------------------
+
+  int fragment_count() const { return static_cast<int>(fragments_.size()); }
+  int64_t object_count() const { return static_cast<int64_t>(objects_.size()); }
+  int agent_count() const { return static_cast<int>(agents_.size()); }
+
+  bool ValidFragment(FragmentId f) const {
+    return f >= 0 && f < fragment_count();
+  }
+  bool ValidObject(ObjectId o) const {
+    return o >= 0 && o < object_count();
+  }
+  bool ValidAgent(AgentId a) const { return a >= 0 && a < agent_count(); }
+
+  const std::string& FragmentName(FragmentId f) const;
+  const std::string& ObjectName(ObjectId o) const;
+  const std::string& AgentName(AgentId a) const;
+
+  /// Fragment containing object `o`.
+  FragmentId FragmentOf(ObjectId o) const;
+
+  /// Objects of a fragment, in definition order.
+  const std::vector<ObjectId>& ObjectsIn(FragmentId f) const;
+
+  Value InitialValue(ObjectId o) const;
+
+  /// The agent currently holding the token for `fragment` (A(F_i)), or
+  /// NotFound if the token was never assigned.
+  Result<AgentId> AgentOf(FragmentId fragment) const;
+
+  /// Tokens held by `agent`, in assignment order.
+  const std::vector<FragmentId>& TokensOf(AgentId agent) const;
+
+  AgentKind KindOf(AgentId agent) const;
+
+  /// The agent's current home node (paper §3.1), or NotFound if a user
+  /// agent has not attached to any node yet.
+  Result<NodeId> HomeOf(AgentId agent) const;
+
+  /// Home node of the agent of `fragment`: the unique node allowed to run
+  /// update transactions on it.
+  Result<NodeId> HomeOfFragment(FragmentId fragment) const;
+
+ private:
+  struct FragmentInfo {
+    std::string name;
+    AgentId agent = kInvalidAgent;
+    std::vector<ObjectId> objects;
+    std::vector<NodeId> replicas;  // sorted; empty = everywhere
+  };
+  struct ObjectInfo {
+    std::string name;
+    FragmentId fragment;
+    Value initial_value;
+  };
+  struct AgentInfo {
+    std::string name;
+    AgentKind kind;
+    NodeId home = kInvalidNode;
+    std::vector<FragmentId> tokens;
+  };
+
+  std::vector<FragmentInfo> fragments_;
+  std::vector<ObjectInfo> objects_;
+  std::vector<AgentInfo> agents_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_STORAGE_CATALOG_H_

@@ -1,0 +1,69 @@
+#include "storage/object_store.h"
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+ObjectStore::ObjectStore(const Catalog* catalog) : catalog_(catalog) {
+  versions_.resize(catalog->object_count());
+  for (ObjectId o = 0; o < catalog->object_count(); ++o) {
+    versions_[o].value = catalog->InitialValue(o);
+  }
+}
+
+Value ObjectStore::Read(ObjectId o) const {
+  FRAGDB_CHECK(catalog_->ValidObject(o));
+  return versions_[o].value;
+}
+
+const VersionInfo& ObjectStore::Info(ObjectId o) const {
+  FRAGDB_CHECK(catalog_->ValidObject(o));
+  return versions_[o];
+}
+
+void ObjectStore::Write(ObjectId o, Value value, TxnId writer,
+                        SeqNum frag_seq, SimTime now) {
+  FRAGDB_CHECK(catalog_->ValidObject(o));
+  versions_[o] = VersionInfo{value, writer, frag_seq, now};
+}
+
+bool ObjectStore::SameContents(const ObjectStore& other) const {
+  if (versions_.size() != other.versions_.size()) return false;
+  for (size_t i = 0; i < versions_.size(); ++i) {
+    if (versions_[i].value != other.versions_[i].value) return false;
+  }
+  return true;
+}
+
+std::vector<ObjectId> ObjectStore::DiffContents(
+    const ObjectStore& other) const {
+  std::vector<ObjectId> out;
+  size_t n = std::min(versions_.size(), other.versions_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (versions_[i].value != other.versions_[i].value) {
+      out.push_back(static_cast<ObjectId>(i));
+    }
+  }
+  return out;
+}
+
+ObjectStore::FragmentSnapshot ObjectStore::Snapshot(
+    FragmentId fragment) const {
+  FRAGDB_CHECK(catalog_->ValidFragment(fragment));
+  FragmentSnapshot snap;
+  snap.fragment = fragment;
+  for (ObjectId o : catalog_->ObjectsIn(fragment)) {
+    snap.objects.push_back(o);
+    snap.versions.push_back(versions_[o]);
+  }
+  return snap;
+}
+
+void ObjectStore::InstallSnapshot(const FragmentSnapshot& snapshot) {
+  FRAGDB_CHECK(snapshot.objects.size() == snapshot.versions.size());
+  for (size_t i = 0; i < snapshot.objects.size(); ++i) {
+    versions_[snapshot.objects[i]] = snapshot.versions[i];
+  }
+}
+
+}  // namespace fragdb

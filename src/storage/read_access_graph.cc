@@ -1,0 +1,123 @@
+#include "storage/read_access_graph.h"
+
+#include <algorithm>
+
+#include <numeric>
+
+namespace fragdb {
+
+namespace {
+
+/// Union-find for the undirected acyclicity check.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns false if x and y were already connected (i.e., a cycle).
+  bool Union(int x, int y) {
+    int rx = Find(x), ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+ReadAccessGraph::ReadAccessGraph(int fragment_count)
+    : fragment_count_(fragment_count) {}
+
+Status ReadAccessGraph::AddEdge(FragmentId from, FragmentId to) {
+  if (from < 0 || from >= fragment_count_ || to < 0 ||
+      to >= fragment_count_) {
+    return Status::InvalidArgument("fragment out of range");
+  }
+  if (from == to) return Status::Ok();  // implied, not recorded
+  edges_.emplace(from, to);
+  return Status::Ok();
+}
+
+bool ReadAccessGraph::HasEdge(FragmentId from, FragmentId to) const {
+  if (from == to) return true;
+  return edges_.count({from, to}) > 0;
+}
+
+std::vector<std::pair<FragmentId, FragmentId>> ReadAccessGraph::Edges()
+    const {
+  return {edges_.begin(), edges_.end()};
+}
+
+bool ReadAccessGraph::ElementarilyAcyclic() const {
+  DisjointSets sets(fragment_count_);
+  // De-duplicate opposite-direction pairs: each undirected pair may appear
+  // once; a second occurrence (either direction) closes a cycle.
+  std::set<std::pair<FragmentId, FragmentId>> undirected;
+  for (const auto& [a, b] : edges_) {
+    auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (!undirected.insert(key).second) return false;  // parallel pair
+    if (!sets.Union(a, b)) return false;
+  }
+  return true;
+}
+
+ReadAccessGraph ReadAccessGraph::SuggestAcyclicSubset(
+    const std::function<int(FragmentId, FragmentId)>& priority) const {
+  // Sort edges by descending priority (stable on the declared order).
+  std::vector<std::pair<FragmentId, FragmentId>> order(edges_.begin(),
+                                                       edges_.end());
+  if (priority) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&priority](const auto& a, const auto& b) {
+                       return priority(a.first, a.second) >
+                              priority(b.first, b.second);
+                     });
+  }
+  ReadAccessGraph kept(fragment_count_);
+  DisjointSets sets(fragment_count_);
+  std::set<std::pair<FragmentId, FragmentId>> undirected;
+  for (const auto& [a, b] : order) {
+    auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (undirected.count(key) > 0) continue;  // opposite edge already kept
+    if (!sets.Union(a, b)) continue;          // would close a cycle
+    undirected.insert(key);
+    (void)kept.AddEdge(a, b);
+  }
+  return kept;
+}
+
+bool ReadAccessGraph::Acyclic() const {
+  // Kahn's algorithm on the directed graph.
+  std::vector<int> indegree(fragment_count_, 0);
+  for (const auto& [a, b] : edges_) {
+    (void)a;
+    ++indegree[b];
+  }
+  std::vector<FragmentId> ready;
+  for (FragmentId f = 0; f < fragment_count_; ++f) {
+    if (indegree[f] == 0) ready.push_back(f);
+  }
+  int removed = 0;
+  while (!ready.empty()) {
+    FragmentId f = ready.back();
+    ready.pop_back();
+    ++removed;
+    for (const auto& [a, b] : edges_) {
+      if (a != f) continue;
+      if (--indegree[b] == 0) ready.push_back(b);
+    }
+  }
+  return removed == fragment_count_;
+}
+
+}  // namespace fragdb

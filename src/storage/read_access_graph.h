@@ -1,0 +1,63 @@
+#ifndef FRAGDB_STORAGE_READ_ACCESS_GRAPH_H_
+#define FRAGDB_STORAGE_READ_ACCESS_GRAPH_H_
+
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// The read-access graph of paper §4.2: vertices are fragments; a directed
+/// edge (F_i, F_j) means some transaction initiated by A(F_i) reads a data
+/// object contained in F_j. Part of the database design: the §4.2 control
+/// option validates it, and the runtime checks transactions against it.
+class ReadAccessGraph {
+ public:
+  explicit ReadAccessGraph(int fragment_count);
+
+  int fragment_count() const { return fragment_count_; }
+
+  /// Declares that A(from)'s transactions may read fragment `to`.
+  /// Self-edges (an agent reading its own fragment) are always implied and
+  /// are ignored here.
+  Status AddEdge(FragmentId from, FragmentId to);
+
+  bool HasEdge(FragmentId from, FragmentId to) const;
+
+  /// All declared edges, sorted.
+  std::vector<std::pair<FragmentId, FragmentId>> Edges() const;
+
+  /// Is the corresponding *undirected* graph acyclic? (Paper: "elementarily
+  /// acyclic".) Parallel edges in opposite directions (F_i reads F_j and
+  /// F_j reads F_i) form an undirected cycle of length two and therefore
+  /// make the graph elementarily cyclic.
+  bool ElementarilyAcyclic() const;
+
+  /// Is the directed graph acyclic? (A weaker property; the paper's Fig.
+  /// 4.3.1 example is acyclic but not elementarily acyclic.)
+  bool Acyclic() const;
+
+  /// Design tool for the paper's §4.2 suggestion: "If the read-access
+  /// graph is elementarily cyclic, it may still be possible to find a
+  /// subset of transactions that have an elementarily acyclic graph."
+  /// Greedily keeps edges (in declaration-sorted order, optionally
+  /// weighted by `priority` — higher keeps first) that do not close an
+  /// undirected cycle, and returns the kept subgraph: a maximal
+  /// elementarily acyclic sub-design. Edges NOT kept are the reads that
+  /// would need the §4.1 locking fallback.
+  ReadAccessGraph SuggestAcyclicSubset(
+      const std::function<int(FragmentId, FragmentId)>& priority = nullptr)
+      const;
+
+ private:
+  int fragment_count_;
+  std::set<std::pair<FragmentId, FragmentId>> edges_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_STORAGE_READ_ACCESS_GRAPH_H_

@@ -1,0 +1,217 @@
+#include "verify/checkers.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace fragdb {
+
+CheckReport CheckReport::Fail(std::string detail,
+                              std::vector<TxnId> witnesses) {
+  CheckReport r;
+  r.ok = false;
+  r.detail = std::move(detail);
+  r.witnesses = std::move(witnesses);
+  return r;
+}
+
+namespace {
+
+std::string JoinTxns(const std::vector<TxnId>& txns,
+                     const History* history = nullptr) {
+  std::ostringstream os;
+  for (size_t i = 0; i < txns.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << "T" << txns[i];
+    if (history != nullptr) {
+      const TxnRecord* rec = history->FindTxn(txns[i]);
+      if (rec != nullptr && !rec->label.empty()) {
+        os << "(" << rec->label << ")";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+CheckReport CheckGlobalSerializability(const History& history) {
+  TxnGraph g = BuildGlobalSerializationGraph(history);
+  std::vector<TxnId> cycle = g.FindCycle();
+  if (cycle.empty()) return CheckReport::Pass();
+  return CheckReport::Fail(
+      "global serialization graph has cycle: " + JoinTxns(cycle, &history),
+      cycle);
+}
+
+CheckReport CheckProperty1(const History& history, FragmentId fragment) {
+  TxnGraph g = BuildUpdaterGraph(history, fragment);
+  std::vector<TxnId> cycle = g.FindCycle();
+  if (cycle.empty()) return CheckReport::Pass();
+  return CheckReport::Fail("U(F" + std::to_string(fragment) +
+                               ") schedule not serializable: " +
+                               JoinTxns(cycle, &history),
+                           cycle);
+}
+
+CheckReport CheckProperty2(const History& history, FragmentId fragment) {
+  // For each committed updater W of `fragment`, and each reader T, T's
+  // reads of objects written by W must either all reflect W (version
+  // sequence >= W's) or none (version sequence < W's).
+  std::vector<TxnId> updaters = history.UpdatersOf(fragment);
+  std::map<TxnId, std::map<ObjectId, bool>> writes_of;  // writer -> objects
+  std::map<TxnId, SeqNum> seq_of;
+  for (TxnId w : updaters) {
+    const TxnRecord* rec = history.FindTxn(w);
+    seq_of[w] = rec->frag_seq;
+    for (const WriteOp& op : history.WritesOf(w)) {
+      writes_of[w][op.object] = true;
+    }
+  }
+  // Group reads by reader.
+  std::map<TxnId, std::vector<const ReadRecord*>> reads_by_txn;
+  for (const ReadRecord& r : history.reads()) {
+    reads_by_txn[r.reader].push_back(&r);
+  }
+  for (const auto& [reader, reads] : reads_by_txn) {
+    const TxnRecord* reader_rec = history.FindTxn(reader);
+    if (reader_rec == nullptr || !reader_rec->committed) continue;
+    for (TxnId w : updaters) {
+      if (w == reader) continue;
+      const auto& wset = writes_of[w];
+      if (wset.size() < 2) continue;  // a single write cannot be partial
+      bool saw = false, missed = false;
+      for (const ReadRecord* r : reads) {
+        if (wset.count(r->object) == 0) continue;
+        if (r->version_seq >= seq_of[w]) {
+          saw = true;
+        } else {
+          missed = true;
+        }
+      }
+      if (saw && missed) {
+        return CheckReport::Fail(
+            "T" + std::to_string(reader) + " saw a partial effect of T" +
+                std::to_string(w) + " on F" + std::to_string(fragment),
+            {reader, w});
+      }
+    }
+  }
+  return CheckReport::Pass();
+}
+
+CheckReport CheckFragmentwiseSerializability(const History& history,
+                                             int fragment_count) {
+  for (FragmentId f = 0; f < fragment_count; ++f) {
+    CheckReport p1 = CheckProperty1(history, f);
+    if (!p1.ok) return p1;
+    CheckReport p2 = CheckProperty2(history, f);
+    if (!p2.ok) return p2;
+  }
+  return CheckReport::Pass();
+}
+
+CheckReport CheckMutualConsistency(
+    const std::vector<const ObjectStore*>& replicas) {
+  if (replicas.size() < 2) return CheckReport::Pass();
+  const ObjectStore* first = replicas[0];
+  for (size_t i = 1; i < replicas.size(); ++i) {
+    std::vector<ObjectId> diff = first->DiffContents(*replicas[i]);
+    if (!diff.empty()) {
+      std::ostringstream os;
+      os << "replica 0 and replica " << i << " differ on " << diff.size()
+         << " object(s), first: "
+         << first->catalog()->ObjectName(diff[0]) << " (" << first->Read(diff[0])
+         << " vs " << replicas[i]->Read(diff[0]) << ")";
+      return CheckReport::Fail(os.str());
+    }
+  }
+  return CheckReport::Pass();
+}
+
+bool IsSingleFragment(const ConsistencyPredicate& p, const Catalog& catalog) {
+  if (p.inputs.empty()) return true;
+  FragmentId f = catalog.FragmentOf(p.inputs[0]);
+  for (ObjectId o : p.inputs) {
+    if (catalog.FragmentOf(o) != f) return false;
+  }
+  return true;
+}
+
+bool EvaluatePredicate(const ConsistencyPredicate& p,
+                       const ObjectStore& store) {
+  std::vector<Value> values;
+  values.reserve(p.inputs.size());
+  for (ObjectId o : p.inputs) values.push_back(store.Read(o));
+  return p.fn(values);
+}
+
+PredicateTimeline TracePredicate(const History& history,
+                                 const Catalog& catalog,
+                                 const ConsistencyPredicate& predicate,
+                                 NodeId node) {
+  // Rebuild the node's value stream from its recorded installs.
+  std::map<ObjectId, Value> values;
+  for (ObjectId o : predicate.inputs) values[o] = catalog.InitialValue(o);
+  auto eval = [&] {
+    std::vector<Value> in;
+    in.reserve(predicate.inputs.size());
+    for (ObjectId o : predicate.inputs) in.push_back(values[o]);
+    return predicate.fn(in);
+  };
+
+  // Installs at `node`, in installation order.
+  std::vector<const InstallRecord*> installs;
+  for (const InstallRecord& rec : history.installs()) {
+    if (rec.node == node) installs.push_back(&rec);
+  }
+  std::sort(installs.begin(), installs.end(),
+            [](const InstallRecord* a, const InstallRecord* b) {
+              return a->node_order < b->node_order;
+            });
+
+  PredicateTimeline timeline;
+  bool holds = eval();
+  timeline.evaluations = 1;
+  if (!holds) {
+    ++timeline.violations;
+    timeline.transitions.emplace_back(0, false);
+  }
+  for (const InstallRecord* rec : installs) {
+    for (const WriteOp& w : rec->writes) {
+      if (values.count(w.object) > 0) values[w.object] = w.value;
+    }
+    bool now = eval();
+    ++timeline.evaluations;
+    if (!now) ++timeline.violations;
+    if (now != holds) {
+      timeline.transitions.emplace_back(rec->at, now);
+      holds = now;
+    }
+  }
+  timeline.holds_at_end = holds;
+  return timeline;
+}
+
+CheckReport CheckPredicateNeverViolated(const History& history,
+                                        const Catalog& catalog,
+                                        const ConsistencyPredicate& predicate,
+                                        int node_count) {
+  for (NodeId node = 0; node < node_count; ++node) {
+    PredicateTimeline t = TracePredicate(history, catalog, predicate, node);
+    if (t.violations > 0) {
+      std::ostringstream os;
+      os << "predicate '" << predicate.name << "' violated at node " << node
+         << " (" << t.violations << " of " << t.evaluations
+         << " evaluations)";
+      if (!t.transitions.empty()) {
+        os << ", first flip at t=" << t.transitions.front().first << "us";
+      }
+      return CheckReport::Fail(os.str());
+    }
+  }
+  return CheckReport::Pass();
+}
+
+}  // namespace fragdb

@@ -1,0 +1,100 @@
+#ifndef FRAGDB_VERIFY_CHECKERS_H_
+#define FRAGDB_VERIFY_CHECKERS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/catalog.h"
+#include "storage/object_store.h"
+#include "verify/history.h"
+#include "verify/serialization_graph.h"
+
+namespace fragdb {
+
+/// Outcome of a correctness check, with diagnostics when it fails.
+struct CheckReport {
+  bool ok = true;
+  std::string detail;
+  /// Transactions implicated in the failure (a serialization cycle, a
+  /// partial-effect read, ...), when applicable.
+  std::vector<TxnId> witnesses;
+
+  static CheckReport Pass() { return CheckReport{}; }
+  static CheckReport Fail(std::string detail,
+                          std::vector<TxnId> witnesses = {});
+};
+
+/// Is the recorded execution globally serializable (acyclic global
+/// serialization graph, Definition 8.2)?
+CheckReport CheckGlobalSerializability(const History& history);
+
+/// Property 1 (paper §4.3): the schedule consisting solely of U(F_i) is
+/// serializable.
+CheckReport CheckProperty1(const History& history, FragmentId fragment);
+
+/// Property 2 (paper §4.3): no transaction reading F_i ever sees a partial
+/// effect of a transaction in U(F_i).
+CheckReport CheckProperty2(const History& history, FragmentId fragment);
+
+/// Fragmentwise serializability = Properties 1 and 2 for every fragment.
+CheckReport CheckFragmentwiseSerializability(const History& history,
+                                             int fragment_count);
+
+/// Mutual consistency: all replicas hold identical contents. Valid only at
+/// quiescence (all propagation drained).
+CheckReport CheckMutualConsistency(
+    const std::vector<const ObjectStore*>& replicas);
+
+/// A consistency predicate over data objects (paper §4.3): single-fragment
+/// if all inputs lie in one fragment, multi-fragment otherwise.
+/// Fragmentwise serializability guarantees single-fragment predicates hold;
+/// only multi-fragment predicates can be violated.
+struct ConsistencyPredicate {
+  std::string name;
+  std::vector<ObjectId> inputs;
+  std::function<bool(const std::vector<Value>&)> fn;
+};
+
+/// True if every input object belongs to the same fragment.
+bool IsSingleFragment(const ConsistencyPredicate& p, const Catalog& catalog);
+
+/// Evaluates `p` against one replica's current contents.
+bool EvaluatePredicate(const ConsistencyPredicate& p,
+                       const ObjectStore& store);
+
+/// How a predicate fared over one replica's lifetime, reconstructed by
+/// replaying the recorded installs at that node in installation order
+/// (paper §4.3: under fragmentwise serializability, single-fragment
+/// predicates are NEVER violated; multi-fragment predicates may be
+/// violated transiently until propagation catches up).
+struct PredicateTimeline {
+  /// Evaluations performed (initial state + one per install at the node).
+  int evaluations = 0;
+  /// Evaluations at which the predicate did not hold.
+  int violations = 0;
+  /// Whether the predicate held after the last install.
+  bool holds_at_end = true;
+  /// (install time, now-holds) at each flip of the predicate's truth.
+  std::vector<std::pair<SimTime, bool>> transitions;
+};
+
+/// Replays `history`'s installs at `node` and traces `predicate`.
+PredicateTimeline TracePredicate(const History& history,
+                                 const Catalog& catalog,
+                                 const ConsistencyPredicate& predicate,
+                                 NodeId node);
+
+/// §4.3's consequence, checked over a whole run: a single-fragment
+/// predicate that every update transaction preserves must hold at every
+/// replica after every install. Fails with the offending node/time for
+/// multi-fragment predicates that were (even transiently) violated.
+CheckReport CheckPredicateNeverViolated(const History& history,
+                                        const Catalog& catalog,
+                                        const ConsistencyPredicate& predicate,
+                                        int node_count);
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_VERIFY_CHECKERS_H_

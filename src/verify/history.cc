@@ -1,0 +1,95 @@
+#include "verify/history.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+void History::RegisterTxn(const TxnRecord& record) {
+  FRAGDB_CHECK(record.id != kInvalidTxn);
+  txns_[record.id] = record;
+}
+
+void History::MarkCommitted(TxnId id, SeqNum frag_seq) {
+  auto it = txns_.find(id);
+  FRAGDB_CHECK(it != txns_.end());
+  it->second.committed = true;
+  it->second.frag_seq = frag_seq;
+}
+
+void History::RecordRead(const ReadRecord& read) { reads_.push_back(read); }
+
+void History::RecordInstall(NodeId node, const QuasiTxn& quasi, SimTime at) {
+  InstallRecord rec;
+  rec.node = node;
+  rec.writer = quasi.origin_txn;
+  rec.fragment = quasi.fragment;
+  rec.seq = quasi.seq;
+  rec.writes = quasi.writes;
+  rec.at = at;
+  rec.node_order = next_node_order_[node]++;
+  installs_.push_back(std::move(rec));
+}
+
+const TxnRecord* History::FindTxn(TxnId id) const {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::string History::DebugString() const {
+  std::string out;
+  for (const auto& [id, rec] : txns_) {
+    out += "T" + std::to_string(id);
+    if (!rec.label.empty()) out += " \"" + rec.label + "\"";
+    out += rec.read_only ? " [ro]" : "";
+    if (rec.type_fragment != kInvalidFragment) {
+      out += " tp=F" + std::to_string(rec.type_fragment);
+    }
+    out += " home=N" + std::to_string(rec.home);
+    out += rec.committed
+               ? " committed seq=" + std::to_string(rec.frag_seq)
+               : " uncommitted";
+    out += " writes=" + std::to_string(WritesOf(id).size());
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<TxnId> History::UpdatersOf(FragmentId fragment) const {
+  std::vector<TxnId> out;
+  for (const auto& [id, rec] : txns_) {
+    if (rec.committed && !rec.read_only && rec.type_fragment == fragment) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<WriteOp> History::WritesOf(TxnId writer) const {
+  for (const InstallRecord& rec : installs_) {
+    if (rec.writer == writer) return rec.writes;
+  }
+  return {};
+}
+
+std::vector<std::pair<TxnId, SeqNum>> History::VersionsOf(
+    ObjectId object) const {
+  // Collect distinct (writer, seq) pairs that wrote `object`, ordered by
+  // seq. Installs replicate the same version at several nodes; take each
+  // once. Repackaged §4.4.3 transactions produce distinct writers with
+  // fresh sequence numbers, so ordering by seq stays total per fragment.
+  std::set<std::pair<SeqNum, TxnId>> seen;
+  for (const InstallRecord& rec : installs_) {
+    for (const WriteOp& w : rec.writes) {
+      if (w.object == object) seen.emplace(rec.seq, rec.writer);
+    }
+  }
+  std::vector<std::pair<TxnId, SeqNum>> out;
+  out.reserve(seen.size());
+  for (const auto& [seq, writer] : seen) out.emplace_back(writer, seq);
+  return out;
+}
+
+}  // namespace fragdb

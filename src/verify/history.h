@@ -1,0 +1,104 @@
+#ifndef FRAGDB_VERIFY_HISTORY_H_
+#define FRAGDB_VERIFY_HISTORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cc/transaction.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Everything the checkers need to know about one transaction.
+struct TxnRecord {
+  TxnId id = kInvalidTxn;
+  AgentId agent = kInvalidAgent;
+  /// tp(T) in the paper's Definition 8.1: the fragment whose agent
+  /// initiated T. For update transactions this is the written fragment;
+  /// for read-only transactions it is the initiating agent's (first)
+  /// fragment, or kInvalidFragment for token-less readers.
+  FragmentId type_fragment = kInvalidFragment;
+  NodeId home = kInvalidNode;
+  bool read_only = false;
+  bool committed = false;
+  SeqNum frag_seq = 0;  // commit sequence within type_fragment (updates)
+  std::string label;
+};
+
+/// One read observation: transaction `reader`, executing at `node`, saw the
+/// version of `object` written by `version_writer` with fragment sequence
+/// `version_seq` (writer kInvalidTxn / seq 0 = the initial value).
+struct ReadRecord {
+  TxnId reader = kInvalidTxn;
+  NodeId node = kInvalidNode;
+  ObjectId object = kInvalidObject;
+  TxnId version_writer = kInvalidTxn;
+  SeqNum version_seq = 0;
+  SimTime at = 0;
+};
+
+/// One installation of a (quasi-)transaction's writes at one replica.
+/// `node_order` is the position in that node's install sequence: the
+/// "order in which updates were installed in the copy at node X" that the
+/// paper's serialization-graph definitions consult.
+struct InstallRecord {
+  NodeId node = kInvalidNode;
+  TxnId writer = kInvalidTxn;
+  FragmentId fragment = kInvalidFragment;
+  SeqNum seq = 0;
+  std::vector<WriteOp> writes;
+  SimTime at = 0;
+  int64_t node_order = 0;
+};
+
+/// Append-only record of a run, consumed by the serialization-graph
+/// builders and checkers. The engine writes it through narrow hooks, so
+/// the checkers validate the engine instead of trusting it.
+class History {
+ public:
+  History() = default;
+
+  /// Declares a transaction before (or as) it executes.
+  void RegisterTxn(const TxnRecord& record);
+
+  /// Marks a registered transaction committed and records its sequence.
+  void MarkCommitted(TxnId id, SeqNum frag_seq);
+
+  void RecordRead(const ReadRecord& read);
+
+  /// Records an install; assigns node_order automatically.
+  void RecordInstall(NodeId node, const QuasiTxn& quasi, SimTime at);
+
+  const std::map<TxnId, TxnRecord>& txns() const { return txns_; }
+  const std::vector<ReadRecord>& reads() const { return reads_; }
+  const std::vector<InstallRecord>& installs() const { return installs_; }
+
+  const TxnRecord* FindTxn(TxnId id) const;
+
+  /// One-line-per-transaction human-readable dump (for debugging failed
+  /// checks): id, label, type, home, commit state, sequence, write count.
+  std::string DebugString() const;
+
+  /// Committed transactions that updated `fragment` — the paper's U(F_i).
+  std::vector<TxnId> UpdatersOf(FragmentId fragment) const;
+
+  /// All writes of `writer` (as installed anywhere; installs of one
+  /// transaction carry identical write sets).
+  std::vector<WriteOp> WritesOf(TxnId writer) const;
+
+  /// Version list of `object`: (writer, seq) in version order (fragment
+  /// sequence order), excluding the initial version.
+  std::vector<std::pair<TxnId, SeqNum>> VersionsOf(ObjectId object) const;
+
+ private:
+  std::map<TxnId, TxnRecord> txns_;
+  std::vector<ReadRecord> reads_;
+  std::vector<InstallRecord> installs_;
+  std::map<NodeId, int64_t> next_node_order_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_VERIFY_HISTORY_H_

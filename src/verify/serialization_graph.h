@@ -1,0 +1,73 @@
+#ifndef FRAGDB_VERIFY_SERIALIZATION_GRAPH_H_
+#define FRAGDB_VERIFY_SERIALIZATION_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/read_access_graph.h"
+#include "verify/history.h"
+
+namespace fragdb {
+
+/// Directed graph over transaction ids with cycle detection. Used for both
+/// the global serialization graph (paper Definition 8.2) and the local
+/// serialization graphs (Definition 8.3).
+class TxnGraph {
+ public:
+  TxnGraph() = default;
+
+  void AddVertex(TxnId v);
+  void AddEdge(TxnId from, TxnId to);
+
+  bool HasVertex(TxnId v) const { return adj_.count(v) > 0; }
+  bool HasEdge(TxnId from, TxnId to) const;
+
+  size_t vertex_count() const { return adj_.size(); }
+  size_t edge_count() const;
+
+  bool Acyclic() const { return FindCycle().empty(); }
+
+  /// Returns the vertices of some cycle (in order), or empty if acyclic.
+  std::vector<TxnId> FindCycle() const;
+
+  /// Graphviz DOT rendering, for debugging failed checks. `history` is
+  /// optional: when provided, vertices are labeled with transaction labels
+  /// and types, and cycle members are highlighted.
+  std::string ToDot(const History* history = nullptr) const;
+
+  const std::map<TxnId, std::set<TxnId>>& adjacency() const { return adj_; }
+
+ private:
+  std::map<TxnId, std::set<TxnId>> adj_;
+};
+
+/// Builds the global serialization graph of Definition 8.2 from a recorded
+/// history. Edges are conflict edges over the multiversion history, with
+/// the version order of each object given by its fragment's commit
+/// sequence:
+///  * ww: consecutive versions of an object;
+///  * wr: reader observed the writer's version;
+///  * rw: reader observed a version that the (next) writer overwrote —
+///    i.e., the writer's update was installed at the reader's node after
+///    the read, which is exactly clause (ii) of Definition 8.2.
+/// Acyclicity of this graph is equivalent to global serializability.
+TxnGraph BuildGlobalSerializationGraph(const History& history);
+
+/// Builds the local serialization graph for `fragment` per Definition 8.3.
+/// `home_node` is the home node of the fragment's agent; `rag` supplies the
+/// set of fragment types whose transactions appear as non-local vertices.
+TxnGraph BuildLocalSerializationGraph(const History& history,
+                                      FragmentId fragment,
+                                      const ReadAccessGraph& rag,
+                                      NodeId home_node);
+
+/// Builds the serialization graph restricted to the committed transactions
+/// in U(`fragment`) — the schedule the paper's Property 1 requires to be
+/// serializable.
+TxnGraph BuildUpdaterGraph(const History& history, FragmentId fragment);
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_VERIFY_SERIALIZATION_GRAPH_H_

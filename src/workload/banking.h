@@ -1,0 +1,132 @@
+#ifndef FRAGDB_WORKLOAD_BANKING_H_
+#define FRAGDB_WORKLOAD_BANKING_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "workload/metrics.h"
+
+namespace fragdb {
+
+/// The banking database of paper §2, realized on the fragments-and-agents
+/// cluster:
+///
+///  * fragment BALANCES — one balance object per account; agent: the
+///    central office (a user agent homed at `central_node`);
+///  * fragment ACTIVITY(i) per account — the deposit/withdrawal record,
+///    modeled as a bounded append log (a count object plus amount slots;
+///    deposits positive, withdrawals negative); agent: customer i;
+///  * fragment RECORDED(i) per account — how many ACTIVITY(i) entries the
+///    central office has reflected in BALANCES; agent: the central office.
+///
+/// Customers deposit/withdraw at their own home node any time (this is the
+/// availability story); the decision uses the *local view of the balance*:
+///
+///   local view = balance + sum of unrecorded amounts             (paper §2)
+///
+/// The central office periodically scans each account, folds unrecorded
+/// activity into BALANCES, advances RECORDED(i), and — if the balance went
+/// negative — assesses the overdraft fine, all as update transactions of
+/// its own fragments (the paper's centralized corrective action).
+class BankingWorkload {
+ public:
+  struct Options {
+    int nodes = 3;
+    int accounts = 4;
+    Value initial_balance = 300;
+    NodeId central_node = 0;
+    Value overdraft_fine = 50;
+    /// Max activity entries per account (slots are preallocated).
+    int max_ops_per_account = 64;
+    SimTime link_latency = Millis(5);
+    ControlOption control = ControlOption::kFragmentwise;
+    MoveProtocol move_protocol = MoveProtocol::kForbidden;
+    /// Home node of customer i; default spreads customers over the
+    /// non-central nodes.
+    std::function<NodeId(int account)> customer_home;
+  };
+
+  using Callback = std::function<void(const TxnResult&)>;
+
+  explicit BankingWorkload(const Options& options);
+
+  /// Builds the schema and starts the cluster.
+  Status Start();
+
+  Cluster& cluster() { return *cluster_; }
+  const Options& options() const { return options_; }
+
+  /// Customer operations, entered at the customer's current home node.
+  /// A withdrawal is declined (FailedPrecondition) if the local view of
+  /// the balance cannot cover it.
+  void Deposit(int account, Value amount, Callback done);
+  void Withdraw(int account, Value amount, Callback done);
+
+  /// Moves customer `account`'s agent to `to_node` (requires a §4.4 move
+  /// protocol in Options).
+  Status MoveCustomer(int account, NodeId to_node,
+                      std::function<void(Status)> done);
+
+  /// One central-office pass over every account: fold unrecorded activity
+  /// into BALANCES (+fine on overdraft), then advance RECORDED.
+  void RunCentralScan(std::function<void()> done);
+
+  /// Schedules RunCentralScan every `period` until the cluster time passes
+  /// `until`.
+  void StartPeriodicScan(SimTime period, SimTime until);
+
+  /// The paper's local-view formula, evaluated against `node`'s replica.
+  Value LocalBalanceView(NodeId node, int account) const;
+
+  /// The authoritative balance at the central office's replica.
+  Value CentralBalance(int account) const;
+
+  /// Number of overdraft fines the central office has assessed.
+  int fines_assessed() const { return fines_assessed_; }
+
+  WorkloadMetrics& metrics() { return metrics_; }
+
+  /// Invariant check: at quiescence, every replica's balance equals
+  /// initial + sum of recorded activity − fines, and recorded counts are
+  /// consistent with activity counts.
+  Status VerifyAccounting() const;
+
+  // Schema handles (for tests and benches).
+  FragmentId balances_fragment() const { return balances_; }
+  FragmentId activity_fragment(int account) const {
+    return activity_[account];
+  }
+  FragmentId recorded_fragment(int account) const {
+    return recorded_[account];
+  }
+  ObjectId balance_object(int account) const { return balance_obj_[account]; }
+  AgentId customer_agent(int account) const { return customer_[account]; }
+  AgentId central_agent() const { return central_; }
+
+ private:
+  void AppendActivity(int account, Value amount, bool is_withdrawal,
+                      Callback done);
+  void ScanAccount(int account, std::function<void()> done);
+
+  Options options_;
+  std::unique_ptr<Cluster> cluster_;
+  FragmentId balances_ = kInvalidFragment;
+  std::vector<FragmentId> activity_;
+  std::vector<FragmentId> recorded_;
+  std::vector<ObjectId> balance_obj_;
+  std::vector<ObjectId> act_count_;
+  std::vector<std::vector<ObjectId>> act_amount_;
+  std::vector<ObjectId> recorded_count_;
+  std::vector<AgentId> customer_;
+  AgentId central_ = kInvalidAgent;
+  WorkloadMetrics metrics_;
+  int fines_assessed_ = 0;
+  std::vector<int> fines_per_account_;
+  bool scan_in_progress_ = false;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_WORKLOAD_BANKING_H_

@@ -1,0 +1,73 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fragdb {
+
+void WorkloadMetrics::Record(const TxnResult& result, SimTime submitted_at) {
+  ++submitted;
+  if (result.status.ok()) {
+    ++committed;
+    total_commit_latency += result.finished_at - submitted_at;
+    commit_latencies.push_back(result.finished_at - submitted_at);
+  } else if (result.status.IsFailedPrecondition()) {
+    ++declined;
+  } else if (result.status.IsUnavailable() || result.status.IsTimedOut()) {
+    ++unavailable;
+  } else if (result.status.IsPermissionDenied() ||
+             result.status.IsInvalidArgument()) {
+    ++rejected;
+  } else {
+    ++other_failed;
+  }
+}
+
+double WorkloadMetrics::Availability() const {
+  if (submitted == 0) return 1.0;
+  return static_cast<double>(served()) / static_cast<double>(submitted);
+}
+
+double WorkloadMetrics::MeanCommitLatency() const {
+  if (committed == 0) return 0.0;
+  return static_cast<double>(total_commit_latency) /
+         static_cast<double>(committed);
+}
+
+SimTime WorkloadMetrics::CommitLatencyPercentile(double p) const {
+  if (commit_latencies.empty()) return 0;
+  std::vector<SimTime> sorted = commit_latencies;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::min(1.0, std::max(0.0, p));
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  return sorted[rank];
+}
+
+std::string WorkloadMetrics::Summary() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " committed=" << committed
+     << " declined=" << declined << " unavailable=" << unavailable
+     << " rejected=" << rejected << " other=" << other_failed
+     << " availability=" << Availability()
+     << " mean_commit_latency_us=" << MeanCommitLatency();
+  return os.str();
+}
+
+WorkloadMetrics& WorkloadMetrics::operator+=(const WorkloadMetrics& other) {
+  submitted += other.submitted;
+  committed += other.committed;
+  declined += other.declined;
+  unavailable += other.unavailable;
+  rejected += other.rejected;
+  other_failed += other.other_failed;
+  total_commit_latency += other.total_commit_latency;
+  commit_latencies.insert(commit_latencies.end(),
+                          other.commit_latencies.begin(),
+                          other.commit_latencies.end());
+  return *this;
+}
+
+}  // namespace fragdb

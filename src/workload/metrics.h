@@ -1,0 +1,49 @@
+#ifndef FRAGDB_WORKLOAD_METRICS_H_
+#define FRAGDB_WORKLOAD_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/transaction.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Outcome counters for a workload run. "Served" means the system gave the
+/// user a decision — a commit or a clean business decline both count; being
+/// unable to answer (partitioned resource, timeout, in-transit agent) is
+/// the availability loss the paper's spectrum measures.
+struct WorkloadMetrics {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t declined = 0;     // body said FailedPrecondition
+  uint64_t unavailable = 0;  // Unavailable / TimedOut
+  uint64_t rejected = 0;     // permission / validation errors
+  uint64_t other_failed = 0;
+  SimTime total_commit_latency = 0;  // sum over committed txns
+  /// Individual commit latencies, for percentile reporting.
+  std::vector<SimTime> commit_latencies;
+
+  /// Records one outcome. `submitted_at` is when the user issued the
+  /// request (for latency accounting).
+  void Record(const TxnResult& result, SimTime submitted_at);
+
+  uint64_t served() const { return committed + declined; }
+  /// Fraction of submitted requests that were served, in [0, 1].
+  double Availability() const;
+  /// Mean latency of committed transactions (microseconds).
+  double MeanCommitLatency() const;
+
+  /// Commit-latency percentile in [0, 1] (nearest-rank); 0 if none.
+  SimTime CommitLatencyPercentile(double p) const;
+
+  /// One-line human-readable summary.
+  std::string Summary() const;
+
+  WorkloadMetrics& operator+=(const WorkloadMetrics& other);
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_WORKLOAD_METRICS_H_

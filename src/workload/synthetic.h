@@ -1,0 +1,86 @@
+#ifndef FRAGDB_WORKLOAD_SYNTHETIC_H_
+#define FRAGDB_WORKLOAD_SYNTHETIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "workload/metrics.h"
+
+namespace fragdb {
+
+/// Parameterized driver used by the spectrum and overhead experiments
+/// (E1/E8): n nodes, one fragment per node (its agent homed there), Poisson
+/// transaction arrivals per agent, configurable foreign-read fan-out, and
+/// an alternating up/partitioned network schedule with random bipartitions.
+///
+/// Under kAcyclicReads the declared read-access graph is a random
+/// elementarily-acyclic tree and foreign reads follow tree edges; under the
+/// other options foreign reads hit uniformly random fragments (all edges
+/// declared for the tooling).
+struct SyntheticOptions {
+  int nodes = 8;
+  int objects_per_fragment = 4;
+  /// Mean number of foreign fragments read per update transaction.
+  double read_fan = 1.0;
+  /// Zipf skew for object selection inside a fragment.
+  double zipf_theta = 0.0;
+  /// Mean inter-arrival time of updates per agent.
+  SimTime mean_interarrival = Millis(10);
+  /// Total workload duration (after which the net heals and drains).
+  SimTime duration = Seconds(2);
+  /// Mean connected period between partitions; <=0 disables partitions.
+  SimTime mean_up_time = Millis(300);
+  /// Mean partition duration.
+  SimTime mean_partition_time = Millis(300);
+  SimTime link_latency = Millis(5);
+  uint64_t seed = 1;
+  ControlOption control = ControlOption::kFragmentwise;
+  MoveProtocol move_protocol = MoveProtocol::kForbidden;
+};
+
+/// Result of one synthetic run.
+struct SyntheticReport {
+  WorkloadMetrics metrics;
+  NetworkStats net;
+  bool mutually_consistent = false;
+  bool property_ok = false;  // CheckConfiguredProperty
+  std::string property_detail;
+  uint64_t partitions_injected = 0;
+};
+
+class SyntheticWorkload {
+ public:
+  explicit SyntheticWorkload(const SyntheticOptions& options);
+
+  /// Builds the cluster (call once, before Run).
+  Status Start();
+
+  /// Drives the workload to completion: generates traffic and partitions
+  /// for `duration`, heals, drains, and evaluates the checkers.
+  SyntheticReport Run();
+
+  Cluster& cluster() { return *cluster_; }
+
+ private:
+  void ScheduleArrival(int agent_index);
+  void SchedulePartitionCycle();
+  void SubmitOne(int agent_index);
+
+  SyntheticOptions options_;
+  Rng rng_;
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<FragmentId> fragments_;
+  std::vector<AgentId> agents_;
+  std::vector<std::vector<ObjectId>> objects_;
+  /// Foreign fragments agent i's transactions may read.
+  std::vector<std::vector<FragmentId>> readable_;
+  WorkloadMetrics metrics_;
+  uint64_t partitions_injected_ = 0;
+  bool traffic_open_ = true;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,158 @@
+#include "workload/warehouse.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+WarehouseWorkload::WarehouseWorkload(const Options& options)
+    : options_(options) {
+  ClusterConfig config;
+  config.control = options_.control;
+  config.remote_lock_timeout = options_.remote_lock_timeout;
+  cluster_ = std::make_unique<Cluster>(
+      config,
+      Topology::FullMesh(options_.warehouses + 1, options_.link_latency));
+}
+
+Status WarehouseWorkload::Start() {
+  Cluster& c = *cluster_;
+  c_agent_ = c.DefineUserAgent("central-office");
+  FRAGDB_RETURN_IF_ERROR(c.SetAgentHome(c_agent_, central_node()));
+  c_frag_ = c.DefineFragment("C");
+  FRAGDB_RETURN_IF_ERROR(c.AssignToken(c_frag_, c_agent_));
+  for (int p = 0; p < options_.products; ++p) {
+    Result<ObjectId> obj =
+        c.DefineObject(c_frag_, "plan/" + std::to_string(p), 0);
+    if (!obj.ok()) return obj.status();
+    plan_.push_back(*obj);
+  }
+
+  stock_.resize(options_.warehouses);
+  sales_.resize(options_.warehouses);
+  shipments_.resize(options_.warehouses);
+  for (int w = 0; w < options_.warehouses; ++w) {
+    std::string name = "W" + std::to_string(w);
+    FragmentId frag = c.DefineFragment(name);
+    w_frag_.push_back(frag);
+    // Warehouses are computer sites: node agents (paper §3.1 allows both).
+    AgentId agent = c.DefineNodeAgent(warehouse_node(w), name + "-node");
+    w_agent_.push_back(agent);
+    FRAGDB_RETURN_IF_ERROR(c.AssignToken(frag, agent));
+    for (int p = 0; p < options_.products; ++p) {
+      std::string sp = std::to_string(w) + "/" + std::to_string(p);
+      Result<ObjectId> st =
+          c.DefineObject(frag, "stock/" + sp, options_.initial_stock);
+      if (!st.ok()) return st.status();
+      stock_[w].push_back(*st);
+      Result<ObjectId> sa = c.DefineObject(frag, "sales/" + sp, 0);
+      if (!sa.ok()) return sa.status();
+      sales_[w].push_back(*sa);
+      Result<ObjectId> sh = c.DefineObject(frag, "shipments/" + sp, 0);
+      if (!sh.ok()) return sh.status();
+      shipments_[w].push_back(*sh);
+    }
+    // Fig. 4.2.1: the central fragment reads every warehouse fragment.
+    FRAGDB_RETURN_IF_ERROR(c.DeclareRead(c_frag_, frag));
+  }
+  return c.Start();
+}
+
+void WarehouseWorkload::Sell(int warehouse, int product, Value qty,
+                             Callback done) {
+  FRAGDB_CHECK(qty > 0);
+  TxnSpec spec;
+  spec.agent = w_agent_[warehouse];
+  spec.write_fragment = w_frag_[warehouse];
+  spec.label = "sale/" + std::to_string(warehouse);
+  ObjectId stock = stock_[warehouse][product];
+  ObjectId sales = sales_[warehouse][product];
+  spec.read_set = {stock, sales};
+  spec.body = [stock, sales, qty](const std::vector<Value>& reads)
+      -> Result<std::vector<WriteOp>> {
+    if (reads[0] < qty) {
+      return Status::FailedPrecondition("insufficient stock");
+    }
+    return std::vector<WriteOp>{{stock, reads[0] - qty},
+                                {sales, reads[1] + qty}};
+  };
+  SimTime submitted_at = cluster_->Now();
+  cluster_->Submit(spec, [this, submitted_at,
+                          done = std::move(done)](const TxnResult& r) {
+    metrics_.Record(r, submitted_at);
+    if (done) done(r);
+  });
+}
+
+void WarehouseWorkload::Receive(int warehouse, int product, Value qty,
+                                Callback done) {
+  FRAGDB_CHECK(qty > 0);
+  TxnSpec spec;
+  spec.agent = w_agent_[warehouse];
+  spec.write_fragment = w_frag_[warehouse];
+  spec.label = "shipment/" + std::to_string(warehouse);
+  ObjectId stock = stock_[warehouse][product];
+  ObjectId shipments = shipments_[warehouse][product];
+  spec.read_set = {stock, shipments};
+  spec.body = [stock, shipments, qty](const std::vector<Value>& reads)
+      -> Result<std::vector<WriteOp>> {
+    return std::vector<WriteOp>{{stock, reads[0] + qty},
+                                {shipments, reads[1] + qty}};
+  };
+  SimTime submitted_at = cluster_->Now();
+  cluster_->Submit(spec, [this, submitted_at,
+                          done = std::move(done)](const TxnResult& r) {
+    metrics_.Record(r, submitted_at);
+    if (done) done(r);
+  });
+}
+
+void WarehouseWorkload::RunCentralPlan(std::function<void()> done) {
+  TxnSpec spec;
+  spec.agent = c_agent_;
+  spec.write_fragment = c_frag_;
+  spec.label = "central-plan";
+  // Reads: every warehouse's stock of every product.
+  for (int p = 0; p < options_.products; ++p) {
+    for (int w = 0; w < options_.warehouses; ++w) {
+      spec.read_set.push_back(stock_[w][p]);
+    }
+  }
+  int products = options_.products;
+  int warehouses = options_.warehouses;
+  Value target = options_.restock_target;
+  std::vector<ObjectId> plan = plan_;
+  spec.body = [products, warehouses, target,
+               plan](const std::vector<Value>& reads)
+      -> Result<std::vector<WriteOp>> {
+    std::vector<WriteOp> writes;
+    for (int p = 0; p < products; ++p) {
+      Value total = 0;
+      for (int w = 0; w < warehouses; ++w) {
+        total += reads[p * warehouses + w];
+      }
+      Value order = total < target ? target - total : 0;
+      writes.push_back({plan[p], order});
+    }
+    return writes;
+  };
+  SimTime submitted_at = cluster_->Now();
+  cluster_->Submit(spec, [this, submitted_at,
+                          done = std::move(done)](const TxnResult& r) {
+    metrics_.Record(r, submitted_at);
+    if (done) done();
+  });
+}
+
+Value WarehouseWorkload::StockAt(NodeId node, int warehouse,
+                                 int product) const {
+  return cluster_->ReadAt(node, stock_[warehouse][product]);
+}
+
+Value WarehouseWorkload::PlanFor(int product) const {
+  return cluster_->ReadAt(central_node(), plan_[product]);
+}
+
+}  // namespace fragdb

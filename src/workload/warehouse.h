@@ -1,0 +1,85 @@
+#ifndef FRAGDB_WORKLOAD_WAREHOUSE_H_
+#define FRAGDB_WORKLOAD_WAREHOUSE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "workload/metrics.h"
+
+namespace fragdb {
+
+/// The wholesale company of paper §4.2 / Fig. 4.2.1:
+///
+///  * fragment W_i per warehouse — per-product stock on hand, cumulative
+///    sales, cumulative shipments; agent: the warehouse's own node (a node
+///    agent — warehouses are computers, not users);
+///  * fragment C — the central office's purchasing plan, recomputed by
+///    periodically scanning every W_i.
+///
+/// The read-access graph is the star C -> W_1..W_k: elementarily acyclic,
+/// so under §4.2 semantics the design is globally serializable with zero
+/// read synchronization, and warehouses keep entering sales and shipments
+/// through any partition.
+class WarehouseWorkload {
+ public:
+  struct Options {
+    int warehouses = 4;
+    int products = 3;
+    Value initial_stock = 100;
+    /// The central office wants total_stock >= restock_target per product.
+    Value restock_target = 300;
+    SimTime link_latency = Millis(5);
+    ControlOption control = ControlOption::kAcyclicReads;
+    /// §4.1 only: how long the central plan waits for a remote read lock
+    /// before giving up (how long the office will block on a dead line).
+    SimTime remote_lock_timeout = Millis(200);
+  };
+
+  using Callback = std::function<void(const TxnResult&)>;
+
+  explicit WarehouseWorkload(const Options& options);
+
+  Status Start();
+
+  Cluster& cluster() { return *cluster_; }
+
+  /// Node layout: node 0 is the central office; warehouse i is node i+1.
+  NodeId central_node() const { return 0; }
+  NodeId warehouse_node(int warehouse) const { return warehouse + 1; }
+
+  /// Records a sale at the warehouse's node. Declined when stock is
+  /// insufficient.
+  void Sell(int warehouse, int product, Value qty, Callback done);
+
+  /// Records an incoming shipment.
+  void Receive(int warehouse, int product, Value qty, Callback done);
+
+  /// Central-office scan: recompute the purchasing plan from all stocks.
+  void RunCentralPlan(std::function<void()> done);
+
+  Value StockAt(NodeId node, int warehouse, int product) const;
+  Value PlanFor(int product) const;  // at the central replica
+
+  WorkloadMetrics& metrics() { return metrics_; }
+
+  FragmentId warehouse_fragment(int w) const { return w_frag_[w]; }
+  FragmentId central_fragment() const { return c_frag_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<FragmentId> w_frag_;
+  FragmentId c_frag_ = kInvalidFragment;
+  std::vector<AgentId> w_agent_;
+  AgentId c_agent_ = kInvalidAgent;
+  /// stock_[w][p], sales_[w][p], shipments_[w][p], plan_[p].
+  std::vector<std::vector<ObjectId>> stock_, sales_, shipments_;
+  std::vector<ObjectId> plan_;
+  WorkloadMetrics metrics_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_WORKLOAD_WAREHOUSE_H_

@@ -1,0 +1,105 @@
+#include "core/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fragdb {
+namespace {
+
+struct AuditFixture : ::testing::Test {
+  void Build(ControlOption control) {
+    ClusterConfig config;
+    config.control = control;
+    cluster = std::make_unique<Cluster>(config,
+                                        Topology::FullMesh(3, Millis(5)));
+    f0 = cluster->DefineFragment("F0");
+    f1 = cluster->DefineFragment("F1");
+    a = *cluster->DefineObject(f0, "a", 0);
+    b = *cluster->DefineObject(f1, "b", 0);
+    alice = cluster->DefineUserAgent("alice");
+    bob = cluster->DefineUserAgent("bob");
+    ASSERT_TRUE(cluster->AssignToken(f0, alice).ok());
+    ASSERT_TRUE(cluster->AssignToken(f1, bob).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(alice, 0).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(bob, 1).ok());
+    ASSERT_TRUE(cluster->Start().ok());
+  }
+  void Update(AgentId agent, FragmentId f, ObjectId obj, Value v,
+              std::vector<ObjectId> reads = {}) {
+    TxnSpec spec;
+    spec.agent = agent;
+    spec.write_fragment = f;
+    spec.read_set = reads;
+    spec.label = "w" + std::to_string(v);
+    spec.body = [obj, v](const std::vector<Value>&)
+        -> Result<std::vector<WriteOp>> {
+      return std::vector<WriteOp>{{obj, v}};
+    };
+    cluster->Submit(spec, nullptr);
+  }
+  std::unique_ptr<Cluster> cluster;
+  FragmentId f0, f1;
+  ObjectId a, b;
+  AgentId alice, bob;
+};
+
+TEST_F(AuditFixture, CleanRunPassesEverything) {
+  Build(ControlOption::kFragmentwise);
+  Update(alice, f0, a, 1);
+  Update(bob, f1, b, 2);
+  cluster->RunToQuiescence();
+  AuditReport report = AuditRun(*cluster);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.global_serializability.ok);
+  EXPECT_TRUE(report.fragmentwise.ok);
+  EXPECT_TRUE(report.replica_consistency.ok);
+  EXPECT_TRUE(report.configured_property.ok);
+  EXPECT_TRUE(report.fragment_failures.empty());
+  EXPECT_EQ(report.committed_txns, 2);
+  EXPECT_EQ(report.uncommitted_txns, 0);
+  // Home apply + 2 replicas, per transaction.
+  EXPECT_EQ(report.installs, 6);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("configured property"), std::string::npos);
+  EXPECT_NE(text.find("OK"), std::string::npos);
+  EXPECT_EQ(text.find("FAIL"), std::string::npos);
+}
+
+TEST_F(AuditFixture, NonSerializableRunStillFragmentwiseClean) {
+  Build(ControlOption::kFragmentwise);
+  // Cross-partition stale reads: alice and bob each read the other's
+  // object while partitioned, then write — the classic write-skew shape.
+  ASSERT_TRUE(cluster->Partition({{0, 2}, {1}}).ok());
+  Update(alice, f0, a, 1, {b});
+  Update(bob, f1, b, 2, {a});
+  cluster->RunFor(Millis(50));
+  cluster->HealAll();
+  cluster->RunToQuiescence();
+  AuditReport report = AuditRun(*cluster);
+  EXPECT_FALSE(report.global_serializability.ok);
+  EXPECT_TRUE(report.fragmentwise.ok);
+  EXPECT_TRUE(report.configured_property.ok);  // §4.3 promises fragmentwise
+  EXPECT_TRUE(report.ok());
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);  // the global line
+}
+
+TEST_F(AuditFixture, CountsUncommitted) {
+  Build(ControlOption::kFragmentwise);
+  TxnSpec spec;
+  spec.agent = alice;
+  spec.write_fragment = f0;
+  spec.body = [](const std::vector<Value>&) -> Result<std::vector<WriteOp>> {
+    return Status::FailedPrecondition("declined");
+  };
+  cluster->Submit(spec, nullptr);
+  cluster->RunToQuiescence();
+  AuditReport report = AuditRun(*cluster);
+  EXPECT_EQ(report.committed_txns, 0);
+  EXPECT_EQ(report.uncommitted_txns, 1);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace fragdb

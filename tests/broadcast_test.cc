@@ -1,0 +1,141 @@
+#include "net/broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace fragdb {
+namespace {
+
+struct Tag : MessagePayload {
+  explicit Tag(int v) : value(v) {}
+  int value;
+};
+
+struct BroadcastFixture : ::testing::Test {
+  BroadcastFixture()
+      : topology(Topology::FullMesh(4, Millis(5))),
+        net(&sim, &topology),
+        rb(&net, 4) {
+    delivered.resize(4);
+    for (NodeId n = 0; n < 4; ++n) {
+      net.SetHandler(n, [this, n](const Message& m) {
+        bool consumed = rb.HandleIfBroadcast(n, m);
+        EXPECT_TRUE(consumed);  // this suite sends only broadcasts
+      });
+      rb.Subscribe(n, [this, n](NodeId origin, SeqNum seq,
+                                std::shared_ptr<const MessagePayload> p) {
+        auto tag = std::dynamic_pointer_cast<const Tag>(p);
+        ASSERT_NE(tag, nullptr);
+        delivered[n].push_back({origin, seq, tag->value});
+      });
+    }
+  }
+
+  struct Recv {
+    NodeId origin;
+    SeqNum seq;
+    int value;
+  };
+  Simulator sim;
+  Topology topology;
+  Network net;
+  ReliableBroadcast rb;
+  std::vector<std::vector<Recv>> delivered;
+};
+
+TEST_F(BroadcastFixture, AssignsIncreasingSeqs) {
+  EXPECT_EQ(rb.Broadcast(0, std::make_shared<Tag>(1)), 1);
+  EXPECT_EQ(rb.Broadcast(0, std::make_shared<Tag>(2)), 2);
+  EXPECT_EQ(rb.Broadcast(1, std::make_shared<Tag>(3)), 1);  // per-origin
+}
+
+TEST_F(BroadcastFixture, DeliversToAllOthersInOrder) {
+  rb.Broadcast(0, std::make_shared<Tag>(10));
+  rb.Broadcast(0, std::make_shared<Tag>(20));
+  sim.RunToQuiescence();
+  EXPECT_TRUE(delivered[0].empty());  // origin does not self-deliver
+  for (NodeId n : {1, 2, 3}) {
+    ASSERT_EQ(delivered[n].size(), 2u);
+    EXPECT_EQ(delivered[n][0].value, 10);
+    EXPECT_EQ(delivered[n][0].seq, 1);
+    EXPECT_EQ(delivered[n][1].value, 20);
+    EXPECT_EQ(delivered[n][1].seq, 2);
+  }
+}
+
+TEST_F(BroadcastFixture, HoldsBackOutOfOrderAcrossPartition) {
+  // Partition node 3 away; broadcast twice; heal; both must arrive in order.
+  ASSERT_TRUE(topology.Partition({{0, 1, 2}, {3}}).ok());
+  rb.Broadcast(0, std::make_shared<Tag>(1));
+  sim.RunUntil(Millis(50));
+  rb.Broadcast(0, std::make_shared<Tag>(2));
+  sim.RunUntil(Millis(100));
+  EXPECT_TRUE(delivered[3].empty());
+  EXPECT_EQ(delivered[1].size(), 2u);
+  topology.HealAll();
+  sim.RunToQuiescence();
+  ASSERT_EQ(delivered[3].size(), 2u);
+  EXPECT_EQ(delivered[3][0].value, 1);
+  EXPECT_EQ(delivered[3][1].value, 2);
+}
+
+TEST_F(BroadcastFixture, InterleavedOriginsKeepPerOriginOrder) {
+  for (int i = 1; i <= 5; ++i) {
+    rb.Broadcast(0, std::make_shared<Tag>(i));
+    rb.Broadcast(1, std::make_shared<Tag>(100 + i));
+  }
+  sim.RunToQuiescence();
+  // At node 2, messages from each origin must be in seq order.
+  SeqNum last0 = 0, last1 = 0;
+  for (const auto& r : delivered[2]) {
+    if (r.origin == 0) {
+      EXPECT_EQ(r.seq, last0 + 1);
+      last0 = r.seq;
+    } else {
+      EXPECT_EQ(r.seq, last1 + 1);
+      last1 = r.seq;
+    }
+  }
+  EXPECT_EQ(last0, 5);
+  EXPECT_EQ(last1, 5);
+}
+
+TEST_F(BroadcastFixture, DeliveredUpToTracksProgress) {
+  rb.Broadcast(0, std::make_shared<Tag>(1));
+  EXPECT_EQ(rb.DeliveredUpTo(1, 0), 0);
+  sim.RunToQuiescence();
+  EXPECT_EQ(rb.DeliveredUpTo(1, 0), 1);
+  EXPECT_EQ(rb.DeliveredUpTo(1, 2), 0);
+}
+
+TEST_F(BroadcastFixture, NonBroadcastMessagesAreNotConsumed) {
+  Network raw(&sim, &topology);
+  ReliableBroadcast rb2(&raw, 4);
+  bool other_seen = false;
+  raw.SetHandler(1, [&](const Message& m) {
+    if (!rb2.HandleIfBroadcast(1, m)) other_seen = true;
+  });
+  raw.Send(0, 1, std::make_shared<Tag>(5));
+  sim.RunToQuiescence();
+  EXPECT_TRUE(other_seen);
+}
+
+TEST_F(BroadcastFixture, EventualDeliveryUnderRepeatedPartitions) {
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(topology.Partition({{0}, {1, 2, 3}}).ok());
+    rb.Broadcast(0, std::make_shared<Tag>(round));
+    sim.RunUntil(sim.Now() + Millis(30));
+    topology.HealAll();
+    sim.RunUntil(sim.Now() + Millis(30));
+  }
+  sim.RunToQuiescence();
+  for (NodeId n : {1, 2, 3}) {
+    ASSERT_EQ(delivered[n].size(), 3u) << "node " << n;
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(delivered[n][i].value, i);
+  }
+}
+
+}  // namespace
+}  // namespace fragdb

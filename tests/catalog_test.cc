@@ -1,0 +1,130 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace fragdb {
+namespace {
+
+TEST(CatalogTest, DefinesFragmentsAndObjects) {
+  Catalog c;
+  FragmentId f0 = c.AddFragment("BALANCES");
+  FragmentId f1 = c.AddFragment("ACTIVITY");
+  EXPECT_EQ(f0, 0);
+  EXPECT_EQ(f1, 1);
+  EXPECT_EQ(c.fragment_count(), 2);
+  EXPECT_EQ(c.FragmentName(f0), "BALANCES");
+
+  Result<ObjectId> o = c.AddObject(f0, "acct-1", 300);
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(c.FragmentOf(*o), f0);
+  EXPECT_EQ(c.InitialValue(*o), 300);
+  EXPECT_EQ(c.ObjectName(*o), "acct-1");
+  EXPECT_EQ(c.ObjectsIn(f0).size(), 1u);
+  EXPECT_TRUE(c.ObjectsIn(f1).empty());
+}
+
+TEST(CatalogTest, AddObjectToUnknownFragmentFails) {
+  Catalog c;
+  EXPECT_TRUE(c.AddObject(3, "x", 0).status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, TokenAssignmentIsExclusive) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  AgentId a = c.AddUserAgent("alice");
+  AgentId b = c.AddUserAgent("bob");
+  EXPECT_TRUE(c.AssignToken(f, a).ok());
+  EXPECT_TRUE(c.AssignToken(f, b).IsAlreadyExists());
+  ASSERT_TRUE(c.AgentOf(f).ok());
+  EXPECT_EQ(*c.AgentOf(f), a);
+}
+
+TEST(CatalogTest, AgentMayHoldSeveralTokens) {
+  Catalog c;
+  FragmentId f0 = c.AddFragment("BALANCES");
+  FragmentId f1 = c.AddFragment("RECORDED");
+  AgentId central = c.AddUserAgent("central-office");
+  ASSERT_TRUE(c.AssignToken(f0, central).ok());
+  ASSERT_TRUE(c.AssignToken(f1, central).ok());
+  EXPECT_EQ(c.TokensOf(central).size(), 2u);
+}
+
+TEST(CatalogTest, UnassignedFragmentHasNoAgent) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  EXPECT_TRUE(c.AgentOf(f).status().IsNotFound());
+  EXPECT_TRUE(c.HomeOfFragment(f).status().IsNotFound());
+}
+
+TEST(CatalogTest, UserAgentHomeMoves) {
+  Catalog c;
+  AgentId a = c.AddUserAgent("alice");
+  EXPECT_TRUE(c.HomeOf(a).status().IsNotFound());
+  EXPECT_TRUE(c.SetHome(a, 2).ok());
+  EXPECT_EQ(*c.HomeOf(a), 2);
+  EXPECT_TRUE(c.SetHome(a, 0).ok());
+  EXPECT_EQ(*c.HomeOf(a), 0);
+}
+
+TEST(CatalogTest, NodeAgentCannotMove) {
+  Catalog c;
+  AgentId a = c.AddNodeAgent(1, "node-1");
+  EXPECT_EQ(c.KindOf(a), AgentKind::kNode);
+  EXPECT_EQ(*c.HomeOf(a), 1);
+  EXPECT_TRUE(c.SetHome(a, 2).IsPermissionDenied());
+  EXPECT_TRUE(c.SetHome(a, 1).ok());  // no-op allowed
+}
+
+TEST(CatalogTest, HomeOfFragmentFollowsAgent) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  AgentId a = c.AddUserAgent("alice");
+  ASSERT_TRUE(c.AssignToken(f, a).ok());
+  ASSERT_TRUE(c.SetHome(a, 3).ok());
+  EXPECT_EQ(*c.HomeOfFragment(f), 3);
+  ASSERT_TRUE(c.SetHome(a, 1).ok());
+  EXPECT_EQ(*c.HomeOfFragment(f), 1);
+}
+
+TEST(CatalogTest, ValidityPredicates) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  EXPECT_TRUE(c.ValidFragment(f));
+  EXPECT_FALSE(c.ValidFragment(-1));
+  EXPECT_FALSE(c.ValidFragment(1));
+  EXPECT_FALSE(c.ValidObject(0));
+  ASSERT_TRUE(c.AddObject(f, "x", 0).ok());
+  EXPECT_TRUE(c.ValidObject(0));
+  EXPECT_FALSE(c.ValidAgent(0));
+  c.AddUserAgent("a");
+  EXPECT_TRUE(c.ValidAgent(0));
+}
+
+
+TEST(CatalogTest, ReplicaSetDefaultsToEverywhere) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  EXPECT_TRUE(c.ReplicaSet(f).empty());
+  EXPECT_TRUE(c.ReplicatedAt(f, 0));
+  EXPECT_TRUE(c.ReplicatedAt(f, 99));
+}
+
+TEST(CatalogTest, ReplicaSetSortsAndDedups) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  ASSERT_TRUE(c.SetReplicaSet(f, {3, 1, 3, 2}).ok());
+  EXPECT_EQ(c.ReplicaSet(f), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_TRUE(c.ReplicatedAt(f, 2));
+  EXPECT_FALSE(c.ReplicatedAt(f, 0));
+  EXPECT_FALSE(c.ReplicatedAt(f, 4));
+}
+
+TEST(CatalogTest, ReplicaSetValidation) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  EXPECT_TRUE(c.SetReplicaSet(f, {}).IsInvalidArgument());
+  EXPECT_TRUE(c.SetReplicaSet(9, {0}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace fragdb

@@ -1,0 +1,228 @@
+#include "verify/checkers.h"
+
+#include <gtest/gtest.h>
+
+namespace fragdb {
+namespace {
+
+struct HistoryBuilder {
+  History h;
+  void Txn(TxnId id, FragmentId type, NodeId home, bool read_only = false) {
+    TxnRecord rec;
+    rec.id = id;
+    rec.type_fragment = type;
+    rec.home = home;
+    rec.read_only = read_only;
+    h.RegisterTxn(rec);
+  }
+  void Commit(TxnId id, SeqNum seq) { h.MarkCommitted(id, seq); }
+  void Write(TxnId id, FragmentId f, SeqNum seq,
+             std::vector<WriteOp> writes) {
+    QuasiTxn q;
+    q.origin_txn = id;
+    q.fragment = f;
+    q.seq = seq;
+    q.writes = std::move(writes);
+    h.RecordInstall(0, q, 0);
+  }
+  void Read(TxnId reader, ObjectId object, TxnId vwriter, SeqNum vseq) {
+    ReadRecord r;
+    r.reader = reader;
+    r.object = object;
+    r.version_writer = vwriter;
+    r.version_seq = vseq;
+    h.RecordRead(r);
+  }
+};
+
+TEST(GlobalSerializabilityTest, EmptyHistoryPasses) {
+  History h;
+  EXPECT_TRUE(CheckGlobalSerializability(h).ok);
+}
+
+TEST(GlobalSerializabilityTest, SimpleChainPasses) {
+  HistoryBuilder b;
+  b.Txn(1, 0, 0);
+  b.Txn(2, 1, 1);
+  b.Commit(1, 1);
+  b.Commit(2, 1);
+  b.Write(1, 0, 1, {{0, 1}});
+  b.Read(2, 0, 1, 1);
+  b.Write(2, 1, 1, {{1, 2}});
+  EXPECT_TRUE(CheckGlobalSerializability(b.h).ok);
+}
+
+TEST(GlobalSerializabilityTest, CycleFailsWithWitnesses) {
+  HistoryBuilder b;
+  b.Txn(1, 0, 0);
+  b.Txn(2, 1, 1);
+  b.Commit(1, 1);
+  b.Commit(2, 1);
+  b.Write(1, 0, 1, {{0, 1}});
+  b.Write(2, 1, 1, {{1, 1}});
+  b.Read(1, 1, kInvalidTxn, 0);  // T1 read b before T2's write => T1->T2
+  b.Read(2, 0, kInvalidTxn, 0);  // T2 read a before T1's write => T2->T1
+  CheckReport report = CheckGlobalSerializability(b.h);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.witnesses.size(), 2u);
+  EXPECT_NE(report.detail.find("cycle"), std::string::npos);
+}
+
+// The paper's §4.3 airline schedule, realized with item-level conflicts
+// (each customer transaction writes its full request row; see
+// EXPERIMENTS.md E6): fragmentwise serializable but not globally
+// serializable.
+//
+// Fragments: C1=0 {c11=0, c12=1}, C2=1 {c21=2, c22=3},
+//            F1=2 {f11=4, f21=5}, F2=3 {f12=6, f22=7}.
+struct AirlineSchedule {
+  HistoryBuilder b;
+  AirlineSchedule() {
+    b.Txn(1, 0, 0);  // T_C1
+    b.Txn(2, 1, 1);  // T_C2
+    b.Txn(3, 2, 2);  // T_F1
+    b.Txn(4, 3, 3);  // T_F2
+    for (TxnId id = 1; id <= 4; ++id) b.Commit(id, 1);
+    // (T_F2, r, c12): before T_C1's row write installs at F2's home.
+    b.Read(4, 1, kInvalidTxn, 0);
+    // (T_F2, w, f12) happens at the end (atomic commit of both writes).
+    // (T_C1, w, {c11, c12}).
+    b.Write(1, 0, 1, {{0, 1}, {1, 0}});
+    // (T_F1, r, c11): sees T_C1.
+    b.Read(3, 0, 1, 1);
+    // (T_F1, r, c21): before T_C2's write.
+    b.Read(3, 2, kInvalidTxn, 0);
+    b.Write(3, 2, 1, {{4, 1}, {5, 0}});
+    // (T_C2, w, {c21, c22}).
+    b.Write(2, 1, 1, {{2, 0}, {3, 1}});
+    // (T_F2, r, c22): sees T_C2.
+    b.Read(4, 3, 2, 1);
+    b.Write(4, 3, 1, {{6, 0}, {7, 1}});
+  }
+};
+
+TEST(FragmentwiseTest, AirlineScheduleNotGloballySerializable) {
+  AirlineSchedule s;
+  EXPECT_FALSE(CheckGlobalSerializability(s.b.h).ok);
+}
+
+TEST(FragmentwiseTest, AirlineScheduleIsFragmentwiseSerializable) {
+  AirlineSchedule s;
+  EXPECT_TRUE(CheckFragmentwiseSerializability(s.b.h, 4).ok);
+}
+
+TEST(Property1Test, UpdatersOfEachFragmentSerializable) {
+  AirlineSchedule s;
+  for (FragmentId f = 0; f < 4; ++f) {
+    EXPECT_TRUE(CheckProperty1(s.b.h, f).ok) << "fragment " << f;
+  }
+}
+
+TEST(Property2Test, PartialEffectDetected) {
+  // Writer W writes x and y atomically; reader T sees W's x but pre-W y.
+  HistoryBuilder b;
+  b.Txn(1, 0, 0);           // W
+  b.Txn(2, 1, 1);           // T (reader from another fragment)
+  b.Commit(1, 1);
+  b.Commit(2, 1);
+  b.Write(1, 0, 1, {{0, 10}, {1, 20}});
+  b.Write(2, 1, 1, {{5, 1}});
+  b.Read(2, 0, 1, 1);            // saw W's write of x
+  b.Read(2, 1, kInvalidTxn, 0);  // missed W's write of y
+  CheckReport report = CheckProperty2(b.h, 0);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.detail.find("partial"), std::string::npos);
+  EXPECT_FALSE(CheckFragmentwiseSerializability(b.h, 2).ok);
+}
+
+TEST(Property2Test, ConsistentSnapshotPasses) {
+  HistoryBuilder b;
+  b.Txn(1, 0, 0);
+  b.Txn(2, 1, 1);
+  b.Commit(1, 1);
+  b.Commit(2, 1);
+  b.Write(1, 0, 1, {{0, 10}, {1, 20}});
+  b.Write(2, 1, 1, {{5, 1}});
+  b.Read(2, 0, 1, 1);
+  b.Read(2, 1, 1, 1);
+  EXPECT_TRUE(CheckProperty2(b.h, 0).ok);
+}
+
+TEST(Property2Test, SingleWriteCannotBePartial) {
+  HistoryBuilder b;
+  b.Txn(1, 0, 0);
+  b.Txn(2, 1, 1);
+  b.Commit(1, 1);
+  b.Commit(2, 1);
+  b.Write(1, 0, 1, {{0, 10}});
+  b.Write(2, 1, 1, {{5, 1}});
+  b.Read(2, 0, kInvalidTxn, 0);
+  EXPECT_TRUE(CheckProperty2(b.h, 0).ok);
+}
+
+TEST(MutualConsistencyTest, IdenticalReplicasPass) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  ObjectId o = *c.AddObject(f, "x", 1);
+  ObjectStore s1(&c), s2(&c);
+  EXPECT_TRUE(CheckMutualConsistency({&s1, &s2}).ok);
+  s1.Write(o, 2, 1, 1, 0);
+  s2.Write(o, 2, 9, 9, 9);  // same value, different metadata: still equal
+  EXPECT_TRUE(CheckMutualConsistency({&s1, &s2}).ok);
+}
+
+TEST(MutualConsistencyTest, DivergentReplicasFail) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  ObjectId o = *c.AddObject(f, "x", 1);
+  ObjectStore s1(&c), s2(&c);
+  s1.Write(o, 5, 1, 1, 0);
+  CheckReport report = CheckMutualConsistency({&s1, &s2});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.detail.find("differ"), std::string::npos);
+}
+
+TEST(MutualConsistencyTest, SingleReplicaTriviallyConsistent) {
+  Catalog c;
+  FragmentId f = c.AddFragment("F");
+  (void)*c.AddObject(f, "x", 1);
+  ObjectStore s1(&c);
+  EXPECT_TRUE(CheckMutualConsistency({&s1}).ok);
+}
+
+TEST(PredicateTest, SingleVsMultiFragmentClassification) {
+  Catalog c;
+  FragmentId f0 = c.AddFragment("F0");
+  FragmentId f1 = c.AddFragment("F1");
+  ObjectId a = *c.AddObject(f0, "a", 0);
+  ObjectId b = *c.AddObject(f0, "b", 0);
+  ObjectId x = *c.AddObject(f1, "x", 0);
+  ConsistencyPredicate single{"a+b>=0", {a, b},
+                              [](const std::vector<Value>& v) {
+                                return v[0] + v[1] >= 0;
+                              }};
+  ConsistencyPredicate multi{"a==x", {a, x},
+                             [](const std::vector<Value>& v) {
+                               return v[0] == v[1];
+                             }};
+  EXPECT_TRUE(IsSingleFragment(single, c));
+  EXPECT_FALSE(IsSingleFragment(multi, c));
+  ObjectStore s(&c);
+  EXPECT_TRUE(EvaluatePredicate(single, s));
+  s.Write(a, -5, 1, 1, 0);
+  EXPECT_FALSE(EvaluatePredicate(single, s));
+  EXPECT_FALSE(EvaluatePredicate(multi, s));
+  EXPECT_EQ(s.Read(b), 0);
+  (void)f1;
+}
+
+TEST(PredicateTest, EmptyPredicateIsSingleFragment) {
+  Catalog c;
+  ConsistencyPredicate p{"true", {}, [](const std::vector<Value>&) {
+                           return true;
+                         }};
+  EXPECT_TRUE(IsSingleFragment(p, c));
+}
+
+}  // namespace
+}  // namespace fragdb

@@ -1,0 +1,114 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fragdb {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.NextTime(), kSimTimeMax);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(30, [&] { fired.push_back(3); });
+  q.Schedule(10, [&] { fired.push_back(1); });
+  q.Schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.PopNext().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.PopNext().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, NextTimeTracksHead) {
+  EventQueue q;
+  q.Schedule(100, [] {});
+  q.Schedule(50, [] {});
+  EXPECT_EQ(q.NextTime(), 50);
+  q.PopNext();
+  EXPECT_EQ(q.NextTime(), 100);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kSimTimeMax);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(999));
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  EventId id = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelledHeadSkipped) {
+  EventQueue q;
+  std::vector<int> fired;
+  EventId a = q.Schedule(10, [&] { fired.push_back(1); });
+  q.Schedule(20, [&] { fired.push_back(2); });
+  q.Cancel(a);
+  EXPECT_EQ(q.NextTime(), 20);
+  q.PopNext().fn();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  EventId id = q.Schedule(10, [] {});
+  q.PopNext();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, SizeCountsLiveOnly) {
+  EventQueue q;
+  EventId a = q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  for (int i = 0; i < 1000; ++i) {
+    q.Schedule((i * 7919) % 101, [&fired, i] {
+      fired.push_back((i * 7919) % 101);
+    });
+  }
+  SimTime last = -1;
+  while (!q.empty()) {
+    auto f = q.PopNext();
+    EXPECT_GE(f.time, last);
+    last = f.time;
+    f.fn();
+  }
+  EXPECT_EQ(fired.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace fragdb

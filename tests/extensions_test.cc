@@ -1,0 +1,361 @@
+// Tests for the extensions the paper sketches but does not detail:
+// per-fragment control mixing (Conclusions), token recovery after node
+// loss (§4.4.1's election remark), and partial replication (Conclusions).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.h"
+#include "verify/checkers.h"
+
+namespace fragdb {
+namespace {
+
+TxnSpec UpdateSpec(AgentId agent, FragmentId f, ObjectId obj, Value delta,
+                   std::vector<ObjectId> extra_reads = {}) {
+  TxnSpec spec;
+  spec.agent = agent;
+  spec.write_fragment = f;
+  spec.read_set = {obj};
+  for (ObjectId o : extra_reads) spec.read_set.push_back(o);
+  spec.body = [obj, delta](const std::vector<Value>& reads)
+      -> Result<std::vector<WriteOp>> {
+    return std::vector<WriteOp>{{obj, reads[0] + delta}};
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Per-fragment control mixing
+// ---------------------------------------------------------------------------
+
+struct MixedControlFixture : ::testing::Test {
+  void Build(ControlOption default_control) {
+    ClusterConfig config;
+    config.control = default_control;
+    cluster = std::make_unique<Cluster>(config,
+                                        Topology::FullMesh(3, Millis(5)));
+    f0 = cluster->DefineFragment("F0");
+    f1 = cluster->DefineFragment("F1");
+    a = *cluster->DefineObject(f0, "a", 0);
+    b = *cluster->DefineObject(f1, "b", 0);
+    alice = cluster->DefineUserAgent("alice");
+    bob = cluster->DefineUserAgent("bob");
+    ASSERT_TRUE(cluster->AssignToken(f0, alice).ok());
+    ASSERT_TRUE(cluster->AssignToken(f1, bob).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(alice, 0).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(bob, 1).ok());
+  }
+  std::unique_ptr<Cluster> cluster;
+  FragmentId f0, f1;
+  ObjectId a, b;
+  AgentId alice, bob;
+};
+
+TEST_F(MixedControlFixture, OverrideSelectsPolicyPerType) {
+  Build(ControlOption::kFragmentwise);
+  // F0's transactions take read locks; F1's stay fragmentwise.
+  ASSERT_TRUE(
+      cluster->SetFragmentControl(f0, ControlOption::kReadLocks).ok());
+  ASSERT_TRUE(cluster->Start().ok());
+  EXPECT_EQ(cluster->ControlFor(f0), ControlOption::kReadLocks);
+  EXPECT_EQ(cluster->ControlFor(f1), ControlOption::kFragmentwise);
+
+  // Partition bob's home away: alice's F0 transaction reading F1 blocks
+  // (read-locks policy), while bob's F1 transaction reading F0 sails
+  // through (fragmentwise policy).
+  ASSERT_TRUE(cluster->Partition({{0, 2}, {1}}).ok());
+  TxnResult locked, free_read;
+  cluster->Submit(UpdateSpec(alice, f0, a, 1, {b}),
+                  [&](const TxnResult& r) { locked = r; });
+  cluster->Submit(UpdateSpec(bob, f1, b, 1, {a}),
+                  [&](const TxnResult& r) { free_read = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(locked.status.IsUnavailable());
+  EXPECT_TRUE(free_read.status.ok());
+  cluster->HealAll();
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(CheckMutualConsistency(cluster->Replicas()).ok);
+}
+
+TEST_F(MixedControlFixture, AcyclicValidationOnlyCoversOverriddenGroup) {
+  // A cyclic pair F0 <-> F1 is fine as long as at most one side is under
+  // kAcyclicReads.
+  Build(ControlOption::kFragmentwise);
+  ASSERT_TRUE(cluster->DeclareRead(f0, f1).ok());
+  ASSERT_TRUE(cluster->DeclareRead(f1, f0).ok());
+  ASSERT_TRUE(
+      cluster->SetFragmentControl(f0, ControlOption::kAcyclicReads).ok());
+  EXPECT_TRUE(cluster->Start().ok());  // F1 is not in the acyclic group
+}
+
+TEST_F(MixedControlFixture, AcyclicValidationRejectsCycleInsideGroup) {
+  Build(ControlOption::kFragmentwise);
+  ASSERT_TRUE(cluster->DeclareRead(f0, f1).ok());
+  ASSERT_TRUE(cluster->DeclareRead(f1, f0).ok());
+  ASSERT_TRUE(
+      cluster->SetFragmentControl(f0, ControlOption::kAcyclicReads).ok());
+  ASSERT_TRUE(
+      cluster->SetFragmentControl(f1, ControlOption::kAcyclicReads).ok());
+  EXPECT_TRUE(cluster->Start().IsFailedPrecondition());
+}
+
+TEST_F(MixedControlFixture, OverriddenAcyclicTypeEnforcesConformance) {
+  Build(ControlOption::kFragmentwise);
+  ASSERT_TRUE(
+      cluster->SetFragmentControl(f0, ControlOption::kAcyclicReads).ok());
+  // No DeclareRead(f0, f1): alice reading b must be rejected.
+  ASSERT_TRUE(cluster->Start().ok());
+  TxnResult out;
+  cluster->Submit(UpdateSpec(alice, f0, a, 1, {b}),
+                  [&](const TxnResult& r) { out = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.IsPermissionDenied());
+  // Bob (fragmentwise default) reads a freely.
+  TxnResult ok;
+  cluster->Submit(UpdateSpec(bob, f1, b, 1, {a}),
+                  [&](const TxnResult& r) { ok = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(ok.status.ok());
+}
+
+TEST_F(MixedControlFixture, SetFragmentControlRejectedAfterStart) {
+  Build(ControlOption::kFragmentwise);
+  ASSERT_TRUE(cluster->Start().ok());
+  EXPECT_TRUE(cluster->SetFragmentControl(f0, ControlOption::kReadLocks)
+                  .IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Token recovery (§4.4.1 election)
+// ---------------------------------------------------------------------------
+
+struct RecoveryFixture : ::testing::Test {
+  void Build(MoveProtocol protocol) {
+    ClusterConfig config;
+    config.control = ControlOption::kFragmentwise;
+    config.move_protocol = protocol;
+    config.agent_travel_time = Millis(10);
+    cluster = std::make_unique<Cluster>(config,
+                                        Topology::FullMesh(5, Millis(5)));
+    frag = cluster->DefineFragment("F");
+    x = *cluster->DefineObject(frag, "x", 0);
+    agent = cluster->DefineUserAgent("owner");
+    ASSERT_TRUE(cluster->AssignToken(frag, agent).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(agent, 0).ok());
+    ASSERT_TRUE(cluster->Start().ok());
+  }
+  std::unique_ptr<Cluster> cluster;
+  FragmentId frag;
+  ObjectId x;
+  AgentId agent;
+};
+
+TEST_F(RecoveryFixture, RequiresMajorityCommitProtocol) {
+  Build(MoveProtocol::kMoveWithData);
+  EXPECT_TRUE(cluster->RecoverAgent(agent, 2, nullptr).IsFailedPrecondition());
+}
+
+TEST_F(RecoveryFixture, RecoversWithoutContactingOldHome) {
+  Build(MoveProtocol::kMajorityCommit);
+  TxnResult t1;
+  cluster->Submit(UpdateSpec(agent, frag, x, 7),
+                  [&](const TxnResult& r) { t1 = r; });
+  cluster->RunToQuiescence();
+  ASSERT_TRUE(t1.status.ok());  // majority-committed, known everywhere
+
+  // Node 0 "dies": isolate it. The token is reconstituted at node 2.
+  ASSERT_TRUE(cluster->Partition({{0}, {1, 2, 3, 4}}).ok());
+  Status recovered = Status::Internal("pending");
+  ASSERT_TRUE(cluster
+                  ->RecoverAgent(agent, 2,
+                                 [&](Status st) { recovered = st; })
+                  .ok());
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(recovered.ok());
+  EXPECT_EQ(*cluster->catalog().HomeOf(agent), 2);
+
+  // The new home continues the stream and serves updates.
+  TxnResult t2;
+  cluster->Submit(UpdateSpec(agent, frag, x, 10),
+                  [&](const TxnResult& r) { t2 = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(t2.status.ok());
+  EXPECT_EQ(cluster->ReadAt(2, x), 17);
+
+  // When the "dead" node returns, it converges too.
+  cluster->HealAll();
+  cluster->RunToQuiescence();
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(cluster->ReadAt(n, x), 17) << "node " << n;
+  }
+  EXPECT_TRUE(CheckMutualConsistency(cluster->Replicas()).ok);
+}
+
+TEST_F(RecoveryFixture, ZombieCommitFromOldHomeIsRepackaged) {
+  Build(MoveProtocol::kMajorityCommit);
+  // An update is pending at node 0 (minority, will time out) when the
+  // token is recovered at node 2. Its prepare messages are queued; after
+  // healing they must not corrupt the new stream.
+  ASSERT_TRUE(cluster->Partition({{0}, {1, 2, 3, 4}}).ok());
+  TxnResult zombie;
+  cluster->Submit(UpdateSpec(agent, frag, x, 100),
+                  [&](const TxnResult& r) { zombie = r; });
+  cluster->RunFor(Millis(10));
+  ASSERT_TRUE(cluster->RecoverAgent(agent, 2, nullptr).ok());
+  cluster->RunFor(Millis(100));
+  TxnResult fresh;
+  cluster->Submit(UpdateSpec(agent, frag, x, 1),
+                  [&](const TxnResult& r) { fresh = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(fresh.status.ok());
+  EXPECT_TRUE(zombie.status.IsUnavailable());  // timed out in the minority
+  cluster->HealAll();
+  cluster->RunToQuiescence();
+  // The zombie never committed, so only the fresh update's effect exists.
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(cluster->ReadAt(n, x), 1) << "node " << n;
+  }
+  EXPECT_TRUE(CheckMutualConsistency(cluster->Replicas()).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Partial replication
+// ---------------------------------------------------------------------------
+
+struct PartialReplicationFixture : ::testing::Test {
+  void Build() {
+    ClusterConfig config;
+    config.control = ControlOption::kFragmentwise;
+    cluster = std::make_unique<Cluster>(config,
+                                        Topology::FullMesh(4, Millis(5)));
+    f0 = cluster->DefineFragment("F0");
+    f1 = cluster->DefineFragment("F1");
+    a = *cluster->DefineObject(f0, "a", 0);
+    b = *cluster->DefineObject(f1, "b", 0);
+    alice = cluster->DefineUserAgent("alice");
+    bob = cluster->DefineUserAgent("bob");
+    ASSERT_TRUE(cluster->AssignToken(f0, alice).ok());
+    ASSERT_TRUE(cluster->AssignToken(f1, bob).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(alice, 0).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(bob, 1).ok());
+  }
+  std::unique_ptr<Cluster> cluster;
+  FragmentId f0, f1;
+  ObjectId a, b;
+  AgentId alice, bob;
+};
+
+TEST_F(PartialReplicationFixture, HomeMustBeAReplica) {
+  Build();
+  ASSERT_TRUE(cluster->SetReplicaSet(f0, {1, 2}).ok());  // excludes home 0
+  EXPECT_TRUE(cluster->Start().IsFailedPrecondition());
+}
+
+TEST_F(PartialReplicationFixture, EmptyOrBadReplicaSetRejected) {
+  Build();
+  EXPECT_TRUE(cluster->SetReplicaSet(f0, {}).IsInvalidArgument());
+  EXPECT_TRUE(cluster->SetReplicaSet(f0, {9}).IsInvalidArgument());
+  EXPECT_TRUE(cluster->SetReplicaSet(7, {0}).IsInvalidArgument());
+}
+
+TEST_F(PartialReplicationFixture, UpdatesReachOnlyReplicas) {
+  Build();
+  ASSERT_TRUE(cluster->SetReplicaSet(f0, {0, 2}).ok());
+  ASSERT_TRUE(cluster->Start().ok());
+  TxnResult out;
+  cluster->Submit(UpdateSpec(alice, f0, a, 5),
+                  [&](const TxnResult& r) { out = r; });
+  cluster->RunToQuiescence();
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ(cluster->ReadAt(0, a), 5);
+  EXPECT_EQ(cluster->ReadAt(2, a), 5);
+  // Non-replicas never receive the quasi-transaction.
+  EXPECT_EQ(cluster->ReadAt(1, a), 0);
+  EXPECT_EQ(cluster->ReadAt(3, a), 0);
+  // The replica-set-aware consistency check passes; the naive full
+  // comparison obviously does not.
+  EXPECT_TRUE(cluster->CheckReplicaSetConsistency().ok);
+  EXPECT_FALSE(CheckMutualConsistency(cluster->Replicas()).ok);
+}
+
+TEST_F(PartialReplicationFixture, ReadsRejectedOffReplicaSet) {
+  Build();
+  ASSERT_TRUE(cluster->SetReplicaSet(f0, {0, 2}).ok());
+  ASSERT_TRUE(cluster->Start().ok());
+  TxnSpec probe;
+  probe.agent = kInvalidAgent;
+  probe.read_set = {a};
+  TxnResult at_replica, off_replica;
+  cluster->SubmitReadOnlyAt(2, probe,
+                            [&](const TxnResult& r) { at_replica = r; });
+  cluster->SubmitReadOnlyAt(3, probe,
+                            [&](const TxnResult& r) { off_replica = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(at_replica.status.ok());
+  EXPECT_TRUE(off_replica.status.IsPermissionDenied());
+}
+
+TEST_F(PartialReplicationFixture, ForeignReaderNeedsLocalCopyToo) {
+  Build();
+  ASSERT_TRUE(cluster->SetReplicaSet(f0, {0, 2}).ok());
+  ASSERT_TRUE(cluster->Start().ok());
+  // Bob (home 1) updating F1 while reading F0 fails: node 1 has no copy.
+  TxnResult out;
+  cluster->Submit(UpdateSpec(bob, f1, b, 1, {a}),
+                  [&](const TxnResult& r) { out = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.IsPermissionDenied());
+}
+
+TEST_F(PartialReplicationFixture, MoveRestrictedToReplicaSet) {
+  ClusterConfig config;
+  config.control = ControlOption::kFragmentwise;
+  config.move_protocol = MoveProtocol::kMoveWithData;
+  cluster = std::make_unique<Cluster>(config,
+                                      Topology::FullMesh(4, Millis(5)));
+  f0 = cluster->DefineFragment("F0");
+  a = *cluster->DefineObject(f0, "a", 0);
+  alice = cluster->DefineUserAgent("alice");
+  ASSERT_TRUE(cluster->AssignToken(f0, alice).ok());
+  ASSERT_TRUE(cluster->SetAgentHome(alice, 0).ok());
+  ASSERT_TRUE(cluster->SetReplicaSet(f0, {0, 2}).ok());
+  ASSERT_TRUE(cluster->Start().ok());
+  EXPECT_TRUE(cluster->MoveAgent(alice, 3, nullptr).IsFailedPrecondition());
+  EXPECT_TRUE(cluster->MoveAgent(alice, 2, nullptr).ok());
+  cluster->RunToQuiescence();
+  EXPECT_EQ(*cluster->catalog().HomeOf(alice), 2);
+}
+
+TEST_F(PartialReplicationFixture, MajorityCountedWithinReplicaSet) {
+  ClusterConfig config;
+  config.control = ControlOption::kFragmentwise;
+  config.move_protocol = MoveProtocol::kMajorityCommit;
+  config.majority_ack_timeout = Millis(100);
+  cluster = std::make_unique<Cluster>(config,
+                                      Topology::FullMesh(5, Millis(5)));
+  f0 = cluster->DefineFragment("F0");
+  a = *cluster->DefineObject(f0, "a", 0);
+  alice = cluster->DefineUserAgent("alice");
+  ASSERT_TRUE(cluster->AssignToken(f0, alice).ok());
+  ASSERT_TRUE(cluster->SetAgentHome(alice, 0).ok());
+  // Replicated at {0,1,2}: a majority is 2 of those 3 — even if nodes
+  // 3 and 4 are unreachable.
+  ASSERT_TRUE(cluster->SetReplicaSet(f0, {0, 1, 2}).ok());
+  ASSERT_TRUE(cluster->Start().ok());
+  ASSERT_TRUE(cluster->Partition({{0, 1}, {2, 3, 4}}).ok());
+  TxnResult out;
+  cluster->Submit(UpdateSpec(alice, f0, a, 3),
+                  [&](const TxnResult& r) { out = r; });
+  cluster->RunToQuiescence();
+  // {0,1} is only 2 of 5 nodes, but 2 of the 3 replicas: commit succeeds.
+  EXPECT_TRUE(out.status.ok());
+  cluster->HealAll();
+  cluster->RunToQuiescence();
+  EXPECT_EQ(cluster->ReadAt(2, a), 3);
+  EXPECT_TRUE(cluster->CheckReplicaSetConsistency().ok);
+}
+
+}  // namespace
+}  // namespace fragdb

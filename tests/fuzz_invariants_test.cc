@@ -1,0 +1,220 @@
+// Randomized invariant tests ("fuzz lite"): drive components with seeded
+// random operation streams and assert structural invariants after every
+// step. Failures print the seed, so any counterexample is replayable.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "common/rng.h"
+#include "net/broadcast.h"
+#include "workload/banking.h"
+
+namespace fragdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lock manager: random acquire/release streams never violate the
+// single-writer / multi-reader invariant, and nothing is lost or leaked.
+// ---------------------------------------------------------------------------
+
+class LockManagerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LockManagerFuzz, ModesStayCompatibleUnderRandomChurn) {
+  Rng rng(GetParam());
+  LockManager lm;
+  const int kTxns = 12;
+  const int kResources = 4;
+  // held[txn][resource] per the grant callbacks we observe.
+  std::map<TxnId, std::map<ResourceId, LockMode>> held;
+  int pending = 0;
+
+  auto check_invariants = [&] {
+    for (ResourceId r = 0; r < kResources; ++r) {
+      int exclusive = 0, shared = 0;
+      for (const auto& [txn, locks] : held) {
+        auto it = locks.find(r);
+        if (it == locks.end()) continue;
+        if (it->second == LockMode::kExclusive) {
+          ++exclusive;
+        } else {
+          ++shared;
+        }
+        EXPECT_TRUE(lm.Holds(txn, r, LockMode::kShared))
+            << "seed " << GetParam();
+      }
+      EXPECT_LE(exclusive, 1) << "resource " << r << " seed " << GetParam();
+      if (exclusive == 1) {
+        EXPECT_EQ(shared, 0) << "resource " << r << " seed " << GetParam();
+      }
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    TxnId txn = static_cast<TxnId>(rng.NextBelow(kTxns));
+    ResourceId resource = static_cast<ResourceId>(rng.NextBelow(kResources));
+    if (rng.NextBool(0.6)) {
+      LockMode mode = rng.NextBool(0.5) ? LockMode::kShared
+                                        : LockMode::kExclusive;
+      ++pending;
+      lm.Acquire(txn, resource, mode,
+                 [&held, &pending, txn, resource, mode](Status st) {
+                   --pending;
+                   if (!st.ok()) return;  // cancelled by a later ReleaseAll
+                   LockMode& slot = held[txn][resource];
+                   if (slot != LockMode::kExclusive) slot = mode;
+                 });
+    } else {
+      lm.ReleaseAll(txn);
+      held.erase(txn);
+    }
+    if (rng.NextBool(0.1)) {
+      TxnId victim = lm.DetectAndResolveDeadlock();
+      if (victim != kInvalidTxn) held.erase(victim);
+    }
+    check_invariants();
+  }
+  // Drain: release everyone; no waiters may remain.
+  for (TxnId txn = 0; txn < kTxns; ++txn) lm.ReleaseAll(txn);
+  EXPECT_EQ(lm.waiting_count(), 0u);
+  EXPECT_EQ(lm.held_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockManagerFuzz,
+                         ::testing::Values(1, 7, 42, 1337, 9001));
+
+// ---------------------------------------------------------------------------
+// Broadcast under random link flaps: per-origin FIFO and completeness.
+// ---------------------------------------------------------------------------
+
+class BroadcastFlapFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BroadcastFlapFuzz, FifoAndCompletenessSurviveLinkFlaps) {
+  Rng rng(GetParam());
+  const int kNodes = 5;
+  struct Tag : MessagePayload {
+    explicit Tag(int v) : value(v) {}
+    int value;
+  };
+  Simulator sim;
+  Topology topo = Topology::FullMesh(kNodes, Millis(3));
+  Network net(&sim, &topo);
+  ReliableBroadcast rb(&net, kNodes);
+  // delivered[node][origin] = sequence of observed payload values.
+  std::vector<std::vector<std::vector<int>>> delivered(
+      kNodes, std::vector<std::vector<int>>(kNodes));
+  for (NodeId n = 0; n < kNodes; ++n) {
+    net.SetHandler(n, [&rb, n](const Message& m) {
+      rb.HandleIfBroadcast(n, m);
+    });
+    rb.Subscribe(n, [&delivered, n](NodeId origin, SeqNum seq,
+                                    std::shared_ptr<const MessagePayload> p) {
+      auto tag = std::dynamic_pointer_cast<const Tag>(p);
+      ASSERT_NE(tag, nullptr);
+      ASSERT_EQ(seq,
+                static_cast<SeqNum>(delivered[n][origin].size()) + 1);
+      delivered[n][origin].push_back(tag->value);
+    });
+  }
+
+  std::vector<int> sent_count(kNodes, 0);
+  for (int step = 0; step < 200; ++step) {
+    // Random link flap.
+    if (rng.NextBool(0.3)) {
+      NodeId a = static_cast<NodeId>(rng.NextBelow(kNodes));
+      NodeId b = static_cast<NodeId>(rng.NextBelow(kNodes));
+      if (a != b) {
+        (void)topo.SetLinkUp(a, b, rng.NextBool(0.5));
+      }
+    }
+    // Random broadcast.
+    NodeId origin = static_cast<NodeId>(rng.NextBelow(kNodes));
+    rb.Broadcast(origin, std::make_shared<Tag>(sent_count[origin]));
+    ++sent_count[origin];
+    sim.RunUntil(sim.Now() + Millis(2));
+  }
+  topo.HealAll();
+  sim.RunToQuiescence();
+
+  for (NodeId n = 0; n < kNodes; ++n) {
+    for (NodeId origin = 0; origin < kNodes; ++origin) {
+      if (origin == n) continue;
+      ASSERT_EQ(delivered[n][origin].size(),
+                static_cast<size_t>(sent_count[origin]))
+          << "node " << n << " origin " << origin << " seed " << GetParam();
+      for (int i = 0; i < sent_count[origin]; ++i) {
+        EXPECT_EQ(delivered[n][origin][i], i);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastFlapFuzz,
+                         ::testing::Values(3, 17, 256, 4096));
+
+// ---------------------------------------------------------------------------
+// Banking end-to-end stress: random deposits/withdrawals from several
+// customers, periodic central scans, random partitions — the accounting
+// invariant and fragmentwise serializability must survive everything.
+// ---------------------------------------------------------------------------
+
+class BankingStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BankingStress, AccountingSurvivesRandomTraffic) {
+  Rng rng(GetParam());
+  BankingWorkload::Options opt;
+  opt.nodes = 4;
+  opt.accounts = 3;
+  opt.max_ops_per_account = 128;
+  BankingWorkload bank(opt);
+  ASSERT_TRUE(bank.Start().ok());
+  Cluster& cluster = bank.cluster();
+  bank.StartPeriodicScan(Millis(60), Seconds(2));
+
+  for (int step = 0; step < 120; ++step) {
+    SimTime when = Millis(15) * step;
+    int account = static_cast<int>(rng.NextBelow(opt.accounts));
+    bool deposit = rng.NextBool(0.6);
+    Value amount = 10 + static_cast<Value>(rng.NextBelow(90));
+    cluster.sim().At(when, [&bank, account, deposit, amount] {
+      if (deposit) {
+        bank.Deposit(account, amount, nullptr);
+      } else {
+        bank.Withdraw(account, amount, nullptr);
+      }
+    });
+    if (step % 20 == 10) {
+      cluster.sim().At(when + 1, [&cluster, &rng] {
+        std::vector<NodeId> left, right;
+        for (NodeId n = 0; n < 4; ++n) {
+          (rng.NextBool(0.5) ? left : right).push_back(n);
+        }
+        if (!left.empty() && !right.empty()) {
+          (void)cluster.Partition({left, right});
+        }
+      });
+      cluster.sim().At(when + Millis(80), [&cluster] { cluster.HealAll(); });
+    }
+  }
+  cluster.RunUntil(Seconds(3));
+  cluster.HealAll();
+  cluster.RunToQuiescence();
+  bank.RunCentralScan(nullptr);
+  cluster.RunToQuiescence();
+
+  EXPECT_TRUE(bank.VerifyAccounting().ok()) << "seed " << GetParam();
+  EXPECT_TRUE(CheckMutualConsistency(cluster.Replicas()).ok)
+      << "seed " << GetParam();
+  EXPECT_TRUE(cluster.CheckConfiguredProperty().ok) << "seed " << GetParam();
+  EXPECT_GT(bank.metrics().committed, 0u);
+  EXPECT_EQ(bank.metrics().unavailable, 0u);  // §4.3: always available
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BankingStress,
+                         ::testing::Values(2, 23, 77, 404));
+
+}  // namespace
+}  // namespace fragdb

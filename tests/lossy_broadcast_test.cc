@@ -1,0 +1,141 @@
+// Reliable broadcast over a LOSSY channel: the ack/retransmit machinery
+// must earn §2.2's "all messages are eventually delivered ... in the same
+// order as they were sent" even when the network drops packets.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/broadcast.h"
+
+namespace fragdb {
+namespace {
+
+struct Tag : MessagePayload {
+  explicit Tag(int v) : value(v) {}
+  int value;
+};
+
+struct LossyFixture {
+  explicit LossyFixture(double loss, uint64_t seed, int nodes = 4)
+      : node_count(nodes),
+        topology(Topology::FullMesh(nodes, Millis(5))),
+        net(&sim, &topology),
+        rb(&net, nodes, &sim, ReliableBroadcast::Options{Millis(30)}) {
+    net.SetLossProbability(loss, seed);
+    delivered.resize(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+      net.SetHandler(n, [this, n](const Message& m) {
+        ASSERT_TRUE(rb.HandleIfBroadcast(n, m));
+      });
+      rb.Subscribe(n, [this, n](NodeId origin, SeqNum seq,
+                                std::shared_ptr<const MessagePayload> p) {
+        auto tag = std::dynamic_pointer_cast<const Tag>(p);
+        ASSERT_NE(tag, nullptr);
+        ASSERT_EQ(seq, static_cast<SeqNum>(
+                           delivered[n][origin].size()) + 1);
+        delivered[n][origin].push_back(tag->value);
+      });
+      delivered[n].resize(nodes);
+    }
+  }
+
+  int node_count;
+  Simulator sim;
+  Topology topology;
+  Network net;
+  ReliableBroadcast rb;
+  // delivered[node][origin] = payload values in delivery order.
+  std::vector<std::vector<std::vector<int>>> delivered;
+};
+
+TEST(LossyBroadcastTest, AllMessagesDeliveredInOrderDespiteLoss) {
+  LossyFixture f(/*loss=*/0.4, /*seed=*/7);
+  const int kMessages = 30;
+  for (int i = 0; i < kMessages; ++i) {
+    f.rb.Broadcast(0, std::make_shared<Tag>(i));
+    f.sim.RunUntil(f.sim.Now() + Millis(4));
+  }
+  f.sim.RunUntil(f.sim.Now() + Seconds(5));
+  EXPECT_GT(f.net.stats().messages_dropped, 0u);   // loss really happened
+  EXPECT_GT(f.rb.retransmissions(), 0u);           // and was repaired
+  for (NodeId n = 1; n < f.node_count; ++n) {
+    ASSERT_EQ(f.delivered[n][0].size(), static_cast<size_t>(kMessages))
+        << "node " << n;
+    for (int i = 0; i < kMessages; ++i) {
+      EXPECT_EQ(f.delivered[n][0][i], i);
+    }
+  }
+}
+
+TEST(LossyBroadcastTest, InterleavedOriginsUnderLoss) {
+  LossyFixture f(/*loss=*/0.3, /*seed=*/21);
+  for (int i = 0; i < 15; ++i) {
+    for (NodeId origin = 0; origin < f.node_count; ++origin) {
+      f.rb.Broadcast(origin, std::make_shared<Tag>(i));
+    }
+    f.sim.RunUntil(f.sim.Now() + Millis(6));
+  }
+  f.sim.RunUntil(f.sim.Now() + Seconds(5));
+  for (NodeId n = 0; n < f.node_count; ++n) {
+    for (NodeId origin = 0; origin < f.node_count; ++origin) {
+      if (origin == n) continue;
+      ASSERT_EQ(f.delivered[n][origin].size(), 15u)
+          << "node " << n << " origin " << origin;
+      for (int i = 0; i < 15; ++i) {
+        EXPECT_EQ(f.delivered[n][origin][i], i);
+      }
+    }
+  }
+}
+
+TEST(LossyBroadcastTest, TimerStopsOnceEverythingIsAcked) {
+  LossyFixture f(/*loss=*/0.5, /*seed=*/3);
+  f.rb.Broadcast(0, std::make_shared<Tag>(42));
+  f.sim.RunUntil(f.sim.Now() + Seconds(10));
+  // If the retransmit timer were perpetual the queue would never drain.
+  EXPECT_EQ(f.sim.pending(), 0u);
+  for (NodeId n = 1; n < f.node_count; ++n) {
+    ASSERT_EQ(f.delivered[n][0].size(), 1u);
+    EXPECT_EQ(f.delivered[n][0][0], 42);
+  }
+}
+
+TEST(LossyBroadcastTest, ZeroLossDoesNotRetransmitNeedlessly) {
+  LossyFixture f(/*loss=*/0.0, /*seed=*/1);
+  for (int i = 0; i < 5; ++i) f.rb.Broadcast(1, std::make_shared<Tag>(i));
+  f.sim.RunUntil(f.sim.Now() + Seconds(2));
+  EXPECT_EQ(f.rb.retransmissions(), 0u);
+  EXPECT_EQ(f.net.stats().messages_dropped, 0u);
+  for (NodeId n = 0; n < f.node_count; ++n) {
+    if (n == 1) continue;
+    EXPECT_EQ(f.delivered[n][1].size(), 5u);
+  }
+}
+
+TEST(LossyBroadcastTest, StoreAndForwardModeUnchanged) {
+  // The two-argument constructor must behave exactly as before: no acks,
+  // no retransmissions, no extra traffic.
+  Simulator sim;
+  Topology topo = Topology::FullMesh(3, Millis(5));
+  Network net(&sim, &topo);
+  ReliableBroadcast rb(&net, 3);
+  int got = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    net.SetHandler(n, [&rb, n](const Message& m) {
+      rb.HandleIfBroadcast(n, m);
+    });
+  }
+  rb.Subscribe(2, [&got](NodeId, SeqNum, std::shared_ptr<const MessagePayload>) {
+    ++got;
+  });
+  rb.Broadcast(0, std::make_shared<Tag>(1));
+  sim.RunToQuiescence();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(rb.retransmissions(), 0u);
+  EXPECT_EQ(net.stats().messages_sent, 2u);  // envelopes only, no acks
+}
+
+}  // namespace
+}  // namespace fragdb

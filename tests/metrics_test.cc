@@ -1,0 +1,88 @@
+#include "workload/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace fragdb {
+namespace {
+
+TxnResult ResultWith(Status status, SimTime finished_at = 100) {
+  TxnResult r;
+  r.status = std::move(status);
+  r.finished_at = finished_at;
+  return r;
+}
+
+TEST(MetricsTest, ClassifiesOutcomes) {
+  WorkloadMetrics m;
+  m.Record(ResultWith(Status::Ok()), 0);
+  m.Record(ResultWith(Status::FailedPrecondition("declined")), 0);
+  m.Record(ResultWith(Status::Unavailable("cut")), 0);
+  m.Record(ResultWith(Status::TimedOut("slow")), 0);
+  m.Record(ResultWith(Status::PermissionDenied("no token")), 0);
+  m.Record(ResultWith(Status::InvalidArgument("bad")), 0);
+  m.Record(ResultWith(Status::Internal("bug")), 0);
+  EXPECT_EQ(m.submitted, 7u);
+  EXPECT_EQ(m.committed, 1u);
+  EXPECT_EQ(m.declined, 1u);
+  EXPECT_EQ(m.unavailable, 2u);
+  EXPECT_EQ(m.rejected, 2u);
+  EXPECT_EQ(m.other_failed, 1u);
+  EXPECT_EQ(m.served(), 2u);
+}
+
+TEST(MetricsTest, AvailabilityCountsServedOverSubmitted) {
+  WorkloadMetrics m;
+  EXPECT_DOUBLE_EQ(m.Availability(), 1.0);  // vacuous
+  m.Record(ResultWith(Status::Ok()), 0);
+  m.Record(ResultWith(Status::Unavailable("x")), 0);
+  EXPECT_DOUBLE_EQ(m.Availability(), 0.5);
+}
+
+TEST(MetricsTest, LatencyMeanAndPercentiles) {
+  WorkloadMetrics m;
+  for (SimTime lat : {10, 20, 30, 40, 100}) {
+    m.Record(ResultWith(Status::Ok(), lat), 0);
+  }
+  EXPECT_DOUBLE_EQ(m.MeanCommitLatency(), 40.0);
+  EXPECT_EQ(m.CommitLatencyPercentile(0.5), 30);
+  EXPECT_EQ(m.CommitLatencyPercentile(1.0), 100);
+  EXPECT_EQ(m.CommitLatencyPercentile(0.0), 10);
+  EXPECT_EQ(m.CommitLatencyPercentile(0.99), 100);
+}
+
+TEST(MetricsTest, PercentileOfEmptyIsZero) {
+  WorkloadMetrics m;
+  EXPECT_EQ(m.CommitLatencyPercentile(0.99), 0);
+  EXPECT_DOUBLE_EQ(m.MeanCommitLatency(), 0.0);
+}
+
+TEST(MetricsTest, LatencyMeasuredFromSubmission) {
+  WorkloadMetrics m;
+  m.Record(ResultWith(Status::Ok(), /*finished_at=*/250), /*submitted=*/100);
+  EXPECT_DOUBLE_EQ(m.MeanCommitLatency(), 150.0);
+}
+
+TEST(MetricsTest, AccumulateMergesEverything) {
+  WorkloadMetrics a, b;
+  a.Record(ResultWith(Status::Ok(), 10), 0);
+  b.Record(ResultWith(Status::Ok(), 30), 0);
+  b.Record(ResultWith(Status::Unavailable("x")), 0);
+  a += b;
+  EXPECT_EQ(a.submitted, 3u);
+  EXPECT_EQ(a.committed, 2u);
+  EXPECT_EQ(a.unavailable, 1u);
+  EXPECT_EQ(a.commit_latencies.size(), 2u);
+  EXPECT_EQ(a.CommitLatencyPercentile(1.0), 30);
+}
+
+TEST(MetricsTest, SummaryMentionsKeyCounters) {
+  WorkloadMetrics m;
+  m.Record(ResultWith(Status::Ok()), 0);
+  std::string s = m.Summary();
+  EXPECT_NE(s.find("submitted=1"), std::string::npos);
+  EXPECT_NE(s.find("committed=1"), std::string::npos);
+  EXPECT_NE(s.find("availability=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fragdb

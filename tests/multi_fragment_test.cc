@@ -1,0 +1,121 @@
+#include "core/multi_fragment.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "verify/checkers.h"
+
+namespace fragdb {
+namespace {
+
+struct MultiFixture : ::testing::Test {
+  MultiFixture() {
+    ClusterConfig config;
+    config.control = ControlOption::kFragmentwise;
+    cluster = std::make_unique<Cluster>(config,
+                                        Topology::FullMesh(3, Millis(5)));
+    f0 = cluster->DefineFragment("F0");
+    f1 = cluster->DefineFragment("F1");
+    a = *cluster->DefineObject(f0, "a", 100);
+    b = *cluster->DefineObject(f1, "b", 0);
+    alice = cluster->DefineUserAgent("alice");
+    bob = cluster->DefineUserAgent("bob");
+    EXPECT_TRUE(cluster->AssignToken(f0, alice).ok());
+    EXPECT_TRUE(cluster->AssignToken(f1, bob).ok());
+    EXPECT_TRUE(cluster->SetAgentHome(alice, 0).ok());
+    EXPECT_TRUE(cluster->SetAgentHome(bob, 1).ok());
+    EXPECT_TRUE(cluster->Start().ok());
+  }
+  std::unique_ptr<Cluster> cluster;
+  FragmentId f0, f1;
+  ObjectId a, b;
+  AgentId alice, bob;
+};
+
+TEST_F(MultiFixture, TransfersAcrossFragments) {
+  // Move 40 units from a (alice's fragment) to b (bob's fragment): the
+  // §3.2 footnote's 2PC-among-agents sketch.
+  MultiFragmentCoordinator coord(cluster.get());
+  MultiFragmentResult out;
+  ObjectId oa = a, ob = b;
+  coord.Submit(alice, {a, b},
+               [oa, ob](const std::vector<Value>& reads)
+                   -> Result<std::vector<WriteOp>> {
+                 return std::vector<WriteOp>{{oa, reads[0] - 40},
+                                             {ob, reads[1] + 40}};
+               },
+               "transfer", [&](MultiFragmentResult r) { out = std::move(r); });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.parts.size(), 2u);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster->ReadAt(n, a), 60);
+    EXPECT_EQ(cluster->ReadAt(n, b), 40);
+  }
+  EXPECT_TRUE(CheckMutualConsistency(cluster->Replicas()).ok);
+}
+
+TEST_F(MultiFixture, AbortsWhenAnInvolvedAgentIsUnreachable) {
+  ASSERT_TRUE(cluster->Partition({{0, 2}, {1}}).ok());
+  MultiFragmentCoordinator coord(cluster.get());
+  MultiFragmentResult out;
+  ObjectId oa = a, ob = b;
+  coord.Submit(alice, {a},
+               [oa, ob](const std::vector<Value>& reads)
+                   -> Result<std::vector<WriteOp>> {
+                 return std::vector<WriteOp>{{oa, reads[0] - 1},
+                                             {ob, 1}};
+               },
+               "transfer", [&](MultiFragmentResult r) { out = std::move(r); });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.IsUnavailable());
+  // No effects anywhere.
+  EXPECT_EQ(cluster->ReadAt(0, a), 100);
+  EXPECT_EQ(cluster->ReadAt(1, b), 0);
+}
+
+TEST_F(MultiFixture, BodyDeclinePropagates) {
+  MultiFragmentCoordinator coord(cluster.get());
+  MultiFragmentResult out;
+  coord.Submit(alice, {a},
+               [](const std::vector<Value>&) -> Result<std::vector<WriteOp>> {
+                 return Status::FailedPrecondition("no");
+               },
+               "declined", [&](MultiFragmentResult r) { out = std::move(r); });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.IsFailedPrecondition());
+}
+
+TEST_F(MultiFixture, SingleFragmentWritesDegradeToNormalCommit) {
+  MultiFragmentCoordinator coord(cluster.get());
+  MultiFragmentResult out;
+  ObjectId oa = a;
+  coord.Submit(alice, {a},
+               [oa](const std::vector<Value>& reads)
+                   -> Result<std::vector<WriteOp>> {
+                 return std::vector<WriteOp>{{oa, reads[0] + 1}};
+               },
+               "bump", [&](MultiFragmentResult r) { out = std::move(r); });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.parts.size(), 1u);
+  EXPECT_EQ(cluster->ReadAt(2, a), 101);
+}
+
+TEST_F(MultiFixture, EmptyWriteSetIsTrivialSuccess) {
+  MultiFragmentCoordinator coord(cluster.get());
+  MultiFragmentResult out;
+  out.status = Status::Internal("unset");
+  coord.Submit(alice, {a},
+               [](const std::vector<Value>&) -> Result<std::vector<WriteOp>> {
+                 return std::vector<WriteOp>{};
+               },
+               "noop", [&](MultiFragmentResult r) { out = std::move(r); });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_TRUE(out.parts.empty());
+}
+
+}  // namespace
+}  // namespace fragdb

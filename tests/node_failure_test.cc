@@ -1,0 +1,140 @@
+// Crash-stop node failures (the §4.4 motivation: "When an agent's home
+// node goes down, the agent may wish to re-attach to some other node").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.h"
+#include "verify/checkers.h"
+
+namespace fragdb {
+namespace {
+
+TEST(TopologyNodeFailureTest, DownNodeIsUnreachableAndCannotRelay) {
+  Topology t = Topology::Line(3, Millis(1));  // 0-1-2
+  ASSERT_TRUE(t.Reachable(0, 2));
+  ASSERT_TRUE(t.SetNodeUp(1, false).ok());
+  EXPECT_FALSE(t.IsNodeUp(1));
+  EXPECT_FALSE(t.Reachable(0, 1));
+  EXPECT_FALSE(t.Reachable(0, 2));  // cannot route through the corpse
+  EXPECT_FALSE(t.Reachable(1, 1));  // not even to itself
+  // HealAll does not revive nodes.
+  t.HealAll();
+  EXPECT_FALSE(t.Reachable(0, 2));
+  ASSERT_TRUE(t.SetNodeUp(1, true).ok());
+  EXPECT_TRUE(t.Reachable(0, 2));
+}
+
+TEST(TopologyNodeFailureTest, ComponentsExcludeDownNodesFromGroups) {
+  Topology t = Topology::FullMesh(3, Millis(1));
+  ASSERT_TRUE(t.SetNodeUp(2, false).ok());
+  auto comps = t.Components();
+  // Node 2 forms its own singleton component.
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{2}));
+}
+
+TEST(TopologyNodeFailureTest, ChangeListenerFiresOnNodeFlips) {
+  Topology t = Topology::FullMesh(2, Millis(1));
+  int changes = 0;
+  t.OnChange([&] { ++changes; });
+  ASSERT_TRUE(t.SetNodeUp(0, false).ok());
+  EXPECT_EQ(changes, 1);
+  ASSERT_TRUE(t.SetNodeUp(0, false).ok());  // no-op
+  EXPECT_EQ(changes, 1);
+  ASSERT_TRUE(t.SetNodeUp(0, true).ok());
+  EXPECT_EQ(changes, 2);
+}
+
+struct NodeFailureFixture : ::testing::Test {
+  void Build(MoveProtocol protocol) {
+    ClusterConfig config;
+    config.control = ControlOption::kFragmentwise;
+    config.move_protocol = protocol;
+    config.agent_travel_time = Millis(10);
+    cluster = std::make_unique<Cluster>(config,
+                                        Topology::FullMesh(5, Millis(5)));
+    frag = cluster->DefineFragment("F");
+    x = *cluster->DefineObject(frag, "x", 0);
+    agent = cluster->DefineUserAgent("owner");
+    ASSERT_TRUE(cluster->AssignToken(frag, agent).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(agent, 0).ok());
+    ASSERT_TRUE(cluster->Start().ok());
+  }
+  void Update(Value v, TxnResult* out = nullptr) {
+    TxnSpec spec;
+    spec.agent = agent;
+    spec.write_fragment = frag;
+    ObjectId obj = x;
+    spec.read_set = {obj};
+    spec.body = [obj, v](const std::vector<Value>& reads)
+        -> Result<std::vector<WriteOp>> {
+      return std::vector<WriteOp>{{obj, reads[0] + v}};
+    };
+    cluster->Submit(spec, [out](const TxnResult& r) {
+      if (out) *out = r;
+    });
+  }
+  std::unique_ptr<Cluster> cluster;
+  FragmentId frag;
+  ObjectId x;
+  AgentId agent;
+};
+
+TEST_F(NodeFailureFixture, SubmissionsAtDownNodeFail) {
+  Build(MoveProtocol::kMajorityCommit);
+  ASSERT_TRUE(cluster->SetNodeUp(0, false).ok());
+  TxnResult out;
+  Update(1, &out);
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.IsUnavailable());
+}
+
+TEST_F(NodeFailureFixture, TokenRecoveredFromCrashedHome) {
+  Build(MoveProtocol::kMajorityCommit);
+  TxnResult t1;
+  Update(7, &t1);
+  cluster->RunToQuiescence();
+  ASSERT_TRUE(t1.status.ok());
+
+  // The home node crashes outright.
+  ASSERT_TRUE(cluster->SetNodeUp(0, false).ok());
+  Status recovered = Status::Internal("pending");
+  ASSERT_TRUE(cluster
+                  ->RecoverAgent(agent, 3,
+                                 [&](Status st) { recovered = st; })
+                  .ok());
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(recovered.ok());
+  TxnResult t2;
+  Update(10, &t2);
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(t2.status.ok());
+  EXPECT_EQ(cluster->ReadAt(3, x), 17);
+
+  // The crashed node comes back and converges (its replica survived the
+  // outage on stable storage; the M0 it missed is queued).
+  ASSERT_TRUE(cluster->SetNodeUp(0, true).ok());
+  cluster->RunToQuiescence();
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(cluster->ReadAt(n, x), 17) << "node " << n;
+  }
+  EXPECT_TRUE(CheckMutualConsistency(cluster->Replicas()).ok);
+}
+
+TEST_F(NodeFailureFixture, ReplicaCrashMissesNothingAfterRevival) {
+  Build(MoveProtocol::kForbidden);
+  ASSERT_TRUE(cluster->SetNodeUp(4, false).ok());
+  for (int i = 0; i < 5; ++i) Update(1);
+  cluster->RunToQuiescence();
+  EXPECT_EQ(cluster->ReadAt(4, x), 0);  // missed everything while down
+  ASSERT_TRUE(cluster->SetNodeUp(4, true).ok());
+  cluster->RunToQuiescence();
+  EXPECT_EQ(cluster->ReadAt(4, x), 5);  // store-and-forward caught it up
+  EXPECT_TRUE(CheckMutualConsistency(cluster->Replicas()).ok);
+}
+
+}  // namespace
+}  // namespace fragdb

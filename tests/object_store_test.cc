@@ -1,0 +1,83 @@
+#include "storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+namespace fragdb {
+namespace {
+
+struct StoreFixture : ::testing::Test {
+  StoreFixture() {
+    f0 = catalog.AddFragment("F0");
+    f1 = catalog.AddFragment("F1");
+    a = *catalog.AddObject(f0, "a", 10);
+    b = *catalog.AddObject(f0, "b", 20);
+    c = *catalog.AddObject(f1, "c", 30);
+  }
+  Catalog catalog;
+  FragmentId f0, f1;
+  ObjectId a, b, c;
+};
+
+TEST_F(StoreFixture, InitializesFromCatalog) {
+  ObjectStore s(&catalog);
+  EXPECT_EQ(s.Read(a), 10);
+  EXPECT_EQ(s.Read(b), 20);
+  EXPECT_EQ(s.Read(c), 30);
+  EXPECT_EQ(s.Info(a).writer, kInvalidTxn);
+  EXPECT_EQ(s.Info(a).frag_seq, 0);
+}
+
+TEST_F(StoreFixture, WriteInstallsVersionMetadata) {
+  ObjectStore s(&catalog);
+  s.Write(a, 99, /*writer=*/7, /*frag_seq=*/3, /*now=*/123);
+  EXPECT_EQ(s.Read(a), 99);
+  EXPECT_EQ(s.Info(a).writer, 7);
+  EXPECT_EQ(s.Info(a).frag_seq, 3);
+  EXPECT_EQ(s.Info(a).installed_at, 123);
+}
+
+TEST_F(StoreFixture, SameContentsComparesValuesOnly) {
+  ObjectStore s1(&catalog), s2(&catalog);
+  EXPECT_TRUE(s1.SameContents(s2));
+  s1.Write(a, 50, 1, 1, 0);
+  EXPECT_FALSE(s1.SameContents(s2));
+  // Same value via a different writer still counts as identical contents.
+  s2.Write(a, 50, 2, 9, 99);
+  EXPECT_TRUE(s1.SameContents(s2));
+}
+
+TEST_F(StoreFixture, DiffContentsListsDivergentObjects) {
+  ObjectStore s1(&catalog), s2(&catalog);
+  s1.Write(a, 1, 1, 1, 0);
+  s1.Write(c, 2, 1, 1, 0);
+  auto diff = s1.DiffContents(s2);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0], a);
+  EXPECT_EQ(diff[1], c);
+}
+
+TEST_F(StoreFixture, SnapshotCapturesOneFragment) {
+  ObjectStore s(&catalog);
+  s.Write(a, 5, 1, 1, 0);
+  s.Write(c, 7, 2, 1, 0);
+  auto snap = s.Snapshot(f0);
+  EXPECT_EQ(snap.fragment, f0);
+  ASSERT_EQ(snap.objects.size(), 2u);
+  EXPECT_EQ(snap.objects[0], a);
+  EXPECT_EQ(snap.versions[0].value, 5);
+}
+
+TEST_F(StoreFixture, InstallSnapshotOverwritesFragment) {
+  ObjectStore src(&catalog), dst(&catalog);
+  src.Write(a, 111, 3, 4, 50);
+  src.Write(b, 222, 3, 4, 50);
+  dst.Write(c, 999, 9, 9, 9);  // other fragment untouched by install
+  dst.InstallSnapshot(src.Snapshot(f0));
+  EXPECT_EQ(dst.Read(a), 111);
+  EXPECT_EQ(dst.Read(b), 222);
+  EXPECT_EQ(dst.Info(a).frag_seq, 4);
+  EXPECT_EQ(dst.Read(c), 999);
+}
+
+}  // namespace
+}  // namespace fragdb

@@ -1,0 +1,148 @@
+#include "storage/read_access_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace fragdb {
+namespace {
+
+TEST(ReadAccessGraphTest, EmptyGraphIsAcyclicBothWays) {
+  ReadAccessGraph g(5);
+  EXPECT_TRUE(g.Acyclic());
+  EXPECT_TRUE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, SelfEdgesAreImpliedAndIgnored) {
+  ReadAccessGraph g(3);
+  EXPECT_TRUE(g.AddEdge(1, 1).ok());
+  EXPECT_TRUE(g.Edges().empty());
+  EXPECT_TRUE(g.HasEdge(1, 1));  // implied
+  EXPECT_TRUE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, OutOfRangeRejected) {
+  ReadAccessGraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 5).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(-1, 0).IsInvalidArgument());
+}
+
+TEST(ReadAccessGraphTest, StarIsElementarilyAcyclic) {
+  // The warehouse design of paper §4.2 / Fig. 4.2.1: C reads W1..Wk.
+  ReadAccessGraph g(5);
+  for (FragmentId w = 1; w < 5; ++w) ASSERT_TRUE(g.AddEdge(0, w).ok());
+  EXPECT_TRUE(g.Acyclic());
+  EXPECT_TRUE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, Fig431IsAcyclicButNotElementarily) {
+  // Paper Fig. 4.3.1: F1 reads F2 and F3; F2 reads F3. Directed-acyclic,
+  // but the undirected version has the triangle F1-F2-F3.
+  ReadAccessGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.Acyclic());
+  EXPECT_FALSE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, OppositeEdgesFormTwoCycle) {
+  ReadAccessGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  EXPECT_FALSE(g.Acyclic());
+  EXPECT_FALSE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, DirectedCycleDetected) {
+  ReadAccessGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  EXPECT_FALSE(g.Acyclic());
+  EXPECT_FALSE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, AirlineGraphFromPaper) {
+  // Fig. 4.3.3: F1 and F2 each read C1 and C2. Undirected this is the
+  // 4-cycle F1-C1-F2-C2, so not elementarily acyclic.
+  ReadAccessGraph g(4);  // 0=C1, 1=C2, 2=F1, 3=F2
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  ASSERT_TRUE(g.AddEdge(3, 0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 1).ok());
+  EXPECT_TRUE(g.Acyclic());
+  EXPECT_FALSE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, ChainIsElementarilyAcyclic) {
+  ReadAccessGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  EXPECT_TRUE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, DuplicateEdgeIsIdempotent) {
+  ReadAccessGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.Edges().size(), 1u);
+  EXPECT_TRUE(g.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, HasEdgeIsDirectional) {
+  ReadAccessGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+
+TEST(ReadAccessGraphTest, SuggestAcyclicSubsetOnTriangle) {
+  // Fig. 4.3.1's triangle: keeping any two edges is maximal.
+  ReadAccessGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ReadAccessGraph kept = g.SuggestAcyclicSubset();
+  EXPECT_TRUE(kept.ElementarilyAcyclic());
+  EXPECT_EQ(kept.Edges().size(), 2u);
+}
+
+TEST(ReadAccessGraphTest, SuggestAcyclicSubsetKeepsAcyclicGraphWhole) {
+  ReadAccessGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ReadAccessGraph kept = g.SuggestAcyclicSubset();
+  EXPECT_EQ(kept.Edges().size(), 3u);
+}
+
+TEST(ReadAccessGraphTest, SuggestAcyclicSubsetHonorsPriorities) {
+  // Opposite pair 0<->1 plus edge 1->2: only one of the pair can stay;
+  // the priority function decides which.
+  ReadAccessGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ReadAccessGraph kept = g.SuggestAcyclicSubset(
+      [](FragmentId from, FragmentId) { return from == 1 ? 10 : 1; });
+  EXPECT_TRUE(kept.HasEdge(1, 0));
+  EXPECT_FALSE(kept.HasEdge(0, 1));
+  EXPECT_TRUE(kept.HasEdge(1, 2));
+  EXPECT_TRUE(kept.ElementarilyAcyclic());
+}
+
+TEST(ReadAccessGraphTest, SuggestAcyclicSubsetOnAirlineGraph) {
+  // Fig. 4.3.3's 4-cycle: one of the four reads must fall back to locks.
+  ReadAccessGraph g(4);
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  ASSERT_TRUE(g.AddEdge(3, 0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 1).ok());
+  ReadAccessGraph kept = g.SuggestAcyclicSubset();
+  EXPECT_TRUE(kept.ElementarilyAcyclic());
+  EXPECT_EQ(kept.Edges().size(), 3u);
+}
+
+}  // namespace
+}  // namespace fragdb

@@ -1,0 +1,212 @@
+// Deeper coverage of the §4.1 read-locks option: shared lock concurrency,
+// lock release on every exit path, late-grant handling after a timeout,
+// read-only transactions under locks, and its interaction with moves.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.h"
+#include "verify/checkers.h"
+
+namespace fragdb {
+namespace {
+
+struct ReadLocksFixture : ::testing::Test {
+  void Build(SimTime remote_timeout = Millis(200)) {
+    ClusterConfig config;
+    config.control = ControlOption::kReadLocks;
+    config.remote_lock_timeout = remote_timeout;
+    cluster = std::make_unique<Cluster>(config,
+                                        Topology::FullMesh(4, Millis(5)));
+    f0 = cluster->DefineFragment("F0");
+    f1 = cluster->DefineFragment("F1");
+    f2 = cluster->DefineFragment("F2");
+    a = *cluster->DefineObject(f0, "a", 10);
+    b = *cluster->DefineObject(f1, "b", 20);
+    c = *cluster->DefineObject(f2, "c", 30);
+    alice = cluster->DefineUserAgent("alice");
+    bob = cluster->DefineUserAgent("bob");
+    carol = cluster->DefineUserAgent("carol");
+    ASSERT_TRUE(cluster->AssignToken(f0, alice).ok());
+    ASSERT_TRUE(cluster->AssignToken(f1, bob).ok());
+    ASSERT_TRUE(cluster->AssignToken(f2, carol).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(alice, 0).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(bob, 1).ok());
+    ASSERT_TRUE(cluster->SetAgentHome(carol, 2).ok());
+    ASSERT_TRUE(cluster->Start().ok());
+  }
+
+  TxnSpec Update(AgentId agent, FragmentId f, ObjectId obj, Value delta,
+                 std::vector<ObjectId> extra_reads = {}) {
+    TxnSpec spec;
+    spec.agent = agent;
+    spec.write_fragment = f;
+    spec.read_set = {obj};
+    for (ObjectId o : extra_reads) spec.read_set.push_back(o);
+    spec.body = [obj, delta](const std::vector<Value>& reads)
+        -> Result<std::vector<WriteOp>> {
+      return std::vector<WriteOp>{{obj, reads[0] + delta}};
+    };
+    return spec;
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  FragmentId f0, f1, f2;
+  ObjectId a, b, c;
+  AgentId alice, bob, carol;
+};
+
+TEST_F(ReadLocksFixture, ConcurrentSharedReadersOfOneFragment) {
+  Build();
+  // Alice and carol both read f1 while updating their own fragments; the
+  // shared locks at node 1 must coexist and both transactions commit.
+  TxnResult r1, r2;
+  cluster->Submit(Update(alice, f0, a, 1, {b}),
+                  [&](const TxnResult& r) { r1 = r; });
+  cluster->Submit(Update(carol, f2, c, 1, {b}),
+                  [&](const TxnResult& r) { r2 = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(r1.status.ok());
+  EXPECT_TRUE(r2.status.ok());
+  EXPECT_TRUE(cluster->CheckConfiguredProperty().ok);
+}
+
+TEST_F(ReadLocksFixture, ReaderBlocksWriterUntilRelease) {
+  Build();
+  // Alice's remote S lock on f1 makes bob's update wait; afterwards bob
+  // commits — strict two-phase behavior across nodes.
+  TxnResult alice_r, bob_r;
+  cluster->Submit(Update(alice, f0, a, 1, {b}),
+                  [&](const TxnResult& r) { alice_r = r; });
+  cluster->RunFor(Millis(7));  // S lock granted at node 1 by now
+  cluster->Submit(Update(bob, f1, b, 100),
+                  [&](const TxnResult& r) { bob_r = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(alice_r.status.ok());
+  EXPECT_TRUE(bob_r.status.ok());
+  // Bob saw the pre-release value only after alice finished; both orders
+  // are serializable, the checker confirms.
+  EXPECT_TRUE(cluster->CheckConfiguredProperty().ok);
+  EXPECT_EQ(cluster->ReadAt(1, b), 120);
+}
+
+TEST_F(ReadLocksFixture, TimeoutReleasesEverythingAcquiredSoFar) {
+  Build(Millis(50));
+  // Alice reads f1 (reachable) and f2 (cut off): the f2 lock times out
+  // and the transaction fails — and the f1 lock MUST be released so bob
+  // can update immediately.
+  ASSERT_TRUE(cluster->Partition({{0, 1, 3}, {2}}).ok());
+  TxnResult alice_r;
+  cluster->Submit(Update(alice, f0, a, 1, {b, c}),
+                  [&](const TxnResult& r) { alice_r = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(alice_r.status.IsUnavailable());
+  TxnResult bob_r;
+  cluster->Submit(Update(bob, f1, b, 5), [&](const TxnResult& r) {
+    bob_r = r;
+  });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(bob_r.status.ok());
+  EXPECT_EQ(cluster->ReadAt(1, b), 25);
+  EXPECT_EQ(cluster->ReadAt(0, a), 10);  // alice's txn left no trace
+}
+
+TEST_F(ReadLocksFixture, LateGrantAfterTimeoutIsReleasedBack) {
+  Build(Millis(50));
+  // Alice requests carol's fragment lock while carol's node is cut off;
+  // the request is queued, alice times out, the partition heals, the
+  // grant finally fires at node 2 — and must be released right back so
+  // carol can update her own fragment.
+  ASSERT_TRUE(cluster->Partition({{0, 1, 3}, {2}}).ok());
+  TxnResult alice_r;
+  cluster->Submit(Update(alice, f0, a, 1, {c}),
+                  [&](const TxnResult& r) { alice_r = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(alice_r.status.IsUnavailable());
+  cluster->HealAll();
+  cluster->RunToQuiescence();  // queued request arrives, grant bounces back
+  TxnResult carol_r;
+  cluster->Submit(Update(carol, f2, c, 7),
+                  [&](const TxnResult& r) { carol_r = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(carol_r.status.ok());
+  EXPECT_EQ(cluster->ReadAt(2, c), 37);
+}
+
+TEST_F(ReadLocksFixture, ReadOnlyTransactionsTakeLocksToo) {
+  Build(Millis(50));
+  ASSERT_TRUE(cluster->Partition({{0, 1, 3}, {2}}).ok());
+  TxnSpec probe;
+  probe.agent = kInvalidAgent;
+  probe.read_set = {b, c};  // c's home is unreachable
+  TxnResult out;
+  cluster->SubmitReadOnlyAt(0, probe, [&](const TxnResult& r) { out = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out.status.IsUnavailable());
+  // Reachable-only read succeeds.
+  TxnSpec probe2;
+  probe2.agent = kInvalidAgent;
+  probe2.read_set = {a, b};
+  TxnResult out2;
+  cluster->SubmitReadOnlyAt(0, probe2, [&](const TxnResult& r) { out2 = r; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(out2.status.ok());
+  ASSERT_EQ(out2.reads.size(), 2u);
+  EXPECT_EQ(out2.reads[0], 10);
+  EXPECT_EQ(out2.reads[1], 20);
+}
+
+TEST_F(ReadLocksFixture, LocalReadOfOwnHostedFragmentNeedsNoMessages) {
+  Build();
+  // Bob reads f1 (his own fragment's home is his node): no remote traffic
+  // beyond propagation.
+  uint64_t before = cluster->net_stats().messages_sent;
+  TxnResult r;
+  cluster->Submit(Update(bob, f1, b, 1), [&](const TxnResult& rr) { r = rr; });
+  cluster->RunToQuiescence();
+  EXPECT_TRUE(r.status.ok());
+  // Exactly the propagation fan-out (3 replicas), no lock RPCs.
+  EXPECT_EQ(cluster->net_stats().messages_sent - before, 3u);
+}
+
+TEST_F(ReadLocksFixture, MovesForbiddenForReadLockedFragments) {
+  ClusterConfig config;
+  config.control = ControlOption::kReadLocks;
+  config.move_protocol = MoveProtocol::kMoveWithData;
+  Cluster c2(config, Topology::FullMesh(3, Millis(5)));
+  FragmentId f = c2.DefineFragment("F");
+  (void)*c2.DefineObject(f, "x", 0);
+  AgentId agent = c2.DefineUserAgent("a");
+  ASSERT_TRUE(c2.AssignToken(f, agent).ok());
+  ASSERT_TRUE(c2.SetAgentHome(agent, 0).ok());
+  ASSERT_TRUE(c2.Start().ok());
+  EXPECT_TRUE(c2.MoveAgent(agent, 1, nullptr).IsFailedPrecondition());
+}
+
+TEST_F(ReadLocksFixture, MixedControlAllowsMovingTheFragmentwiseAgent) {
+  ClusterConfig config;
+  config.control = ControlOption::kReadLocks;
+  config.move_protocol = MoveProtocol::kMoveWithData;
+  Cluster c2(config, Topology::FullMesh(3, Millis(5)));
+  FragmentId locked = c2.DefineFragment("locked");
+  FragmentId free_frag = c2.DefineFragment("free");
+  (void)*c2.DefineObject(locked, "x", 0);
+  (void)*c2.DefineObject(free_frag, "y", 0);
+  AgentId pinned = c2.DefineUserAgent("pinned");
+  AgentId mobile = c2.DefineUserAgent("mobile");
+  ASSERT_TRUE(c2.AssignToken(locked, pinned).ok());
+  ASSERT_TRUE(c2.AssignToken(free_frag, mobile).ok());
+  ASSERT_TRUE(c2.SetAgentHome(pinned, 0).ok());
+  ASSERT_TRUE(c2.SetAgentHome(mobile, 1).ok());
+  ASSERT_TRUE(
+      c2.SetFragmentControl(free_frag, ControlOption::kFragmentwise).ok());
+  ASSERT_TRUE(c2.Start().ok());
+  EXPECT_TRUE(c2.MoveAgent(pinned, 2, nullptr).IsFailedPrecondition());
+  EXPECT_TRUE(c2.MoveAgent(mobile, 2, nullptr).ok());
+  c2.RunToQuiescence();
+  EXPECT_EQ(*c2.catalog().HomeOf(mobile), 2);
+}
+
+}  // namespace
+}  // namespace fragdb

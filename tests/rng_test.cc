@@ -1,0 +1,139 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fragdb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  const uint64_t kBuckets = 10;
+  const int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / double(kBuckets), kDraws * 0.01);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / double(kDraws), 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(21);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextExponential(50.0);
+  EXPECT_NEAR(sum / kDraws, 50.0, 1.0);
+}
+
+TEST(RngTest, ZipfZeroThetaIsUniform) {
+  Rng rng(31);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.NextZipf(5, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndices) {
+  Rng rng(31);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.NextZipf(100, 0.9)];
+  // Index 0 should dominate the tail decisively.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 5 * 500);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextZipf(7, 0.99), 7u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(51);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(61);
+  Rng child = a.Fork();
+  // The child stream should not track the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace fragdb

@@ -1,0 +1,133 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fragdb {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulatorTest, StepAdvancesClockToEventTime) {
+  Simulator sim;
+  sim.At(100, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, StepOnEmptyReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  sim.At(50, [] {});
+  sim.Step();
+  SimTime fired_at = -1;
+  sim.After(25, [&] { fired_at = sim.Now(); });
+  sim.Step();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(SimulatorTest, AtInThePastClampsToNow) {
+  Simulator sim;
+  sim.At(100, [] {});
+  sim.Step();
+  SimTime fired_at = -1;
+  sim.At(10, [&] { fired_at = sim.Now(); });
+  sim.Step();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulatorTest, RunUntilExecutesUpToDeadlineAndAdvancesClock) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.At(10, [&] { fired.push_back(10); });
+  sim.At(20, [&] { fired.push_back(20); });
+  sim.At(30, [&] { fired.push_back(30); });
+  sim.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.Now(), 25);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.After(10, chain);
+  };
+  sim.After(10, chain);
+  sim.RunToQuiescence();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+TEST(SimulatorTest, CancelStopsEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.After(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToQuiescence();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.After(i, [] {});
+  sim.RunToQuiescence();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, PendingReflectsQueue) {
+  Simulator sim;
+  sim.After(1, [] {});
+  sim.After(2, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Step();
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(5, [&] { order.push_back(1); });
+  sim.At(5, [&] { order.push_back(2); });
+  sim.At(5, [&] { order.push_back(3); });
+  sim.RunToQuiescence();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+
+TEST(SimulatorTest, EveryRepeatsUntilStopped) {
+  Simulator sim;
+  int fired = 0;
+  sim.Every(10, [&] {
+    ++fired;
+    return fired < 4;
+  });
+  sim.RunUntil(1000);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, EveryFiresAtPeriodBoundaries) {
+  Simulator sim;
+  std::vector<SimTime> at;
+  sim.Every(25, [&] {
+    at.push_back(sim.Now());
+    return at.size() < 3;
+  });
+  sim.RunUntil(1000);
+  EXPECT_EQ(at, (std::vector<SimTime>{25, 50, 75}));
+}
+
+}  // namespace
+}  // namespace fragdb

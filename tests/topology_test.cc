@@ -1,0 +1,159 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace fragdb {
+namespace {
+
+TEST(TopologyTest, FullMeshConnectsEveryPair) {
+  Topology t = Topology::FullMesh(4, Millis(1));
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      EXPECT_TRUE(t.Reachable(a, b));
+    }
+  }
+}
+
+TEST(TopologyTest, AddLinkValidation) {
+  Topology t(3);
+  EXPECT_TRUE(t.AddLink(0, 1, 10).ok());
+  EXPECT_TRUE(t.AddLink(0, 1, 10).IsAlreadyExists());
+  EXPECT_TRUE(t.AddLink(1, 0, 10).IsAlreadyExists());  // undirected
+  EXPECT_TRUE(t.AddLink(0, 0, 10).IsInvalidArgument());
+  EXPECT_TRUE(t.AddLink(0, 5, 10).IsInvalidArgument());
+  EXPECT_TRUE(t.AddLink(0, 2, -1).IsInvalidArgument());
+}
+
+TEST(TopologyTest, SelfIsAlwaysReachable) {
+  Topology t(2);
+  EXPECT_TRUE(t.Reachable(0, 0));
+  EXPECT_FALSE(t.Reachable(0, 1));  // no links yet
+}
+
+TEST(TopologyTest, LinkDownBreaksPath) {
+  Topology t = Topology::Line(3, Millis(1));
+  EXPECT_TRUE(t.Reachable(0, 2));
+  EXPECT_TRUE(t.SetLinkUp(0, 1, false).ok());
+  EXPECT_FALSE(t.Reachable(0, 1));
+  EXPECT_FALSE(t.Reachable(0, 2));
+  EXPECT_TRUE(t.Reachable(1, 2));
+}
+
+TEST(TopologyTest, SetLinkUpUnknownLinkFails) {
+  Topology t(3);
+  EXPECT_TRUE(t.SetLinkUp(0, 2, false).IsNotFound());
+}
+
+TEST(TopologyTest, PathLatencyPicksShortestPath) {
+  Topology t(3);
+  ASSERT_TRUE(t.AddLink(0, 1, 10).ok());
+  ASSERT_TRUE(t.AddLink(1, 2, 10).ok());
+  ASSERT_TRUE(t.AddLink(0, 2, 50).ok());
+  Result<SimTime> lat = t.PathLatency(0, 2);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_EQ(*lat, 20);  // two hops beat the direct slow link
+}
+
+TEST(TopologyTest, PathLatencyUnreachable) {
+  Topology t(2);
+  EXPECT_TRUE(t.PathLatency(0, 1).status().IsUnavailable());
+}
+
+TEST(TopologyTest, PathLatencyZeroForSelf) {
+  Topology t(2);
+  ASSERT_TRUE(t.PathLatency(0, 0).ok());
+  EXPECT_EQ(*t.PathLatency(0, 0), 0);
+}
+
+TEST(TopologyTest, PartitionCutsCrossGroupLinks) {
+  Topology t = Topology::FullMesh(5, Millis(1));
+  ASSERT_TRUE(t.Partition({{0, 1}, {2, 3, 4}}).ok());
+  EXPECT_TRUE(t.Reachable(0, 1));
+  EXPECT_TRUE(t.Reachable(2, 4));
+  EXPECT_FALSE(t.Reachable(0, 2));
+  EXPECT_FALSE(t.Reachable(1, 4));
+}
+
+TEST(TopologyTest, PartitionRequiresEveryNode) {
+  Topology t = Topology::FullMesh(3, Millis(1));
+  EXPECT_TRUE(t.Partition({{0, 1}}).IsInvalidArgument());
+  EXPECT_TRUE(t.Partition({{0, 1}, {1, 2}}).IsInvalidArgument());
+}
+
+TEST(TopologyTest, HealAllRestoresEverything) {
+  Topology t = Topology::FullMesh(4, Millis(1));
+  ASSERT_TRUE(t.Partition({{0}, {1, 2, 3}}).ok());
+  t.HealAll();
+  EXPECT_TRUE(t.Reachable(0, 3));
+}
+
+TEST(TopologyTest, RepartitionBringsIntraGroupLinksUp) {
+  Topology t = Topology::FullMesh(4, Millis(1));
+  ASSERT_TRUE(t.Partition({{0}, {1, 2, 3}}).ok());
+  ASSERT_TRUE(t.Partition({{0, 1}, {2, 3}}).ok());
+  EXPECT_TRUE(t.Reachable(0, 1));
+  EXPECT_FALSE(t.Reachable(1, 2));
+}
+
+TEST(TopologyTest, ComponentsReflectPartition) {
+  Topology t = Topology::FullMesh(5, Millis(1));
+  ASSERT_TRUE(t.Partition({{0, 4}, {1, 2}, {3}}).ok());
+  auto comps = t.Components();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 4}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(comps[2], (std::vector<NodeId>{3}));
+}
+
+TEST(TopologyTest, ChangeListenerFires) {
+  Topology t = Topology::FullMesh(3, Millis(1));
+  int changes = 0;
+  t.OnChange([&] { ++changes; });
+  ASSERT_TRUE(t.SetLinkUp(0, 1, false).ok());
+  EXPECT_EQ(changes, 1);
+  // No-op state change does not notify.
+  ASSERT_TRUE(t.SetLinkUp(0, 1, false).ok());
+  EXPECT_EQ(changes, 1);
+  t.HealAll();
+  EXPECT_EQ(changes, 2);
+  t.HealAll();  // already healed
+  EXPECT_EQ(changes, 2);
+}
+
+TEST(TopologyTest, LineTopologyIsAChain) {
+  Topology t = Topology::Line(4, Millis(2));
+  EXPECT_TRUE(t.HasLink(0, 1));
+  EXPECT_TRUE(t.HasLink(2, 3));
+  EXPECT_FALSE(t.HasLink(0, 2));
+  ASSERT_TRUE(t.PathLatency(0, 3).ok());
+  EXPECT_EQ(*t.PathLatency(0, 3), Millis(6));
+}
+
+
+TEST(TopologyTest, RingSurvivesOneCutNotTwo) {
+  Topology t = Topology::Ring(5, Millis(1));
+  ASSERT_TRUE(t.SetLinkUp(0, 1, false).ok());
+  EXPECT_TRUE(t.Reachable(0, 1));  // the long way around
+  EXPECT_EQ(*t.PathLatency(0, 1), Millis(4));
+  ASSERT_TRUE(t.SetLinkUp(2, 3, false).ok());
+  EXPECT_FALSE(t.Reachable(1, 3));
+  EXPECT_TRUE(t.Reachable(1, 2));
+}
+
+TEST(TopologyTest, StarSpokeLossIsolatesOneNode) {
+  Topology t = Topology::Star(4, Millis(2));
+  EXPECT_TRUE(t.Reachable(1, 3));  // via the hub
+  EXPECT_EQ(*t.PathLatency(1, 3), Millis(4));
+  ASSERT_TRUE(t.SetLinkUp(0, 2, false).ok());
+  EXPECT_FALSE(t.Reachable(2, 1));
+  EXPECT_TRUE(t.Reachable(1, 3));
+}
+
+TEST(TopologyTest, TwoNodeRingIsJustALine) {
+  Topology t = Topology::Ring(2, Millis(1));
+  EXPECT_TRUE(t.HasLink(0, 1));
+  EXPECT_TRUE(t.Reachable(0, 1));
+}
+
+}  // namespace
+}  // namespace fragdb

@@ -1,0 +1,167 @@
+#include "workload/warehouse.h"
+
+#include <gtest/gtest.h>
+
+#include "verify/checkers.h"
+
+namespace fragdb {
+namespace {
+
+TEST(WarehouseTest, StartValidatesStarRag) {
+  WarehouseWorkload::Options opt;
+  WarehouseWorkload wh(opt);
+  ASSERT_TRUE(wh.Start().ok());  // kAcyclicReads accepts the star
+  EXPECT_TRUE(wh.cluster().rag().ElementarilyAcyclic());
+}
+
+TEST(WarehouseTest, SaleDecrementsStockEverywhere) {
+  WarehouseWorkload::Options opt;
+  WarehouseWorkload wh(opt);
+  ASSERT_TRUE(wh.Start().ok());
+  TxnResult sale;
+  wh.Sell(0, 0, 10, [&](const TxnResult& r) { sale = r; });
+  wh.cluster().RunToQuiescence();
+  EXPECT_TRUE(sale.status.ok());
+  for (NodeId n = 0; n < wh.cluster().node_count(); ++n) {
+    EXPECT_EQ(wh.StockAt(n, 0, 0), 90);
+  }
+}
+
+TEST(WarehouseTest, OversellDeclined) {
+  WarehouseWorkload::Options opt;
+  WarehouseWorkload wh(opt);
+  ASSERT_TRUE(wh.Start().ok());
+  TxnResult sale;
+  wh.Sell(0, 0, 1000, [&](const TxnResult& r) { sale = r; });
+  wh.cluster().RunToQuiescence();
+  EXPECT_TRUE(sale.status.IsFailedPrecondition());
+  EXPECT_EQ(wh.StockAt(wh.warehouse_node(0), 0, 0), 100);
+}
+
+TEST(WarehouseTest, CentralPlanOrdersShortfall) {
+  WarehouseWorkload::Options opt;
+  opt.warehouses = 2;
+  opt.products = 1;
+  opt.initial_stock = 100;
+  opt.restock_target = 250;
+  WarehouseWorkload wh(opt);
+  ASSERT_TRUE(wh.Start().ok());
+  wh.Sell(0, 0, 30, nullptr);
+  wh.cluster().RunToQuiescence();
+  wh.RunCentralPlan(nullptr);
+  wh.cluster().RunToQuiescence();
+  // Total stock 170, target 250 -> order 80.
+  EXPECT_EQ(wh.PlanFor(0), 80);
+}
+
+TEST(WarehouseTest, WarehousesStayAvailableDuringPartition) {
+  // Fig. 4.2.1's availability claim: sales keep flowing at every isolated
+  // warehouse under §4.2 semantics.
+  WarehouseWorkload::Options opt;
+  opt.warehouses = 3;
+  WarehouseWorkload wh(opt);
+  ASSERT_TRUE(wh.Start().ok());
+  // Isolate every node from every other.
+  ASSERT_TRUE(wh.cluster().Partition({{0}, {1}, {2}, {3}}).ok());
+  int served = 0;
+  for (int w = 0; w < 3; ++w) {
+    wh.Sell(w, 0, 5, [&](const TxnResult& r) {
+      if (r.status.ok()) ++served;
+    });
+    wh.Receive(w, 1, 7, [&](const TxnResult& r) {
+      if (r.status.ok()) ++served;
+    });
+  }
+  wh.cluster().RunFor(Millis(200));
+  EXPECT_EQ(served, 6);
+  wh.cluster().HealAll();
+  wh.cluster().RunToQuiescence();
+  EXPECT_TRUE(CheckMutualConsistency(wh.cluster().Replicas()).ok);
+}
+
+TEST(WarehouseTest, GloballySerializableWithoutReadLocks) {
+  // The §4.2 Theorem in action: partitioned sales + central plans, zero
+  // read synchronization, and the global serialization graph stays
+  // acyclic.
+  WarehouseWorkload::Options opt;
+  opt.warehouses = 3;
+  opt.products = 2;
+  WarehouseWorkload wh(opt);
+  ASSERT_TRUE(wh.Start().ok());
+  Cluster& cluster = wh.cluster();
+
+  wh.RunCentralPlan(nullptr);
+  cluster.RunToQuiescence();
+  ASSERT_TRUE(cluster.Partition({{0, 1}, {2, 3}}).ok());
+  for (int round = 0; round < 3; ++round) {
+    for (int w = 0; w < 3; ++w) {
+      wh.Sell(w, round % 2, 4, nullptr);
+    }
+    wh.RunCentralPlan(nullptr);  // sees only warehouse 0's side
+    cluster.RunFor(Millis(50));
+  }
+  cluster.HealAll();
+  cluster.RunToQuiescence();
+  wh.RunCentralPlan(nullptr);
+  cluster.RunToQuiescence();
+
+  EXPECT_TRUE(CheckGlobalSerializability(cluster.history()).ok);
+  EXPECT_TRUE(cluster.CheckConfiguredProperty().ok);
+  EXPECT_TRUE(CheckMutualConsistency(cluster.Replicas()).ok);
+  // All 9 sales eventually landed: 3 rounds x 3 warehouses x 4 units.
+  Value total_sold = 0;
+  for (int w = 0; w < 3; ++w) {
+    for (int p = 0; p < 2; ++p) {
+      total_sold += 100 - wh.StockAt(0, w, p);
+    }
+  }
+  EXPECT_EQ(total_sold, 36);
+}
+
+TEST(WarehouseTest, CrossWarehouseReadRejectedUnderAcyclicOption) {
+  // One warehouse peeking at another's stock is NOT declared in the star
+  // read-access graph; §4.2 must reject it (the paper would route such
+  // reads through the read-only escape hatch instead).
+  WarehouseWorkload::Options opt;
+  WarehouseWorkload wh(opt);
+  ASSERT_TRUE(wh.Start().ok());
+  TxnSpec spec;
+  const Catalog& cat = wh.cluster().catalog();
+  spec.agent = *cat.AgentOf(wh.warehouse_fragment(0));
+  spec.write_fragment = wh.warehouse_fragment(0);
+  // Read warehouse 1's stock object: undeclared edge W0 -> W1.
+  ObjectId foreign = cat.ObjectsIn(wh.warehouse_fragment(1))[0];
+  ObjectId own = cat.ObjectsIn(wh.warehouse_fragment(0))[0];
+  spec.read_set = {foreign};
+  spec.body = [own](const std::vector<Value>& reads)
+      -> Result<std::vector<WriteOp>> {
+    return std::vector<WriteOp>{{own, reads[0]}};
+  };
+  TxnResult out;
+  wh.cluster().Submit(spec, [&](const TxnResult& r) { out = r; });
+  wh.cluster().RunToQuiescence();
+  EXPECT_TRUE(out.status.IsPermissionDenied());
+}
+
+TEST(WarehouseTest, NonconformingReadOnlyAllowedWhenOptedIn) {
+  // Paper §4.2: "one warehouse can be allowed to read from the fragment
+  // controlled by another warehouse with no great harm" — read-only
+  // transactions may bypass the graph when the application opts in.
+  WarehouseWorkload::Options opt;
+  WarehouseWorkload wh(opt);
+  ASSERT_TRUE(wh.Start().ok());
+  // The default cluster config has the opt-in off:
+  TxnSpec probe;
+  probe.agent = kInvalidAgent;
+  probe.read_set = {
+      wh.cluster().catalog().ObjectsIn(wh.warehouse_fragment(0))[0],
+      wh.cluster().catalog().ObjectsIn(wh.warehouse_fragment(1))[0]};
+  TxnResult out;
+  wh.cluster().SubmitReadOnlyAt(wh.warehouse_node(0), probe,
+                                [&](const TxnResult& r) { out = r; });
+  wh.cluster().RunToQuiescence();
+  EXPECT_TRUE(out.status.IsPermissionDenied());
+}
+
+}  // namespace
+}  // namespace fragdb
