@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_2_1_warehouse.dir/bench_fig4_2_1_warehouse.cpp.o"
+  "CMakeFiles/bench_fig4_2_1_warehouse.dir/bench_fig4_2_1_warehouse.cpp.o.d"
+  "bench_fig4_2_1_warehouse"
+  "bench_fig4_2_1_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_2_1_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_2_1_warehouse.
+# This may be replaced when dependencies are built.

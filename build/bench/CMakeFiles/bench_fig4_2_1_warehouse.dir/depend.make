@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_2_1_warehouse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec1_banking.dir/bench_sec1_banking.cpp.o"
+  "CMakeFiles/bench_sec1_banking.dir/bench_sec1_banking.cpp.o.d"
+  "bench_sec1_banking"
+  "bench_sec1_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec1_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_banking_views.dir/bench_sec2_banking_views.cpp.o"
+  "CMakeFiles/bench_sec2_banking_views.dir/bench_sec2_banking_views.cpp.o.d"
+  "bench_sec2_banking_views"
+  "bench_sec2_banking_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_banking_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

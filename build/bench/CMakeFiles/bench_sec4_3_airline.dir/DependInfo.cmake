@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec4_3_airline.cpp" "bench/CMakeFiles/bench_sec4_3_airline.dir/bench_sec4_3_airline.cpp.o" "gcc" "bench/CMakeFiles/bench_sec4_3_airline.dir/bench_sec4_3_airline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fragdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

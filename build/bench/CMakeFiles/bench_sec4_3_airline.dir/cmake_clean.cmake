@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_3_airline.dir/bench_sec4_3_airline.cpp.o"
+  "CMakeFiles/bench_sec4_3_airline.dir/bench_sec4_3_airline.cpp.o.d"
+  "bench_sec4_3_airline"
+  "bench_sec4_3_airline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_3_airline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

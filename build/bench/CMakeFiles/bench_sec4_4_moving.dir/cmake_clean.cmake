@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_4_moving.dir/bench_sec4_4_moving.cpp.o"
+  "CMakeFiles/bench_sec4_4_moving.dir/bench_sec4_4_moving.cpp.o.d"
+  "bench_sec4_4_moving"
+  "bench_sec4_4_moving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_4_moving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_demo.dir/banking_demo.cpp.o"
+  "CMakeFiles/banking_demo.dir/banking_demo.cpp.o.d"
+  "banking_demo"
+  "banking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_agents_demo.dir/moving_agents_demo.cpp.o"
+  "CMakeFiles/moving_agents_demo.dir/moving_agents_demo.cpp.o.d"
+  "moving_agents_demo"
+  "moving_agents_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_agents_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_replication_demo.dir/partial_replication_demo.cpp.o"
+  "CMakeFiles/partial_replication_demo.dir/partial_replication_demo.cpp.o.d"
+  "partial_replication_demo"
+  "partial_replication_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_replication_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stopover_flight_demo.dir/stopover_flight_demo.cpp.o"
+  "CMakeFiles/stopover_flight_demo.dir/stopover_flight_demo.cpp.o.d"
+  "stopover_flight_demo"
+  "stopover_flight_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stopover_flight_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stopover_flight_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_recovery_demo.dir/token_recovery_demo.cpp.o"
+  "CMakeFiles/token_recovery_demo.dir/token_recovery_demo.cpp.o.d"
+  "token_recovery_demo"
+  "token_recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

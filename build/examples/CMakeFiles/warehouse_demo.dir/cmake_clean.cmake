@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_demo.dir/warehouse_demo.cpp.o"
+  "CMakeFiles/warehouse_demo.dir/warehouse_demo.cpp.o.d"
+  "warehouse_demo"
+  "warehouse_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

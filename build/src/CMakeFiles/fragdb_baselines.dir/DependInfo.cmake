@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/log_transform.cc" "src/CMakeFiles/fragdb_baselines.dir/baselines/log_transform.cc.o" "gcc" "src/CMakeFiles/fragdb_baselines.dir/baselines/log_transform.cc.o.d"
+  "/root/repo/src/baselines/mutual_exclusion.cc" "src/CMakeFiles/fragdb_baselines.dir/baselines/mutual_exclusion.cc.o" "gcc" "src/CMakeFiles/fragdb_baselines.dir/baselines/mutual_exclusion.cc.o.d"
+  "/root/repo/src/baselines/optimistic.cc" "src/CMakeFiles/fragdb_baselines.dir/baselines/optimistic.cc.o" "gcc" "src/CMakeFiles/fragdb_baselines.dir/baselines/optimistic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fragdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

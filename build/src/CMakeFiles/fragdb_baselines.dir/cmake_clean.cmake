@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_baselines.dir/baselines/log_transform.cc.o"
+  "CMakeFiles/fragdb_baselines.dir/baselines/log_transform.cc.o.d"
+  "CMakeFiles/fragdb_baselines.dir/baselines/mutual_exclusion.cc.o"
+  "CMakeFiles/fragdb_baselines.dir/baselines/mutual_exclusion.cc.o.d"
+  "CMakeFiles/fragdb_baselines.dir/baselines/optimistic.cc.o"
+  "CMakeFiles/fragdb_baselines.dir/baselines/optimistic.cc.o.d"
+  "libfragdb_baselines.a"
+  "libfragdb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/lock_manager.cc" "src/CMakeFiles/fragdb_cc.dir/cc/lock_manager.cc.o" "gcc" "src/CMakeFiles/fragdb_cc.dir/cc/lock_manager.cc.o.d"
+  "/root/repo/src/cc/scheduler.cc" "src/CMakeFiles/fragdb_cc.dir/cc/scheduler.cc.o" "gcc" "src/CMakeFiles/fragdb_cc.dir/cc/scheduler.cc.o.d"
+  "/root/repo/src/cc/transaction.cc" "src/CMakeFiles/fragdb_cc.dir/cc/transaction.cc.o" "gcc" "src/CMakeFiles/fragdb_cc.dir/cc/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fragdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

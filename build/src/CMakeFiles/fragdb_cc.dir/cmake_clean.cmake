@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_cc.dir/cc/lock_manager.cc.o"
+  "CMakeFiles/fragdb_cc.dir/cc/lock_manager.cc.o.d"
+  "CMakeFiles/fragdb_cc.dir/cc/scheduler.cc.o"
+  "CMakeFiles/fragdb_cc.dir/cc/scheduler.cc.o.d"
+  "CMakeFiles/fragdb_cc.dir/cc/transaction.cc.o"
+  "CMakeFiles/fragdb_cc.dir/cc/transaction.cc.o.d"
+  "libfragdb_cc.a"
+  "libfragdb_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

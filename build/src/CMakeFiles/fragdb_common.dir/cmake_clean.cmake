@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_common.dir/common/logging.cc.o"
+  "CMakeFiles/fragdb_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/fragdb_common.dir/common/rng.cc.o"
+  "CMakeFiles/fragdb_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/fragdb_common.dir/common/status.cc.o"
+  "CMakeFiles/fragdb_common.dir/common/status.cc.o.d"
+  "libfragdb_common.a"
+  "libfragdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cc" "src/CMakeFiles/fragdb_core.dir/core/audit.cc.o" "gcc" "src/CMakeFiles/fragdb_core.dir/core/audit.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/fragdb_core.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/fragdb_core.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/move_protocols.cc" "src/CMakeFiles/fragdb_core.dir/core/move_protocols.cc.o" "gcc" "src/CMakeFiles/fragdb_core.dir/core/move_protocols.cc.o.d"
+  "/root/repo/src/core/multi_fragment.cc" "src/CMakeFiles/fragdb_core.dir/core/multi_fragment.cc.o" "gcc" "src/CMakeFiles/fragdb_core.dir/core/multi_fragment.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/CMakeFiles/fragdb_core.dir/core/node.cc.o" "gcc" "src/CMakeFiles/fragdb_core.dir/core/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fragdb_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fragdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_core.dir/core/audit.cc.o"
+  "CMakeFiles/fragdb_core.dir/core/audit.cc.o.d"
+  "CMakeFiles/fragdb_core.dir/core/cluster.cc.o"
+  "CMakeFiles/fragdb_core.dir/core/cluster.cc.o.d"
+  "CMakeFiles/fragdb_core.dir/core/move_protocols.cc.o"
+  "CMakeFiles/fragdb_core.dir/core/move_protocols.cc.o.d"
+  "CMakeFiles/fragdb_core.dir/core/multi_fragment.cc.o"
+  "CMakeFiles/fragdb_core.dir/core/multi_fragment.cc.o.d"
+  "CMakeFiles/fragdb_core.dir/core/node.cc.o"
+  "CMakeFiles/fragdb_core.dir/core/node.cc.o.d"
+  "libfragdb_core.a"
+  "libfragdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

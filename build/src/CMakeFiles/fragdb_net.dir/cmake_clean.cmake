@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_net.dir/net/broadcast.cc.o"
+  "CMakeFiles/fragdb_net.dir/net/broadcast.cc.o.d"
+  "CMakeFiles/fragdb_net.dir/net/network.cc.o"
+  "CMakeFiles/fragdb_net.dir/net/network.cc.o.d"
+  "CMakeFiles/fragdb_net.dir/net/topology.cc.o"
+  "CMakeFiles/fragdb_net.dir/net/topology.cc.o.d"
+  "libfragdb_net.a"
+  "libfragdb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

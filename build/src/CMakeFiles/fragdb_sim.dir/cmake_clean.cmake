@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/fragdb_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/fragdb_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/fragdb_sim.dir/sim/simulator.cc.o.d"
+  "libfragdb_sim.a"
+  "libfragdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

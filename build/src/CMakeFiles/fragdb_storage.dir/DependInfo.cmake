@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/fragdb_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/fragdb_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/fragdb_storage.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/fragdb_storage.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/read_access_graph.cc" "src/CMakeFiles/fragdb_storage.dir/storage/read_access_graph.cc.o" "gcc" "src/CMakeFiles/fragdb_storage.dir/storage/read_access_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fragdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/fragdb_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/fragdb_storage.dir/storage/object_store.cc.o"
+  "CMakeFiles/fragdb_storage.dir/storage/object_store.cc.o.d"
+  "CMakeFiles/fragdb_storage.dir/storage/read_access_graph.cc.o"
+  "CMakeFiles/fragdb_storage.dir/storage/read_access_graph.cc.o.d"
+  "libfragdb_storage.a"
+  "libfragdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

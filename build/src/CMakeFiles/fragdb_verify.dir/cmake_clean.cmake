@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_verify.dir/verify/checkers.cc.o"
+  "CMakeFiles/fragdb_verify.dir/verify/checkers.cc.o.d"
+  "CMakeFiles/fragdb_verify.dir/verify/history.cc.o"
+  "CMakeFiles/fragdb_verify.dir/verify/history.cc.o.d"
+  "CMakeFiles/fragdb_verify.dir/verify/serialization_graph.cc.o"
+  "CMakeFiles/fragdb_verify.dir/verify/serialization_graph.cc.o.d"
+  "libfragdb_verify.a"
+  "libfragdb_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

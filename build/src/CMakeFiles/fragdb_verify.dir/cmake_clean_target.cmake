@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfragdb_verify.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragdb_workload.dir/workload/airline.cc.o"
+  "CMakeFiles/fragdb_workload.dir/workload/airline.cc.o.d"
+  "CMakeFiles/fragdb_workload.dir/workload/banking.cc.o"
+  "CMakeFiles/fragdb_workload.dir/workload/banking.cc.o.d"
+  "CMakeFiles/fragdb_workload.dir/workload/metrics.cc.o"
+  "CMakeFiles/fragdb_workload.dir/workload/metrics.cc.o.d"
+  "CMakeFiles/fragdb_workload.dir/workload/synthetic.cc.o"
+  "CMakeFiles/fragdb_workload.dir/workload/synthetic.cc.o.d"
+  "CMakeFiles/fragdb_workload.dir/workload/warehouse.cc.o"
+  "CMakeFiles/fragdb_workload.dir/workload/warehouse.cc.o.d"
+  "libfragdb_workload.a"
+  "libfragdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_test.dir/airline_test.cc.o"
+  "CMakeFiles/airline_test.dir/airline_test.cc.o.d"
+  "airline_test"
+  "airline_test.pdb"
+  "airline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_broadcast_test.dir/lossy_broadcast_test.cc.o"
+  "CMakeFiles/lossy_broadcast_test.dir/lossy_broadcast_test.cc.o.d"
+  "lossy_broadcast_test"
+  "lossy_broadcast_test.pdb"
+  "lossy_broadcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

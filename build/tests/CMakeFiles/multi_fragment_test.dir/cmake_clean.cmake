@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fragment_test.dir/multi_fragment_test.cc.o"
+  "CMakeFiles/multi_fragment_test.dir/multi_fragment_test.cc.o.d"
+  "multi_fragment_test"
+  "multi_fragment_test.pdb"
+  "multi_fragment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fragment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omit_prep_test.dir/omit_prep_test.cc.o"
+  "CMakeFiles/omit_prep_test.dir/omit_prep_test.cc.o.d"
+  "omit_prep_test"
+  "omit_prep_test.pdb"
+  "omit_prep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omit_prep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

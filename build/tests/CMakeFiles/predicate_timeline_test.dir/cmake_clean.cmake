@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_timeline_test.dir/predicate_timeline_test.cc.o"
+  "CMakeFiles/predicate_timeline_test.dir/predicate_timeline_test.cc.o.d"
+  "predicate_timeline_test"
+  "predicate_timeline_test.pdb"
+  "predicate_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

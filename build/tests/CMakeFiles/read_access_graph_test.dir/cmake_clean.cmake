@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_access_graph_test.dir/read_access_graph_test.cc.o"
+  "CMakeFiles/read_access_graph_test.dir/read_access_graph_test.cc.o.d"
+  "read_access_graph_test"
+  "read_access_graph_test.pdb"
+  "read_access_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_access_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

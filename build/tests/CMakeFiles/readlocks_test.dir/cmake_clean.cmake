@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readlocks_test.dir/readlocks_test.cc.o"
+  "CMakeFiles/readlocks_test.dir/readlocks_test.cc.o.d"
+  "readlocks_test"
+  "readlocks_test.pdb"
+  "readlocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readlocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialization_graph_test.dir/serialization_graph_test.cc.o"
+  "CMakeFiles/serialization_graph_test.dir/serialization_graph_test.cc.o.d"
+  "serialization_graph_test"
+  "serialization_graph_test.pdb"
+  "serialization_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialization_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
