@@ -1,0 +1,179 @@
+// Recovery experiment — how fast does an amnesia-crashed node come back?
+//
+// The paper assumes each node keeps a durable copy and never prices that
+// assumption. This experiment does: a node loses power (all volatile state
+// gone), and revival must restore the last checkpoint, replay the WAL
+// suffix, and close the remaining gap from live peers. Three tables:
+//
+//   1. recovery cost vs downtime — the longer the outage, the more of the
+//      stream arrives through the network instead of the local disk;
+//   2. recovery cost vs checkpoint interval — frequent checkpoints bound
+//      the WAL replay but multiply the bytes written to stable storage;
+//   3. local replay vs peer catch-up — for a short outage, replaying the
+//      local WAL beats refetching the whole stream from peers (modeled by
+//      a node whose disk is lost along with its memory).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "core/cluster.h"
+#include "verify/checkers.h"
+
+using namespace fragdb;
+using namespace fragdb_bench;
+
+namespace {
+
+constexpr NodeId kVictim = 3;
+
+struct RunResult {
+  RecoveryStats stats;
+  uint64_t stable_bytes_written = 0;
+  long long commits = 0;
+};
+
+/// One run: updates every 2ms at node 0; kVictim amnesia-crashes at
+/// `history`, revives after `downtime`. With `lose_disk` the stable files
+/// are destroyed too, forcing a pure peer catch-up. With
+/// `traffic_during_outage` the workload keeps committing while the victim
+/// is down (the store-and-forward queue and the catch-up replies both help
+/// close that window).
+RunResult RunOnce(SimTime history, SimTime downtime,
+                  SimTime checkpoint_interval, bool lose_disk,
+                  bool traffic_during_outage) {
+  ClusterConfig config;
+  config.control = ControlOption::kFragmentwise;
+  config.durability.enabled = true;
+  config.durability.checkpoint_interval = checkpoint_interval;
+  Cluster cluster(config, Topology::FullMesh(5, Millis(5)));
+  FragmentId frag = cluster.DefineFragment("F");
+  ObjectId x = *cluster.DefineObject(frag, "x", 0);
+  AgentId agent = cluster.DefineUserAgent("writer");
+  if (!cluster.AssignToken(frag, agent).ok()) std::abort();
+  if (!cluster.SetAgentHome(agent, 0).ok()) std::abort();
+  if (!cluster.Start().ok()) std::abort();
+
+  RunResult result;
+  SimTime traffic_end =
+      traffic_during_outage ? history + downtime + Millis(50) : history;
+  for (SimTime t = 0; t < traffic_end; t += Millis(2)) {
+    cluster.sim().At(t, [&cluster, &result, agent, frag, x] {
+      TxnSpec spec;
+      spec.agent = agent;
+      spec.write_fragment = frag;
+      spec.read_set = {x};
+      spec.body = [x](const std::vector<Value>& reads)
+          -> Result<std::vector<WriteOp>> {
+        return std::vector<WriteOp>{{x, reads[0] + 1}};
+      };
+      cluster.Submit(spec, [&result](const TxnResult& r) {
+        if (r.status.ok()) ++result.commits;
+      });
+    });
+  }
+  cluster.sim().At(history, [&cluster, lose_disk] {
+    if (!cluster.CrashNode(kVictim, CrashMode::kAmnesia).ok()) std::abort();
+    if (lose_disk) {
+      StableStorage* disk = cluster.stable_storage(kVictim);
+      disk->Delete(kWalFile);
+      disk->Delete(kCheckpointFile);
+      disk->Delete(kCheckpointPendingFile);
+    }
+  });
+  cluster.sim().At(history + downtime, [&cluster, &result] {
+    if (!cluster.ReviveNode(kVictim, [&result](const RecoveryStats& s) {
+          result.stats = s;
+        }).ok()) {
+      std::abort();
+    }
+  });
+  cluster.RunToQuiescence();
+  if (!result.stats.ran) std::abort();
+  if (!CheckMutualConsistency(cluster.Replicas()).ok) std::abort();
+  result.stable_bytes_written =
+      cluster.stable_storage(kVictim)->bytes_written();
+  return result;
+}
+
+std::string Ms(SimTime t) { return Num(double(t) / 1000.0, 1); }
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Recovery — amnesia crashes priced under the paper's durable-copy\n"
+      "assumption. 5 nodes full mesh (5ms links), one update per 2ms.\n");
+
+  std::printf("\n(1) recovery cost vs downtime (checkpoint every 50ms)\n\n");
+  std::vector<int> widths = {14, 14, 14, 14, 16, 14};
+  PrintRow({"downtime(ms)", "ckpt loaded", "wal replayed", "peer quasis",
+            "queued flushes", "recovery(ms)"},
+           widths);
+  PrintRule(widths);
+  for (SimTime downtime :
+       {Millis(10), Millis(50), Millis(200), Millis(1000)}) {
+    RunResult r = RunOnce(Millis(300), downtime, Millis(50),
+                          /*lose_disk=*/false, /*traffic_during_outage=*/true);
+    // Updates committed during the outage that did NOT come back in a
+    // catch-up reply arrived through the network's store-and-forward queue.
+    long long missed = downtime / Millis(2);
+    long long flushed = missed - (long long)r.stats.peer_quasis_fetched;
+    if (flushed < 0) flushed = 0;
+    PrintRow({Ms(downtime), r.stats.checkpoint_loaded ? "yes" : "no",
+              Int((long long)r.stats.wal_records_replayed),
+              Int((long long)r.stats.peer_quasis_fetched), Int(flushed),
+              Ms(r.stats.Duration())},
+             widths);
+  }
+
+  std::printf(
+      "\n(2) recovery cost vs checkpoint interval (400ms history, 20ms\n"
+      "    outage; interval 0 = WAL only, never truncated)\n\n");
+  widths = {14, 14, 14, 14, 16};
+  PrintRow({"interval(ms)", "ckpt loaded", "wal replayed", "recovery(ms)",
+            "disk KB written"},
+           widths);
+  PrintRule(widths);
+  for (SimTime interval : {SimTime(0), Millis(25), Millis(100), Millis(400)}) {
+    RunResult r = RunOnce(Millis(400), Millis(20), interval,
+                          /*lose_disk=*/false, /*traffic_during_outage=*/false);
+    PrintRow({interval == 0 ? "off" : Ms(interval),
+              r.stats.checkpoint_loaded ? "yes" : "no",
+              Int((long long)r.stats.wal_records_replayed),
+              Ms(r.stats.Duration()),
+              Num(double(r.stable_bytes_written) / 1024.0, 1)},
+             widths);
+  }
+
+  std::printf(
+      "\n(3) local replay vs peer catch-up, same 20ms outage after 400ms\n"
+      "    of history (disk lost = recover everything from peers)\n\n");
+  widths = {24, 14, 14, 14};
+  PrintRow({"mode", "wal replayed", "peer quasis", "recovery(ms)"}, widths);
+  PrintRule(widths);
+  struct Mode {
+    const char* name;
+    SimTime interval;
+    bool lose_disk;
+  };
+  for (const Mode& mode :
+       {Mode{"checkpoint + wal", Millis(50), false},
+        Mode{"wal only", 0, false},
+        Mode{"peer catch-up (no disk)", 0, true}}) {
+    RunResult r = RunOnce(Millis(400), Millis(20), mode.interval,
+                          mode.lose_disk, /*traffic_during_outage=*/false);
+    PrintRow({mode.name, Int((long long)r.stats.wal_records_replayed),
+              Int((long long)r.stats.peer_quasis_fetched),
+              Ms(r.stats.Duration())},
+             widths);
+  }
+
+  std::printf(
+      "\nexpected shape: (1) recovery time grows with downtime — the local\n"
+      "disk covers only the pre-crash prefix, the rest streams in from\n"
+      "peers and the relay queue; (2) tighter checkpoint intervals shrink\n"
+      "WAL replay at the cost of write amplification; (3) for a short\n"
+      "outage, local replay beats refetching the stream from peers.\n");
+  return 0;
+}

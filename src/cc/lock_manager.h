@@ -61,6 +61,12 @@ class LockManager {
   /// is exercised by tests.
   TxnId DetectAndResolveDeadlock();
 
+  /// Drops the entire lock table without invoking any waiter callbacks —
+  /// the semantics of a node crash, where pending requests simply die with
+  /// the process. Continuations that would have fired are the caller's
+  /// problem (the scheduler invalidates its own in the same wipe).
+  void Clear() { table_.clear(); }
+
   /// True if `txn` currently holds `resource` in at least `mode`.
   bool Holds(TxnId txn, ResourceId resource, LockMode mode) const;
 

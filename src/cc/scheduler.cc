@@ -23,8 +23,9 @@ void Scheduler::RunLocal(TxnId id, TxnSpec spec, bool write_lock_preacquired,
   if (!needs_lock) {
     bool owns = false;
     sim_->After(config_.exec_time,
-                [this, id, spec = std::move(spec), owns,
+                [this, gen = generation_, id, spec = std::move(spec), owns,
                  seq_alloc = std::move(seq_alloc), done = std::move(done)] {
+                  if (gen != generation_) return;  // node crashed meanwhile
                   ExecuteBody(id, spec, owns, seq_alloc, done);
                 });
     return;
@@ -42,9 +43,12 @@ void Scheduler::RunLocal(TxnId id, TxnSpec spec, bool write_lock_preacquired,
           done(result);
           return;
         }
-        sim_->After(config_.exec_time, [this, id, spec, seq_alloc, done] {
-          ExecuteBody(id, spec, /*owns_write_lock=*/true, seq_alloc, done);
-        });
+        sim_->After(config_.exec_time,
+                    [this, gen = generation_, id, spec, seq_alloc, done] {
+                      if (gen != generation_) return;
+                      ExecuteBody(id, spec, /*owns_write_lock=*/true,
+                                  seq_alloc, done);
+                    });
       });
 }
 
@@ -155,13 +159,17 @@ void Scheduler::Prepare(TxnId id, TxnSpec spec, bool write_lock_preacquired,
     (*prepared)(std::move(result));
   };
 
+  auto guarded = [this, gen = generation_, execute = std::move(execute)] {
+    if (gen != generation_) return;  // node crashed meanwhile
+    execute();
+  };
   if (spec.read_only() || write_lock_preacquired) {
-    sim_->After(config_.exec_time, std::move(execute));
+    sim_->After(config_.exec_time, std::move(guarded));
     return;
   }
   locks_->Acquire(id, FragmentResource(spec.write_fragment),
                   LockMode::kExclusive,
-                  [this, id, execute = std::move(execute),
+                  [this, id, guarded = std::move(guarded),
                    prepared](Status st) mutable {
                     if (!st.ok()) {
                       TxnResult result;
@@ -171,7 +179,7 @@ void Scheduler::Prepare(TxnId id, TxnSpec spec, bool write_lock_preacquired,
                       (*prepared)(std::move(result));
                       return;
                     }
-                    sim_->After(config_.exec_time, std::move(execute));
+                    sim_->After(config_.exec_time, std::move(guarded));
                   });
 }
 
@@ -206,7 +214,9 @@ void Scheduler::Install(QuasiTxn quasi, TxnId install_id,
         // Quasi-transactions are never deadlock victims: they request a
         // single resource, so they cannot close a waits-for cycle.
         FRAGDB_CHECK(st.ok());
-        sim_->After(config_.install_time, [this, quasi, install_id, done] {
+        sim_->After(config_.install_time, [this, gen = generation_, quasi,
+                                           install_id, done] {
+          if (gen != generation_) return;  // node crashed meanwhile
           for (const WriteOp& w : quasi.writes) {
             store_->Write(w.object, w.value, quasi.origin_txn, quasi.seq,
                           sim_->Now());

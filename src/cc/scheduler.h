@@ -88,6 +88,12 @@ class Scheduler {
   /// Drops a prepared transaction, releasing its local locks if requested.
   void AbortPrepared(TxnId id, bool release_locks);
 
+  /// Amnesia crash: invalidates every in-flight continuation (pending
+  /// exec/install events keyed to the old generation become no-ops when
+  /// they fire). The caller is responsible for also clearing the lock
+  /// table and the store; `done` callbacks of invalidated work never fire.
+  void Reset() { ++generation_; }
+
   NodeId node() const { return node_; }
   ObjectStore* store() { return store_; }
   LockManager* locks() { return locks_; }
@@ -104,6 +110,9 @@ class Scheduler {
   LockManager* locks_;
   Config config_;
   Hooks hooks_;
+  /// Bumped by Reset(); scheduled continuations carry the generation they
+  /// were created under and skip themselves if it no longer matches.
+  uint64_t generation_ = 0;
 };
 
 }  // namespace fragdb

@@ -36,6 +36,12 @@ using SimTime = int64_t;
 /// Replicas install a fragment's quasi-transactions in sequence order.
 using SeqNum = int64_t;
 
+/// Epoch of a fragment's update stream. Bumped only by the §4.4.3
+/// omit-preparatory-actions move (and by token recovery, which reuses it),
+/// which deliberately abandons the old stream; other protocols keep the
+/// sequence contiguous across moves.
+using Epoch = int32_t;
+
 /// Globally unique transaction identifier (assigned by the cluster in
 /// commit order at the home node; uniqueness is what matters).
 using TxnId = int64_t;

@@ -167,8 +167,24 @@ Status Cluster::Start() {
   for (NodeId n = 0; n < topology_.node_count(); ++n) {
     runtimes_.push_back(std::make_unique<NodeRuntime>(this, n));
     network_->SetHandler(n, [this, n](const Message& msg) {
+      // An amnesia-crashed node truly cannot receive: in-flight messages
+      // addressed to it are lost (peer catch-up recovers their content).
+      // Crash-stopped nodes keep the historical in-flight-delivery
+      // semantics (the packet slipped through before the freeze).
+      if (amnesia_down_[n]) return;
       runtimes_[n]->HandleMessage(msg);
     });
+  }
+  amnesia_down_.assign(topology_.node_count(), false);
+  if (config_.durability.enabled) {
+    recovery_ = std::make_unique<RecoveryManager>(this);
+    for (NodeId n = 0; n < topology_.node_count(); ++n) {
+      stable_.push_back(std::make_unique<StableStorage>());
+      durability_.push_back(std::make_unique<NodeDurability>(
+          &sim_, stable_[n].get(), &config_.durability,
+          [this, n] { return CaptureCheckpoint(n); }));
+      runtimes_[n]->SetDurability(durability_[n].get());
+    }
   }
   started_ = true;
   return Status::Ok();
@@ -576,6 +592,7 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
         TxnId key = id;
         AckWait wait;
         wait.fragment = wf;
+        wait.home = node;
         wait.needed = MajoritySizeFor(wf);
         wait.on_majority = [this, id, node, wf, seq, quasi, release_locks,
                             result, done, after, key] {
@@ -806,8 +823,133 @@ Status Cluster::SetLinkUp(NodeId a, NodeId b, bool up) {
 }
 
 Status Cluster::SetNodeUp(NodeId node, bool up) {
+  if (started_ && node >= 0 && node < static_cast<NodeId>(runtimes_.size()) &&
+      up && amnesia_down_[node]) {
+    // The node's volatile state is gone; it cannot simply reappear.
+    return ReviveNode(node, nullptr);
+  }
   Trace(up ? "node-up" : "node-down", "N" + std::to_string(node));
   return topology_.SetNodeUp(node, up);
+}
+
+Status Cluster::CrashNode(NodeId node, CrashMode mode) {
+  FRAGDB_CHECK(started_);
+  if (node < 0 || node >= static_cast<NodeId>(runtimes_.size())) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (mode == CrashMode::kCrashStop) {
+    return SetNodeUp(node, false);
+  }
+  if (!config_.durability.enabled) {
+    return Status::FailedPrecondition(
+        "amnesia crashes require ClusterConfig::durability.enabled");
+  }
+  Trace("node-down", "N" + std::to_string(node) + " (amnesia)");
+  FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, false));
+  recovery_->Abort(node);  // a crash during recovery drops the session
+  // §4.4.1 waits prepared at this node die with its volatile state. Their
+  // timeout lambdas would touch the wiped stream (next_seq rollback), so
+  // they must not fire; the submitters' callbacks are simply lost, like
+  // any client talking to a crashed server.
+  for (auto it = ack_waits_.begin(); it != ack_waits_.end();) {
+    if (it->second.home == node) {
+      sim_.Cancel(it->second.timeout_event);
+      it = ack_waits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Remote read-lock waits this node initiated: mark abandoned so a late
+  // grant is released back to its home instead of leaking the lock.
+  for (auto& [key, wait] : remote_waits_) {
+    if (wait.requester == node && !wait.abandoned) {
+      sim_.Cancel(wait.timeout_event);
+      wait.abandoned = true;
+    }
+  }
+  runtimes_[node]->WipeVolatile();
+  // A fresh pipeline: destroying the old one expires the weak references
+  // held by its staged-WAL sync and in-flight checkpoint events, which is
+  // exactly how the staged suffix gets lost.
+  durability_[node] = std::make_unique<NodeDurability>(
+      &sim_, stable_[node].get(), &config_.durability,
+      [this, node] { return CaptureCheckpoint(node); });
+  runtimes_[node]->SetDurability(durability_[node].get());
+  amnesia_down_[node] = true;
+  return Status::Ok();
+}
+
+Status Cluster::ReviveNode(NodeId node, RecoveryCallback done) {
+  FRAGDB_CHECK(started_);
+  if (node < 0 || node >= static_cast<NodeId>(runtimes_.size())) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (topology_.IsNodeUp(node)) {
+    return Status::FailedPrecondition("node is not down");
+  }
+  if (!amnesia_down_[node]) {
+    // Crash-stop revival: state survived, nothing to recover.
+    Trace("node-up", "N" + std::to_string(node));
+    FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, true));
+    if (done) done(RecoveryStats{});
+    return Status::Ok();
+  }
+  if (recovery_->InProgress(node)) {
+    return Status::FailedPrecondition("recovery already in progress");
+  }
+  Trace("recover-start", "N" + std::to_string(node));
+  recovery_->StartRecovery(node, std::move(done));
+  return Status::Ok();
+}
+
+void Cluster::OnLocalReplayDone(NodeId node) {
+  amnesia_down_[node] = false;
+  Trace("node-up", "N" + std::to_string(node) + " (local replay done)");
+  Status st = topology_.SetNodeUp(node, true);
+  FRAGDB_CHECK(st.ok());
+}
+
+CheckpointImage Cluster::CaptureCheckpoint(NodeId node) {
+  CheckpointImage image;
+  image.taken_at = sim_.Now();
+  image.versions = runtimes_[node]->store().AllVersions();
+  for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+    if (!catalog_.ReplicatedAt(f, node)) continue;
+    const FragmentStream& s = runtimes_[node]->stream(f);
+    StreamCheckpoint sc;
+    sc.fragment = f;
+    sc.epoch = s.epoch;
+    sc.epoch_base = s.epoch_base;
+    sc.applied_seq = s.applied_seq;
+    sc.next_seq = s.next_seq;
+    image.streams.push_back(sc);
+  }
+  return image;
+}
+
+StableStorage* Cluster::stable_storage(NodeId node) {
+  if (!config_.durability.enabled || node < 0 ||
+      node >= static_cast<NodeId>(stable_.size())) {
+    return nullptr;
+  }
+  return stable_[node].get();
+}
+
+NodeDurability* Cluster::durability(NodeId node) {
+  if (!config_.durability.enabled || node < 0 ||
+      node >= static_cast<NodeId>(durability_.size())) {
+    return nullptr;
+  }
+  return durability_[node].get();
+}
+
+const RecoveryStats* Cluster::LastRecovery(NodeId node) const {
+  return recovery_ ? recovery_->LastStats(node) : nullptr;
+}
+
+bool Cluster::IsAmnesiaDown(NodeId node) const {
+  return node >= 0 && node < static_cast<NodeId>(amnesia_down_.size()) &&
+         amnesia_down_[node];
 }
 
 void Cluster::RunFor(SimTime duration) { sim_.RunUntil(sim_.Now() + duration); }

@@ -16,6 +16,10 @@
 #include "net/broadcast.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "recovery/checkpoint.h"
+#include "recovery/node_durability.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/stable_storage.h"
 #include "sim/simulator.h"
 #include "storage/catalog.h"
 #include "storage/read_access_graph.h"
@@ -34,6 +38,18 @@ namespace fragdb {
 using CorrectiveAction = std::function<std::vector<WriteOp>(
     const QuasiTxn& missing, const std::vector<WriteOp>& applied,
     const ObjectStore& store)>;
+
+/// How a node fails (Environment control).
+enum class CrashMode {
+  /// The classical fail-stop of §4: the node freezes with its state intact
+  /// (the paper assumes durable copies) and resumes where it left off.
+  kCrashStop,
+  /// Power loss: every piece of volatile state — replica contents, lock
+  /// table, stream positions, staged (unsynced) WAL bytes, in-flight
+  /// checkpoint — is gone. Only StableStorage survives; revival runs the
+  /// recovery subsystem. Requires DurabilityConfig::enabled.
+  kAmnesia,
+};
 
 /// One structured event in the cluster's activity trace.
 struct TraceEvent {
@@ -142,8 +158,21 @@ class Cluster {
   /// Crash-stops (or revives) a node: it cannot send, receive, relay, or
   /// accept submissions while down. State is stable storage — it survives
   /// the outage (the paper assumes durable copies). HealAll() does not
-  /// revive downed nodes.
+  /// revive downed nodes. Reviving an amnesia-crashed node this way routes
+  /// through ReviveNode (recovery is not optional once state is lost).
   Status SetNodeUp(NodeId node, bool up);
+
+  /// Crashes a node. kCrashStop is SetNodeUp(node, false); kAmnesia also
+  /// wipes all volatile state (requires config().durability.enabled) — the
+  /// node must then come back through ReviveNode.
+  Status CrashNode(NodeId node, CrashMode mode);
+
+  /// Brings a downed node back. After an amnesia crash this restores the
+  /// last checkpoint, replays the WAL (the node stays off the network for
+  /// the simulated replay time), then catches up from live peers; `done`
+  /// fires with the recovery statistics when the node is fully caught up.
+  /// After a plain crash-stop, `done` fires immediately with ran=false.
+  Status ReviveNode(NodeId node, RecoveryCallback done = nullptr);
 
   void RunFor(SimTime duration);
   void RunUntil(SimTime deadline);
@@ -165,6 +194,15 @@ class Cluster {
   Simulator& sim() { return sim_; }
   Topology& topology() { return topology_; }
   NodeRuntime& runtime(NodeId node) { return *runtimes_[node]; }
+
+  /// A node's stable storage, or nullptr when durability is disabled.
+  StableStorage* stable_storage(NodeId node);
+  /// A node's durability pipeline, or nullptr when durability is disabled.
+  NodeDurability* durability(NodeId node);
+  /// Stats of `node`'s last completed recovery, or nullptr.
+  const RecoveryStats* LastRecovery(NodeId node) const;
+  /// True while `node` is down with its volatile state wiped.
+  bool IsAmnesiaDown(NodeId node) const;
 
   /// Convenience: checks the correctness property the configured control
   /// option promises (global serializability for kReadLocks/kAcyclicReads,
@@ -214,6 +252,13 @@ class Cluster {
                         const QuasiTxn& missing, std::vector<WriteOp> kept);
   /// Emits a trace event if a sink is registered.
   void Trace(const char* kind, std::string detail);
+  /// The recovery manager, or nullptr when durability is disabled.
+  RecoveryManager* recovery_manager() { return recovery_.get(); }
+  /// Called by the recovery manager when `node`'s local replay finished:
+  /// the node rejoins the network (queued traffic starts flowing again).
+  void OnLocalReplayDone(NodeId node);
+  /// Snapshot of `node`'s recoverable state (checkpoint capture).
+  CheckpointImage CaptureCheckpoint(NodeId node);
 
  private:
   enum class AgentPhase { kSettled, kInTransit, kCatchingUp };
@@ -244,6 +289,9 @@ class Cluster {
   /// An update transaction waiting for §4.4.1 majority acknowledgments.
   struct AckWait {
     FragmentId fragment = kInvalidFragment;
+    /// Home node the transaction is preparing at; its waits die with it
+    /// when the node loses its volatile state.
+    NodeId home = kInvalidNode;
     int acks = 1;  // self
     int needed = 0;
     std::function<void()> on_majority;
@@ -303,6 +351,12 @@ class Cluster {
   std::map<AgentId, AgentState> agent_state_;
   std::map<std::pair<TxnId, FragmentId>, RemoteLockWait> remote_waits_;
   std::map<TxnId, AckWait> ack_waits_;
+  /// Durability subsystem (empty/null unless config_.durability.enabled).
+  std::vector<std::unique_ptr<StableStorage>> stable_;
+  std::vector<std::unique_ptr<NodeDurability>> durability_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  /// Per node: down with volatile state wiped (must revive via recovery).
+  std::vector<bool> amnesia_down_;
   History history_;
   std::function<void(const TraceEvent&)> trace_sink_;
   TxnId next_txn_id_ = 1;

@@ -3,6 +3,7 @@
 
 #include "cc/scheduler.h"
 #include "common/types.h"
+#include "recovery/node_durability.h"
 
 namespace fragdb {
 
@@ -71,6 +72,11 @@ struct ClusterConfig {
   /// graph (the paper allows them when the application tolerates
   /// non-serializable *output*; the database itself is unaffected).
   bool allow_nonconforming_readonly = false;
+
+  /// Durable storage & crash recovery (WAL, checkpoints, amnesia crashes).
+  /// Disabled by default: node state then survives crash-stops by fiat, as
+  /// the paper assumes.
+  DurabilityConfig durability;
 };
 
 }  // namespace fragdb

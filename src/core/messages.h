@@ -9,11 +9,6 @@
 
 namespace fragdb {
 
-/// Epoch of a fragment's update stream. Bumped only by the §4.4.3
-/// omit-preparatory-actions move, which deliberately abandons the old
-/// stream (other protocols keep the sequence contiguous across moves).
-using Epoch = int32_t;
-
 /// A quasi-transaction plus its stream position, as broadcast by the home
 /// node (§2.2: "(T; d1,v1; d2,v2; ...)").
 struct QuasiTxnMsg : MessagePayload {
@@ -113,6 +108,47 @@ struct ForwardMissing : MessagePayload {
   Epoch old_epoch = 0;
   size_t ByteSize() const override {
     return 48 + quasi.writes.size() * 16;
+  }
+};
+
+/// Crash-recovery peer catch-up (recovery subsystem): where the recovering
+/// node stands on one fragment after replaying its local WAL.
+struct RecoveryPosition {
+  FragmentId fragment = kInvalidFragment;
+  Epoch epoch = 0;
+  SeqNum applied_seq = 0;
+};
+
+/// The recovering node asks every live peer for the stream suffix its
+/// durable state misses.
+struct RecoveryQuery : MessagePayload {
+  NodeId requester = kInvalidNode;
+  int64_t recovery_id = 0;
+  std::vector<RecoveryPosition> have;
+  size_t ByteSize() const override { return 24 + have.size() * 16; }
+};
+
+/// One fragment's stream state at the replying peer, with the log entries
+/// past the requester's position.
+struct RecoveryFragmentState {
+  FragmentId fragment = kInvalidFragment;
+  Epoch epoch = 0;
+  SeqNum epoch_base = 0;
+  SeqNum applied_seq = 0;
+  std::vector<QuasiTxn> quasis;
+};
+
+struct RecoveryReply : MessagePayload {
+  NodeId replier = kInvalidNode;
+  int64_t recovery_id = 0;
+  std::vector<RecoveryFragmentState> fragments;
+  size_t ByteSize() const override {
+    size_t n = 24;
+    for (const auto& f : fragments) {
+      n += 28;
+      for (const auto& q : f.quasis) n += 48 + q.writes.size() * 16;
+    }
+    return n;
   }
 };
 

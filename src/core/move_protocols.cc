@@ -270,6 +270,8 @@ Status Cluster::RecoverAgent(AgentId agent, NodeId to_node,
 }
 
 void Cluster::OnAppliedAdvanced(NodeId node, FragmentId fragment) {
+  // A recovering node may just have closed its catch-up gap.
+  if (recovery_) recovery_->OnAppliedAdvanced(node, fragment);
   // Complete §4.4.2B catch-up waits for agents parked at `node`.
   for (auto& [agent, state] : agent_state_) {
     if (state.phase != AgentPhase::kCatchingUp) continue;

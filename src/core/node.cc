@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "core/cluster.h"
+#include "recovery/node_durability.h"
+#include "recovery/recovery_manager.h"
 
 namespace fragdb {
 
@@ -61,6 +63,10 @@ void NodeRuntime::HandleMessage(const Message& msg) {
     OnFetchMissing(msg.from, *m);
   } else if (auto* m = dynamic_cast<const MissingData*>(p)) {
     OnMissingData(*m);
+  } else if (auto* m = dynamic_cast<const RecoveryQuery*>(p)) {
+    OnRecoveryQuery(*m);
+  } else if (auto* m = dynamic_cast<const RecoveryReply*>(p)) {
+    OnRecoveryReply(*m);
   } else {
     FRAGDB_LOG(kWarning) << "node " << id_ << ": unknown message payload";
   }
@@ -126,6 +132,7 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
     stream.applied_seq = quasi.seq;
     stream.log[quasi.seq] = quasi;
     stream.install_in_flight = false;
+    if (durability_) durability_->OnQuasiApplied(quasi, stream.epoch);
     cluster_->Trace("install", "T" + std::to_string(quasi.origin_txn) +
                                    " seq=" + std::to_string(quasi.seq) +
                                    " at N" + std::to_string(id_));
@@ -170,6 +177,7 @@ void NodeRuntime::MaybeCompleteTransition(FragmentId f) {
   s.prepared.clear();
   s.early_commits.clear();
   t.active = false;
+  if (durability_) durability_->OnEpochChanged(f, s.epoch, s.epoch_base);
   auto fut = s.future.find(s.epoch);
   if (fut != s.future.end()) {
     for (const QuasiTxn& quasi : fut->second) {
@@ -186,6 +194,7 @@ void NodeRuntime::RecordLocalCommit(const QuasiTxn& quasi) {
   FragmentStream& s = streams_[quasi.fragment];
   s.log[quasi.seq] = quasi;
   s.applied_seq = std::max(s.applied_seq, quasi.seq);
+  if (durability_) durability_->OnQuasiApplied(quasi, s.epoch);
 }
 
 // --------------------------------------------------------------------------
@@ -279,6 +288,7 @@ void NodeRuntime::BeginOmitPrepEpoch(FragmentId fragment) {
   std::map<SeqNum, QuasiTxn> leftover;
   leftover.swap(s.holdback);
   s.transition.active = false;
+  if (durability_) durability_->OnEpochChanged(fragment, s.epoch, s.epoch_base);
 
   auto m0 = std::make_shared<M0Msg>();
   m0->fragment = fragment;
@@ -298,21 +308,31 @@ void NodeRuntime::BeginOmitPrepEpoch(FragmentId fragment) {
 }
 
 void NodeRuntime::OnM0(const M0Msg& msg) {
-  FragmentStream& s = streams_[msg.fragment];
-  if (msg.new_epoch <= s.epoch) return;  // duplicate / superseded
-  if (s.transition.active && msg.new_epoch <= s.transition.new_epoch) return;
-  s.transition.new_epoch = msg.new_epoch;
-  s.transition.base_seq = msg.base_seq;
-  s.transition.new_home = msg.new_home;
+  BeginEpochTransition(msg.fragment, msg.new_epoch, msg.base_seq,
+                       msg.new_home, msg.old_stream);
+}
+
+bool NodeRuntime::BeginEpochTransition(
+    FragmentId fragment, Epoch new_epoch, SeqNum base_seq, NodeId new_home,
+    const std::vector<QuasiTxn>& old_stream) {
+  FragmentStream& s = streams_[fragment];
+  if (new_epoch <= s.epoch) return false;  // duplicate / superseded
+  if (s.transition.active && new_epoch <= s.transition.new_epoch) {
+    return false;
+  }
+  s.transition.new_epoch = new_epoch;
+  s.transition.base_seq = base_seq;
+  s.transition.new_home = new_home;
   s.transition.active = true;
   // Catch up from the M0 content (§4.4.3 B(1)).
-  for (const QuasiTxn& quasi : msg.old_stream) {
+  for (const QuasiTxn& quasi : old_stream) {
     if (quasi.seq > s.applied_seq && s.log.count(quasi.seq) == 0 &&
         s.holdback.count(quasi.seq) == 0) {
       s.holdback[quasi.seq] = quasi;
     }
   }
-  MaybeCompleteTransition(msg.fragment);
+  MaybeCompleteTransition(fragment);
+  return true;
 }
 
 void NodeRuntime::OnForwardMissing(const ForwardMissing& msg) {
@@ -364,6 +384,9 @@ void NodeRuntime::AdoptSnapshot(const ObjectStore::FragmentSnapshot& snapshot,
   // Quasi-transactions the snapshot already covers are duplicates now.
   s.holdback.erase(s.holdback.begin(),
                    s.holdback.upper_bound(s.applied_seq));
+  // The adopted contents never went through the WAL; checkpoint them so
+  // a crash right after the move does not roll the fragment back.
+  if (durability_) durability_->ForceCheckpoint();
   TryInstallNext(f);
 }
 
@@ -456,6 +479,52 @@ void NodeRuntime::OnMissingData(const MissingData& msg) {
     EnqueueQuasi(quasi, streams_[msg.fragment].epoch);
   }
   // Installs advance asynchronously; OnAppliedAdvanced re-checks catch-up.
+}
+
+// --------------------------------------------------------------------------
+// Crash recovery
+// --------------------------------------------------------------------------
+
+void NodeRuntime::WipeVolatile() {
+  store_->Reset();
+  locks_->Clear();
+  scheduler_->Reset();
+  streams_.assign(cluster_->catalog().fragment_count(), FragmentStream{});
+  catchup_ = CatchUpState{};
+  repackaged_.clear();
+  durability_ = nullptr;
+}
+
+void NodeRuntime::OnRecoveryQuery(const RecoveryQuery& msg) {
+  auto reply = std::make_shared<RecoveryReply>();
+  reply->replier = id_;
+  reply->recovery_id = msg.recovery_id;
+  for (const RecoveryPosition& pos : msg.have) {
+    if (!cluster_->catalog().ReplicatedAt(pos.fragment, id_)) continue;
+    const FragmentStream& s = streams_[pos.fragment];
+    RecoveryFragmentState state;
+    state.fragment = pos.fragment;
+    state.epoch = s.epoch;
+    state.epoch_base = s.epoch_base;
+    state.applied_seq = s.applied_seq;
+    // If the requester's durable position is in an older epoch, its
+    // sequence only orders the shared prefix (up to the transition base):
+    // everything past that must be resent.
+    SeqNum from = pos.epoch == s.epoch
+                      ? pos.applied_seq
+                      : std::min(pos.applied_seq, s.epoch_base);
+    for (auto it = s.log.upper_bound(from); it != s.log.end(); ++it) {
+      state.quasis.push_back(it->second);
+    }
+    reply->fragments.push_back(std::move(state));
+  }
+  cluster_->network().Send(id_, msg.requester, reply);
+}
+
+void NodeRuntime::OnRecoveryReply(const RecoveryReply& msg) {
+  if (RecoveryManager* rm = cluster_->recovery_manager()) {
+    rm->OnReply(id_, msg);
+  }
 }
 
 }  // namespace fragdb

@@ -18,6 +18,7 @@
 namespace fragdb {
 
 class Cluster;
+class NodeDurability;
 
 /// Per-node, per-fragment state of the update stream: where this replica
 /// is in the fragment's quasi-transaction sequence, what is held back, and
@@ -108,6 +109,26 @@ class NodeRuntime {
   /// fetch what this node misses from a majority, then invoke `done`.
   void MajorityCatchUp(FragmentId fragment, std::function<void()> done);
 
+  // --- Durability & crash recovery ---------------------------------------
+
+  /// Wires the node's durability pipeline (nullptr disables logging). The
+  /// cluster re-wires a fresh pipeline after each amnesia crash.
+  void SetDurability(NodeDurability* durability) { durability_ = durability; }
+
+  /// Amnesia crash: drops every piece of volatile state in place —
+  /// replica contents, lock table, stream maps, catch-up state — and
+  /// invalidates in-flight scheduler continuations. The runtime object
+  /// itself survives because pending simulator events hold raw pointers
+  /// into it; they become no-ops.
+  void WipeVolatile();
+
+  /// Starts a §4.4.3-style epoch transition at this replica (the body of
+  /// OnM0, also driven by crash recovery when a peer reports a newer
+  /// epoch). Returns false if the transition is stale.
+  bool BeginEpochTransition(FragmentId fragment, Epoch new_epoch,
+                            SeqNum base_seq, NodeId new_home,
+                            const std::vector<QuasiTxn>& old_stream);
+
  private:
   // --- Stream machinery -------------------------------------------------
   void TryInstallNext(FragmentId f);
@@ -128,6 +149,8 @@ class NodeRuntime {
   void OnSeqReply(const SeqReply& msg);
   void OnFetchMissing(NodeId from, const FetchMissing& msg);
   void OnMissingData(const MissingData& msg);
+  void OnRecoveryQuery(const RecoveryQuery& msg);
+  void OnRecoveryReply(const RecoveryReply& msg);
 
   // --- §4.4.1 catch-up state --------------------------------------------
   struct CatchUpState {
@@ -152,6 +175,8 @@ class NodeRuntime {
   /// §4.4.3: origin transactions already repackaged at this (home) node,
   /// so duplicate forwards are ignored.
   std::set<TxnId> repackaged_;
+  /// Durability pipeline, or nullptr when the cluster runs without one.
+  NodeDurability* durability_ = nullptr;
 
   friend class Cluster;
 };

@@ -1,0 +1,100 @@
+#include "recovery/node_durability.h"
+
+#include <utility>
+
+namespace fragdb {
+
+NodeDurability::NodeDurability(Simulator* sim, StableStorage* storage,
+                               const DurabilityConfig* config,
+                               std::function<CheckpointImage()> capture)
+    : sim_(sim),
+      storage_(storage),
+      config_(config),
+      capture_(std::move(capture)),
+      wal_(sim, storage, kWalFile, config->wal_fsync_time),
+      alive_(std::make_shared<bool>(true)) {}
+
+void NodeDurability::OnQuasiApplied(const QuasiTxn& quasi, Epoch epoch) {
+  WalRecord record;
+  record.type = WalRecord::Type::kQuasi;
+  record.fragment = quasi.fragment;
+  record.epoch = epoch;
+  record.quasi = quasi;
+  wal_.Append(record);
+  ++stats_.wal_records;
+  AfterAppend();
+}
+
+void NodeDurability::OnEpochChanged(FragmentId fragment, Epoch new_epoch,
+                                    SeqNum epoch_base) {
+  WalRecord record;
+  record.type = WalRecord::Type::kEpochChange;
+  record.fragment = fragment;
+  record.epoch = new_epoch;
+  record.epoch_base = epoch_base;
+  wal_.Append(record);
+  ++stats_.wal_records;
+  AfterAppend();
+}
+
+void NodeDurability::AfterAppend() {
+  if (checkpoint_in_flight_) return;
+  if (config_->checkpoint_wal_bytes > 0 &&
+      storage_->Size(kWalFile) + wal_.staged_bytes() >
+          config_->checkpoint_wal_bytes) {
+    BeginCheckpoint();
+    return;
+  }
+  if (config_->checkpoint_interval <= 0 || checkpoint_timer_armed_) return;
+  checkpoint_timer_armed_ = true;
+  std::weak_ptr<bool> weak = alive_;
+  sim_->After(config_->checkpoint_interval, [this, weak] {
+    if (weak.expired()) return;  // crashed meanwhile
+    checkpoint_timer_armed_ = false;
+    if (!checkpoint_in_flight_) BeginCheckpoint();
+  });
+}
+
+void NodeDurability::ForceCheckpoint() {
+  if (!checkpoint_in_flight_) BeginCheckpoint();
+}
+
+void NodeDurability::BeginCheckpoint() {
+  checkpoint_in_flight_ = true;
+  ++stats_.checkpoints_started;
+  storage_->Write(kCheckpointPendingFile, "");
+  CheckpointImage image = capture_();
+  std::weak_ptr<bool> weak = alive_;
+  sim_->After(config_->checkpoint_write_time, [this, weak, image] {
+    if (weak.expired()) return;  // crash mid-checkpoint: marker stays
+    CommitCheckpoint(image);
+  });
+}
+
+void NodeDurability::CommitCheckpoint(const CheckpointImage& image) {
+  storage_->Write(kCheckpointFile, image.Encode());
+  // Truncate the WAL: drop every durable record the image covers. Staged
+  // (unsynced) bytes are untouched — when their fsync lands they may
+  // duplicate covered records, which replay skips as stale.
+  WalScan scan = ScanWal(storage_->Read(kWalFile));
+  std::string kept;
+  for (const WalRecord& record : scan.records) {
+    StreamCheckpoint pos = image.StreamFor(record.fragment);
+    bool covered;
+    if (record.type == WalRecord::Type::kEpochChange) {
+      covered = record.epoch <= pos.epoch;
+    } else {
+      covered = record.epoch < pos.epoch ||
+                (record.epoch == pos.epoch && record.quasi.seq <= pos.applied_seq);
+    }
+    if (!covered) kept += EncodeWalRecord(record);
+  }
+  size_t before = storage_->Size(kWalFile);
+  storage_->Write(kWalFile, std::move(kept));
+  stats_.wal_bytes_truncated += before - storage_->Size(kWalFile);
+  storage_->Delete(kCheckpointPendingFile);
+  checkpoint_in_flight_ = false;
+  ++stats_.checkpoints_committed;
+}
+
+}  // namespace fragdb

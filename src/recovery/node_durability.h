@@ -1,0 +1,132 @@
+#ifndef FRAGDB_RECOVERY_NODE_DURABILITY_H_
+#define FRAGDB_RECOVERY_NODE_DURABILITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "recovery/checkpoint.h"
+#include "recovery/stable_storage.h"
+#include "recovery/wal.h"
+#include "sim/simulator.h"
+
+namespace fragdb {
+
+/// Knobs of the durability & recovery subsystem. All times are simulated.
+struct DurabilityConfig {
+  /// Master switch. Off by default: the cluster then behaves exactly as
+  /// before (state survives crash-stops by fiat, amnesia crashes are
+  /// unavailable).
+  bool enabled = false;
+
+  /// Simulated fsync latency: how long an appended WAL record stays in
+  /// the volatile staging buffer before it becomes durable. An amnesia
+  /// crash inside this window loses the staged suffix.
+  SimTime wal_fsync_time = Micros(500);
+
+  /// Simulated cost of replaying one WAL record at recovery time.
+  SimTime wal_replay_time_per_record = Micros(20);
+
+  /// Simulated cost of loading a checkpoint image at recovery time.
+  SimTime checkpoint_load_time = Millis(2);
+
+  /// Periodic checkpointing: a checkpoint is taken this long after the
+  /// first WAL append since the previous checkpoint (so an idle node
+  /// schedules nothing and simulations still quiesce). 0 disables the
+  /// timer; checkpoints then happen only via the byte threshold or
+  /// ForceCheckpoint().
+  SimTime checkpoint_interval = 0;
+
+  /// Simulated cost of writing a checkpoint image to stable storage. The
+  /// commit (atomic rename + WAL truncation) happens this long after the
+  /// checkpoint begins; a crash in between leaves the previous checkpoint
+  /// and the full WAL intact.
+  SimTime checkpoint_write_time = Millis(5);
+
+  /// If >0, also checkpoint whenever the durable WAL exceeds this size.
+  size_t checkpoint_wal_bytes = 0;
+
+  /// Recovery: how long the recovering node waits for peer catch-up
+  /// replies before settling for what has arrived.
+  SimTime recovery_reply_timeout = Millis(200);
+};
+
+/// Names of the per-node stable-storage files.
+inline constexpr const char* kWalFile = "wal";
+inline constexpr const char* kCheckpointFile = "checkpoint";
+inline constexpr const char* kCheckpointPendingFile = "checkpoint.pending";
+
+/// One node's durability pipeline: appends a WAL record for every applied
+/// quasi-transaction and epoch change, and periodically checkpoints the
+/// replica and truncates the log.
+///
+/// Checkpoint/truncate protocol (crash-safe at every step):
+///  1. capture the image in memory and write the `checkpoint.pending`
+///     marker (statement of intent, observable by tests);
+///  2. after `checkpoint_write_time`, atomically publish the image as
+///     `checkpoint`, rewrite `wal` keeping only records the image does not
+///     cover, and delete the marker.
+/// A crash between 1 and 2 loses nothing: recovery ignores the marker and
+/// replays the previous checkpoint plus the untruncated WAL.
+///
+/// The object itself is volatile: an amnesia crash destroys it (staged WAL
+/// bytes and the in-flight checkpoint die with it) and the cluster builds
+/// a fresh one. Only StableStorage survives.
+class NodeDurability {
+ public:
+  struct Stats {
+    uint64_t wal_records = 0;
+    uint64_t checkpoints_started = 0;
+    uint64_t checkpoints_committed = 0;
+    uint64_t wal_bytes_truncated = 0;
+  };
+
+  /// `capture` must return the node's current CheckpointImage; it is
+  /// invoked at checkpoint begin.
+  NodeDurability(Simulator* sim, StableStorage* storage,
+                 const DurabilityConfig* config,
+                 std::function<CheckpointImage()> capture);
+
+  NodeDurability(const NodeDurability&) = delete;
+  NodeDurability& operator=(const NodeDurability&) = delete;
+
+  /// A quasi-transaction was applied to this replica under `epoch`.
+  void OnQuasiApplied(const QuasiTxn& quasi, Epoch epoch);
+
+  /// The fragment's stream moved to `new_epoch` with base `epoch_base`.
+  void OnEpochChanged(FragmentId fragment, Epoch new_epoch,
+                      SeqNum epoch_base);
+
+  /// Begins a checkpoint now (commit still takes checkpoint_write_time).
+  /// No-op if one is already in flight.
+  void ForceCheckpoint();
+
+  /// Synchronously flushes staged WAL bytes (orderly-shutdown fsync).
+  void FlushWal() { wal_.SyncNow(); }
+
+  const Stats& stats() const { return stats_; }
+  WalWriter& wal() { return wal_; }
+
+ private:
+  void AfterAppend();
+  void BeginCheckpoint();
+  void CommitCheckpoint(const CheckpointImage& image);
+
+  Simulator* sim_;
+  StableStorage* storage_;
+  const DurabilityConfig* config_;
+  std::function<CheckpointImage()> capture_;
+  WalWriter wal_;
+  Stats stats_;
+  bool checkpoint_timer_armed_ = false;
+  bool checkpoint_in_flight_ = false;
+  /// Expires when this object is destroyed (crash): pending timer and
+  /// commit events become no-ops.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_RECOVERY_NODE_DURABILITY_H_

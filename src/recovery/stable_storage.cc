@@ -1,0 +1,52 @@
+#include "recovery/stable_storage.h"
+
+namespace fragdb {
+
+const std::string& StableStorage::Read(const std::string& name) const {
+  static const std::string kEmpty;
+  auto it = files_.find(name);
+  return it == files_.end() ? kEmpty : it->second;
+}
+
+size_t StableStorage::Size(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+void StableStorage::Write(const std::string& name, std::string bytes) {
+  bytes_written_ += bytes.size();
+  files_[name] = std::move(bytes);
+}
+
+void StableStorage::Append(const std::string& name, const std::string& bytes) {
+  bytes_written_ += bytes.size();
+  files_[name] += bytes;
+}
+
+void StableStorage::Rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return;
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+}
+
+std::vector<std::string> StableStorage::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, bytes] : files_) {
+    (void)bytes;
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t StableStorage::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [name, bytes] : files_) {
+    (void)name;
+    total += bytes.size();
+  }
+  return total;
+}
+
+}  // namespace fragdb

@@ -1,0 +1,64 @@
+#ifndef FRAGDB_RECOVERY_STABLE_STORAGE_H_
+#define FRAGDB_RECOVERY_STABLE_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fragdb {
+
+/// One node's stable storage: a named byte-file store that models the disk
+/// the paper assumes under "each node keeps a durable copy". It is owned by
+/// the Cluster (NOT by the node runtime), so it survives amnesia crashes
+/// that wipe every volatile structure of a node.
+///
+/// Durability model: bytes handed to Write/Append are durable the moment
+/// the call returns. Latency (fsync, checkpoint write time) is modeled one
+/// layer up — WalWriter and the checkpointer stage bytes in volatile
+/// memory and move them here only after the simulated delay elapses, so a
+/// crash in the window loses exactly the staged suffix.
+class StableStorage {
+ public:
+  StableStorage() = default;
+
+  StableStorage(const StableStorage&) = delete;
+  StableStorage& operator=(const StableStorage&) = delete;
+
+  bool Exists(const std::string& name) const {
+    return files_.count(name) > 0;
+  }
+
+  /// Contents of `name`; empty string if the file does not exist.
+  const std::string& Read(const std::string& name) const;
+
+  size_t Size(const std::string& name) const;
+
+  /// Creates or truncates `name` to exactly `bytes` (atomic replace).
+  void Write(const std::string& name, std::string bytes);
+
+  /// Appends to `name`, creating it if absent.
+  void Append(const std::string& name, const std::string& bytes);
+
+  void Delete(const std::string& name) { files_.erase(name); }
+
+  /// Atomic rename (the checkpoint commit primitive). Overwrites `to`.
+  /// No-op if `from` does not exist.
+  void Rename(const std::string& from, const std::string& to);
+
+  std::vector<std::string> List() const;
+
+  /// Total bytes across all files (for bench reporting).
+  size_t TotalBytes() const;
+
+  /// Cumulative bytes ever written/appended (write amplification metric).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::map<std::string, std::string> files_;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_RECOVERY_STABLE_STORAGE_H_

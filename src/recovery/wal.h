@@ -1,0 +1,93 @@
+#ifndef FRAGDB_RECOVERY_WAL_H_
+#define FRAGDB_RECOVERY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/transaction.h"
+#include "common/types.h"
+#include "recovery/stable_storage.h"
+#include "sim/simulator.h"
+
+namespace fragdb {
+
+/// One write-ahead-log record. Two kinds:
+///  * kQuasi — a quasi-transaction was applied to this replica (either a
+///    local commit at the home node or a remote install), together with the
+///    stream epoch it was applied under;
+///  * kEpochChange — the fragment's stream moved to a new epoch with the
+///    given base (a §4.4.3 move or token recovery observed by this node).
+///
+/// Replaying the records of a WAL in append order over a checkpoint image
+/// reproduces the replica's durable state exactly.
+struct WalRecord {
+  enum class Type : uint8_t { kQuasi = 1, kEpochChange = 2 };
+
+  Type type = Type::kQuasi;
+  FragmentId fragment = kInvalidFragment;
+  Epoch epoch = 0;        // kQuasi: epoch applied under; kEpochChange: new epoch
+  SeqNum epoch_base = 0;  // kEpochChange only
+  QuasiTxn quasi;         // kQuasi only
+};
+
+/// On-disk framing: [u32 payload_len][u32 fnv1a(payload)][payload].
+/// A record whose length runs past the end of the file, or whose checksum
+/// does not match, is a torn tail: scanning stops there and the valid
+/// prefix is what recovery replays.
+std::string EncodeWalRecord(const WalRecord& record);
+
+struct WalScan {
+  std::vector<WalRecord> records;
+  size_t valid_bytes = 0;  // length of the well-formed prefix
+  bool torn = false;       // true if trailing bytes were unparseable
+};
+
+/// Decodes every well-formed record from `bytes`, stopping at the first
+/// torn or corrupt record.
+WalScan ScanWal(const std::string& bytes);
+
+/// Appends WAL records durably with a simulated fsync delay: Append()
+/// stages bytes in volatile memory and arms a single sync event; when the
+/// event fires (after `fsync_time`), everything staged so far moves into
+/// stable storage in one append (group commit). A crash that destroys the
+/// writer before the event fires loses exactly the staged suffix — the
+/// semantics of a real write-behind page cache.
+class WalWriter {
+ public:
+  WalWriter(Simulator* sim, StableStorage* storage, std::string file,
+            SimTime fsync_time);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  void Append(const WalRecord& record);
+
+  /// Moves staged bytes to stable storage immediately (a synchronous
+  /// fsync; used by tests and by orderly shutdown paths).
+  void SyncNow();
+
+  size_t staged_bytes() const { return staging_->buf.size(); }
+  uint64_t records_appended() const { return records_appended_; }
+  const std::string& file() const { return file_; }
+
+ private:
+  struct Staging {
+    std::string buf;
+    bool sync_scheduled = false;
+  };
+
+  Simulator* sim_;
+  StableStorage* storage_;
+  std::string file_;
+  SimTime fsync_time_;
+  /// Shared so the in-flight sync event can detect writer destruction
+  /// (crash) via a weak reference and drop the staged bytes.
+  std::shared_ptr<Staging> staging_;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_RECOVERY_WAL_H_

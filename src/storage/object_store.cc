@@ -59,6 +59,18 @@ ObjectStore::FragmentSnapshot ObjectStore::Snapshot(
   return snap;
 }
 
+void ObjectStore::Reset() {
+  for (ObjectId o = 0; o < catalog_->object_count(); ++o) {
+    versions_[o] = VersionInfo{};
+    versions_[o].value = catalog_->InitialValue(o);
+  }
+}
+
+void ObjectStore::RestoreAll(const std::vector<VersionInfo>& versions) {
+  size_t n = std::min(versions.size(), versions_.size());
+  for (size_t i = 0; i < n; ++i) versions_[i] = versions[i];
+}
+
 void ObjectStore::InstallSnapshot(const FragmentSnapshot& snapshot) {
   FRAGDB_CHECK(snapshot.objects.size() == snapshot.versions.size());
   for (size_t i = 0; i < snapshot.objects.size(); ++i) {

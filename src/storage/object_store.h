@@ -63,6 +63,18 @@ class ObjectStore {
   /// Overwrites this replica's copy of the snapshot's fragment.
   void InstallSnapshot(const FragmentSnapshot& snapshot);
 
+  /// Reverts every object to its catalog initial value (amnesia crash:
+  /// the replica's contents were volatile).
+  void Reset();
+
+  /// Overwrites the whole replica from a checkpoint image (dense by
+  /// ObjectId). Extra trailing entries are ignored; a short vector leaves
+  /// the remaining objects untouched.
+  void RestoreAll(const std::vector<VersionInfo>& versions);
+
+  /// Every version, dense by ObjectId (checkpoint capture).
+  const std::vector<VersionInfo>& AllVersions() const { return versions_; }
+
   const Catalog* catalog() const { return catalog_; }
 
  private:

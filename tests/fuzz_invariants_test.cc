@@ -10,6 +10,7 @@
 
 #include "cc/lock_manager.h"
 #include "common/rng.h"
+#include "core/cluster.h"
 #include "net/broadcast.h"
 #include "workload/banking.h"
 
@@ -215,6 +216,101 @@ TEST_P(BankingStress, AccountingSurvivesRandomTraffic) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BankingStress,
                          ::testing::Values(2, 23, 77, 404));
+
+// ---------------------------------------------------------------------------
+// Amnesia crashes at random times: nodes repeatedly lose all volatile
+// state mid-traffic and recover from checkpoint + WAL + peer catch-up;
+// mutual consistency and the configured property must survive every
+// schedule.
+// ---------------------------------------------------------------------------
+
+class AmnesiaCrashFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AmnesiaCrashFuzz, RandomCrashRecoveryCyclesStayConsistent) {
+  Rng rng(GetParam());
+  const int kNodes = 5;
+  ClusterConfig config;
+  config.control = ControlOption::kFragmentwise;
+  config.durability.enabled = true;
+  config.durability.checkpoint_interval = Millis(20);
+  Cluster cluster(config, Topology::FullMesh(kNodes, Millis(4)));
+
+  const int kFragments = 2;
+  std::vector<FragmentId> frags;
+  std::vector<ObjectId> objs;
+  std::vector<AgentId> agents;
+  for (int i = 0; i < kFragments; ++i) {
+    FragmentId f = cluster.DefineFragment("F" + std::to_string(i));
+    frags.push_back(f);
+    objs.push_back(*cluster.DefineObject(f, "o" + std::to_string(i), 0));
+    AgentId a = cluster.DefineUserAgent("a" + std::to_string(i));
+    agents.push_back(a);
+    ASSERT_TRUE(cluster.AssignToken(f, a).ok());
+    ASSERT_TRUE(cluster.SetAgentHome(a, i).ok());
+  }
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Random updates from both agents across the whole run. Submissions at
+  // a crashed home fail Unavailable; that is part of the schedule.
+  const SimTime kEnd = Millis(1500);
+  for (SimTime t = 0; t < kEnd; t += Millis(10)) {
+    int i = static_cast<int>(rng.NextBelow(kFragments));
+    Value v = 1 + static_cast<Value>(rng.NextBelow(9));
+    cluster.sim().At(t, [&cluster, &agents, &frags, &objs, i, v] {
+      TxnSpec spec;
+      spec.agent = agents[i];
+      spec.write_fragment = frags[i];
+      ObjectId obj = objs[i];
+      spec.read_set = {obj};
+      spec.body = [obj, v](const std::vector<Value>& reads)
+          -> Result<std::vector<WriteOp>> {
+        return std::vector<WriteOp>{{obj, reads[0] + v}};
+      };
+      cluster.Submit(spec, nullptr);
+    });
+  }
+
+  // Random amnesia episodes: any node (homes included) may lose power at
+  // any instant and come back a random downtime later.
+  int crashes_executed = 0;
+  for (int episode = 0; episode < 8; ++episode) {
+    NodeId victim = static_cast<NodeId>(rng.NextBelow(kNodes));
+    SimTime at = static_cast<SimTime>(rng.NextBelow(kEnd - Millis(250)));
+    SimTime downtime = Millis(10 + static_cast<SimTime>(rng.NextBelow(190)));
+    cluster.sim().At(at, [&cluster, &crashes_executed, victim] {
+      if (!cluster.topology().IsNodeUp(victim)) return;  // already down
+      ASSERT_TRUE(cluster.CrashNode(victim, CrashMode::kAmnesia).ok());
+      ++crashes_executed;
+    });
+    cluster.sim().At(at + downtime, [&cluster, victim] {
+      if (!cluster.IsAmnesiaDown(victim)) return;
+      ASSERT_TRUE(cluster.ReviveNode(victim, nullptr).ok());
+    });
+  }
+
+  cluster.RunUntil(kEnd);
+  cluster.RunToQuiescence();
+  // Anyone still mid-outage (or crashed again during recovery) comes back.
+  for (NodeId n = 0; n < kNodes; ++n) {
+    if (cluster.IsAmnesiaDown(n)) {
+      ASSERT_TRUE(cluster.ReviveNode(n, nullptr).ok());
+    }
+  }
+  cluster.RunToQuiescence();
+
+  EXPECT_GT(crashes_executed, 0) << "seed " << GetParam();
+  for (NodeId n = 0; n < kNodes; ++n) {
+    EXPECT_TRUE(cluster.topology().IsNodeUp(n))
+        << "node " << n << " seed " << GetParam();
+    EXPECT_FALSE(cluster.IsAmnesiaDown(n)) << "seed " << GetParam();
+  }
+  EXPECT_TRUE(CheckMutualConsistency(cluster.Replicas()).ok)
+      << "seed " << GetParam();
+  EXPECT_TRUE(cluster.CheckConfiguredProperty().ok) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AmnesiaCrashFuzz,
+                         ::testing::Values(5, 31, 99, 512, 8080));
 
 }  // namespace
 }  // namespace fragdb

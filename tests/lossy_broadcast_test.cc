@@ -114,6 +114,43 @@ TEST(LossyBroadcastTest, ZeroLossDoesNotRetransmitNeedlessly) {
   }
 }
 
+TEST(LossyBroadcastTest, RetransmitRestoresFifoUnderLossAndReordering) {
+  // Heavy loss plus bursts with no settling gap: many envelopes and their
+  // retransmissions are in flight simultaneously, so copies of seq n can
+  // reach a receiver after copies of seq n+1 (a dropped original is
+  // repaired a full retransmit period later). Mid-run link flaps reroute
+  // later traffic onto different paths as well. The Subscribe callback
+  // asserts contiguous per-origin sequencing on every delivery, so any
+  // out-of-order release fails immediately.
+  LossyFixture f(/*loss=*/0.45, /*seed=*/99, /*nodes=*/5);
+  const int kMessages = 20;
+  for (int i = 0; i < kMessages; ++i) {
+    for (NodeId origin = 0; origin < f.node_count; ++origin) {
+      f.rb.Broadcast(origin, std::make_shared<Tag>(1000 * origin + i));
+    }
+    if (i % 5 == 4) f.sim.RunUntil(f.sim.Now() + Millis(2));
+  }
+  f.sim.At(Millis(40), [&f] { (void)f.topology.SetLinkUp(0, 1, false); });
+  f.sim.At(Millis(41), [&f] { (void)f.topology.SetLinkUp(2, 3, false); });
+  f.sim.At(Millis(90), [&f] { (void)f.topology.SetLinkUp(0, 1, true); });
+  f.sim.At(Millis(91), [&f] { (void)f.topology.SetLinkUp(2, 3, true); });
+  f.sim.RunUntil(f.sim.Now() + Seconds(30));
+
+  EXPECT_GT(f.net.stats().messages_dropped, 0u);  // loss really happened
+  EXPECT_GT(f.rb.retransmissions(), 0u);          // and was repaired
+  for (NodeId n = 0; n < f.node_count; ++n) {
+    for (NodeId origin = 0; origin < f.node_count; ++origin) {
+      if (origin == n) continue;
+      ASSERT_EQ(f.delivered[n][origin].size(),
+                static_cast<size_t>(kMessages))
+          << "node " << n << " origin " << origin;
+      for (int i = 0; i < kMessages; ++i) {
+        EXPECT_EQ(f.delivered[n][origin][i], 1000 * origin + i);
+      }
+    }
+  }
+}
+
 TEST(LossyBroadcastTest, StoreAndForwardModeUnchanged) {
   // The two-argument constructor must behave exactly as before: no acks,
   // no retransmissions, no extra traffic.

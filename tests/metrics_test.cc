@@ -62,6 +62,34 @@ TEST(MetricsTest, LatencyMeasuredFromSubmission) {
   EXPECT_DOUBLE_EQ(m.MeanCommitLatency(), 150.0);
 }
 
+TEST(MetricsTest, PercentileOfSingleSample) {
+  WorkloadMetrics m;
+  m.Record(ResultWith(Status::Ok(), 42), 0);
+  EXPECT_EQ(m.CommitLatencyPercentile(0.0), 42);
+  EXPECT_EQ(m.CommitLatencyPercentile(0.5), 42);
+  EXPECT_EQ(m.CommitLatencyPercentile(0.99), 42);
+  EXPECT_EQ(m.CommitLatencyPercentile(1.0), 42);
+  EXPECT_DOUBLE_EQ(m.MeanCommitLatency(), 42.0);
+}
+
+TEST(MetricsTest, PercentileClampsOutOfRangeP) {
+  WorkloadMetrics m;
+  m.Record(ResultWith(Status::Ok(), 10), 0);
+  m.Record(ResultWith(Status::Ok(), 20), 0);
+  EXPECT_EQ(m.CommitLatencyPercentile(-0.5), 10);
+  EXPECT_EQ(m.CommitLatencyPercentile(1.5), 20);
+}
+
+TEST(MetricsTest, OnlyCommitsContributeLatencySamples) {
+  WorkloadMetrics m;
+  m.Record(ResultWith(Status::Unavailable("x"), 500), 0);
+  m.Record(ResultWith(Status::FailedPrecondition("d"), 500), 0);
+  EXPECT_EQ(m.commit_latencies.size(), 0u);
+  EXPECT_EQ(m.CommitLatencyPercentile(1.0), 0);
+  m.Record(ResultWith(Status::Ok(), 7), 0);
+  EXPECT_EQ(m.CommitLatencyPercentile(1.0), 7);
+}
+
 TEST(MetricsTest, AccumulateMergesEverything) {
   WorkloadMetrics a, b;
   a.Record(ResultWith(Status::Ok(), 10), 0);
@@ -73,6 +101,40 @@ TEST(MetricsTest, AccumulateMergesEverything) {
   EXPECT_EQ(a.unavailable, 1u);
   EXPECT_EQ(a.commit_latencies.size(), 2u);
   EXPECT_EQ(a.CommitLatencyPercentile(1.0), 30);
+}
+
+TEST(MetricsTest, MergeWithEmptyIsIdentityEitherWay) {
+  WorkloadMetrics a, empty;
+  a.Record(ResultWith(Status::Ok(), 10), 0);
+  a.Record(ResultWith(Status::Unavailable("x")), 0);
+  a += empty;
+  EXPECT_EQ(a.submitted, 2u);
+  EXPECT_EQ(a.committed, 1u);
+  EXPECT_EQ(a.CommitLatencyPercentile(1.0), 10);
+
+  WorkloadMetrics fresh;
+  fresh += a;
+  EXPECT_EQ(fresh.submitted, 2u);
+  EXPECT_EQ(fresh.committed, 1u);
+  EXPECT_EQ(fresh.unavailable, 1u);
+  EXPECT_DOUBLE_EQ(fresh.Availability(), 0.5);
+  EXPECT_EQ(fresh.CommitLatencyPercentile(1.0), 10);
+}
+
+TEST(MetricsTest, MergedPercentilesSpanBothSides) {
+  // Merging concatenates unsorted samples; percentile queries must still
+  // rank over the union.
+  WorkloadMetrics a, b;
+  a.Record(ResultWith(Status::Ok(), 50), 0);
+  a.Record(ResultWith(Status::Ok(), 10), 0);
+  b.Record(ResultWith(Status::Ok(), 30), 0);
+  b.Record(ResultWith(Status::Ok(), 20), 0);
+  a += b;
+  EXPECT_EQ(a.CommitLatencyPercentile(0.0), 10);
+  EXPECT_EQ(a.CommitLatencyPercentile(0.5), 20);
+  EXPECT_EQ(a.CommitLatencyPercentile(0.75), 30);
+  EXPECT_EQ(a.CommitLatencyPercentile(1.0), 50);
+  EXPECT_DOUBLE_EQ(a.MeanCommitLatency(), 27.5);
 }
 
 TEST(MetricsTest, SummaryMentionsKeyCounters) {
