@@ -81,6 +81,7 @@ RowResult RunCluster(const std::string& name, const std::string& guarantee,
     }
   }
   SyntheticReport report = workload.Run();
+  PrintJsonLine(report.metrics.ToJson(name));
   RowResult row;
   row.name = name;
   row.guarantee = guarantee;

@@ -1,0 +1,146 @@
+// E-obs — what does the observability layer cost when it is on, and does
+// it really cost nothing when it is off?
+//
+// The same synthetic workload runs three ways: observability off (the
+// null-registry fast path), metrics on, and metrics+tracing on. The
+// configurations run interleaved, timed with per-process CPU time (blind
+// to scheduler preemption), and the overhead estimate is the median of
+// the per-rep on/off ratios — temporally adjacent runs, so slow machine
+// drift cancels pairwise. The acceptance bar: metrics must stay under 5%
+// over the off baseline; the binary exits nonzero if not (so CI can
+// enforce it).
+
+#include <ctime>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/synthetic.h"
+
+using namespace fragdb;
+using namespace fragdb_bench;
+
+namespace {
+
+constexpr int kReps = 11;
+
+double CpuTimeMs() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1e3 + ts.tv_nsec * 1e-6;
+}
+
+SyntheticOptions BaseOptions() {
+  SyntheticOptions opt;
+  opt.nodes = 6;
+  opt.objects_per_fragment = 4;
+  opt.read_fan = 0.5;
+  opt.mean_interarrival = Millis(2);
+  opt.duration = Seconds(2);
+  opt.mean_up_time = Millis(400);
+  opt.mean_partition_time = Millis(200);
+  opt.seed = 7;
+  opt.control = ControlOption::kReadLocks;  // exercises the lock observer
+  return opt;
+}
+
+double RunOnceMs(const ObservabilityConfig& obs, uint64_t* served) {
+  SyntheticOptions opt = BaseOptions();
+  opt.observability = obs;
+  SyntheticWorkload workload(opt);
+  Status st = workload.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return -1.0;
+  }
+  double t0 = CpuTimeMs();
+  SyntheticReport report = workload.Run();
+  double t1 = CpuTimeMs();
+  *served = report.metrics.served();
+  return t1 - t0;
+}
+
+double Min(const std::vector<double>& times) {
+  return *std::min_element(times.begin(), times.end());
+}
+
+/// Median of the per-rep on[i]/off[i] ratios, as an overhead percentage.
+double MedianOverheadPct(const std::vector<double>& off,
+                         const std::vector<double>& on) {
+  std::vector<double> ratios;
+  for (size_t i = 0; i < off.size(); ++i) ratios.push_back(on[i] / off[i]);
+  std::sort(ratios.begin(), ratios.end());
+  return (ratios[ratios.size() / 2] - 1.0) * 100.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E-obs — observability overhead (%d interleaved reps, same seed; "
+      "overhead = median per-rep CPU-time ratio)\n\n",
+      kReps);
+
+  ObservabilityConfig off;
+  ObservabilityConfig metrics_on;
+  metrics_on.metrics = true;
+  ObservabilityConfig all_on;
+  all_on.metrics = true;
+  all_on.tracing = true;
+
+  uint64_t served_off = 0, served_metrics = 0, served_all = 0;
+  // Warm-up run so allocator/page-cache state does not bias the baseline.
+  (void)RunOnceMs(off, &served_off);
+  // Interleave the configurations so slow machine-wide drift (thermal,
+  // frequency scaling) hits all three equally instead of whichever config
+  // happens to run last.
+  std::vector<double> t_off, t_metrics, t_all;
+  for (int i = 0; i < kReps; ++i) {
+    t_off.push_back(RunOnceMs(off, &served_off));
+    t_metrics.push_back(RunOnceMs(metrics_on, &served_metrics));
+    t_all.push_back(RunOnceMs(all_on, &served_all));
+    if (t_off.back() < 0 || t_metrics.back() < 0 || t_all.back() < 0) {
+      return 2;
+    }
+  }
+  double base = Min(t_off);
+  double with_metrics = Min(t_metrics);
+  double with_all = Min(t_all);
+  double metrics_pct = MedianOverheadPct(t_off, t_metrics);
+  double all_pct = MedianOverheadPct(t_off, t_all);
+  if (served_off != served_metrics || served_off != served_all) {
+    // Observability must never change behavior, only observe it.
+    std::fprintf(stderr,
+                 "FAIL: served counts diverge (off=%llu metrics=%llu "
+                 "all=%llu)\n",
+                 (unsigned long long)served_off,
+                 (unsigned long long)served_metrics,
+                 (unsigned long long)served_all);
+    return 1;
+  }
+
+  std::vector<int> widths = {24, 14, 12};
+  PrintRow({"configuration", "min cpu ms", "overhead"}, widths);
+  PrintRule(widths);
+  PrintRow({"observability off", Num(base, 2), "-"}, widths);
+  PrintRow({"metrics", Num(with_metrics, 2), Num(metrics_pct, 1) + "%"},
+           widths);
+  PrintRow({"metrics+tracing", Num(with_all, 2), Num(all_pct, 1) + "%"},
+           widths);
+  PrintJsonLine("{\"config\":\"obs_overhead\",\"base_ms\":" + Num(base, 3) +
+                ",\"metrics_ms\":" + Num(with_metrics, 3) +
+                ",\"metrics_overhead_pct\":" + Num(metrics_pct, 2) +
+                ",\"all_ms\":" + Num(with_all, 3) +
+                ",\"all_overhead_pct\":" + Num(all_pct, 2) + "}");
+
+  if (metrics_pct >= 5.0) {
+    std::fprintf(stderr, "\nFAIL: metrics overhead %.1f%% >= 5%%\n",
+                 metrics_pct);
+    return 1;
+  }
+  std::printf("\nmetrics overhead %.1f%% < 5%% — OK\n", metrics_pct);
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "bench_util.h"
 #include "verify/checkers.h"
 #include "workload/banking.h"
+#include "workload/metrics.h"
 
 using namespace fragdb;
 using namespace fragdb_bench;
@@ -141,7 +142,7 @@ Row RunOptimistic(Value amount) {
   return row;
 }
 
-Row RunFragmentsAgents(Value amount) {
+Row RunFragmentsAgents(Value amount, WorkloadMetrics* metrics = nullptr) {
   BankingWorkload::Options opt;
   opt.nodes = 3;
   opt.accounts = 1;
@@ -154,17 +155,21 @@ Row RunFragmentsAgents(Value amount) {
   row.technique = "fragments+agents";
   if (!bank.Start().ok()) return row;
   Cluster& cluster = bank.cluster();
-  (void)cluster.Partition({{1}, {0, 2}});
-  bank.Withdraw(0, amount, [&](const TxnResult& r) {
+  auto record = [&](const TxnResult& r, SimTime submitted_at) {
     if (r.status.ok()) ++row.served;
-  });
+    if (metrics) metrics->Record(r, submitted_at);
+  };
+  (void)cluster.Partition({{1}, {0, 2}});
+  SimTime at = cluster.Now();
+  bank.Withdraw(0, amount,
+                [&, at](const TxnResult& r) { record(r, at); });
   cluster.RunFor(Millis(20));
   // The customer carries the token to the other side and withdraws there.
   (void)bank.MoveCustomer(0, 2, nullptr);
   cluster.RunFor(Millis(50));
-  bank.Withdraw(0, amount, [&](const TxnResult& r) {
-    if (r.status.ok()) ++row.served;
-  });
+  at = cluster.Now();
+  bank.Withdraw(0, amount,
+                [&, at](const TxnResult& r) { record(r, at); });
   cluster.RunFor(Millis(50));
   cluster.HealAll();
   cluster.RunToQuiescence();
@@ -179,17 +184,21 @@ Row RunFragmentsAgents(Value amount) {
 
 void RunScenario(const char* title, Value amount) {
   std::printf("%s\n", title);
+  WorkloadMetrics fa_metrics;
   std::vector<int> widths = {22, 12, 12, 26, 12};
   PrintRow({"technique", "served", "balance", "post-heal repair",
             "consistent"},
            widths);
   PrintRule(widths);
   for (Row row : {RunMutualExclusion(amount), RunLogTransform(amount),
-                  RunOptimistic(amount), RunFragmentsAgents(amount)}) {
+                  RunOptimistic(amount),
+                  RunFragmentsAgents(amount, &fa_metrics)}) {
     PrintRow({row.technique, Int(row.served) + "/2", Int(row.balance),
               row.repair, row.consistent ? "yes" : "NO"},
              widths);
   }
+  PrintJsonLine(fa_metrics.ToJson(std::string("fragments+agents $") +
+                                  std::to_string(amount)));
   std::printf("\n");
 }
 

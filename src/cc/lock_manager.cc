@@ -7,13 +7,28 @@
 namespace fragdb {
 
 bool LockManager::Compatible(const Entry& e, TxnId txn, LockMode mode) const {
-  for (const auto& [holder, held_mode] : e.holders) {
+  for (const auto& [holder, h] : e.holders) {
     if (holder == txn) continue;  // own locks never conflict
-    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
       return false;
     }
   }
   return true;
+}
+
+void LockManager::ObserveGrant(Holder* fresh, ResourceId resource,
+                               LockMode mode, SimTime enqueued) {
+  if (!observer_.now) return;
+  SimTime now = observer_.now();
+  if (fresh != nullptr) fresh->granted_at = now;
+  if (observer_.on_grant) {
+    observer_.on_grant(resource, mode, enqueued < 0 ? 0 : now - enqueued);
+  }
+}
+
+void LockManager::ObserveRelease(const Holder& h, ResourceId resource) {
+  if (!observer_.now || !observer_.on_release) return;
+  observer_.on_release(resource, observer_.now() - h.granted_at);
 }
 
 void LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
@@ -22,18 +37,20 @@ void LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
   auto held = e.holders.find(txn);
   if (held != e.holders.end()) {
     // Already held. Same or stronger mode => immediate grant.
-    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+    if (held->second.mode == LockMode::kExclusive ||
+        mode == LockMode::kShared) {
       cb(Status::Ok());
       return;
     }
     // Upgrade S -> X: immediate if sole holder and nothing incompatible.
     if (e.holders.size() == 1 && Compatible(e, txn, mode)) {
-      held->second = LockMode::kExclusive;
+      held->second.mode = LockMode::kExclusive;
+      ObserveGrant(nullptr, resource, mode, -1);
       cb(Status::Ok());
       return;
     }
     // Queue the upgrade. It is granted when the other holders drain.
-    e.waiters.push_back(Request{txn, mode, std::move(cb)});
+    e.waiters.push_back(Request{txn, mode, std::move(cb), ObservedNow()});
     return;
   }
   // FIFO fairness: do not jump over existing waiters even if compatible,
@@ -46,11 +63,13 @@ void LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
   if (Compatible(e, txn, mode) &&
       (e.waiters.empty() ||
        (mode == LockMode::kShared && !exclusive_waiter_ahead))) {
-    e.holders[txn] = mode;
+    Holder& h = e.holders[txn];
+    h.mode = mode;
+    ObserveGrant(&h, resource, mode, -1);
     cb(Status::Ok());
     return;
   }
-  e.waiters.push_back(Request{txn, mode, std::move(cb)});
+  e.waiters.push_back(Request{txn, mode, std::move(cb), ObservedNow()});
 }
 
 void LockManager::PumpQueue(ResourceId resource) {
@@ -66,18 +85,24 @@ void LockManager::PumpQueue(ResourceId resource) {
       return;
     }
     Request& front = e.waiters.front();
+    TxnId txn = front.txn;
+    LockMode mode = front.mode;
+    SimTime enqueued = front.enqueued;
     GrantCallback cb;
-    auto held = e.holders.find(front.txn);
+    auto held = e.holders.find(txn);
     if (held != e.holders.end()) {
       // Upgrade request: grantable when requester is the sole holder.
       if (e.holders.size() != 1) return;
-      held->second = LockMode::kExclusive;
+      held->second.mode = LockMode::kExclusive;
       cb = std::move(front.cb);
       e.waiters.pop_front();
-    } else if (Compatible(e, front.txn, front.mode)) {
-      e.holders[front.txn] = front.mode;
+      ObserveGrant(nullptr, resource, mode, enqueued);
+    } else if (Compatible(e, txn, mode)) {
+      Holder& h = e.holders[txn];
+      h.mode = mode;
       cb = std::move(front.cb);
       e.waiters.pop_front();
+      ObserveGrant(&h, resource, mode, enqueued);
     } else {
       return;
     }
@@ -88,7 +113,11 @@ void LockManager::PumpQueue(ResourceId resource) {
 void LockManager::Release(TxnId txn, ResourceId resource) {
   auto it = table_.find(resource);
   if (it == table_.end()) return;
-  if (it->second.holders.erase(txn) > 0) PumpQueue(resource);
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return;
+  ObserveRelease(h->second, resource);
+  it->second.holders.erase(h);
+  PumpQueue(resource);
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
@@ -107,7 +136,12 @@ void LockManager::ReleaseAll(TxnId txn) {
     }
   }
   for (ResourceId r : held) {
-    table_[r].holders.erase(txn);
+    Entry& e = table_[r];
+    auto h = e.holders.find(txn);
+    if (h != e.holders.end()) {
+      ObserveRelease(h->second, r);
+      e.holders.erase(h);
+    }
     PumpQueue(r);
   }
   for (auto& [resource, cb] : cancelled) {
@@ -138,10 +172,10 @@ TxnId LockManager::DetectAndResolveDeadlock() {
   for (const auto& [resource, e] : table_) {
     (void)resource;
     for (const auto& w : e.waiters) {
-      for (const auto& [holder, mode] : e.holders) {
+      for (const auto& [holder, h] : e.holders) {
         if (holder == w.txn) continue;
         bool conflict = w.mode == LockMode::kExclusive ||
-                        mode == LockMode::kExclusive;
+                        h.mode == LockMode::kExclusive;
         if (conflict) waits_for[w.txn].insert(holder);
       }
     }
@@ -191,7 +225,12 @@ TxnId LockManager::DetectAndResolveDeadlock() {
     if (e.holders.count(victim) > 0) held.push_back(resource);
   }
   for (ResourceId r : held) {
-    table_[r].holders.erase(victim);
+    Entry& e = table_[r];
+    auto h = e.holders.find(victim);
+    if (h != e.holders.end()) {
+      ObserveRelease(h->second, r);
+      e.holders.erase(h);
+    }
     PumpQueue(r);
   }
   for (auto& [resource, cb] : cancelled) {
@@ -206,7 +245,7 @@ bool LockManager::Holds(TxnId txn, ResourceId resource, LockMode mode) const {
   if (it == table_.end()) return false;
   auto h = it->second.holders.find(txn);
   if (h == it->second.holders.end()) return false;
-  return mode == LockMode::kShared || h->second == LockMode::kExclusive;
+  return mode == LockMode::kShared || h->second.mode == LockMode::kExclusive;
 }
 
 size_t LockManager::waiting_count() const {

@@ -28,6 +28,18 @@ class LockManager {
  public:
   using GrantCallback = std::function<void(Status)>;
 
+  /// Observation hooks for the observability layer. `now` supplies the
+  /// clock (the simulator's, injected so this layer stays sim-agnostic);
+  /// on_grant fires at every grant with the time the request waited,
+  /// on_release at every voluntary release with the time the lock was
+  /// held. With no observer installed the manager does no timestamping.
+  /// Clear() (crash semantics) releases nothing and observes nothing.
+  struct Observer {
+    std::function<SimTime()> now;
+    std::function<void(ResourceId, LockMode, SimTime waited)> on_grant;
+    std::function<void(ResourceId, SimTime held)> on_release;
+  };
+
   LockManager() = default;
 
   LockManager(const LockManager&) = delete;
@@ -73,16 +85,25 @@ class LockManager {
   size_t waiting_count() const;
   size_t held_count() const;
 
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
  private:
   struct Request {
     TxnId txn;
     LockMode mode;
     GrantCallback cb;
+    SimTime enqueued = 0;  // meaningful only while an observer is set
+  };
+  struct Holder {
+    LockMode mode;
+    // Stamped at grant while an observer is set (0 otherwise); upgrades
+    // keep the original stamp so hold time covers the whole S->X span.
+    SimTime granted_at = 0;
   };
   struct Entry {
     // Current holders. Invariant: either one exclusive holder or any
     // number of shared holders.
-    std::map<TxnId, LockMode> holders;
+    std::map<TxnId, Holder> holders;
     std::deque<Request> waiters;
   };
 
@@ -90,7 +111,16 @@ class LockManager {
   void PumpQueue(ResourceId resource);
   bool Compatible(const Entry& e, TxnId txn, LockMode mode) const;
 
+  SimTime ObservedNow() const { return observer_.now ? observer_.now() : 0; }
+  /// Stamps the fresh hold (when given) and reports the wait; `enqueued`
+  /// is the queue-entry time, or negative for an immediate grant (zero
+  /// wait, no second clock read).
+  void ObserveGrant(Holder* fresh, ResourceId resource, LockMode mode,
+                    SimTime enqueued);
+  void ObserveRelease(const Holder& h, ResourceId resource);
+
   std::map<ResourceId, Entry> table_;
+  Observer observer_;
 };
 
 }  // namespace fragdb

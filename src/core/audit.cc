@@ -1,5 +1,6 @@
 #include "core/audit.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace fragdb {
@@ -34,6 +35,12 @@ AuditReport AuditRun(const Cluster& cluster) {
   }
   report.installs = static_cast<int>(history.installs().size());
   report.reads = static_cast<int>(history.reads().size());
+  report.messages_sent = cluster.net_stats().messages_sent;
+  for (const InstallRecord& rec : history.installs()) {
+    if (rec.node == rec.origin_node) continue;  // the home's own install
+    report.max_replication_lag_us =
+        std::max(report.max_replication_lag_us, rec.at - rec.origin_time);
+  }
   return report;
 }
 
@@ -55,6 +62,8 @@ std::string AuditReport::ToString() const {
   os << "  txns: " << committed_txns << " committed, " << uncommitted_txns
      << " uncommitted; installs: " << installs << "; reads: " << reads
      << "\n";
+  os << "  messages sent: " << messages_sent
+     << "; max replication lag: " << max_replication_lag_us << " us\n";
   return os.str();
 }
 

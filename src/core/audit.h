@@ -28,6 +28,12 @@ struct AuditReport {
   int uncommitted_txns = 0;
   int installs = 0;
   int reads = 0;
+  /// Total messages the run put on the wire (NetworkStats).
+  uint64_t messages_sent = 0;
+  /// Worst origin-commit-to-replica-install delay across all replica
+  /// installs (microseconds), computed from the history — it matches the
+  /// replication_lag_us histogram max when metrics are enabled.
+  SimTime max_replication_lag_us = 0;
 
   /// True when the configured property and replica consistency both hold.
   bool ok() const {

@@ -164,6 +164,20 @@ Status Cluster::Start() {
       }
     }
   }
+  // Observability comes up before the runtimes so their constructors can
+  // wire instruments (lock observers, read-staleness hooks).
+  if (config_.observability.metrics) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    obs_ = std::make_unique<ClusterInstruments>(
+        metrics_.get(), topology_.node_count(), catalog_.fragment_count(),
+        config_.durability.enabled);
+    network_->SetSendObserver([this](const MessagePayload& p, size_t bytes) {
+      obs_->OnMessageSent(p.TypeName(), bytes);
+    });
+  }
+  if (config_.observability.tracing) {
+    tracer_ = std::make_unique<Tracer>();
+  }
   for (NodeId n = 0; n < topology_.node_count(); ++n) {
     runtimes_.push_back(std::make_unique<NodeRuntime>(this, n));
     network_->SetHandler(n, [this, n](const Message& msg) {
@@ -321,6 +335,24 @@ void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
                     sim_.Now()));
     return;
   }
+  if (obs_) {
+    obs_->TxnSubmitted(node)->Add();
+    SimTime submitted_at = sim_.Now();
+    done = [this, node, submitted_at,
+            inner = std::move(done)](const TxnResult& r) {
+      if (r.status.ok()) {
+        obs_->TxnCommitted(node)->Add();
+        obs_->CommitLatency(node)->Observe(r.finished_at - submitted_at);
+      } else if (r.status.IsFailedPrecondition()) {
+        obs_->TxnDeclined(node)->Add();
+      } else if (r.status.IsUnavailable() || r.status.IsTimedOut()) {
+        obs_->TxnUnavailable(node)->Add();
+      } else {
+        obs_->TxnRejected(node)->Add();
+      }
+      inner(r);
+    };
+  }
   if (!topology_.IsNodeUp(node)) {
     done(FailResult(kInvalidTxn, Status::Unavailable("node is down"),
                     sim_.Now()));
@@ -343,9 +375,12 @@ void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
   rec.read_only = spec.read_only();
   rec.label = spec.label;
   history_.RegisterTxn(rec);
-  Trace("submit", "T" + std::to_string(id) +
-                      (spec.label.empty() ? "" : " " + spec.label) +
-                      " at N" + std::to_string(node));
+  if (tracing_active()) {
+    Trace("submit", node, type_fragment, id, 0,
+          "T" + std::to_string(id) +
+              (spec.label.empty() ? "" : " " + spec.label) + " at N" +
+              std::to_string(node));
+  }
 
   auto run = [this, id, node, spec, done](bool x_preacquired,
                                           std::function<void()> after) {
@@ -522,11 +557,15 @@ void Cluster::ExecuteAndPropagate(TxnId id, NodeId node, const TxnSpec& spec,
   rt.scheduler().RunLocal(
       id, spec, x_preacquired, seq_alloc,
       [this, id, node, spec, done, after](TxnResult result) {
-        Trace(result.status.ok()
-                  ? "commit"
-                  : (result.status.IsFailedPrecondition() ? "decline"
-                                                          : "fail"),
-              "T" + std::to_string(id) + " " + result.status.ToString());
+        if (tracing_active()) {
+          Trace(result.status.ok()
+                    ? "commit"
+                    : (result.status.IsFailedPrecondition() ? "decline"
+                                                            : "fail"),
+                node, spec.read_only() ? kInvalidFragment : spec.write_fragment,
+                id, result.frag_seq,
+                "T" + std::to_string(id) + " " + result.status.ToString());
+        }
         if (result.status.ok()) {
           history_.MarkCommitted(id, result.frag_seq);
           if (!spec.read_only()) {
@@ -544,6 +583,11 @@ void Cluster::ExecuteAndPropagate(TxnId id, NodeId node, const TxnSpec& spec,
             msg->epoch = rt.stream(spec.write_fragment).epoch;
             Status st = SendToReplicas(node, spec.write_fragment, msg);
             FRAGDB_CHECK(st.ok());
+            if (tracing_active()) {
+              Trace("broadcast", node, spec.write_fragment, id, quasi.seq,
+                    "T" + std::to_string(id) +
+                        " seq=" + std::to_string(quasi.seq));
+            }
           }
         }
         after();
@@ -565,6 +609,7 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
         if (!prepared.status.ok()) {
           rt.scheduler().AbortPrepared(id, release_locks);
           Trace(prepared.status.IsFailedPrecondition() ? "decline" : "fail",
+                node, wf, id, 0,
                 "T" + std::to_string(id) + " " + prepared.status.ToString());
           after();
           done(std::move(prepared));
@@ -608,7 +653,12 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
           FRAGDB_CHECK(s2.ok());
           result->status = Status::Ok();
           result->finished_at = sim_.Now();
-          Trace("commit", "T" + std::to_string(id) + " OK (majority)");
+          if (tracing_active()) {
+            Trace("commit", node, wf, id, seq,
+                  "T" + std::to_string(id) + " OK (majority)");
+            Trace("broadcast", node, wf, id, seq,
+                  "T" + std::to_string(id) + " seq=" + std::to_string(seq));
+          }
           after();
           done(*result);
         };
@@ -627,8 +677,9 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
               result->status = Status::Unavailable(
                   "majority acknowledgments not received");
               result->finished_at = sim_.Now();
-              Trace("fail", "T" + std::to_string(id) +
-                                " Unavailable: no majority acks");
+              Trace("fail", node, wf, id, 0,
+                    "T" + std::to_string(id) +
+                        " Unavailable: no majority acks");
               after();
               done(*result);
             });
@@ -768,10 +819,10 @@ void Cluster::CommitRepackaged(NodeId home, FragmentId fragment,
                   nullptr);
   };
 
-  Trace("repackage", "T" + std::to_string(missing.origin_txn) + " at N" +
-                         std::to_string(home) + ", kept " +
-                         std::to_string(kept.size()) + "/" +
-                         std::to_string(missing.writes.size()) + " writes");
+  Trace("repackage", home, fragment, missing.origin_txn, missing.seq,
+        "T" + std::to_string(missing.origin_txn) + " at N" +
+            std::to_string(home) + ", kept " + std::to_string(kept.size()) +
+            "/" + std::to_string(missing.writes.size()) + " writes");
   if (kept.empty()) {
     run_corrective();
     return;
@@ -782,12 +833,43 @@ void Cluster::CommitRepackaged(NodeId home, FragmentId fragment,
 }
 
 void Cluster::Trace(const char* kind, std::string detail) {
-  if (!trace_sink_) return;
+  Trace(kind, kInvalidNode, kInvalidFragment, kInvalidTxn, 0,
+        std::move(detail));
+}
+
+void Cluster::Trace(const char* kind, NodeId node, FragmentId fragment,
+                    TxnId txn, SeqNum seq, std::string detail) {
+  if (!trace_sink_ && !tracer_) return;
   TraceEvent ev;
   ev.at = sim_.Now();
   ev.kind = kind;
+  ev.node = node;
+  ev.fragment = fragment;
+  ev.txn = txn;
+  ev.seq = seq;
   ev.detail = std::move(detail);
-  trace_sink_(ev);
+  if (trace_sink_) trace_sink_(ev);
+  if (tracer_) tracer_->Record(std::move(ev));
+}
+
+MetricsSnapshot Cluster::SnapshotMetrics() const {
+  if (!metrics_) return MetricsSnapshot{};
+  // Durability gauges are polled lazily at snapshot time: the pipelines
+  // are replaced wholesale on amnesia crashes, so the instruments cannot
+  // pre-resolve stable pointers into them.
+  if (obs_->has_durability()) {
+    for (NodeId n = 0; n < static_cast<NodeId>(durability_.size()); ++n) {
+      const NodeDurability::Stats& st = durability_[n]->stats();
+      obs_->WalRecords(n)->Set(static_cast<int64_t>(st.wal_records));
+      obs_->WalFsyncs(n)->Set(
+          static_cast<int64_t>(durability_[n]->wal().syncs()));
+      obs_->Checkpoints(n)->Set(
+          static_cast<int64_t>(st.checkpoints_committed));
+      obs_->WalBytesTruncated(n)->Set(
+          static_cast<int64_t>(st.wal_bytes_truncated));
+    }
+  }
+  return metrics_->Snapshot();
 }
 
 const CorrectiveAction* Cluster::corrective_action(FragmentId f) const {
@@ -810,11 +892,13 @@ Status Cluster::Partition(const std::vector<std::vector<NodeId>>& groups) {
     detail += "}";
   }
   Trace("partition", detail);
+  if (obs_) obs_->Partitions()->Add();
   return topology_.Partition(groups);
 }
 
 void Cluster::HealAll() {
   Trace("heal", "");
+  if (obs_) obs_->Heals()->Add();
   topology_.HealAll();
 }
 
@@ -828,7 +912,9 @@ Status Cluster::SetNodeUp(NodeId node, bool up) {
     // The node's volatile state is gone; it cannot simply reappear.
     return ReviveNode(node, nullptr);
   }
-  Trace(up ? "node-up" : "node-down", "N" + std::to_string(node));
+  Trace(up ? "node-up" : "node-down", node, kInvalidFragment, kInvalidTxn, 0,
+        "N" + std::to_string(node));
+  if (obs_) (up ? obs_->NodeUps() : obs_->NodeDowns())->Add();
   return topology_.SetNodeUp(node, up);
 }
 
@@ -844,7 +930,12 @@ Status Cluster::CrashNode(NodeId node, CrashMode mode) {
     return Status::FailedPrecondition(
         "amnesia crashes require ClusterConfig::durability.enabled");
   }
-  Trace("node-down", "N" + std::to_string(node) + " (amnesia)");
+  Trace("node-down", node, kInvalidFragment, kInvalidTxn, 0,
+        "N" + std::to_string(node) + " (amnesia)");
+  if (obs_) {
+    obs_->NodeDowns()->Add();
+    obs_->AmnesiaCrashes()->Add();
+  }
   FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, false));
   recovery_->Abort(node);  // a crash during recovery drops the session
   // §4.4.1 waits prepared at this node die with its volatile state. Their
@@ -889,7 +980,9 @@ Status Cluster::ReviveNode(NodeId node, RecoveryCallback done) {
   }
   if (!amnesia_down_[node]) {
     // Crash-stop revival: state survived, nothing to recover.
-    Trace("node-up", "N" + std::to_string(node));
+    Trace("node-up", node, kInvalidFragment, kInvalidTxn, 0,
+          "N" + std::to_string(node));
+    if (obs_) obs_->NodeUps()->Add();
     FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, true));
     if (done) done(RecoveryStats{});
     return Status::Ok();
@@ -897,14 +990,28 @@ Status Cluster::ReviveNode(NodeId node, RecoveryCallback done) {
   if (recovery_->InProgress(node)) {
     return Status::FailedPrecondition("recovery already in progress");
   }
-  Trace("recover-start", "N" + std::to_string(node));
+  Trace("recover-start", node, kInvalidFragment, kInvalidTxn, 0,
+        "N" + std::to_string(node));
+  if (obs_) {
+    done = [this, node, inner = std::move(done)](const RecoveryStats& s) {
+      obs_->Recoveries()->Add();
+      if (Histogram* h = obs_->RecoveryDuration(node)) h->Observe(s.Duration());
+      if (Counter* c = obs_->WalReplayed(node)) c->Add(s.wal_records_replayed);
+      if (Counter* c = obs_->PeerQuasisFetched(node)) {
+        c->Add(s.peer_quasis_fetched);
+      }
+      if (inner) inner(s);
+    };
+  }
   recovery_->StartRecovery(node, std::move(done));
   return Status::Ok();
 }
 
 void Cluster::OnLocalReplayDone(NodeId node) {
   amnesia_down_[node] = false;
-  Trace("node-up", "N" + std::to_string(node) + " (local replay done)");
+  Trace("node-up", node, kInvalidFragment, kInvalidTxn, 0,
+        "N" + std::to_string(node) + " (local replay done)");
+  if (obs_) obs_->NodeUps()->Add();
   Status st = topology_.SetNodeUp(node, true);
   FRAGDB_CHECK(st.ok());
 }

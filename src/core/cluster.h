@@ -16,6 +16,9 @@
 #include "net/broadcast.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/instruments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recovery/checkpoint.h"
 #include "recovery/node_durability.h"
 #include "recovery/recovery_manager.h"
@@ -49,16 +52,6 @@ enum class CrashMode {
   /// checkpoint — is gone. Only StableStorage survives; revival runs the
   /// recovery subsystem. Requires DurabilityConfig::enabled.
   kAmnesia,
-};
-
-/// One structured event in the cluster's activity trace.
-struct TraceEvent {
-  SimTime at = 0;
-  /// "submit", "commit", "decline", "fail", "install", "move-start",
-  /// "move-finish", "recover", "repackage", "corrective", "partition",
-  /// "heal".
-  std::string kind;
-  std::string detail;
 };
 
 /// The fragments-and-agents distributed database: the paper's full system
@@ -217,6 +210,18 @@ class Cluster {
     trace_sink_ = std::move(sink);
   }
 
+  // --- Observability ------------------------------------------------------
+
+  /// The live metrics registry, or nullptr unless
+  /// config().observability.metrics. Valid after Start().
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  /// The structured-event tracer, or nullptr unless
+  /// config().observability.tracing. Valid after Start().
+  Tracer* tracer() { return tracer_.get(); }
+  /// Refreshes the durability/recovery gauges and returns a frozen copy of
+  /// every metric series. Empty snapshot when metrics are off.
+  MetricsSnapshot SnapshotMetrics() const;
+
   /// Quiescence-time mutual consistency that honors partial replication:
   /// each fragment's contents are compared across its replica set only.
   /// Equivalent to CheckMutualConsistency(Replicas()) under full
@@ -250,8 +255,16 @@ class Cluster {
   /// corrective action.
   void CommitRepackaged(NodeId home, FragmentId fragment,
                         const QuasiTxn& missing, std::vector<WriteOp> kept);
-  /// Emits a trace event if a sink is registered.
+  /// True when any trace consumer (sink or tracer) is attached — guard
+  /// call sites whose detail strings are expensive to build.
+  bool tracing_active() const { return trace_sink_ || tracer_; }
+  /// Emits a cluster-scoped trace event if a consumer is attached.
   void Trace(const char* kind, std::string detail);
+  /// Emits a fully structured trace event (node / fragment / txn / seq).
+  void Trace(const char* kind, NodeId node, FragmentId fragment, TxnId txn,
+             SeqNum seq, std::string detail);
+  /// The built-in instrument panel, or nullptr when metrics are off.
+  ClusterInstruments* instruments() { return obs_.get(); }
   /// The recovery manager, or nullptr when durability is disabled.
   RecoveryManager* recovery_manager() { return recovery_.get(); }
   /// Called by the recovery manager when `node`'s local replay finished:
@@ -359,6 +372,10 @@ class Cluster {
   std::vector<bool> amnesia_down_;
   History history_;
   std::function<void(const TraceEvent&)> trace_sink_;
+  /// Observability (null unless enabled in config_.observability).
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<ClusterInstruments> obs_;
   TxnId next_txn_id_ = 1;
   bool started_ = false;
 };

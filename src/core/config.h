@@ -3,6 +3,7 @@
 
 #include "cc/scheduler.h"
 #include "common/types.h"
+#include "obs/instruments.h"
 #include "recovery/node_durability.h"
 
 namespace fragdb {
@@ -77,6 +78,11 @@ struct ClusterConfig {
   /// Disabled by default: node state then survives crash-stops by fiat, as
   /// the paper assumes.
   DurabilityConfig durability;
+
+  /// Metrics registry + structured tracer (src/obs/). Off by default; when
+  /// off the cluster pays only a null-pointer check per would-be
+  /// instrumentation site.
+  ObservabilityConfig observability;
 };
 
 }  // namespace fragdb

@@ -12,6 +12,7 @@ namespace fragdb {
 /// A quasi-transaction plus its stream position, as broadcast by the home
 /// node (§2.2: "(T; d1,v1; d2,v2; ...)").
 struct QuasiTxnMsg : MessagePayload {
+  const char* TypeName() const override { return "quasi"; }
   QuasiTxn quasi;
   Epoch epoch = 0;
 
@@ -22,21 +23,25 @@ struct QuasiTxnMsg : MessagePayload {
 
 /// §4.1 remote read-lock protocol.
 struct ReadLockRequest : MessagePayload {
+  const char* TypeName() const override { return "lock-request"; }
   TxnId txn = kInvalidTxn;
   FragmentId fragment = kInvalidFragment;
   NodeId requester = kInvalidNode;
 };
 struct ReadLockGrant : MessagePayload {
+  const char* TypeName() const override { return "lock-grant"; }
   TxnId txn = kInvalidTxn;
   FragmentId fragment = kInvalidFragment;
 };
 struct ReadLockRelease : MessagePayload {
+  const char* TypeName() const override { return "lock-release"; }
   TxnId txn = kInvalidTxn;
   FragmentId fragment = kInvalidFragment;
 };
 
 /// §4.4.1 majority-commit protocol: prepare / ack / commit.
 struct QuasiPrepare : MessagePayload {
+  const char* TypeName() const override { return "prepare"; }
   QuasiTxn quasi;
   Epoch epoch = 0;
   size_t ByteSize() const override {
@@ -44,12 +49,14 @@ struct QuasiPrepare : MessagePayload {
   }
 };
 struct QuasiAck : MessagePayload {
+  const char* TypeName() const override { return "ack"; }
   TxnId txn = kInvalidTxn;  // the prepared transaction being acknowledged
   FragmentId fragment = kInvalidFragment;
   SeqNum seq = 0;
   NodeId acker = kInvalidNode;
 };
 struct QuasiCommit : MessagePayload {
+  const char* TypeName() const override { return "commit"; }
   FragmentId fragment = kInvalidFragment;
   SeqNum seq = 0;
 };
@@ -57,17 +64,20 @@ struct QuasiCommit : MessagePayload {
 /// §4.4.1 move catch-up: the new home asks everyone how far the fragment's
 /// stream goes and fetches what it misses.
 struct SeqQuery : MessagePayload {
+  const char* TypeName() const override { return "seq-query"; }
   FragmentId fragment = kInvalidFragment;
   NodeId requester = kInvalidNode;
   int64_t move_id = 0;
 };
 struct SeqReply : MessagePayload {
+  const char* TypeName() const override { return "seq-reply"; }
   FragmentId fragment = kInvalidFragment;
   SeqNum applied_seq = 0;
   NodeId replier = kInvalidNode;
   int64_t move_id = 0;
 };
 struct FetchMissing : MessagePayload {
+  const char* TypeName() const override { return "fetch-missing"; }
   FragmentId fragment = kInvalidFragment;
   SeqNum from_seq = 0;  // exclusive
   SeqNum to_seq = 0;    // inclusive
@@ -75,6 +85,7 @@ struct FetchMissing : MessagePayload {
   int64_t move_id = 0;
 };
 struct MissingData : MessagePayload {
+  const char* TypeName() const override { return "missing-data"; }
   FragmentId fragment = kInvalidFragment;
   std::vector<QuasiTxn> quasis;
   int64_t move_id = 0;
@@ -89,6 +100,7 @@ struct MissingData : MessagePayload {
 /// the old stream the new home has, so behind nodes can catch up, plus the
 /// new epoch metadata.
 struct M0Msg : MessagePayload {
+  const char* TypeName() const override { return "m0"; }
   FragmentId fragment = kInvalidFragment;
   NodeId new_home = kInvalidNode;
   Epoch new_epoch = 0;
@@ -104,6 +116,7 @@ struct M0Msg : MessagePayload {
 /// §4.4.3: a third node forwards a missing old-stream transaction to the
 /// new home instead of processing it (protocol step B(2)).
 struct ForwardMissing : MessagePayload {
+  const char* TypeName() const override { return "forward-missing"; }
   QuasiTxn quasi;
   Epoch old_epoch = 0;
   size_t ByteSize() const override {
@@ -122,6 +135,7 @@ struct RecoveryPosition {
 /// The recovering node asks every live peer for the stream suffix its
 /// durable state misses.
 struct RecoveryQuery : MessagePayload {
+  const char* TypeName() const override { return "recovery-query"; }
   NodeId requester = kInvalidNode;
   int64_t recovery_id = 0;
   std::vector<RecoveryPosition> have;
@@ -139,6 +153,7 @@ struct RecoveryFragmentState {
 };
 
 struct RecoveryReply : MessagePayload {
+  const char* TypeName() const override { return "recovery-reply"; }
   NodeId replier = kInvalidNode;
   int64_t recovery_id = 0;
   std::vector<RecoveryFragmentState> fragments;

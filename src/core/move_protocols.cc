@@ -62,10 +62,10 @@ Status Cluster::MoveAgent(AgentId agent, NodeId to_node, MoveCallback done) {
   }
   st.phase = AgentPhase::kInTransit;
   st.move_done = std::move(done);
-  Trace("move-start", catalog_.AgentName(agent) + ": N" +
-                          std::to_string(*from) + " -> N" +
-                          std::to_string(to_node) + " (" +
-                          MoveProtocolName(config_.move_protocol) + ")");
+  Trace("move-start", to_node, kInvalidFragment, kInvalidTxn, 0,
+        catalog_.AgentName(agent) + ": N" + std::to_string(*from) + " -> N" +
+            std::to_string(to_node) + " (" +
+            MoveProtocolName(config_.move_protocol) + ")");
   StartMove(agent, *from, to_node);
   return Status::Ok();
 }
@@ -240,8 +240,8 @@ Status Cluster::RecoverAgent(AgentId agent, NodeId to_node,
   }
   st.phase = AgentPhase::kInTransit;
   st.move_done = std::move(done);
-  Trace("recover", catalog_.AgentName(agent) + " -> N" +
-                       std::to_string(to_node));
+  Trace("recover", to_node, kInvalidFragment, kInvalidTxn, 0,
+        catalog_.AgentName(agent) + " -> N" + std::to_string(to_node));
   sim_.After(config_.agent_travel_time, [this, agent, to_node] {
     Status set = catalog_.SetHome(agent, to_node);
     FRAGDB_CHECK(set.ok());
@@ -296,7 +296,8 @@ void Cluster::OnAppliedAdvanced(NodeId node, FragmentId fragment) {
 
 void Cluster::FinishMove(AgentId agent) {
   Result<NodeId> home = catalog_.HomeOf(agent);
-  Trace("move-finish",
+  Trace("move-finish", home.ok() ? *home : kInvalidNode, kInvalidFragment,
+        kInvalidTxn, 0,
         catalog_.AgentName(agent) + " open at N" +
             (home.ok() ? std::to_string(*home) : std::string("?")));
   AgentState& state = agent_state_[agent];

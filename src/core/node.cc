@@ -25,6 +25,13 @@ NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id)
     r.version_seq = seen.frag_seq;
     r.at = at;
     cluster_->mutable_history().RecordRead(r);
+    if (ClusterInstruments* ins = cluster_->instruments()) {
+      // Staleness is the age of the version served; initial values (never
+      // written) carry no install time and are skipped.
+      if (seen.writer != kInvalidTxn) {
+        ins->ReadStaleness(id_)->Observe(at - seen.installed_at);
+      }
+    }
   };
   hooks.on_install = [this](NodeId node, const QuasiTxn& quasi, SimTime at) {
     cluster_->mutable_history().RecordInstall(node, quasi, at);
@@ -33,6 +40,18 @@ NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id)
                                            locks_.get(),
                                            cluster->cfg().scheduler, hooks);
   streams_.resize(cluster->catalog().fragment_count());
+  if (ClusterInstruments* ins = cluster->instruments()) {
+    LockManager::Observer lock_obs;
+    lock_obs.now = [cluster] { return cluster->sim().Now(); };
+    lock_obs.on_grant = [h = ins->LockWait(id)](ResourceId, LockMode,
+                                                SimTime waited) {
+      h->Observe(waited);
+    };
+    lock_obs.on_release = [h = ins->LockHold(id)](ResourceId, SimTime held) {
+      h->Observe(held);
+    };
+    locks_->SetObserver(std::move(lock_obs));
+  }
 }
 
 void NodeRuntime::HandleMessage(const Message& msg) {
@@ -115,6 +134,10 @@ void NodeRuntime::EnqueueQuasi(const QuasiTxn& quasi, Epoch epoch) {
     return;  // duplicate
   }
   s.holdback[quasi.seq] = quasi;
+  if (ClusterInstruments* ins = cluster_->instruments()) {
+    ins->HoldbackDepth(id_, quasi.fragment)
+        ->Set(static_cast<int64_t>(s.holdback.size()));
+  }
   TryInstallNext(quasi.fragment);
 }
 
@@ -133,9 +156,23 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
     stream.log[quasi.seq] = quasi;
     stream.install_in_flight = false;
     if (durability_) durability_->OnQuasiApplied(quasi, stream.epoch);
-    cluster_->Trace("install", "T" + std::to_string(quasi.origin_txn) +
-                                   " seq=" + std::to_string(quasi.seq) +
-                                   " at N" + std::to_string(id_));
+    if (ClusterInstruments* ins = cluster_->instruments()) {
+      // Replication lag: commit at the origin to install here. The home's
+      // own (re)install of its quasi-transaction is not replication.
+      if (quasi.origin_node != id_) {
+        ins->ReplicationLag(id_, f)->Observe(cluster_->sim().Now() -
+                                             quasi.origin_time);
+      }
+      ins->AppliedSeq(id_, f)->Set(stream.applied_seq);
+      ins->HoldbackDepth(id_, f)
+          ->Set(static_cast<int64_t>(stream.holdback.size()));
+    }
+    if (cluster_->tracing_active()) {
+      cluster_->Trace("install", id_, f, quasi.origin_txn, quasi.seq,
+                      "T" + std::to_string(quasi.origin_txn) +
+                          " seq=" + std::to_string(quasi.seq) + " at N" +
+                          std::to_string(id_));
+    }
     OnAppliedAdvanced(f);
     TryInstallNext(f);
   });
@@ -195,6 +232,9 @@ void NodeRuntime::RecordLocalCommit(const QuasiTxn& quasi) {
   s.log[quasi.seq] = quasi;
   s.applied_seq = std::max(s.applied_seq, quasi.seq);
   if (durability_) durability_->OnQuasiApplied(quasi, s.epoch);
+  if (ClusterInstruments* ins = cluster_->instruments()) {
+    ins->AppliedSeq(id_, quasi.fragment)->Set(s.applied_seq);
+  }
 }
 
 // --------------------------------------------------------------------------

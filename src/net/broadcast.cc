@@ -14,6 +14,7 @@ struct BroadcastEnvelope : MessagePayload {
   std::shared_ptr<const MessagePayload> inner;
 
   size_t ByteSize() const override { return 16 + inner->ByteSize(); }
+  const char* TypeName() const override { return "broadcast"; }
 };
 
 struct BroadcastAck : MessagePayload {
@@ -21,6 +22,7 @@ struct BroadcastAck : MessagePayload {
   NodeId receiver;  // who acknowledges
   SeqNum up_to;     // cumulative: everything <= up_to delivered
   size_t ByteSize() const override { return 24; }
+  const char* TypeName() const override { return "broadcast-ack"; }
 };
 
 }  // namespace

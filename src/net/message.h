@@ -18,6 +18,10 @@ struct MessagePayload {
   /// Approximate wire size in bytes, for overhead accounting in the
   /// experiments. Payloads carrying variable data override this.
   virtual size_t ByteSize() const { return 64; }
+
+  /// Short stable type tag for per-type traffic metrics
+  /// (messages_sent_total{label=<type>}). Protocol payloads override this.
+  virtual const char* TypeName() const { return "other"; }
 };
 
 /// A message in flight (or queued while its destination is unreachable).

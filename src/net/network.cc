@@ -27,8 +27,10 @@ Status Network::Send(NodeId from, NodeId to,
   FRAGDB_CHECK(payload != nullptr);
   SimTime sent_at = sim_->Now();
   if (from != to) {
+    size_t bytes = payload->ByteSize();
     ++stats_.messages_sent;
-    stats_.bytes_sent += payload->ByteSize();
+    stats_.bytes_sent += bytes;
+    if (send_observer_) send_observer_(*payload, bytes);
   }
   if (from == to) {
     Dispatch(from, to, sim_->Now(), std::move(payload), sent_at);

@@ -68,6 +68,15 @@ class Network {
   /// channel underneath (see DESIGN.md).
   void SetLossProbability(double p, uint64_t seed);
 
+  /// Observer invoked once per counted send (from != to, before loss or
+  /// queueing — the same moment `stats_.messages_sent` increments), with
+  /// the payload and its wire size. Pass nullptr to disable. Used by the
+  /// observability layer for per-type traffic accounting.
+  void SetSendObserver(
+      std::function<void(const MessagePayload&, size_t bytes)> observer) {
+    send_observer_ = std::move(observer);
+  }
+
   const NetworkStats& stats() const { return stats_; }
 
   /// Number of messages currently queued waiting for connectivity.
@@ -87,6 +96,7 @@ class Network {
   // FIFO channel floor: earliest permissible next delivery per (from, to).
   std::map<std::pair<NodeId, NodeId>, SimTime> channel_floor_;
   NetworkStats stats_;
+  std::function<void(const MessagePayload&, size_t)> send_observer_;
   bool flushing_ = false;
   double loss_probability_ = 0.0;
   std::unique_ptr<Rng> loss_rng_;

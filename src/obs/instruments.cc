@@ -1,0 +1,107 @@
+#include "obs/instruments.h"
+
+namespace fragdb {
+
+namespace {
+
+MetricKey NodeKey(const char* name, NodeId n) {
+  MetricKey key;
+  key.name = name;
+  key.node = n;
+  return key;
+}
+
+MetricKey NodeFragKey(const char* name, NodeId n, FragmentId f) {
+  MetricKey key;
+  key.name = name;
+  key.node = n;
+  key.fragment = f;
+  return key;
+}
+
+MetricKey PlainKey(const char* name) {
+  MetricKey key;
+  key.name = name;
+  return key;
+}
+
+}  // namespace
+
+ClusterInstruments::ClusterInstruments(MetricsRegistry* registry, int nodes,
+                                       int fragments, bool durability)
+    : registry_(registry),
+      nodes_(nodes),
+      fragments_(fragments),
+      durability_(durability) {
+  (void)nodes_;
+  for (NodeId n = 0; n < nodes; ++n) {
+    txn_submitted_.push_back(
+        registry_->GetCounter(NodeKey("txn_submitted_total", n)));
+    txn_committed_.push_back(
+        registry_->GetCounter(NodeKey("txn_committed_total", n)));
+    txn_declined_.push_back(
+        registry_->GetCounter(NodeKey("txn_declined_total", n)));
+    txn_unavailable_.push_back(
+        registry_->GetCounter(NodeKey("txn_unavailable_total", n)));
+    txn_rejected_.push_back(
+        registry_->GetCounter(NodeKey("txn_rejected_total", n)));
+    commit_latency_us_.push_back(
+        registry_->GetHistogram(NodeKey("commit_latency_us", n)));
+    lock_wait_us_.push_back(
+        registry_->GetHistogram(NodeKey("lock_wait_us", n)));
+    lock_hold_us_.push_back(
+        registry_->GetHistogram(NodeKey("lock_hold_us", n)));
+    read_staleness_us_.push_back(
+        registry_->GetHistogram(NodeKey("read_staleness_us", n)));
+    for (FragmentId f = 0; f < fragments; ++f) {
+      replication_lag_us_.push_back(
+          registry_->GetHistogram(NodeFragKey("replication_lag_us", n, f)));
+      holdback_depth_.push_back(
+          registry_->GetGauge(NodeFragKey("holdback_depth", n, f)));
+      applied_seq_.push_back(
+          registry_->GetGauge(NodeFragKey("applied_seq", n, f)));
+    }
+    if (durability) {
+      wal_records_.push_back(registry_->GetGauge(NodeKey("wal_records", n)));
+      wal_fsyncs_.push_back(registry_->GetGauge(NodeKey("wal_fsyncs", n)));
+      checkpoints_committed_.push_back(
+          registry_->GetGauge(NodeKey("checkpoints_committed", n)));
+      wal_bytes_truncated_.push_back(
+          registry_->GetGauge(NodeKey("wal_bytes_truncated", n)));
+      recovery_duration_us_.push_back(
+          registry_->GetHistogram(NodeKey("recovery_duration_us", n)));
+      wal_replayed_.push_back(
+          registry_->GetCounter(NodeKey("wal_records_replayed_total", n)));
+      peer_quasis_fetched_.push_back(
+          registry_->GetCounter(NodeKey("peer_quasis_fetched_total", n)));
+    }
+  }
+  partitions_ = registry_->GetCounter(PlainKey("partitions_total"));
+  heals_ = registry_->GetCounter(PlainKey("heals_total"));
+  node_down_ = registry_->GetCounter(PlainKey("node_down_total"));
+  node_up_ = registry_->GetCounter(PlainKey("node_up_total"));
+  amnesia_crashes_ = registry_->GetCounter(PlainKey("amnesia_crashes_total"));
+  recoveries_ = registry_->GetCounter(PlainKey("recoveries_total"));
+}
+
+void ClusterInstruments::OnMessageSentSlow(const char* type, size_t bytes) {
+  // First message carrying this type-name pointer. The string-keyed map
+  // guards against two distinct literals with equal text: both end up on
+  // the same counters.
+  auto it = message_counters_.find(type);
+  if (it == message_counters_.end()) {
+    MetricKey messages = PlainKey("messages_sent_total");
+    messages.label = type;
+    MetricKey sent_bytes = PlainKey("bytes_sent_total");
+    sent_bytes.label = type;
+    it = message_counters_
+             .emplace(type, std::make_pair(registry_->GetCounter(messages),
+                                           registry_->GetCounter(sent_bytes)))
+             .first;
+  }
+  message_fast_.push_back({type, it->second.first, it->second.second});
+  it->second.first->Add(1);
+  it->second.second->Add(bytes);
+}
+
+}  // namespace fragdb

@@ -1,0 +1,148 @@
+#ifndef FRAGDB_OBS_INSTRUMENTS_H_
+#define FRAGDB_OBS_INSTRUMENTS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fragdb {
+
+/// Per-cluster observability switches (ClusterConfig::observability).
+/// Everything is off by default; when off the cluster allocates neither a
+/// registry nor a tracer and every instrumentation site is a null-pointer
+/// check.
+struct ObservabilityConfig {
+  /// Allocate a MetricsRegistry and wire the built-in instruments.
+  bool metrics = false;
+  /// Allocate a Tracer recording every structured TraceEvent (independent
+  /// of any SetTraceSink callback).
+  bool tracing = false;
+
+  bool enabled() const { return metrics || tracing; }
+};
+
+/// The cluster's built-in instrument panel: every handle pre-resolved at
+/// Start() so hot paths do no map lookups. Metric catalog (units and
+/// meanings) is documented in docs/OBSERVABILITY.md.
+class ClusterInstruments {
+ public:
+  ClusterInstruments(MetricsRegistry* registry, int nodes, int fragments,
+                     bool durability);
+
+  MetricsRegistry* registry() const { return registry_; }
+
+  // Per-node transaction outcomes.
+  Counter* TxnSubmitted(NodeId n) { return txn_submitted_[n]; }
+  Counter* TxnCommitted(NodeId n) { return txn_committed_[n]; }
+  Counter* TxnDeclined(NodeId n) { return txn_declined_[n]; }
+  Counter* TxnUnavailable(NodeId n) { return txn_unavailable_[n]; }
+  Counter* TxnRejected(NodeId n) { return txn_rejected_[n]; }
+
+  // Per-node timing distributions (microseconds).
+  Histogram* CommitLatency(NodeId n) { return commit_latency_us_[n]; }
+  Histogram* LockWait(NodeId n) { return lock_wait_us_[n]; }
+  Histogram* LockHold(NodeId n) { return lock_hold_us_[n]; }
+  Histogram* ReadStaleness(NodeId n) { return read_staleness_us_[n]; }
+
+  // Per (node, fragment) replication state.
+  Histogram* ReplicationLag(NodeId n, FragmentId f) {
+    return replication_lag_us_[Index(n, f)];
+  }
+  Gauge* HoldbackDepth(NodeId n, FragmentId f) {
+    return holdback_depth_[Index(n, f)];
+  }
+  Gauge* AppliedSeq(NodeId n, FragmentId f) {
+    return applied_seq_[Index(n, f)];
+  }
+
+  // Cluster-wide environment events.
+  Counter* Partitions() { return partitions_; }
+  Counter* Heals() { return heals_; }
+  Counter* NodeDowns() { return node_down_; }
+  Counter* NodeUps() { return node_up_; }
+  Counter* AmnesiaCrashes() { return amnesia_crashes_; }
+  Counter* Recoveries() { return recoveries_; }
+
+  // Durability / recovery (gauges refreshed at snapshot time; null when
+  // the cluster runs without durability).
+  Gauge* WalRecords(NodeId n) { return durability_ ? wal_records_[n] : nullptr; }
+  Gauge* WalFsyncs(NodeId n) { return durability_ ? wal_fsyncs_[n] : nullptr; }
+  Gauge* Checkpoints(NodeId n) {
+    return durability_ ? checkpoints_committed_[n] : nullptr;
+  }
+  Gauge* WalBytesTruncated(NodeId n) {
+    return durability_ ? wal_bytes_truncated_[n] : nullptr;
+  }
+  Histogram* RecoveryDuration(NodeId n) {
+    return durability_ ? recovery_duration_us_[n] : nullptr;
+  }
+  Counter* WalReplayed(NodeId n) {
+    return durability_ ? wal_replayed_[n] : nullptr;
+  }
+  Counter* PeerQuasisFetched(NodeId n) {
+    return durability_ ? peer_quasis_fetched_[n] : nullptr;
+  }
+
+  /// Traffic accounting by payload type ("messages_sent_total" /
+  /// "bytes_sent_total" with label=type). The per-type counters are cached
+  /// by the type-name pointer — TypeName() returns static literals, so the
+  /// steady state is a short pointer-compare scan with no string work.
+  void OnMessageSent(const char* type, size_t bytes) {
+    for (const TypeCounters& tc : message_fast_) {
+      if (tc.type == type) {
+        tc.messages->Add();
+        tc.bytes->Add(bytes);
+        return;
+      }
+    }
+    OnMessageSentSlow(type, bytes);
+  }
+
+  bool has_durability() const { return durability_; }
+
+ private:
+  struct TypeCounters {
+    const char* type;
+    Counter* messages;
+    Counter* bytes;
+  };
+
+  size_t Index(NodeId n, FragmentId f) const {
+    return static_cast<size_t>(n) * fragments_ + f;
+  }
+
+  void OnMessageSentSlow(const char* type, size_t bytes);
+
+  MetricsRegistry* registry_;
+  int nodes_;
+  int fragments_;
+  bool durability_;
+
+  std::vector<Counter*> txn_submitted_, txn_committed_, txn_declined_,
+      txn_unavailable_, txn_rejected_;
+  std::vector<Histogram*> commit_latency_us_, lock_wait_us_, lock_hold_us_,
+      read_staleness_us_;
+  std::vector<Histogram*> replication_lag_us_;
+  std::vector<Gauge*> holdback_depth_, applied_seq_;
+  Counter* partitions_ = nullptr;
+  Counter* heals_ = nullptr;
+  Counter* node_down_ = nullptr;
+  Counter* node_up_ = nullptr;
+  Counter* amnesia_crashes_ = nullptr;
+  Counter* recoveries_ = nullptr;
+  std::vector<Gauge*> wal_records_, wal_fsyncs_, checkpoints_committed_,
+      wal_bytes_truncated_;
+  std::vector<Histogram*> recovery_duration_us_;
+  std::vector<Counter*> wal_replayed_, peer_quasis_fetched_;
+  std::map<std::string, std::pair<Counter*, Counter*>> message_counters_;
+  std::vector<TypeCounters> message_fast_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_OBS_INSTRUMENTS_H_

@@ -1,0 +1,496 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  FRAGDB_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+const std::vector<int64_t>& Histogram::DefaultTimeBounds() {
+  static const std::vector<int64_t> kBounds = {
+      10,     20,     50,      100,     200,     500,      1000,
+      2000,   5000,   10000,   20000,   50000,   100000,   200000,
+      500000, 1000000, 2000000, 5000000, 10000000};
+  return kBounds;
+}
+
+Histogram Histogram::FromParts(std::vector<int64_t> bounds,
+                               std::vector<uint64_t> buckets, uint64_t count,
+                               int64_t sum, int64_t min, int64_t max) {
+  Histogram h(std::move(bounds));
+  FRAGDB_CHECK(buckets.size() == h.buckets_.size());
+  h.buckets_ = std::move(buckets);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
+void Histogram::Observe(int64_t v) {
+  // First bound >= v, or the overflow bucket past the last bound.
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  buckets_[i] += 1;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += 1;
+  sum_ += v;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  FRAGDB_CHECK(bounds_ == other.bounds_);
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::min(1.0, std::max(0.0, p));
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+    }
+  }
+  return max_;
+}
+
+// --------------------------------------------------------------------------
+// Keys
+// --------------------------------------------------------------------------
+
+std::string MetricKey::ToString() const {
+  std::string out = name;
+  std::string dims;
+  if (node != kInvalidNode) dims += "node=" + std::to_string(node);
+  if (fragment != kInvalidFragment) {
+    if (!dims.empty()) dims += ",";
+    dims += "fragment=" + std::to_string(fragment);
+  }
+  if (!label.empty()) {
+    if (!dims.empty()) dims += ",";
+    dims += "label=" + label;
+  }
+  if (!dims.empty()) out += "{" + dims + "}";
+  return out;
+}
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string JoinInts(const std::vector<int64_t>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+std::string JoinUints(const std::vector<uint64_t>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+bool EntryLess(const MetricEntry& a, const MetricEntry& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Snapshot
+// --------------------------------------------------------------------------
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const MetricEntry& e : other.entries) {
+    auto it = std::lower_bound(entries.begin(), entries.end(), e, EntryLess);
+    if (it != entries.end() && it->key == e.key && it->kind == e.kind) {
+      switch (e.kind) {
+        case MetricKind::kCounter:
+          it->counter += e.counter;
+          break;
+        case MetricKind::kGauge:
+          it->gauge += e.gauge;
+          break;
+        case MetricKind::kHistogram:
+          if (it->histogram.count() == 0) {
+            it->histogram = e.histogram;
+          } else {
+            it->histogram.Merge(e.histogram);
+          }
+          break;
+      }
+    } else {
+      entries.insert(it, e);
+    }
+  }
+}
+
+const MetricEntry* MetricsSnapshot::Find(const MetricKey& key) const {
+  for (const MetricEntry& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(const std::string& name) const {
+  uint64_t total = 0;
+  for (const MetricEntry& e : entries) {
+    if (e.kind == MetricKind::kCounter && e.key.name == name) {
+      total += e.counter;
+    }
+  }
+  return total;
+}
+
+int64_t MetricsSnapshot::HistogramMax(const std::string& name) const {
+  int64_t max = 0;
+  for (const MetricEntry& e : entries) {
+    if (e.kind == MetricKind::kHistogram && e.key.name == name &&
+        e.histogram.count() > 0) {
+      max = std::max(max, e.histogram.max());
+    }
+  }
+  return max;
+}
+
+uint64_t MetricsSnapshot::HistogramCount(const std::string& name) const {
+  uint64_t total = 0;
+  for (const MetricEntry& e : entries) {
+    if (e.kind == MetricKind::kHistogram && e.key.name == name) {
+      total += e.histogram.count();
+    }
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const MetricEntry& e : entries) {
+    out += KindName(e.kind);
+    out += " ";
+    out += e.key.ToString();
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += " " + std::to_string(e.counter);
+        break;
+      case MetricKind::kGauge:
+        out += " " + std::to_string(e.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = e.histogram;
+        out += " count=" + std::to_string(h.count());
+        out += " sum=" + std::to_string(h.sum());
+        out += " min=" + std::to_string(h.min());
+        out += " max=" + std::to_string(h.max());
+        out += " bounds=" + JoinInts(h.bounds());
+        out += " buckets=" + JoinUints(h.buckets());
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  std::string last_family;
+  for (const MetricEntry& e : entries) {
+    std::string family = "fragdb_" + e.key.name;
+    std::string dims;
+    if (e.key.node != kInvalidNode) {
+      dims += "node=\"" + std::to_string(e.key.node) + "\"";
+    }
+    if (e.key.fragment != kInvalidFragment) {
+      if (!dims.empty()) dims += ",";
+      dims += "fragment=\"" + std::to_string(e.key.fragment) + "\"";
+    }
+    if (!e.key.label.empty()) {
+      if (!dims.empty()) dims += ",";
+      dims += "label=\"" + e.key.label + "\"";
+    }
+    if (family != last_family) {
+      out += "# TYPE " + family + " " + KindName(e.kind) + "\n";
+      last_family = family;
+    }
+    auto with = [&](const std::string& suffix, const std::string& extra_dim,
+                    const std::string& value) {
+      out += family + suffix + "{";
+      out += dims;
+      if (!extra_dim.empty()) {
+        if (!dims.empty()) out += ",";
+        out += extra_dim;
+      }
+      out += "} " + value + "\n";
+    };
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        with("", "", std::to_string(e.counter));
+        break;
+      case MetricKind::kGauge:
+        with("", "", std::to_string(e.gauge));
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = e.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.buckets()[i];
+          with("_bucket", "le=\"" + std::to_string(h.bounds()[i]) + "\"",
+               std::to_string(cumulative));
+        }
+        with("_bucket", "le=\"+Inf\"", std::to_string(h.count()));
+        with("_sum", "", std::to_string(h.sum()));
+        with("_count", "", std::to_string(h.count()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const MetricEntry& e = entries[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + e.key.name + "\"";
+    if (e.key.node != kInvalidNode) {
+      out += ",\"node\":" + std::to_string(e.key.node);
+    }
+    if (e.key.fragment != kInvalidFragment) {
+      out += ",\"fragment\":" + std::to_string(e.key.fragment);
+    }
+    if (!e.key.label.empty()) out += ",\"label\":\"" + e.key.label + "\"";
+    out += ",\"kind\":\"";
+    out += KindName(e.kind);
+    out += "\"";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + std::to_string(e.counter);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + std::to_string(e.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = e.histogram;
+        out += ",\"count\":" + std::to_string(h.count());
+        out += ",\"sum\":" + std::to_string(h.sum());
+        out += ",\"min\":" + std::to_string(h.min());
+        out += ",\"max\":" + std::to_string(h.max());
+        out += ",\"bounds\":[" + JoinInts(h.bounds()) + "]";
+        out += ",\"buckets\":[" + JoinUints(h.buckets()) + "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+Result<MetricKey> ParseKey(const std::string& token) {
+  MetricKey key;
+  size_t brace = token.find('{');
+  if (brace == std::string::npos) {
+    key.name = token;
+    return key;
+  }
+  if (token.back() != '}') {
+    return Status::InvalidArgument("unterminated metric dimensions: " + token);
+  }
+  key.name = token.substr(0, brace);
+  std::string dims = token.substr(brace + 1, token.size() - brace - 2);
+  std::istringstream is(dims);
+  std::string dim;
+  while (std::getline(is, dim, ',')) {
+    size_t eq = dim.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad metric dimension: " + dim);
+    }
+    std::string name = dim.substr(0, eq);
+    std::string value = dim.substr(eq + 1);
+    if (name == "node") {
+      key.node = std::stoll(value);
+    } else if (name == "fragment") {
+      key.fragment = std::stoll(value);
+    } else if (name == "label") {
+      key.label = value;
+    } else {
+      return Status::InvalidArgument("unknown metric dimension: " + name);
+    }
+  }
+  return key;
+}
+
+std::vector<int64_t> ParseInts(const std::string& csv) {
+  std::vector<int64_t> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) out.push_back(std::stoll(item));
+  return out;
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> MetricsSnapshot::FromText(const std::string& text) {
+  MetricsSnapshot snap;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string kind_token, key_token;
+    is >> kind_token >> key_token;
+    Result<MetricKey> key = ParseKey(key_token);
+    if (!key.ok()) return key.status();
+    MetricEntry e;
+    e.key = *key;
+    if (kind_token == "counter") {
+      e.kind = MetricKind::kCounter;
+      if (!(is >> e.counter)) {
+        return Status::InvalidArgument("bad counter line: " + line);
+      }
+    } else if (kind_token == "gauge") {
+      e.kind = MetricKind::kGauge;
+      if (!(is >> e.gauge)) {
+        return Status::InvalidArgument("bad gauge line: " + line);
+      }
+    } else if (kind_token == "histogram") {
+      e.kind = MetricKind::kHistogram;
+      std::map<std::string, std::string> fields;
+      std::string field;
+      while (is >> field) {
+        size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+          return Status::InvalidArgument("bad histogram field: " + field);
+        }
+        fields[field.substr(0, eq)] = field.substr(eq + 1);
+      }
+      for (const char* required :
+           {"count", "sum", "min", "max", "bounds", "buckets"}) {
+        if (fields.count(required) == 0) {
+          return Status::InvalidArgument(std::string("histogram missing ") +
+                                         required + ": " + line);
+        }
+      }
+      std::vector<int64_t> bounds = ParseInts(fields["bounds"]);
+      std::vector<int64_t> signed_buckets = ParseInts(fields["buckets"]);
+      std::vector<uint64_t> buckets(signed_buckets.begin(),
+                                    signed_buckets.end());
+      if (buckets.size() != bounds.size() + 1) {
+        return Status::InvalidArgument("bucket/bound mismatch: " + line);
+      }
+      e.histogram = Histogram::FromParts(
+          std::move(bounds), std::move(buckets), std::stoull(fields["count"]),
+          std::stoll(fields["sum"]), std::stoll(fields["min"]),
+          std::stoll(fields["max"]));
+    } else {
+      return Status::InvalidArgument("unknown metric kind: " + kind_token);
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(), EntryLess);
+  return snap;
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const MetricKey& key) {
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const MetricKey& key) {
+  auto& slot = gauges_[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const MetricKey& key,
+                                         const std::vector<int64_t>& bounds) {
+  auto& slot = histograms_[key];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(series_count());
+  for (const auto& [key, counter] : counters_) {
+    MetricEntry e;
+    e.key = key;
+    e.kind = MetricKind::kCounter;
+    e.counter = counter->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricEntry e;
+    e.key = key;
+    e.kind = MetricKind::kGauge;
+    e.gauge = gauge->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, hist] : histograms_) {
+    MetricEntry e;
+    e.key = key;
+    e.kind = MetricKind::kHistogram;
+    e.histogram = *hist;
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(), EntryLess);
+  return snap;
+}
+
+}  // namespace fragdb

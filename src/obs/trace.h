@@ -1,0 +1,67 @@
+#ifndef FRAGDB_OBS_TRACE_H_
+#define FRAGDB_OBS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// One structured event in the cluster's activity trace. Lifecycle events
+/// of a single transaction share a txn id, so its full span chain —
+/// submit (initiate) → commit at the home → broadcast → install at each
+/// replica — is reconstructible across nodes.
+struct TraceEvent {
+  SimTime at = 0;
+  /// "submit", "commit", "decline", "fail", "broadcast", "install",
+  /// "move-start", "move-finish", "recover", "recover-start", "repackage",
+  /// "partition", "heal", "node-up", "node-down".
+  std::string kind;
+  /// Node where the event happened, or kInvalidNode for cluster-wide
+  /// events (partition/heal).
+  NodeId node = kInvalidNode;
+  /// Fragment involved, when the event concerns one.
+  FragmentId fragment = kInvalidFragment;
+  /// Transaction the event belongs to, for span reconstruction.
+  TxnId txn = kInvalidTxn;
+  /// Stream sequence number, for commit/broadcast/install events.
+  SeqNum seq = 0;
+  /// Residual human-readable context (labels, status text, group layout).
+  std::string detail;
+};
+
+/// In-memory recorder of TraceEvents with per-transaction span queries and
+/// JSONL export in Chrome trace_event format (load the file — or the
+/// ToChromeJson() wrapper — in chrome://tracing or Perfetto: pid=node,
+/// tid=txn).
+class Tracer {
+ public:
+  void Record(TraceEvent ev) { events_.push_back(std::move(ev)); }
+  void Clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Every event of one transaction, in record (= time) order.
+  std::vector<TraceEvent> TxnSpan(TxnId txn) const;
+
+  /// One Chrome trace_event JSON object per line:
+  ///   {"name":kind,"ph":"i","ts":at,"pid":node,"tid":txn,"args":{...}}
+  std::string ToJsonl() const;
+  /// The same events wrapped as {"traceEvents":[...]} (a complete Chrome
+  /// trace file).
+  std::string ToChromeJson() const;
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Parses ToJsonl() output back into events (offline analysis + the
+  /// round-trip tests). Only fields Tracer itself emits are understood.
+  static Result<std::vector<TraceEvent>> ParseJsonl(const std::string& text);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_OBS_TRACE_H_

@@ -205,7 +205,7 @@ void RecoveryManager::MaybeFinish(NodeId node) {
     d->ForceCheckpoint();  // bound the next recovery's WAL replay
   }
   cluster_->Trace(
-      "recover",
+      "recover", node, kInvalidFragment, kInvalidTxn, 0,
       "N" + std::to_string(node) + " replayed " +
           std::to_string(session.stats.wal_records_replayed) + " wal + " +
           std::to_string(session.stats.peer_quasis_fetched) + " peer quasis");

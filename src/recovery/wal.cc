@@ -112,6 +112,7 @@ void WalWriter::Append(const WalRecord& record) {
     auto staging = weak.lock();
     if (!staging) return;  // the writer crashed; the staged bytes are lost
     storage->Append(file, staging->buf);
+    if (!staging->buf.empty()) staging->syncs += 1;
     staging->buf.clear();
     staging->sync_scheduled = false;
   });
@@ -120,6 +121,7 @@ void WalWriter::Append(const WalRecord& record) {
 void WalWriter::SyncNow() {
   if (staging_->buf.empty()) return;
   storage_->Append(file_, staging_->buf);
+  staging_->syncs += 1;
   staging_->buf.clear();
   // A scheduled sync event finding an empty buffer is a harmless no-op
   // append, so sync_scheduled can be cleared here as well.

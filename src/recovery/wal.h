@@ -70,12 +70,18 @@ class WalWriter {
 
   size_t staged_bytes() const { return staging_->buf.size(); }
   uint64_t records_appended() const { return records_appended_; }
+  /// Completed fsyncs (group commits that actually moved staged bytes to
+  /// stable storage) — the WAL-fsync instrumentation signal.
+  uint64_t syncs() const { return staging_->syncs; }
   const std::string& file() const { return file_; }
 
  private:
   struct Staging {
     std::string buf;
     bool sync_scheduled = false;
+    /// Lives in Staging so the in-flight sync event can count completions
+    /// without touching the (possibly destroyed) writer.
+    uint64_t syncs = 0;
   };
 
   Simulator* sim_;

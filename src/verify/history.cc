@@ -30,6 +30,8 @@ void History::RecordInstall(NodeId node, const QuasiTxn& quasi, SimTime at) {
   rec.writes = quasi.writes;
   rec.at = at;
   rec.node_order = next_node_order_[node]++;
+  rec.origin_node = quasi.origin_node;
+  rec.origin_time = quasi.origin_time;
   installs_.push_back(std::move(rec));
 }
 

@@ -51,6 +51,11 @@ struct InstallRecord {
   std::vector<WriteOp> writes;
   SimTime at = 0;
   int64_t node_order = 0;
+  /// Where and when the quasi-transaction committed at its origin; a
+  /// record with node != origin_node is a replica install, and
+  /// at - origin_time is its replication lag.
+  NodeId origin_node = kInvalidNode;
+  SimTime origin_time = 0;
 };
 
 /// Append-only record of a run, consumed by the serialization-graph

@@ -21,6 +21,7 @@ BankingWorkload::BankingWorkload(const Options& options) : options_(options) {
   ClusterConfig config;
   config.control = options_.control;
   config.move_protocol = options_.move_protocol;
+  config.observability = options_.observability;
   cluster_ = std::make_unique<Cluster>(
       config, Topology::FullMesh(options_.nodes, options_.link_latency));
 }

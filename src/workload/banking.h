@@ -43,6 +43,8 @@ class BankingWorkload {
     SimTime link_latency = Millis(5);
     ControlOption control = ControlOption::kFragmentwise;
     MoveProtocol move_protocol = MoveProtocol::kForbidden;
+    /// Forwarded to ClusterConfig::observability (off by default).
+    ObservabilityConfig observability;
     /// Home node of customer i; default spreads customers over the
     /// non-central nodes.
     std::function<NodeId(int account)> customer_home;

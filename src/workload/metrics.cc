@@ -12,6 +12,7 @@ void WorkloadMetrics::Record(const TxnResult& result, SimTime submitted_at) {
     ++committed;
     total_commit_latency += result.finished_at - submitted_at;
     commit_latencies.push_back(result.finished_at - submitted_at);
+    latency_histogram.Observe(result.finished_at - submitted_at);
   } else if (result.status.IsFailedPrecondition()) {
     ++declined;
   } else if (result.status.IsUnavailable() || result.status.IsTimedOut()) {
@@ -53,6 +54,25 @@ std::string WorkloadMetrics::Summary() const {
      << " rejected=" << rejected << " other=" << other_failed
      << " availability=" << Availability()
      << " mean_commit_latency_us=" << MeanCommitLatency();
+  if (latency_histogram.count() > 0) {
+    os << " p50_us~" << latency_histogram.Percentile(0.5) << " p99_us~"
+       << latency_histogram.Percentile(0.99);
+  }
+  return os.str();
+}
+
+std::string WorkloadMetrics::ToJson(const std::string& config) const {
+  std::ostringstream os;
+  os << "{\"config\":\"" << config << "\""
+     << ",\"submitted\":" << submitted << ",\"committed\":" << committed
+     << ",\"declined\":" << declined << ",\"unavailable\":" << unavailable
+     << ",\"rejected\":" << rejected << ",\"other_failed\":" << other_failed
+     << ",\"availability\":" << Availability()
+     << ",\"mean_commit_latency_us\":" << MeanCommitLatency()
+     << ",\"p50_us\":" << latency_histogram.Percentile(0.5)
+     << ",\"p95_us\":" << latency_histogram.Percentile(0.95)
+     << ",\"p99_us\":" << latency_histogram.Percentile(0.99)
+     << ",\"max_us\":" << latency_histogram.max() << "}";
   return os.str();
 }
 
@@ -67,6 +87,7 @@ WorkloadMetrics& WorkloadMetrics::operator+=(const WorkloadMetrics& other) {
   commit_latencies.insert(commit_latencies.end(),
                           other.commit_latencies.begin(),
                           other.commit_latencies.end());
+  latency_histogram.Merge(other.latency_histogram);
   return *this;
 }
 

@@ -7,6 +7,7 @@
 
 #include "cc/transaction.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace fragdb {
 
@@ -24,6 +25,9 @@ struct WorkloadMetrics {
   SimTime total_commit_latency = 0;  // sum over committed txns
   /// Individual commit latencies, for percentile reporting.
   std::vector<SimTime> commit_latencies;
+  /// The same latencies bucketed for cheap aggregation and JSON export
+  /// (CommitLatencyPercentile stays exact, from the raw vector).
+  Histogram latency_histogram{Histogram::DefaultTimeBounds()};
 
   /// Records one outcome. `submitted_at` is when the user issued the
   /// request (for latency accounting).
@@ -40,6 +44,11 @@ struct WorkloadMetrics {
 
   /// One-line human-readable summary.
   std::string Summary() const;
+
+  /// One-line JSON object for machine consumption, tagged with `config` —
+  /// benches emit one per configuration. Percentiles come from the
+  /// bucketed histogram (upper-bound estimates).
+  std::string ToJson(const std::string& config) const;
 
   WorkloadMetrics& operator+=(const WorkloadMetrics& other);
 };

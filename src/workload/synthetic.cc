@@ -14,6 +14,7 @@ SyntheticWorkload::SyntheticWorkload(const SyntheticOptions& options)
   ClusterConfig config;
   config.control = options_.control;
   config.move_protocol = options_.move_protocol;
+  config.observability = options_.observability;
   cluster_ = std::make_unique<Cluster>(
       config, Topology::FullMesh(options_.nodes, options_.link_latency));
 }

@@ -38,6 +38,8 @@ struct SyntheticOptions {
   uint64_t seed = 1;
   ControlOption control = ControlOption::kFragmentwise;
   MoveProtocol move_protocol = MoveProtocol::kForbidden;
+  /// Forwarded to ClusterConfig::observability (off by default).
+  ObservabilityConfig observability;
 };
 
 /// Result of one synthetic run.

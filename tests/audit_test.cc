@@ -8,9 +8,10 @@ namespace fragdb {
 namespace {
 
 struct AuditFixture : ::testing::Test {
-  void Build(ControlOption control) {
+  void Build(ControlOption control, bool metrics = false) {
     ClusterConfig config;
     config.control = control;
+    config.observability.metrics = metrics;
     cluster = std::make_unique<Cluster>(config,
                                         Topology::FullMesh(3, Millis(5)));
     f0 = cluster->DefineFragment("F0");
@@ -83,6 +84,31 @@ TEST_F(AuditFixture, NonSerializableRunStillFragmentwiseClean) {
   EXPECT_TRUE(report.ok());
   std::string text = report.ToString();
   EXPECT_NE(text.find("FAIL"), std::string::npos);  // the global line
+}
+
+TEST_F(AuditFixture, TrafficAndLagAgreeWithMetrics) {
+  Build(ControlOption::kFragmentwise, /*metrics=*/true);
+  Update(alice, f0, a, 1);
+  cluster->RunFor(Millis(30));
+  // A partitioned replica stretches the maximum replication lag; the
+  // audit's history-derived value must match the live histogram exactly.
+  ASSERT_TRUE(cluster->Partition({{0, 1}, {2}}).ok());
+  Update(alice, f0, a, 2);
+  cluster->RunFor(Millis(50));
+  cluster->HealAll();
+  cluster->RunToQuiescence();
+
+  AuditReport report = AuditRun(*cluster);
+  EXPECT_TRUE(report.ok());
+  MetricsSnapshot snap = cluster->SnapshotMetrics();
+  EXPECT_GT(report.messages_sent, 0u);
+  EXPECT_EQ(report.messages_sent, snap.CounterTotal("messages_sent_total"));
+  EXPECT_GT(report.max_replication_lag_us, 0);
+  EXPECT_EQ(report.max_replication_lag_us,
+            snap.HistogramMax("replication_lag_us"));
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("messages sent"), std::string::npos);
+  EXPECT_NE(text.find("max replication lag"), std::string::npos);
 }
 
 TEST_F(AuditFixture, CountsUncommitted) {
