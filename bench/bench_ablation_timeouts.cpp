@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "verify/checkers.h"
@@ -91,7 +92,12 @@ RowResult RunOnce(SimTime lock_timeout) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf(
       "E10 (ablation) — §4.1 remote-lock wait bound vs 150ms outages\n"
       "4 nodes, every update reads one foreign fragment\n\n");

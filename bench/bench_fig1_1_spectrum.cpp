@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_harness.h"
+
 #include "baselines/log_transform.h"
 #include "baselines/mutual_exclusion.h"
 #include "baselines/optimistic.h"
@@ -26,7 +28,7 @@ using namespace fragdb_bench;
 namespace {
 
 constexpr int kNodes = 6;
-constexpr uint64_t kSeed = 42;
+constexpr uint64_t kDefaultSeed = 42;
 constexpr SimTime kDuration = Seconds(2);
 constexpr SimTime kMeanUp = Millis(250);
 constexpr SimTime kMeanDown = Millis(250);
@@ -38,9 +40,13 @@ struct RowResult {
   uint64_t served = 0;
   bool guarantee_holds = false;
   double msgs_per_served = 0;
+  // Harness jobs must not interleave stdout; JSON lines are carried back
+  // and printed by the main thread in configuration order.
+  std::string json;
 };
 
-SyntheticOptions ClusterOptions(ControlOption control, MoveProtocol move) {
+SyntheticOptions ClusterOptions(ControlOption control, MoveProtocol move,
+                                uint64_t seed) {
   SyntheticOptions opt;
   opt.nodes = kNodes;
   opt.objects_per_fragment = 3;
@@ -51,17 +57,17 @@ SyntheticOptions ClusterOptions(ControlOption control, MoveProtocol move) {
   opt.duration = kDuration;
   opt.mean_up_time = kMeanUp;
   opt.mean_partition_time = kMeanDown;
-  opt.seed = kSeed;
+  opt.seed = seed;
   opt.control = control;
   opt.move_protocol = move;
   return opt;
 }
 
 RowResult RunCluster(const std::string& name, const std::string& guarantee,
-                     ControlOption control,
+                     uint64_t seed, ControlOption control,
                      MoveProtocol move = MoveProtocol::kForbidden,
                      bool with_moves = false) {
-  SyntheticWorkload workload(ClusterOptions(control, move));
+  SyntheticWorkload workload(ClusterOptions(control, move, seed));
   Status st = workload.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "%s failed to start: %s\n", name.c_str(),
@@ -69,7 +75,7 @@ RowResult RunCluster(const std::string& name, const std::string& guarantee,
     return {};
   }
   if (with_moves) {
-    Rng rng(kSeed * 31);
+    Rng rng(seed * 31);
     Cluster& cluster = workload.cluster();
     for (int i = 0; i < 6; ++i) {
       SimTime when = Millis(200) * (i + 1);
@@ -81,8 +87,8 @@ RowResult RunCluster(const std::string& name, const std::string& guarantee,
     }
   }
   SyntheticReport report = workload.Run();
-  PrintJsonLine(report.metrics.ToJson(name));
   RowResult row;
+  row.json = report.metrics.ToJson(name);
   row.name = name;
   row.guarantee = guarantee;
   row.submitted = report.metrics.submitted;
@@ -101,10 +107,10 @@ void MaybeMerge(OptimisticEngine& engine) { (void)engine.Merge(); }
 /// The same workload pattern driven against a baseline engine.
 template <typename Engine>
 RowResult RunBaseline(const std::string& name, const std::string& guarantee,
-                      Engine& engine, const Catalog& catalog,
+                      uint64_t seed, Engine& engine, const Catalog& catalog,
                       bool merge_on_heal) {
-  Rng rng(kSeed);
-  Rng part_rng(kSeed + 99);
+  Rng rng(seed);
+  Rng part_rng(seed + 99);
   uint64_t submitted = 0, served = 0;
 
   // Same arrival structure as the synthetic cluster workload: per node,
@@ -181,58 +187,103 @@ RowResult RunBaseline(const std::string& name, const std::string& guarantee,
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "E1 / Figure 1.1 — the correctness-availability spectrum\n"
-      "workload: %d nodes, ~%lldms partitioned half the time, seed %llu\n\n",
-      kNodes, (long long)(kMeanDown / 1000), (unsigned long long)kSeed);
+namespace {
 
+/// Builds the baseline engines' shared schema (one fragment, one object
+/// per node). Each harness job builds its own copy: jobs share nothing.
+Catalog MakeBaselineCatalog() {
   Catalog catalog;
   FragmentId f = catalog.AddFragment("ALL");
   for (int i = 0; i < kNodes; ++i) {
     (void)*catalog.AddObject(f, "o" + std::to_string(i), 0);
   }
+  return catalog;
+}
 
-  std::vector<RowResult> rows;
-  {
-    MutualExclusionEngine eng(&catalog, Topology::FullMesh(kNodes, Millis(5)));
-    rows.push_back(RunBaseline("mutual-exclusion", "global SR", eng, catalog,
-                               /*merge_on_heal=*/false));
+/// One spectrum row as a self-contained job keyed by (row index, seed).
+RowResult RunRow(int row, uint64_t seed) {
+  switch (row) {
+    case 0: {
+      Catalog catalog = MakeBaselineCatalog();
+      MutualExclusionEngine eng(&catalog,
+                                Topology::FullMesh(kNodes, Millis(5)));
+      return RunBaseline("mutual-exclusion", "global SR", seed, eng, catalog,
+                         /*merge_on_heal=*/false);
+    }
+    case 1:
+      return RunCluster("frag+agents 4.1 read-locks", "global SR", seed,
+                        ControlOption::kReadLocks);
+    case 2:
+      return RunCluster("frag+agents 4.2 acyclic", "global SR", seed,
+                        ControlOption::kAcyclicReads);
+    case 3:
+      return RunCluster("frag+agents 4.3 fragmentwise", "fragmentwise SR",
+                        seed, ControlOption::kFragmentwise);
+    case 4:
+      return RunCluster("frag+agents 4.4.3 moving", "mutual consistency",
+                        seed, ControlOption::kFragmentwise,
+                        MoveProtocol::kOmitPrep, /*with_moves=*/true);
+    case 5: {
+      Catalog catalog = MakeBaselineCatalog();
+      OptimisticEngine eng(&catalog, Topology::FullMesh(kNodes, Millis(5)));
+      return RunBaseline("optimistic (free-for-all)", "convergence", seed,
+                         eng, catalog, /*merge_on_heal=*/true);
+    }
+    default: {
+      Catalog catalog = MakeBaselineCatalog();
+      LogTransformEngine eng(&catalog, Topology::FullMesh(kNodes, Millis(5)));
+      return RunBaseline("log-transform (free-for-all)", "convergence", seed,
+                         eng, catalog, /*merge_on_heal=*/false);
+    }
   }
-  rows.push_back(RunCluster("frag+agents 4.1 read-locks", "global SR",
-                            ControlOption::kReadLocks));
-  rows.push_back(RunCluster("frag+agents 4.2 acyclic", "global SR",
-                            ControlOption::kAcyclicReads));
-  rows.push_back(RunCluster("frag+agents 4.3 fragmentwise", "fragmentwise SR",
-                            ControlOption::kFragmentwise));
-  rows.push_back(RunCluster("frag+agents 4.4.3 moving", "mutual consistency",
-                            ControlOption::kFragmentwise,
-                            MoveProtocol::kOmitPrep, /*with_moves=*/true));
-  {
-    OptimisticEngine eng(&catalog, Topology::FullMesh(kNodes, Millis(5)));
-    rows.push_back(RunBaseline("optimistic (free-for-all)", "convergence",
-                               eng, catalog, /*merge_on_heal=*/true));
+}
+
+constexpr int kRows = 7;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  std::vector<uint64_t> seeds = opts.SeedsOr(kDefaultSeed);
+
+  std::printf(
+      "E1 / Figure 1.1 — the correctness-availability spectrum\n"
+      "workload: %d nodes, ~%lldms partitioned half the time, "
+      "seeds=%zu threads=%d\n\n",
+      kNodes, (long long)(kMeanDown / 1000), seeds.size(), opts.threads);
+
+  struct Job {
+    uint64_t seed;
+    int row;
+  };
+  std::vector<Job> jobs;
+  for (uint64_t seed : seeds) {
+    for (int row = 0; row < kRows; ++row) jobs.push_back({seed, row});
   }
-  {
-    LogTransformEngine eng(&catalog, Topology::FullMesh(kNodes, Millis(5)));
-    rows.push_back(RunBaseline("log-transform (free-for-all)", "convergence",
-                               eng, catalog, /*merge_on_heal=*/false));
-  }
+  std::vector<RowResult> results = RunIndexed<Job, RowResult>(
+      jobs, [](const Job& job) { return RunRow(job.row, job.seed); },
+      opts.threads);
 
   std::vector<int> widths = {30, 12, 12, 14, 20, 12};
-  PrintRow({"strategy", "submitted", "served", "availability", "guarantee",
-            "holds"},
-           widths);
-  PrintRule(widths);
-  for (const RowResult& row : rows) {
-    PrintRow({row.name, Int((long long)row.submitted),
-              Int((long long)row.served),
-              Pct(row.submitted ? double(row.served) / row.submitted : 0),
-              row.guarantee, row.guarantee_holds ? "yes" : "NO"},
+  for (size_t si = 0; si < seeds.size(); ++si) {
+    std::printf("seed %llu\n", (unsigned long long)seeds[si]);
+    PrintRow({"strategy", "submitted", "served", "availability", "guarantee",
+              "holds"},
              widths);
+    PrintRule(widths);
+    for (int r = 0; r < kRows; ++r) {
+      const RowResult& row = results[si * kRows + r];
+      PrintRow({row.name, Int((long long)row.submitted),
+                Int((long long)row.served),
+                Pct(row.submitted ? double(row.served) / row.submitted : 0),
+                row.guarantee, row.guarantee_holds ? "yes" : "NO"},
+               widths);
+      if (!row.json.empty()) PrintJsonLine(row.json);
+    }
+    std::printf("\n");
   }
   std::printf(
-      "\nexpected shape (paper Fig. 1.1): availability is lowest at the\n"
+      "expected shape (paper Fig. 1.1): availability is lowest at the\n"
       "left (mutual exclusion), rises monotonically to ~100%% at the\n"
       "right, while the correctness criterion weakens from global\n"
       "serializability to mere convergence.\n");

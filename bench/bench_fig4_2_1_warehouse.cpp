@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "verify/checkers.h"
@@ -102,7 +103,11 @@ RowResult RunOnce(ControlOption control, double partition_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   std::printf(
       "E4 / Figure 4.2.1 — warehouse design, §4.2 vs §4.1\n"
       "4 warehouses + central office; partition cycles of 200ms\n\n");
@@ -114,7 +119,7 @@ int main() {
   for (double frac : {0.0, 0.25, 0.5, 0.75}) {
     for (ControlOption control :
          {ControlOption::kAcyclicReads, ControlOption::kReadLocks}) {
-      RowResult row = RunOnce(control, frac, 7);
+      RowResult row = RunOnce(control, frac, opts.SeedOr(7));
       PrintRow({control == ControlOption::kAcyclicReads ? "4.2 acyclic"
                                                         : "4.1 read-locks",
                 Pct(frac), Pct(row.sales_avail), Pct(row.plan_avail),

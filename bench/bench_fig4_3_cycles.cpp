@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "core/cluster.h"
 #include "verify/checkers.h"
@@ -138,7 +139,12 @@ SweepResult Sweep(ControlOption control, int runs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf("E5 / Figures 4.3.1-4.3.2 — serializability vs read pattern\n\n");
   RunScriptedAntiExample();
 

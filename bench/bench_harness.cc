@@ -1,0 +1,107 @@
+#include "bench_harness.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace fragdb_bench {
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+std::vector<uint64_t> ParseSeedList(const char* value) {
+  std::vector<uint64_t> seeds;
+  const char* p = value;
+  while (*p != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || (*end != ',' && *end != '\0')) {
+      std::fprintf(stderr, "bad --seeds value: %s\n", value);
+      std::exit(2);
+    }
+    seeds.push_back(v);
+    p = *end == ',' ? end + 1 : end;
+  }
+  if (seeds.empty()) {
+    std::fprintf(stderr, "empty --seeds value\n");
+    std::exit(2);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::string BenchOptions::ExtraOr(const std::string& key,
+                                  const std::string& fallback) const {
+  for (const auto& [k, v] : extra) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+BenchOptions ParseBenchOptions(int* argc, char** argv) {
+  BenchOptions opts;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (ParseFlag(arg, "--threads", &value)) {
+      char* end = nullptr;
+      long t = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || t < 0) {
+        std::fprintf(stderr, "bad --threads value: %s\n", value);
+        std::exit(2);
+      }
+      opts.threads = static_cast<int>(t);
+      continue;
+    }
+    if (ParseFlag(arg, "--seeds", &value)) {
+      opts.seeds = ParseSeedList(value);
+      continue;
+    }
+    // Collect other --key=value flags; keep them in argv too so drivers
+    // that hand argv to another parser (google-benchmark) still see them.
+    const char* eq = std::strchr(arg, '=');
+    if (std::strncmp(arg, "--", 2) == 0 && eq != nullptr) {
+      opts.extra.emplace_back(std::string(arg + 2, eq), std::string(eq + 1));
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  if (opts.threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    opts.threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return opts;
+}
+
+void RunJobs(const std::vector<std::function<void()>>& jobs, int threads) {
+  if (threads < 1) threads = 1;
+  if (threads == 1 || jobs.size() <= 1) {
+    for (const auto& job : jobs) job();
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      jobs[i]();
+    }
+  };
+  size_t n = std::min(static_cast<size_t>(threads), jobs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (size_t t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace fragdb_bench

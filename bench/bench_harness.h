@@ -1,0 +1,75 @@
+#ifndef FRAGDB_BENCH_BENCH_HARNESS_H_
+#define FRAGDB_BENCH_BENCH_HARNESS_H_
+
+// Parallel bench harness: runs independent (seed, config) simulation
+// instances across a pool of worker threads and returns their results in
+// configuration order, so aggregate output is byte-identical regardless
+// of thread count or scheduling (see docs/PERFORMANCE.md).
+//
+// Each job must be self-contained: it builds its own Simulator / Cluster
+// from its (seed, config) inputs and touches no shared mutable state.
+// The simulation core itself stays single-threaded per instance — the
+// harness exploits the embarrassing parallelism *between* instances.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fragdb_bench {
+
+/// Shared CLI options for the bench drivers. All drivers accept
+/// `--threads=N` (worker threads for the harness; 0 = hardware
+/// concurrency) and `--seeds=a,b,c` (comma-separated RNG seeds; each
+/// bench defines its own default). Unrecognised `--key=value` flags are
+/// collected in `extra` for driver-specific handling; anything else is
+/// left in place for downstream parsers (e.g. google-benchmark).
+struct BenchOptions {
+  int threads = 1;
+  std::vector<uint64_t> seeds;
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// First seed, or `fallback` when --seeds was not given.
+  uint64_t SeedOr(uint64_t fallback) const {
+    return seeds.empty() ? fallback : seeds.front();
+  }
+  /// All seeds, or {fallback} when --seeds was not given.
+  std::vector<uint64_t> SeedsOr(uint64_t fallback) const {
+    return seeds.empty() ? std::vector<uint64_t>{fallback} : seeds;
+  }
+  /// Value of an extra --key=value flag, or `fallback` if absent.
+  std::string ExtraOr(const std::string& key, const std::string& fallback) const;
+};
+
+/// Parses --threads / --seeds (and collects other --key=value pairs) out
+/// of argv, compacting argv in place so remaining arguments survive for
+/// downstream parsers. Exits with a message on malformed values.
+BenchOptions ParseBenchOptions(int* argc, char** argv);
+
+/// Runs `jobs` on `threads` workers (1 = run inline on the caller).
+/// Jobs are claimed in index order from a shared counter; the function
+/// returns only when every job has finished. Exceptions must not escape
+/// a job (the simulator aborts on internal errors instead).
+void RunJobs(const std::vector<std::function<void()>>& jobs, int threads);
+
+/// Maps `inputs` through `fn` on the harness and returns results in
+/// input order. `fn` must be safe to call concurrently on distinct
+/// inputs; each result slot is written by exactly one worker.
+template <typename In, typename Out>
+std::vector<Out> RunIndexed(const std::vector<In>& inputs,
+                            const std::function<Out(const In&)>& fn,
+                            int threads) {
+  std::vector<Out> results(inputs.size());
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    jobs.push_back([&, i] { results[i] = fn(inputs[i]); });
+  }
+  RunJobs(jobs, threads);
+  return results;
+}
+
+}  // namespace fragdb_bench
+
+#endif  // FRAGDB_BENCH_BENCH_HARNESS_H_

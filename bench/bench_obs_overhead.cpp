@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "workload/synthetic.h"
 
@@ -78,7 +79,12 @@ double MedianOverheadPct(const std::vector<double>& off,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf(
       "E-obs — observability overhead (%d interleaved reps, same seed; "
       "overhead = median per-rep CPU-time ratio)\n\n",

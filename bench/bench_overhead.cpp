@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "baselines/log_transform.h"
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "verify/checkers.h"
 #include "workload/synthetic.h"
@@ -94,7 +95,12 @@ RowResult RunLogTransform(int txns_per_node) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf(
       "E8 / §1 — post-heal merge overhead vs partition-era work\n"
       "%d nodes split 2|2; each node commits N transactions while "

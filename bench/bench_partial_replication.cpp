@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "core/cluster.h"
@@ -106,7 +107,12 @@ RowResult RunOnce(int replication_factor) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf(
       "E11 (extension) — partial replication: cost vs read coverage\n"
       "%d nodes, one fragment per node, replication factor swept\n\n",

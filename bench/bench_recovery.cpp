@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "core/cluster.h"
 #include "verify/checkers.h"
@@ -100,7 +101,12 @@ std::string Ms(SimTime t) { return Num(double(t) / 1000.0, 1); }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf(
       "Recovery — amnesia crashes priced under the paper's durable-copy\n"
       "assumption. 5 nodes full mesh (5ms links), one update per 2ms.\n");

@@ -7,10 +7,12 @@
 // Contrast column: the mutual-exclusion baseline, whose commit latency
 // includes a round trip to the sequencer for every non-sequencer node.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "baselines/mutual_exclusion.h"
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "verify/checkers.h"
 #include "workload/metrics.h"
@@ -27,6 +29,7 @@ struct RowResult {
   double frag_msgs = 0;        // messages per commit
   double mutex_commit_ms = 0;  // mean commit latency, mutual exclusion
   double mutex_msgs = 0;
+  double wall_ms = 0;          // host wall-clock for this instance
 };
 
 RowResult RunOnce(int nodes) {
@@ -111,20 +114,81 @@ RowResult RunOnce(int nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  // The workload itself is deterministic; --seeds replicates identical
+  // instances (extra parallel work for the harness, identical tables).
+  std::vector<uint64_t> seeds = opts.SeedsOr(1);
+  std::vector<int> node_counts = {3, 5, 9, 17, 33};
+  std::string nodes_flag = opts.ExtraOr("nodes", "");
+  if (!nodes_flag.empty()) node_counts = {std::atoi(nodes_flag.c_str())};
+
   std::printf(
       "E12 (scaling) — cluster size vs commit latency and message cost\n"
-      "per-site updates to own data, healthy network, 5ms links\n\n");
-  std::vector<int> widths = {10, 20, 16, 20, 16};
+      "per-site updates to own data, healthy network, 5ms links\n"
+      "threads=%d seeds=%zu\n\n",
+      opts.threads, seeds.size());
+
+  // One simulation instance per (nodes, seed), run across the harness;
+  // results come back in configuration order, so output is identical for
+  // any thread count.
+  struct Job {
+    int nodes;
+    uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  for (int nodes : node_counts) {
+    for (uint64_t seed : seeds) jobs.push_back({nodes, seed});
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::vector<RowResult> results = RunIndexed<Job, RowResult>(
+      jobs,
+      [](const Job& job) {
+        auto t0 = std::chrono::steady_clock::now();
+        RowResult row = RunOnce(job.nodes);
+        row.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return row;
+      },
+      opts.threads);
+  double total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  std::vector<int> widths = {10, 20, 16, 20, 16, 12};
   PrintRow({"nodes", "f+a commit (ms)", "f+a msgs", "mutex commit (ms)",
-            "mutex msgs"},
+            "mutex msgs", "wall (ms)"},
            widths);
   PrintRule(widths);
-  for (int nodes : {3, 5, 9, 17, 33}) {
-    RowResult row = RunOnce(nodes);
-    PrintRow({Int(nodes), Num(row.frag_commit_ms, 2), Num(row.frag_msgs, 1),
-              Num(row.mutex_commit_ms, 2), Num(row.mutex_msgs, 1)},
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].seed != seeds.front()) continue;  // table: one row per size
+    const RowResult& row = results[i];
+    PrintRow({Int(jobs[i].nodes), Num(row.frag_commit_ms, 2),
+              Num(row.frag_msgs, 1), Num(row.mutex_commit_ms, 2),
+              Num(row.mutex_msgs, 1), Num(row.wall_ms, 1)},
              widths);
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const RowResult& row = results[i];
+    char json[256];
+    std::snprintf(
+        json, sizeof(json),
+        "{\"bench\":\"scaling\",\"nodes\":%d,\"seed\":%llu,"
+        "\"threads\":%d,\"frag_commit_ms\":%.3f,\"frag_msgs\":%.2f,"
+        "\"mutex_commit_ms\":%.3f,\"mutex_msgs\":%.2f,\"wall_ms\":%.1f}",
+        jobs[i].nodes, (unsigned long long)jobs[i].seed, opts.threads,
+        row.frag_commit_ms, row.frag_msgs, row.mutex_commit_ms, row.mutex_msgs,
+        row.wall_ms);
+    PrintJsonLine(json);
+  }
+  {
+    char json[128];
+    std::snprintf(json, sizeof(json),
+                  "{\"bench\":\"scaling_total\",\"threads\":%d,"
+                  "\"instances\":%zu,\"wall_ms\":%.1f}",
+                  opts.threads, jobs.size(), total_ms);
+    PrintJsonLine(json);
   }
   std::printf(
       "\nexpected shape: fragments+agents commit latency is flat in n\n"

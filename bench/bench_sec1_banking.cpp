@@ -17,6 +17,7 @@
 #include "baselines/log_transform.h"
 #include "baselines/mutual_exclusion.h"
 #include "baselines/optimistic.h"
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "verify/checkers.h"
 #include "workload/banking.h"
@@ -204,7 +205,12 @@ void RunScenario(const char* title, Value amount) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf("E2 / Section 1 — the banking scenarios\n\n");
   RunScenario("scenario 1: two $100 withdrawals from $300 (consistent)", 100);
   RunScenario("scenario 2: two $200 withdrawals from $300 (overdraft)", 200);

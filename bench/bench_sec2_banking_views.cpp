@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "verify/checkers.h"
 #include "workload/banking.h"
@@ -85,7 +86,12 @@ RowResult RunOnce(SimTime partition_len) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf(
       "E3 / Section 2 — local-view divergence vs partition duration\n"
       "deposits of $10 every 10ms at node 1; central scan every 40ms\n\n");

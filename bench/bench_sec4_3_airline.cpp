@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "verify/checkers.h"
@@ -108,7 +109,11 @@ RowResult RunOnce(ControlOption control, double partition_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
   std::printf(
       "E6 / §4.3 — airline reservations: fragmentwise vs global SR\n"
       "4 customers, 2 flights; request intake and grants under partitions\n\n");
@@ -120,7 +125,7 @@ int main() {
   for (double frac : {0.0, 0.3, 0.6}) {
     for (ControlOption control :
          {ControlOption::kFragmentwise, ControlOption::kReadLocks}) {
-      RowResult row = RunOnce(control, frac, 11);
+      RowResult row = RunOnce(control, frac, opts.SeedOr(11));
       PrintRow({control == ControlOption::kFragmentwise ? "4.3 fragmentwise"
                                                         : "4.1 read-locks",
                 Pct(frac), Pct(row.intake_avail), Pct(row.scan_avail),

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "core/cluster.h"
 #include "verify/checkers.h"
@@ -106,7 +107,12 @@ RowResult RunOnce(MoveProtocol protocol) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: --threads / --seeds are accepted everywhere;
+  // this driver runs a single deterministic scenario, so only the
+  // first seed (if given) is meaningful.
+  BenchOptions opts = ParseBenchOptions(&argc, argv);
+  (void)opts;
   std::printf(
       "E7 / §4.4 — moving-agent protocols\n"
       "an update is trapped at the old home; the agent crosses the\n"

@@ -345,7 +345,7 @@ class Cluster {
   void ArriveMove(AgentId agent, NodeId from, NodeId to,
                   std::vector<ObjectStore::FragmentSnapshot> snapshots,
                   std::map<FragmentId, SeqNum> carried_seqs,
-                  std::map<FragmentId, std::map<SeqNum, QuasiTxn>> logs);
+                  std::map<FragmentId, QuasiSeqMap> logs);
   void FinishMove(AgentId agent);
   void DrainQueuedSubmissions(AgentId agent);
 

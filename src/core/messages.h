@@ -9,6 +9,14 @@
 
 namespace fragdb {
 
+/// Wire size of one quasi-transaction as carried by any message type:
+/// fixed header (ids, sequence, origin, timestamps) plus 16 bytes per
+/// write. Every ByteSize() below goes through this helper so the
+/// accounting cannot drift between message types.
+inline size_t QuasiTxnWireSize(const QuasiTxn& q) {
+  return 48 + q.writes.size() * 16;
+}
+
 /// A quasi-transaction plus its stream position, as broadcast by the home
 /// node (§2.2: "(T; d1,v1; d2,v2; ...)").
 struct QuasiTxnMsg : MessagePayload {
@@ -16,9 +24,7 @@ struct QuasiTxnMsg : MessagePayload {
   QuasiTxn quasi;
   Epoch epoch = 0;
 
-  size_t ByteSize() const override {
-    return 48 + quasi.writes.size() * 16;
-  }
+  size_t ByteSize() const override { return QuasiTxnWireSize(quasi); }
 };
 
 /// §4.1 remote read-lock protocol.
@@ -44,9 +50,7 @@ struct QuasiPrepare : MessagePayload {
   const char* TypeName() const override { return "prepare"; }
   QuasiTxn quasi;
   Epoch epoch = 0;
-  size_t ByteSize() const override {
-    return 48 + quasi.writes.size() * 16;
-  }
+  size_t ByteSize() const override { return QuasiTxnWireSize(quasi); }
 };
 struct QuasiAck : MessagePayload {
   const char* TypeName() const override { return "ack"; }
@@ -91,7 +95,7 @@ struct MissingData : MessagePayload {
   int64_t move_id = 0;
   size_t ByteSize() const override {
     size_t n = 32;
-    for (const auto& q : quasis) n += 48 + q.writes.size() * 16;
+    for (const auto& q : quasis) n += QuasiTxnWireSize(q);
     return n;
   }
 };
@@ -108,7 +112,7 @@ struct M0Msg : MessagePayload {
   std::vector<QuasiTxn> old_stream;  // T1..Ti
   size_t ByteSize() const override {
     size_t n = 48;
-    for (const auto& q : old_stream) n += 48 + q.writes.size() * 16;
+    for (const auto& q : old_stream) n += QuasiTxnWireSize(q);
     return n;
   }
 };
@@ -119,9 +123,7 @@ struct ForwardMissing : MessagePayload {
   const char* TypeName() const override { return "forward-missing"; }
   QuasiTxn quasi;
   Epoch old_epoch = 0;
-  size_t ByteSize() const override {
-    return 48 + quasi.writes.size() * 16;
-  }
+  size_t ByteSize() const override { return QuasiTxnWireSize(quasi); }
 };
 
 /// Crash-recovery peer catch-up (recovery subsystem): where the recovering
@@ -161,7 +163,7 @@ struct RecoveryReply : MessagePayload {
     size_t n = 24;
     for (const auto& f : fragments) {
       n += 28;
-      for (const auto& q : f.quasis) n += 48 + q.writes.size() * 16;
+      for (const auto& q : f.quasis) n += QuasiTxnWireSize(q);
     }
     return n;
   }

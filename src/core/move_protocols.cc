@@ -82,7 +82,7 @@ void Cluster::StartMove(AgentId agent, NodeId from, NodeId to) {
     NodeRuntime& src = *runtimes_[from];
     std::vector<ObjectStore::FragmentSnapshot> snapshots;
     std::map<FragmentId, SeqNum> carried_seqs;
-    std::map<FragmentId, std::map<SeqNum, QuasiTxn>> logs;
+    std::map<FragmentId, QuasiSeqMap> logs;
     for (FragmentId f : catalog_.TokensOf(agent)) {
       switch (config_.move_protocol) {
         case MoveProtocol::kMoveWithData:
@@ -143,7 +143,7 @@ void Cluster::ArriveMove(
     AgentId agent, NodeId from, NodeId to,
     std::vector<ObjectStore::FragmentSnapshot> snapshots,
     std::map<FragmentId, SeqNum> carried_seqs,
-    std::map<FragmentId, std::map<SeqNum, QuasiTxn>> logs) {
+    std::map<FragmentId, QuasiSeqMap> logs) {
   (void)from;
   Status st = catalog_.SetHome(agent, to);
   FRAGDB_CHECK(st.ok());

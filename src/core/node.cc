@@ -129,11 +129,11 @@ void NodeRuntime::EnqueueQuasi(const QuasiTxn& quasi, Epoch epoch) {
     cluster_->network().Send(id_, s.transition.new_home, fwd);
     return;
   }
-  if (quasi.seq <= s.applied_seq || s.log.count(quasi.seq) > 0 ||
-      s.holdback.count(quasi.seq) > 0) {
+  if (quasi.seq <= s.applied_seq || s.log.Contains(quasi.seq) ||
+      s.holdback.Contains(quasi.seq)) {
     return;  // duplicate
   }
-  s.holdback[quasi.seq] = quasi;
+  s.holdback.Put(quasi.seq, quasi);
   if (ClusterInstruments* ins = cluster_->instruments()) {
     ins->HoldbackDepth(id_, quasi.fragment)
         ->Set(static_cast<int64_t>(s.holdback.size()));
@@ -144,16 +144,16 @@ void NodeRuntime::EnqueueQuasi(const QuasiTxn& quasi, Epoch epoch) {
 void NodeRuntime::TryInstallNext(FragmentId f) {
   FragmentStream& s = streams_[f];
   if (s.install_in_flight) return;
-  auto it = s.holdback.find(s.applied_seq + 1);
-  if (it == s.holdback.end()) return;
-  QuasiTxn quasi = it->second;
-  s.holdback.erase(it);
+  const QuasiTxn* next = s.holdback.Find(s.applied_seq + 1);
+  if (next == nullptr) return;
+  QuasiTxn quasi = *next;
+  s.holdback.Erase(quasi.seq);
   s.install_in_flight = true;
   TxnId install_id = cluster_->NewTxnId();
   scheduler_->Install(quasi, install_id, [this, f, quasi] {
     FragmentStream& stream = streams_[f];
     stream.applied_seq = quasi.seq;
-    stream.log[quasi.seq] = quasi;
+    stream.log.Put(quasi.seq, quasi);
     stream.install_in_flight = false;
     if (durability_) durability_->OnQuasiApplied(quasi, stream.epoch);
     if (ClusterInstruments* ins = cluster_->instruments()) {
@@ -205,7 +205,7 @@ void NodeRuntime::MaybeCompleteTransition(FragmentId f) {
   s.holdback.clear();
   // If this replica ran ahead of the new home, its extra installs are no
   // longer part of the official lineage; the new stream overwrites them.
-  s.log.erase(s.log.upper_bound(t.base_seq), s.log.end());
+  s.log.EraseGreaterThan(t.base_seq);
   s.applied_seq = std::min(s.applied_seq, t.base_seq);
   s.epoch = t.new_epoch;
   s.epoch_base = t.base_seq;
@@ -218,8 +218,8 @@ void NodeRuntime::MaybeCompleteTransition(FragmentId f) {
   auto fut = s.future.find(s.epoch);
   if (fut != s.future.end()) {
     for (const QuasiTxn& quasi : fut->second) {
-      if (quasi.seq > s.applied_seq && s.holdback.count(quasi.seq) == 0) {
-        s.holdback[quasi.seq] = quasi;
+      if (quasi.seq > s.applied_seq && !s.holdback.Contains(quasi.seq)) {
+        s.holdback.Put(quasi.seq, quasi);
       }
     }
     s.future.erase(fut);
@@ -229,7 +229,7 @@ void NodeRuntime::MaybeCompleteTransition(FragmentId f) {
 
 void NodeRuntime::RecordLocalCommit(const QuasiTxn& quasi) {
   FragmentStream& s = streams_[quasi.fragment];
-  s.log[quasi.seq] = quasi;
+  s.log.Put(quasi.seq, quasi);
   s.applied_seq = std::max(s.applied_seq, quasi.seq);
   if (durability_) durability_->OnQuasiApplied(quasi, s.epoch);
   if (ClusterInstruments* ins = cluster_->instruments()) {
@@ -272,14 +272,14 @@ void NodeRuntime::OnReadLockRelease(const ReadLockRelease& msg) {
 void NodeRuntime::OnPrepare(NodeId from, const QuasiPrepare& msg) {
   FragmentStream& s = streams_[msg.quasi.fragment];
   SeqNum seq = msg.quasi.seq;
-  if (seq <= s.applied_seq || s.log.count(seq) > 0) {
+  if (seq <= s.applied_seq || s.log.Contains(seq)) {
     // Already installed (duplicate); still acknowledge.
   } else if (s.early_commits.count(seq) > 0) {
     s.early_commits.erase(seq);
-    s.holdback[seq] = msg.quasi;
+    s.holdback.Put(seq, msg.quasi);
     TryInstallNext(msg.quasi.fragment);
   } else {
-    s.prepared[seq] = msg.quasi;
+    s.prepared.Put(seq, msg.quasi);
   }
   auto ack = std::make_shared<QuasiAck>();
   ack->txn = msg.quasi.origin_txn;
@@ -293,18 +293,18 @@ void NodeRuntime::OnAck(const QuasiAck& msg) { cluster_->OnMajorityAck(msg); }
 
 void NodeRuntime::OnCommit(const QuasiCommit& msg) {
   FragmentStream& s = streams_[msg.fragment];
-  auto it = s.prepared.find(msg.seq);
-  if (it == s.prepared.end()) {
-    if (msg.seq > s.applied_seq && s.log.count(msg.seq) == 0) {
+  const QuasiTxn* found = s.prepared.Find(msg.seq);
+  if (found == nullptr) {
+    if (msg.seq > s.applied_seq && !s.log.Contains(msg.seq)) {
       s.early_commits.insert(msg.seq);
     }
     return;
   }
-  QuasiTxn quasi = it->second;
-  s.prepared.erase(it);
-  if (quasi.seq > s.applied_seq && s.holdback.count(quasi.seq) == 0 &&
-      s.log.count(quasi.seq) == 0) {
-    s.holdback[quasi.seq] = quasi;
+  QuasiTxn quasi = *found;
+  s.prepared.Erase(msg.seq);
+  if (quasi.seq > s.applied_seq && !s.holdback.Contains(quasi.seq) &&
+      !s.log.Contains(quasi.seq)) {
+    s.holdback.Put(quasi.seq, quasi);
   }
   TryInstallNext(msg.fragment);
 }
@@ -325,7 +325,7 @@ void NodeRuntime::BeginOmitPrepEpoch(FragmentId fragment) {
   // Holdback entries beyond the contiguous prefix are old-stream
   // transactions with gaps before them; they are "missing transactions
   // that have just been found" (§4.4.3 A(2)) and get repackaged.
-  std::map<SeqNum, QuasiTxn> leftover;
+  QuasiSeqMap leftover;
   leftover.swap(s.holdback);
   s.transition.active = false;
   if (durability_) durability_->OnEpochChanged(fragment, s.epoch, s.epoch_base);
@@ -366,9 +366,9 @@ bool NodeRuntime::BeginEpochTransition(
   s.transition.active = true;
   // Catch up from the M0 content (§4.4.3 B(1)).
   for (const QuasiTxn& quasi : old_stream) {
-    if (quasi.seq > s.applied_seq && s.log.count(quasi.seq) == 0 &&
-        s.holdback.count(quasi.seq) == 0) {
-      s.holdback[quasi.seq] = quasi;
+    if (quasi.seq > s.applied_seq && !s.log.Contains(quasi.seq) &&
+        !s.holdback.Contains(quasi.seq)) {
+      s.holdback.Put(quasi.seq, quasi);
     }
   }
   MaybeCompleteTransition(fragment);
@@ -411,8 +411,7 @@ void NodeRuntime::RepackageMissing(const QuasiTxn& missing) {
 // --------------------------------------------------------------------------
 
 void NodeRuntime::AdoptSnapshot(const ObjectStore::FragmentSnapshot& snapshot,
-                                SeqNum applied_seq,
-                                std::map<SeqNum, QuasiTxn> log) {
+                                SeqNum applied_seq, QuasiSeqMap log) {
   FragmentId f = snapshot.fragment;
   FragmentStream& s = streams_[f];
   // The carried copy is at least as fresh as anything this replica has
@@ -422,8 +421,7 @@ void NodeRuntime::AdoptSnapshot(const ObjectStore::FragmentSnapshot& snapshot,
   s.next_seq = s.applied_seq + 1;
   s.log = std::move(log);
   // Quasi-transactions the snapshot already covers are duplicates now.
-  s.holdback.erase(s.holdback.begin(),
-                   s.holdback.upper_bound(s.applied_seq));
+  s.holdback.EraseLessEqual(s.applied_seq);
   // The adopted contents never went through the WAL; checkpoint them so
   // a crash right after the move does not roll the fragment back.
   if (durability_) durability_->ForceCheckpoint();
@@ -507,9 +505,9 @@ void NodeRuntime::OnFetchMissing(NodeId from, const FetchMissing& msg) {
   data->fragment = msg.fragment;
   data->move_id = msg.move_id;
   const FragmentStream& s = streams_[msg.fragment];
-  for (auto it = s.log.upper_bound(msg.from_seq);
-       it != s.log.end() && it->first <= msg.to_seq; ++it) {
-    data->quasis.push_back(it->second);
+  for (auto it = s.log.UpperBound(msg.from_seq);
+       it != s.log.end() && it->seq <= msg.to_seq; ++it) {
+    data->quasis.push_back(it->value);
   }
   cluster_->network().Send(id_, from, data);
 }
@@ -553,8 +551,8 @@ void NodeRuntime::OnRecoveryQuery(const RecoveryQuery& msg) {
     SeqNum from = pos.epoch == s.epoch
                       ? pos.applied_seq
                       : std::min(pos.applied_seq, s.epoch_base);
-    for (auto it = s.log.upper_bound(from); it != s.log.end(); ++it) {
-      state.quasis.push_back(it->second);
+    for (auto it = s.log.UpperBound(from); it != s.log.end(); ++it) {
+      state.quasis.push_back(it->value);
     }
     reply->fragments.push_back(std::move(state));
   }

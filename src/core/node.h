@@ -12,6 +12,7 @@
 #include "common/types.h"
 #include "core/config.h"
 #include "core/messages.h"
+#include "core/seq_map.h"
 #include "net/message.h"
 #include "storage/object_store.h"
 
@@ -19,6 +20,12 @@ namespace fragdb {
 
 class Cluster;
 class NodeDurability;
+
+/// Seq-ordered quasi-transaction collection (holdback windows, stream
+/// logs, prepared sets). Flat sorted-vector storage: sequence numbers are
+/// dense and mostly arrive in order, so the hot operations are appends
+/// and front lookups over contiguous memory (see docs/PERFORMANCE.md).
+using QuasiSeqMap = SeqMap<QuasiTxn>;
 
 /// Per-node, per-fragment state of the update stream: where this replica
 /// is in the fragment's quasi-transaction sequence, what is held back, and
@@ -35,15 +42,15 @@ struct FragmentStream {
   /// Next sequence this node would assign (meaningful at the home node).
   SeqNum next_seq = 1;
   /// Same-epoch quasi-transactions waiting for their predecessors.
-  std::map<SeqNum, QuasiTxn> holdback;
+  QuasiSeqMap holdback;
   /// Quasi-transactions from a future epoch, waiting for the M0 that opens
   /// it (defensive; FIFO channels normally deliver M0 first).
   std::map<Epoch, std::vector<QuasiTxn>> future;
   /// Applied lineage: seq -> quasi-transaction. Entries past an epoch
   /// transition's base are discarded (they left the official lineage).
-  std::map<SeqNum, QuasiTxn> log;
+  QuasiSeqMap log;
   /// §4.4.1: prepared but not yet committed quasi-transactions.
-  std::map<SeqNum, QuasiTxn> prepared;
+  QuasiSeqMap prepared;
   /// §4.4.1: commit commands that arrived before their prepare (defensive).
   std::set<SeqNum> early_commits;
   /// An install is running in the scheduler; the next starts when it ends.
@@ -99,7 +106,7 @@ class NodeRuntime {
   /// §4.4.2A arrival: atomically replaces the fragment contents and stream
   /// position with the snapshot the agent carried.
   void AdoptSnapshot(const ObjectStore::FragmentSnapshot& snapshot,
-                     SeqNum applied_seq, std::map<SeqNum, QuasiTxn> log);
+                     SeqNum applied_seq, QuasiSeqMap log);
 
   /// §4.4.3 arrival at the *new home*: bump the epoch, broadcast M0 with
   /// the old-stream prefix this node has, and reopen for business.

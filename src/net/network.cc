@@ -9,6 +9,8 @@ namespace fragdb {
 Network::Network(Simulator* sim, Topology* topology)
     : sim_(sim), topology_(topology) {
   handlers_.resize(topology->node_count());
+  channel_floor_.assign(
+      static_cast<size_t>(topology->node_count()) * topology->node_count(), 0);
   topology_->OnChange([this] { FlushPending(); });
 }
 
@@ -69,12 +71,10 @@ void Network::Dispatch(NodeId from, NodeId to, SimTime deliver_at,
                        SimTime sent_at) {
   // Enforce per-channel FIFO: never deliver before a message sent earlier
   // on the same (from, to) channel.
-  auto key = std::make_pair(from, to);
-  auto it = channel_floor_.find(key);
-  if (it != channel_floor_.end()) {
-    deliver_at = std::max(deliver_at, it->second);
-  }
-  channel_floor_[key] = deliver_at;
+  SimTime& floor =
+      channel_floor_[static_cast<size_t>(from) * topology_->node_count() + to];
+  deliver_at = std::max(deliver_at, floor);
+  floor = deliver_at;
   sim_->At(deliver_at, [this, from, to, sent_at, p = std::move(payload)] {
     ++stats_.messages_delivered;
     if (handlers_[to]) {

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -93,8 +92,10 @@ class Network {
   std::vector<std::function<void(const Message&)>> handlers_;
   // Messages waiting for a route, in send order per sender.
   std::deque<Message> pending_;
-  // FIFO channel floor: earliest permissible next delivery per (from, to).
-  std::map<std::pair<NodeId, NodeId>, SimTime> channel_floor_;
+  // FIFO channel floor: earliest permissible next delivery per (from, to),
+  // stored dense at index from*n+to (0 = unconstrained, since deliveries
+  // never predate the start of the simulation).
+  std::vector<SimTime> channel_floor_;
   NetworkStats stats_;
   std::function<void(const MessagePayload&, size_t)> send_observer_;
   bool flushing_ = false;

@@ -1,18 +1,17 @@
 #include "net/topology.h"
 
 #include <algorithm>
-#include <limits>
 #include <queue>
 
 namespace fragdb {
 
 Topology::Topology(int node_count)
-    : node_count_(node_count), node_up_(node_count, true) {}
-
-bool Topology::LinkUsable(const std::pair<NodeId, NodeId>& key,
-                          const Link& link) const {
-  return link.up && node_up_[key.first] && node_up_[key.second];
-}
+    : node_count_(node_count),
+      link_index_(static_cast<size_t>(node_count) * node_count, -1),
+      adj_(node_count),
+      node_up_(node_count, true),
+      dist_(static_cast<size_t>(node_count) * node_count, kSimTimeMax),
+      row_valid_(node_count, false) {}
 
 Status Topology::SetNodeUp(NodeId node, bool up) {
   if (!ValidNode(node)) return Status::InvalidArgument("no such node");
@@ -64,30 +63,35 @@ Status Topology::AddLink(NodeId a, NodeId b, SimTime latency) {
     return Status::InvalidArgument("bad link endpoints");
   }
   if (latency < 0) return Status::InvalidArgument("negative latency");
-  auto [it, inserted] = links_.emplace(Key(a, b), Link{latency, true});
-  (void)it;
-  if (!inserted) return Status::AlreadyExists("link exists");
+  if (a > b) std::swap(a, b);
+  if (LinkIndex(a, b) != -1) return Status::AlreadyExists("link exists");
+  int32_t index = static_cast<int32_t>(links_.size());
+  links_.push_back(Link{a, b, latency, true});
+  link_index_[static_cast<size_t>(a) * node_count_ + b] = index;
+  link_index_[static_cast<size_t>(b) * node_count_ + a] = index;
+  adj_[a].push_back(index);
+  adj_[b].push_back(index);
   NotifyChange();
   return Status::Ok();
 }
 
 Status Topology::SetLinkUp(NodeId a, NodeId b, bool up) {
-  auto it = links_.find(Key(a, b));
-  if (it == links_.end()) return Status::NotFound("no such link");
-  if (it->second.up != up) {
-    it->second.up = up;
+  int32_t index = LinkIndex(a, b);
+  if (index == -1) return Status::NotFound("no such link");
+  if (links_[index].up != up) {
+    links_[index].up = up;
     NotifyChange();
   }
   return Status::Ok();
 }
 
 bool Topology::HasLink(NodeId a, NodeId b) const {
-  return links_.count(Key(a, b)) > 0;
+  return LinkIndex(a, b) != -1;
 }
 
 bool Topology::IsLinkUp(NodeId a, NodeId b) const {
-  auto it = links_.find(Key(a, b));
-  return it != links_.end() && it->second.up;
+  int32_t index = LinkIndex(a, b);
+  return index != -1 && links_[index].up;
 }
 
 Status Topology::Partition(const std::vector<std::vector<NodeId>>& groups) {
@@ -109,8 +113,8 @@ Status Topology::Partition(const std::vector<std::vector<NodeId>>& groups) {
     }
   }
   bool changed = false;
-  for (auto& [key, link] : links_) {
-    bool want_up = group_of[key.first] == group_of[key.second];
+  for (Link& link : links_) {
+    bool want_up = group_of[link.a] == group_of[link.b];
     if (link.up != want_up) {
       link.up = want_up;
       changed = true;
@@ -122,14 +126,38 @@ Status Topology::Partition(const std::vector<std::vector<NodeId>>& groups) {
 
 void Topology::HealAll() {
   bool changed = false;
-  for (auto& [key, link] : links_) {
-    (void)key;
+  for (Link& link : links_) {
     if (!link.up) {
       link.up = true;
       changed = true;
     }
   }
   if (changed) NotifyChange();
+}
+
+void Topology::ComputeRow(NodeId a) const {
+  SimTime* dist = &dist_[static_cast<size_t>(a) * node_count_];
+  std::fill(dist, dist + node_count_, kSimTimeMax);
+  dist[a] = 0;
+  using Item = std::pair<SimTime, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.emplace(0, a);
+  while (!pq.empty()) {
+    auto [d, n] = pq.top();
+    pq.pop();
+    if (d > dist[n]) continue;
+    for (int32_t index : adj_[n]) {
+      const Link& link = links_[index];
+      if (!LinkUsable(link)) continue;
+      NodeId other = link.a == n ? link.b : link.a;
+      SimTime nd = d + link.latency;
+      if (nd < dist[other]) {
+        dist[other] = nd;
+        pq.emplace(nd, other);
+      }
+    }
+  }
+  row_valid_[a] = true;
 }
 
 bool Topology::Reachable(NodeId a, NodeId b) const {
@@ -147,60 +175,33 @@ Result<SimTime> Topology::PathLatency(NodeId a, NodeId b) const {
     return Status::Unavailable("endpoint node is down");
   }
   if (a == b) return SimTime{0};
-  // Dijkstra over up links. Node counts are small (tens), so an adjacency
-  // scan per step is fine.
-  std::vector<SimTime> dist(node_count_, kSimTimeMax);
-  dist[a] = 0;
-  using Item = std::pair<SimTime, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
-  pq.emplace(0, a);
-  while (!pq.empty()) {
-    auto [d, n] = pq.top();
-    pq.pop();
-    if (d > dist[n]) continue;
-    if (n == b) return d;
-    for (const auto& [key, link] : links_) {
-      if (!LinkUsable(key, link)) continue;
-      NodeId other;
-      if (key.first == n) {
-        other = key.second;
-      } else if (key.second == n) {
-        other = key.first;
-      } else {
-        continue;
-      }
-      SimTime nd = d + link.latency;
-      if (nd < dist[other]) {
-        dist[other] = nd;
-        pq.emplace(nd, other);
-      }
-    }
-  }
-  return Status::Unavailable("unreachable");
+  if (!row_valid_[a]) ComputeRow(a);
+  SimTime d = dist_[static_cast<size_t>(a) * node_count_ + b];
+  if (d == kSimTimeMax) return Status::Unavailable("unreachable");
+  return d;
 }
 
 std::vector<std::vector<NodeId>> Topology::Components() const {
   std::vector<int> comp(node_count_, -1);
   std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> bfs;
   for (NodeId start = 0; start < node_count_; ++start) {
     if (comp[start] != -1) continue;
     int c = static_cast<int>(out.size());
     out.emplace_back();
-    std::queue<NodeId> bfs;
-    bfs.push(start);
+    bfs.clear();
+    bfs.push_back(start);
     comp[start] = c;
-    while (!bfs.empty()) {
-      NodeId n = bfs.front();
-      bfs.pop();
+    for (size_t head = 0; head < bfs.size(); ++head) {
+      NodeId n = bfs[head];
       out[c].push_back(n);
-      for (const auto& [key, link] : links_) {
-        if (!LinkUsable(key, link)) continue;
-        NodeId other = kInvalidNode;
-        if (key.first == n) other = key.second;
-        if (key.second == n) other = key.first;
-        if (other != kInvalidNode && comp[other] == -1) {
+      for (int32_t index : adj_[n]) {
+        const Link& link = links_[index];
+        if (!LinkUsable(link)) continue;
+        NodeId other = link.a == n ? link.b : link.a;
+        if (comp[other] == -1) {
           comp[other] = c;
-          bfs.push(other);
+          bfs.push_back(other);
         }
       }
     }
@@ -214,7 +215,14 @@ void Topology::OnChange(std::function<void()> fn) {
   listeners_.push_back(std::move(fn));
 }
 
+void Topology::InvalidateCache() {
+  std::fill(row_valid_.begin(), row_valid_.end(), false);
+}
+
 void Topology::NotifyChange() {
+  // Listeners may immediately re-query paths (e.g. Network::FlushPending),
+  // so the cache must be stale-free before the first callback runs.
+  InvalidateCache();
   for (auto& fn : listeners_) fn();
 }
 

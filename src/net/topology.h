@@ -2,7 +2,6 @@
 #define FRAGDB_NET_TOPOLOGY_H_
 
 #include <functional>
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -16,6 +15,12 @@ namespace fragdb {
 /// topology answers reachability and shortest-latency-path queries over the
 /// links that are currently up, and notifies listeners when connectivity
 /// changes (so queued messages can be flushed).
+///
+/// Storage is dense (the simulation fast path): links live in a flat array
+/// with an N×N index table and per-node adjacency lists, and shortest-path
+/// results are cached per source row between connectivity changes — the
+/// network's per-message PathLatency query is an O(1) table read in the
+/// steady state instead of a Dijkstra run over a std::map of links.
 class Topology {
  public:
   /// Creates a topology over `node_count` nodes and no links.
@@ -78,24 +83,40 @@ class Topology {
 
  private:
   struct Link {
+    NodeId a;  // a < b
+    NodeId b;
     SimTime latency;
     bool up;
   };
 
-  static std::pair<NodeId, NodeId> Key(NodeId a, NodeId b) {
-    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-  }
   bool ValidNode(NodeId n) const { return n >= 0 && n < node_count_; }
   void NotifyChange();
+  void InvalidateCache();
 
   /// Effective link state: configured up AND both endpoints up.
-  bool LinkUsable(const std::pair<NodeId, NodeId>& key,
-                  const Link& link) const;
+  bool LinkUsable(const Link& link) const {
+    return link.up && node_up_[link.a] && node_up_[link.b];
+  }
+
+  int32_t LinkIndex(NodeId a, NodeId b) const {
+    if (!ValidNode(a) || !ValidNode(b)) return -1;
+    return link_index_[static_cast<size_t>(a) * node_count_ + b];
+  }
+
+  /// Fills the shortest-path row for source `a` (Dijkstra over up links).
+  void ComputeRow(NodeId a) const;
 
   int node_count_;
-  std::map<std::pair<NodeId, NodeId>, Link> links_;
+  std::vector<Link> links_;                // in AddLink order
+  std::vector<int32_t> link_index_;        // N×N: (a,b) -> index, -1 = none
+  std::vector<std::vector<int32_t>> adj_;  // per node: incident link indices
   std::vector<bool> node_up_;
   std::vector<std::function<void()>> listeners_;
+
+  // Shortest-path cache, invalidated on every connectivity change. Row r
+  // of dist_ is valid iff row_valid_[r]; kSimTimeMax means unreachable.
+  mutable std::vector<SimTime> dist_;  // N×N
+  mutable std::vector<bool> row_valid_;
 };
 
 }  // namespace fragdb

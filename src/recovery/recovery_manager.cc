@@ -79,7 +79,7 @@ void RecoveryManager::RestoreLocal(NodeId node, Session* session) {
       }
       s.epoch = record.epoch;
       s.epoch_base = record.epoch_base;
-      s.log.erase(s.log.upper_bound(record.epoch_base), s.log.end());
+      s.log.EraseGreaterThan(record.epoch_base);
       s.applied_seq = std::min(s.applied_seq, record.epoch_base);
       ++session->stats.wal_records_replayed;
       continue;
@@ -95,7 +95,7 @@ void RecoveryManager::RestoreLocal(NodeId node, Session* session) {
       rt.store().Write(w.object, w.value, q.origin_txn, q.seq, now);
     }
     s.applied_seq = q.seq;
-    s.log[q.seq] = q;
+    s.log.Put(q.seq, q);
     ++session->stats.wal_records_replayed;
   }
   for (FragmentId f = 0; f < cluster_->catalog().fragment_count(); ++f) {

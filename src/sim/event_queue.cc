@@ -1,50 +1,167 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fragdb {
 
-EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
-  EventId id = next_id_++;
-  auto entry = std::make_unique<Entry>();
-  entry->time = when;
-  entry->id = id;
-  entry->fn = std::move(fn);
-  heap_.push(entry.get());
-  entries_.emplace(id, std::move(entry));
+uint32_t EventQueue::AllocSlot() {
+  if (!free_.empty()) {
+    uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  if (slab_size_ == chunks_.size() * kChunkSize) {
+    // Default-init, not make_unique: value-initialization would zero every
+    // slot's 80-byte inline buffer (~53KB per chunk); the member
+    // initializers on Slot/EventFn already set all the state that matters.
+    chunks_.emplace_back(new Slot[kChunkSize]);
+  }
+  return slab_size_++;
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  Slot& s = SlotAt(slot);
+  s.fn.Reset();
+  s.live = false;
+  s.in_use = false;
+  ++s.gen;
+  free_.push_back(slot);
+}
+
+void EventQueue::HeapPush(HeapNode node) {
+  // Hole-based insert: move parents down into the hole instead of
+  // swapping, one 16-byte copy per level.
+  size_t hole = heap_.size();
+  heap_.push_back(node);
+  while (hole > 0) {
+    size_t parent = (hole - 1) / 4;
+    if (!node.FiresBefore(heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = node;
+}
+
+void EventQueue::SiftDown(size_t i) {
+  // Floyd's bottom-up variant: sink the hole to a leaf along the min-child
+  // path (no compare against the sinking value), then bubble the value
+  // back up. The value comes from the heap's last position, so it almost
+  // always belongs near the bottom and the bubble-up is short — this
+  // trades the per-level value compare + 3-copy swap of the textbook loop
+  // for one copy per level.
+  const size_t n = heap_.size();
+  HeapNode value = heap_[i];
+  size_t hole = i;
+  for (;;) {
+    size_t first = 4 * hole + 1;
+    if (first >= n) break;
+    size_t best = first;
+    size_t last = std::min(first + 4, n);
+    for (size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].FiresBefore(heap_[best])) best = c;
+    }
+#if defined(__GNUC__) || defined(__clang__)
+    // Pull the likely next child group into cache while this level's
+    // copy retires; large heaps are bound by these misses.
+    if (4 * best + 1 < n) __builtin_prefetch(&heap_[4 * best + 1]);
+#endif
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > i) {
+    size_t parent = (hole - 1) / 4;
+    if (!value.FiresBefore(heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = value;
+}
+
+EventQueue::HeapNode EventQueue::HeapPop() {
+  HeapNode top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  return top;
+}
+
+void EventQueue::Heapify() {
+  if (heap_.size() < 2) return;
+  for (size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) SiftDown(i);
+}
+
+EventId EventQueue::Schedule(SimTime when, EventFn fn) {
+  uint32_t slot = AllocSlot();
+  FRAGDB_CHECK(slot <= kSlotMask);
+  FRAGDB_CHECK(next_seq_ < kMaxSeq);
+  Slot& s = SlotAt(slot);
+  s.fn = std::move(fn);
+  s.live = true;
+  s.in_use = true;
+  HeapPush(HeapNode{when, (next_seq_++ << kSlotBits) | slot});
   ++live_count_;
-  return id;
+  return MakeId(s.gen, slot);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end() || it->second->cancelled) return false;
-  it->second->cancelled = true;
+  uint32_t slot = static_cast<uint32_t>(id & 0xffffffff);
+  uint32_t gen = static_cast<uint32_t>(static_cast<uint64_t>(id) >> 32);
+  if (slot >= slab_size_) return false;
+  Slot& s = SlotAt(slot);
+  if (!s.in_use || !s.live || s.gen != gen) return false;
+  s.live = false;
+  // Release the captures now — a cancelled retransmit timer must not pin
+  // its payload until the heap node happens to surface.
+  s.fn.Reset();
   --live_count_;
+  ++cancelled_in_heap_;
+  MaybeCompact();
   return true;
 }
 
+void EventQueue::MaybeCompact() {
+  if (cancelled_in_heap_ <= 64 || cancelled_in_heap_ * 2 <= heap_.size()) {
+    return;
+  }
+  size_t out = 0;
+  for (const HeapNode& node : heap_) {
+    if (SlotAt(node.slot()).live) {
+      heap_[out++] = node;
+    } else {
+      ReleaseSlot(node.slot());
+    }
+  }
+  heap_.resize(out);
+  Heapify();
+  cancelled_in_heap_ = 0;
+}
+
 void EventQueue::DropCancelledHead() {
-  while (!heap_.empty() && heap_.top()->cancelled) {
-    Entry* e = heap_.top();
-    heap_.pop();
-    entries_.erase(e->id);
+  // With no cancellations outstanding every heap node is live, so the
+  // head probe into the slab (a likely cache miss) can be skipped.
+  if (cancelled_in_heap_ == 0) return;
+  while (!heap_.empty() && !SlotAt(heap_.front().slot()).live) {
+    ReleaseSlot(HeapPop().slot());
+    --cancelled_in_heap_;
   }
 }
 
 SimTime EventQueue::NextTime() {
   DropCancelledHead();
   if (heap_.empty()) return kSimTimeMax;
-  return heap_.top()->time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
   DropCancelledHead();
   FRAGDB_CHECK(!heap_.empty());
-  Entry* e = heap_.top();
-  heap_.pop();
-  Fired fired{e->time, e->id, std::move(e->fn)};
-  entries_.erase(e->id);
+  HeapNode node = HeapPop();
+  uint32_t slot = node.slot();
+  Slot& s = SlotAt(slot);
+  Fired fired{node.time, MakeId(s.gen, slot), std::move(s.fn)};
+  ReleaseSlot(slot);
   --live_count_;
   return fired;
 }

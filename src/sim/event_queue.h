@@ -2,23 +2,31 @@
 #define FRAGDB_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/event_fn.h"
 
 namespace fragdb {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Encodes (generation, slot) so
+/// a recycled slot cannot be cancelled through a stale handle.
 using EventId = int64_t;
 
 /// Priority queue of timed callbacks with deterministic ordering: events
 /// fire in (time, insertion sequence) order, so two events scheduled for
 /// the same instant fire in the order they were scheduled. This is the
 /// root of the whole library's reproducibility.
+///
+/// Storage layout (the simulation fast path, see docs/PERFORMANCE.md):
+/// callbacks live in a slab of reusable slots threaded on a free list, so
+/// steady-state scheduling performs no allocation once the slab has grown
+/// to the simulation's high-water mark of pending events; the heap is a
+/// flat array of 16-byte (time, seq, slot) nodes rather than pointers.
+/// Cancelled entries are reclaimed lazily when they surface at the head,
+/// with a compaction pass once they outnumber half the heap so mass
+/// cancellation (retransmit timers, ack timeouts) cannot pin memory.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -28,10 +36,12 @@ class EventQueue {
 
   /// Schedules `fn` to fire at absolute time `when`. Returns a handle that
   /// can be passed to Cancel().
-  EventId Schedule(SimTime when, std::function<void()> fn);
+  EventId Schedule(SimTime when, EventFn fn);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown event
-  /// is a no-op returning false. Cancelled entries are reclaimed lazily.
+  /// is a no-op returning false. The callback (and its captures) is
+  /// destroyed immediately; the heap node is reclaimed lazily or by the
+  /// next compaction pass.
   bool Cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -44,31 +54,75 @@ class EventQueue {
   struct Fired {
     SimTime time;
     EventId id;
-    std::function<void()> fn;
+    EventFn fn;
   };
   Fired PopNext();
 
+  /// Introspection for tests and benches: current heap length including
+  /// cancelled-but-unreclaimed nodes, and slab high-water mark.
+  size_t heap_size() const { return heap_.size(); }
+  size_t slab_capacity() const { return slab_size_; }
+
  private:
-  struct Entry {
+  // 16-byte heap node: `key` packs (insertion sequence << 24 | slot), so
+  // comparing keys compares sequences (sequences are unique) and the slot
+  // rides along for free. The (time, key) order is total, which makes the
+  // pop sequence independent of heap arity or layout — determinism does
+  // not rest on any heap implementation detail.
+  struct HeapNode {
     SimTime time;
-    EventId id;  // doubles as insertion sequence: monotonically increasing
-    std::function<void()> fn;
-    bool cancelled = false;
-  };
-  struct Later {
-    bool operator()(const Entry* a, const Entry* b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->id > b->id;
+    uint64_t key;
+
+    uint32_t slot() const { return static_cast<uint32_t>(key & kSlotMask); }
+    bool FiresBefore(const HeapNode& o) const {
+      return time != o.time ? time < o.time : key < o.key;
     }
   };
+  static constexpr uint64_t kSlotBits = 24;  // ≤16.7M concurrently pending
+  static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+  static constexpr uint64_t kMaxSeq = uint64_t{1} << (64 - kSlotBits);
+  struct Slot {
+    EventFn fn;
+    uint32_t gen = 0;
+    bool live = false;    // scheduled, not yet fired or cancelled
+    bool in_use = false;  // a heap node references this slot
+  };
 
-  /// Pops (and frees) cancelled entries sitting at the head of the heap.
+  static EventId MakeId(uint32_t gen, uint32_t slot) {
+    return (static_cast<int64_t>(gen) << 32) | static_cast<int64_t>(slot);
+  }
+
+  // The slab is chunked so slots have stable addresses: growing it never
+  // move-relocates existing EventFns (whose moves go through an indirect
+  // manage call), it just appends a chunk.
+  static constexpr uint32_t kChunkBits = 9;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+
+  Slot& SlotAt(uint32_t i) {
+    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+
+  uint32_t AllocSlot();
+  void ReleaseSlot(uint32_t slot);
+  /// Pops cancelled entries sitting at the head of the heap.
   void DropCancelledHead();
+  /// Rebuilds the heap without the cancelled nodes once they dominate.
+  void MaybeCompact();
 
-  std::priority_queue<Entry*, std::vector<Entry*>, Later> heap_;
-  std::unordered_map<EventId, std::unique_ptr<Entry>> entries_;
-  EventId next_id_ = 0;
+  // 4-ary min-heap: half the depth of a binary heap and four children per
+  // cache line of nodes, which is what the large-queue case is bound by.
+  void HeapPush(HeapNode node);
+  HeapNode HeapPop();
+  void SiftDown(size_t i);
+  void Heapify();
+
+  std::vector<HeapNode> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  uint32_t slab_size_ = 0;  // slots handed out at least once
+  std::vector<uint32_t> free_;
+  uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
+  size_t cancelled_in_heap_ = 0;
 };
 
 }  // namespace fragdb

@@ -4,12 +4,12 @@
 
 namespace fragdb {
 
-EventId Simulator::At(SimTime when, std::function<void()> fn) {
+EventId Simulator::At(SimTime when, EventFn fn) {
   if (when < now_) when = now_;
   return queue_.Schedule(when, std::move(fn));
 }
 
-EventId Simulator::After(SimTime delay, std::function<void()> fn) {
+EventId Simulator::After(SimTime delay, EventFn fn) {
   FRAGDB_CHECK(delay >= 0);
   return queue_.Schedule(now_ + delay, std::move(fn));
 }

@@ -24,10 +24,12 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when`; clamps to Now() if in the past.
-  EventId At(SimTime when, std::function<void()> fn);
+  /// Takes any callable; captures up to EventFn::kInlineSize bytes are
+  /// stored without heap allocation.
+  EventId At(SimTime when, EventFn fn);
 
   /// Schedules `fn` after a non-negative delay.
-  EventId After(SimTime delay, std::function<void()> fn);
+  EventId After(SimTime delay, EventFn fn);
 
   /// Cancels a pending event; returns false if it already fired.
   bool Cancel(EventId id) { return queue_.Cancel(id); }
