@@ -15,6 +15,8 @@
 #include "bench_harness.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "scenario/compile.h"
+#include "scenario/library.h"
 #include "verify/checkers.h"
 #include "workload/metrics.h"
 
@@ -49,14 +51,11 @@ RowResult RunOnce(SimTime lock_timeout) {
   }
   if (!cluster.Start().ok()) std::abort();
 
-  // Fixed schedule: 150ms outages every 300ms; every transaction reads
-  // one foreign fragment (the §4.1 worst case).
+  // Fixed schedule from the scenario library: 150ms outages every 300ms;
+  // every transaction reads one foreign fragment (the §4.1 worst case).
   const SimTime kDuration = Seconds(3);
-  for (SimTime t = Millis(150); t < kDuration; t += Millis(300)) {
-    cluster.sim().At(t, [&cluster] {
-      (void)cluster.Partition({{0, 1}, {2, 3}});
-    });
-    cluster.sim().At(t + Millis(150) - 1, [&cluster] { cluster.HealAll(); });
+  if (!ApplyScenario(AblationOutageSchedule(), cluster, ApplyOptions{}).ok()) {
+    std::abort();
   }
   RowResult row;
   Rng rng(5);

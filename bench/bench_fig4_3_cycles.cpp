@@ -17,6 +17,8 @@
 #include "bench_harness.h"
 #include "bench_util.h"
 #include "core/cluster.h"
+#include "scenario/compile.h"
+#include "scenario/library.h"
 #include "verify/checkers.h"
 #include "workload/synthetic.h"
 
@@ -64,27 +66,31 @@ void RunScriptedAntiExample() {
     cluster.Submit(spec, nullptr);
   };
 
-  // Orchestrate the paper's interleaving with two partition phases. The
-  // key is that F2's and F3's update streams travel independently, so
-  // node 0 can hold T2's write of b while T3's write of c is still stuck:
+  // Orchestrate the paper's interleaving with two partition phases from
+  // the scenario library. The key is that F2's and F3's update streams
+  // travel independently, so node 0 can hold T2's write of b while T3's
+  // write of c is still stuck. Each phase is applied synchronously
+  // (ApplyOpNow) between the scripted transactions:
   //
-  //  phase 1: {1,2} | {0} — T3 commits at node 2 (c reaches node 1, is
-  //           queued for node 0); then T2 runs at node 1 reading the NEW
-  //           c (edge T3 -> T2) and writing b (queued for node 0 too).
-  (void)cluster.Partition({{1, 2}, {0}});
+  //  phase 1 (ops[0]): {1,2} | {0} — T3 commits at node 2 (c reaches
+  //           node 1, is queued for node 0); then T2 runs at node 1
+  //           reading the NEW c (edge T3 -> T2) and writing b (queued
+  //           for node 0 too).
+  const Scenario phases = Fig43TwoPhasePartition();
+  ApplyOpNow(phases.ops[0], cluster, ApplyOptions{});
   txn(a3, f3, {c}, c, "T3");  // T3 reads and writes c
   cluster.RunFor(Millis(10));
   txn(a2, f2, {c}, b, "T2");  // T2 reads c AFTER T3's write: T3 -> T2
   cluster.RunFor(Millis(10));
-  //  phase 2: {0,1} | {2} — node 1's queued b flushes to node 0, but
-  //           node 2 still cannot reach node 0, so c stays old there.
-  (void)cluster.Partition({{0, 1}, {2}});
+  //  phase 2 (ops[1]): {0,1} | {2} — node 1's queued b flushes to node
+  //           0, but node 2 still cannot reach node 0, so c stays old.
+  ApplyOpNow(phases.ops[1], cluster, ApplyOptions{});
   cluster.RunFor(Millis(10));
   //  T1 at node 0 now reads the NEW b (T2 -> T1) and the OLD c
   //           (T1 -> T3): the cycle closes.
   txn(a1, f1, {c, b}, a, "T1");
   cluster.RunFor(Millis(10));
-  cluster.HealAll();
+  ApplyOpNow(phases.ops[2], cluster, ApplyOptions{});  // heal
   cluster.RunToQuiescence();
 
   CheckReport global = CheckGlobalSerializability(cluster.history());

@@ -6,31 +6,19 @@
 #include <cstring>
 #include <thread>
 
+#include "common/cli.h"
+
 namespace fragdb_bench {
 namespace {
 
-bool ParseFlag(const char* arg, const char* name, const char** value) {
-  size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
-  *value = arg + n + 1;
-  return true;
-}
-
 std::vector<uint64_t> ParseSeedList(const char* value) {
   std::vector<uint64_t> seeds;
-  const char* p = value;
-  while (*p != '\0') {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(p, &end, 10);
-    if (end == p || (*end != ',' && *end != '\0')) {
+  if (!fragdb::cli::ParseUint64List(value, &seeds)) {
+    if (*value == '\0') {
+      std::fprintf(stderr, "empty --seeds value\n");
+    } else {
       std::fprintf(stderr, "bad --seeds value: %s\n", value);
-      std::exit(2);
     }
-    seeds.push_back(v);
-    p = *end == ',' ? end + 1 : end;
-  }
-  if (seeds.empty()) {
-    std::fprintf(stderr, "empty --seeds value\n");
     std::exit(2);
   }
   return seeds;
@@ -52,7 +40,7 @@ BenchOptions ParseBenchOptions(int* argc, char** argv) {
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
     const char* value = nullptr;
-    if (ParseFlag(arg, "--threads", &value)) {
+    if (fragdb::cli::FlagValue(arg, "--threads", &value)) {
       char* end = nullptr;
       long t = std::strtol(value, &end, 10);
       if (end == value || *end != '\0' || t < 0) {
@@ -62,7 +50,7 @@ BenchOptions ParseBenchOptions(int* argc, char** argv) {
       opts.threads = static_cast<int>(t);
       continue;
     }
-    if (ParseFlag(arg, "--seeds", &value)) {
+    if (fragdb::cli::FlagValue(arg, "--seeds", &value)) {
       opts.seeds = ParseSeedList(value);
       continue;
     }

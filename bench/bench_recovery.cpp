@@ -19,6 +19,8 @@
 #include "bench_harness.h"
 #include "bench_util.h"
 #include "core/cluster.h"
+#include "scenario/compile.h"
+#include "scenario/library.h"
 #include "verify/checkers.h"
 
 using namespace fragdb;
@@ -73,22 +75,15 @@ RunResult RunOnce(SimTime history, SimTime downtime,
       });
     });
   }
-  cluster.sim().At(history, [&cluster, lose_disk] {
-    if (!cluster.CrashNode(kVictim, CrashMode::kAmnesia).ok()) std::abort();
-    if (lose_disk) {
-      StableStorage* disk = cluster.stable_storage(kVictim);
-      disk->Delete(kWalFile);
-      disk->Delete(kCheckpointFile);
-      disk->Delete(kCheckpointPendingFile);
-    }
-  });
-  cluster.sim().At(history + downtime, [&cluster, &result] {
-    if (!cluster.ReviveNode(kVictim, [&result](const RecoveryStats& s) {
-          result.stats = s;
-        }).ok()) {
-      std::abort();
-    }
-  });
+  // The crash-and-revive window comes from the scenario library; a failed
+  // crash or revive surfaces below as stats.ran == false.
+  ApplyOptions apply;
+  apply.on_recovery = [&result](NodeId, const RecoveryStats& s) {
+    result.stats = s;
+  };
+  Status applied = ApplyScenario(
+      RecoveryOutage(history, downtime, kVictim, lose_disk), cluster, apply);
+  if (!applied.ok()) std::abort();
   cluster.RunToQuiescence();
   if (!result.stats.ran) std::abort();
   if (!CheckMutualConsistency(cluster.Replicas()).ok) std::abort();

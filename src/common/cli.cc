@@ -1,0 +1,51 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fragdb {
+namespace cli {
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+bool ParseUint64(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseUint64List(const char* s, std::vector<uint64_t>* out) {
+  out->clear();
+  const char* p = s;
+  while (*p != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || (*end != ',' && *end != '\0')) return false;
+    out->push_back(v);
+    p = *end == ',' ? end + 1 : end;
+  }
+  return !out->empty();
+}
+
+std::vector<std::string> SplitCommaList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace cli
+}  // namespace fragdb

@@ -1,0 +1,32 @@
+#ifndef FRAGDB_COMMON_CLI_H_
+#define FRAGDB_COMMON_CLI_H_
+
+// Tiny CLI parsing helpers shared by the bench drivers and the seedable
+// test binaries (network fuzzer, scenario grid). Kept dependency-free so
+// both the bench harness and gtest mains can use them.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fragdb {
+namespace cli {
+
+/// If `arg` is exactly "<name>=<value>", points `*value` at the value and
+/// returns true. `name` includes any leading dashes ("--threads").
+bool FlagValue(const char* arg, const char* name, const char** value);
+
+/// Parses a full unsigned decimal. Returns false on empty/trailing junk.
+bool ParseUint64(const char* s, uint64_t* out);
+
+/// Parses "a,b,c" into numbers. Returns false (and leaves `out`
+/// unspecified) on malformed input or an empty list.
+bool ParseUint64List(const char* s, std::vector<uint64_t>* out);
+
+/// Splits "a,b,c" into non-empty tokens ("" yields an empty list).
+std::vector<std::string> SplitCommaList(const std::string& s);
+
+}  // namespace cli
+}  // namespace fragdb
+
+#endif  // FRAGDB_COMMON_CLI_H_

@@ -1059,6 +1059,13 @@ bool Cluster::IsAmnesiaDown(NodeId node) const {
          amnesia_down_[node];
 }
 
+void Cluster::StartGapRepairSweep() {
+  for (NodeId node = 0; node < node_count(); ++node) {
+    if (!topology_.IsNodeUp(node) || IsAmnesiaDown(node)) continue;
+    runtimes_[node]->GapRepairSweep();
+  }
+}
+
 void Cluster::RunFor(SimTime duration) { sim_.RunUntil(sim_.Now() + duration); }
 void Cluster::RunUntil(SimTime deadline) { sim_.RunUntil(deadline); }
 void Cluster::RunToQuiescence() { sim_.RunToQuiescence(); }

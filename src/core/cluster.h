@@ -167,6 +167,14 @@ class Cluster {
   /// After a plain crash-stop, `done` fires immediately with ran=false.
   Status ReviveNode(NodeId node, RecoveryCallback done = nullptr);
 
+  /// Anti-entropy sweep after lossy traffic: every up node immediately
+  /// queries the remote homes for the log suffix of each fragment it
+  /// replicates, re-fetching anything a loss window dropped — including
+  /// trailing drops that left no holdback evidence for the periodic
+  /// repairer (config.gap_repair_interval) to notice. One bounded round
+  /// of query/reply per (node, home) pair; call before the final drain.
+  void StartGapRepairSweep();
+
   void RunFor(SimTime duration);
   void RunUntil(SimTime deadline);
   /// Drains all pending work. Note: while links are down, queued messages

@@ -74,6 +74,14 @@ struct ClusterConfig {
   /// non-serializable *output*; the database itself is unaffected).
   bool allow_nonconforming_readonly = false;
 
+  /// Loss resilience: when > 0, a replica whose update stream has a gap
+  /// (an expected quasi-transaction missing — e.g. dropped inside a
+  /// Network loss window) asks the fragment's home for the missing log
+  /// suffix after this delay, retrying while the gap persists. 0 (the
+  /// default) disables the repairer: the cluster then assumes the
+  /// loss-free channel of DESIGN.md §2, exactly as before.
+  SimTime gap_repair_interval = 0;
+
   /// Durable storage & crash recovery (WAL, checkpoints, amnesia crashes).
   /// Disabled by default: node state then survives crash-stops by fiat, as
   /// the paper assumes.

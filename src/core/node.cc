@@ -40,6 +40,8 @@ NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id)
                                            locks_.get(),
                                            cluster->cfg().scheduler, hooks);
   streams_.resize(cluster->catalog().fragment_count());
+  gap_repair_armed_.assign(streams_.size(), 0);
+  gap_repair_strikes_.assign(streams_.size(), 0);
   if (ClusterInstruments* ins = cluster->instruments()) {
     LockManager::Observer lock_obs;
     lock_obs.now = [cluster] { return cluster->sim().Now(); };
@@ -134,6 +136,7 @@ void NodeRuntime::EnqueueQuasi(const QuasiTxn& quasi, Epoch epoch) {
     return;  // duplicate
   }
   s.holdback.Put(quasi.seq, quasi);
+  gap_repair_strikes_[quasi.fragment] = 0;  // new evidence; repair retries
   if (ClusterInstruments* ins = cluster_->instruments()) {
     ins->HoldbackDepth(id_, quasi.fragment)
         ->Set(static_cast<int64_t>(s.holdback.size()));
@@ -145,7 +148,12 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
   FragmentStream& s = streams_[f];
   if (s.install_in_flight) return;
   const QuasiTxn* next = s.holdback.Find(s.applied_seq + 1);
-  if (next == nullptr) return;
+  if (next == nullptr) {
+    // Later sequences are waiting but the next expected one is missing —
+    // with a lossy network that may be a dropped message, never to arrive.
+    if (!s.holdback.empty()) MaybeScheduleGapRepair(f);
+    return;
+  }
   QuasiTxn quasi = *next;
   s.holdback.Erase(quasi.seq);
   s.install_in_flight = true;
@@ -179,6 +187,7 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
 }
 
 void NodeRuntime::OnAppliedAdvanced(FragmentId f) {
+  gap_repair_strikes_[f] = 0;  // the stream moved; repair retries afresh
   MaybeCompleteTransition(f);
   if (catchup_.active && catchup_.fragment == f) MaybeFinishCatchUp();
   cluster_->OnAppliedAdvanced(id_, f);
@@ -531,6 +540,8 @@ void NodeRuntime::WipeVolatile() {
   catchup_ = CatchUpState{};
   repackaged_.clear();
   durability_ = nullptr;
+  gap_repair_armed_.assign(streams_.size(), 0);
+  gap_repair_strikes_.assign(streams_.size(), 0);
 }
 
 void NodeRuntime::OnRecoveryQuery(const RecoveryQuery& msg) {
@@ -560,8 +571,103 @@ void NodeRuntime::OnRecoveryQuery(const RecoveryQuery& msg) {
 }
 
 void NodeRuntime::OnRecoveryReply(const RecoveryReply& msg) {
+  if (msg.recovery_id < 0) {
+    OnGapRepairReply(msg);
+    return;
+  }
   if (RecoveryManager* rm = cluster_->recovery_manager()) {
     rm->OnReply(id_, msg);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Loss gap repair
+// --------------------------------------------------------------------------
+
+namespace {
+/// Consecutive fruitless repair ticks before the repairer stops retrying a
+/// fragment (until new stream activity resets the count). Keeps an
+/// unresolvable gap from keeping the event queue non-empty forever.
+constexpr int kGapRepairMaxStrikes = 64;
+}  // namespace
+
+void NodeRuntime::MaybeScheduleGapRepair(FragmentId f) {
+  SimTime interval = cluster_->cfg().gap_repair_interval;
+  if (interval <= 0) return;
+  if (gap_repair_armed_[f] || gap_repair_strikes_[f] >= kGapRepairMaxStrikes) {
+    return;
+  }
+  FragmentStream& s = streams_[f];
+  if (s.install_in_flight || s.transition.active) return;
+  if (s.holdback.empty() || s.holdback.Find(s.applied_seq + 1) != nullptr) {
+    return;  // no gap
+  }
+  Result<NodeId> home = cluster_->catalog().HomeOfFragment(f);
+  if (!home.ok() || *home == id_) return;  // nobody upstream to ask
+  gap_repair_armed_[f] = 1;
+  cluster_->sim().After(interval, [this, f] { GapRepairTick(f); });
+}
+
+void NodeRuntime::GapRepairTick(FragmentId f) {
+  if (!gap_repair_armed_[f]) return;  // canceled (e.g. by WipeVolatile)
+  gap_repair_armed_[f] = 0;
+  FragmentStream& s = streams_[f];
+  if (s.install_in_flight || s.transition.active || s.holdback.empty() ||
+      s.holdback.Find(s.applied_seq + 1) != nullptr) {
+    TryInstallNext(f);  // the gap closed (or is closing) on its own
+    return;
+  }
+  Result<NodeId> home = cluster_->catalog().HomeOfFragment(f);
+  if (!home.ok() || *home == id_) return;
+  ++gap_repair_strikes_[f];
+  SendGapRepairQuery(*home, {RecoveryPosition{f, s.epoch, s.applied_seq}});
+  MaybeScheduleGapRepair(f);  // re-arm: the query or reply may be lost too
+}
+
+void NodeRuntime::SendGapRepairQuery(NodeId home,
+                                     std::vector<RecoveryPosition> have) {
+  auto query = std::make_shared<RecoveryQuery>();
+  query->requester = id_;
+  // Negative ids mark gap-repair traffic; the recovery manager's crash
+  // sessions use positive ids, so the two reply streams never collide.
+  query->recovery_id = -static_cast<int64_t>(++gap_repair_queries_);
+  query->have = std::move(have);
+  cluster_->network().Send(id_, home, query);
+}
+
+void NodeRuntime::OnGapRepairReply(const RecoveryReply& msg) {
+  for (const RecoveryFragmentState& fs : msg.fragments) {
+    FragmentStream& s = streams_[fs.fragment];
+    Epoch local_epoch = s.transition.active ? s.transition.new_epoch : s.epoch;
+    if (fs.epoch < local_epoch) continue;  // the peer is the stale one
+    if (fs.epoch > local_epoch) {
+      // The fragment moved epochs while the drops happened; adopt the
+      // newer epoch through the ordinary §4.4.3 machinery (same rule as
+      // RecoveryManager::OnReply).
+      Result<NodeId> home = cluster_->catalog().HomeOfFragment(fs.fragment);
+      BeginEpochTransition(fs.fragment, fs.epoch, fs.epoch_base,
+                           home.ok() ? *home : msg.replier, {});
+    }
+    for (const QuasiTxn& q : fs.quasis) {
+      Epoch at = (fs.epoch > s.epoch && q.seq <= fs.epoch_base) ? s.epoch
+                                                                : fs.epoch;
+      EnqueueQuasi(q, at);
+    }
+  }
+}
+
+void NodeRuntime::GapRepairSweep() {
+  std::map<NodeId, std::vector<RecoveryPosition>> by_home;
+  const Catalog& catalog = cluster_->catalog();
+  for (FragmentId f = 0; f < catalog.fragment_count(); ++f) {
+    if (!catalog.ReplicatedAt(f, id_)) continue;
+    Result<NodeId> home = catalog.HomeOfFragment(f);
+    if (!home.ok() || *home == id_) continue;
+    const FragmentStream& s = streams_[f];
+    by_home[*home].push_back(RecoveryPosition{f, s.epoch, s.applied_seq});
+  }
+  for (auto& [home, have] : by_home) {
+    SendGapRepairQuery(home, std::move(have));
   }
 }
 

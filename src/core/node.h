@@ -136,6 +136,12 @@ class NodeRuntime {
                             SeqNum base_seq, NodeId new_home,
                             const std::vector<QuasiTxn>& old_stream);
 
+  /// Anti-entropy: queries each remote home for the log suffix of every
+  /// fragment this node replicates, unconditionally (no gap evidence
+  /// needed). Used by Cluster::StartGapRepairSweep at the end of lossy
+  /// runs to pick up trailing drops that left no holdback behind.
+  void GapRepairSweep();
+
  private:
   // --- Stream machinery -------------------------------------------------
   void TryInstallNext(FragmentId f);
@@ -158,6 +164,15 @@ class NodeRuntime {
   void OnMissingData(const MissingData& msg);
   void OnRecoveryQuery(const RecoveryQuery& msg);
   void OnRecoveryReply(const RecoveryReply& msg);
+
+  // --- Loss gap repair (config.gap_repair_interval) -----------------------
+  /// Arms a delayed repair query when the fragment's holdback shows a gap.
+  void MaybeScheduleGapRepair(FragmentId f);
+  void GapRepairTick(FragmentId f);
+  void SendGapRepairQuery(NodeId home, std::vector<RecoveryPosition> have);
+  /// Reply path for gap-repair queries (negative recovery_id): enqueues
+  /// the fetched quasi-transactions through the ordinary epoch rules.
+  void OnGapRepairReply(const RecoveryReply& msg);
 
   // --- §4.4.1 catch-up state --------------------------------------------
   struct CatchUpState {
@@ -184,6 +199,13 @@ class NodeRuntime {
   std::set<TxnId> repackaged_;
   /// Durability pipeline, or nullptr when the cluster runs without one.
   NodeDurability* durability_ = nullptr;
+  /// Gap repair: per-fragment "a repair tick is pending" flags and counts
+  /// of consecutive fruitless ticks (the repairer gives up after
+  /// kGapRepairMaxStrikes until new stream activity resets the count, so
+  /// an unresolvable gap cannot keep the event queue busy forever).
+  std::vector<uint8_t> gap_repair_armed_;
+  std::vector<int> gap_repair_strikes_;
+  uint64_t gap_repair_queries_ = 0;
 
   friend class Cluster;
 };

@@ -44,17 +44,57 @@ Status Network::Send(NodeId from, NodeId to,
     pending_.push_back(Message{from, to, sent_at, std::move(payload)});
     return Status::Ok();
   }
-  if (loss_rng_ != nullptr && loss_rng_->NextBool(loss_probability_)) {
+  SimTime deliver_at = ArrivalTime(from, to, *lat);
+  if (loss_probability_ > 0.0 && loss_rng_ != nullptr &&
+      loss_rng_->NextBool(loss_probability_)) {
     ++stats_.messages_dropped;
+    // A dropped message still occupies its slot on the FIFO channel: the
+    // floor advances exactly as if it had been delivered, so survivors
+    // keep the schedule of a loss-free run and a window opening
+    // mid-flight can never reorder (or retroactively drop) messages that
+    // were already routed.
+    SimTime& floor = channel_floor_[static_cast<size_t>(from) *
+                                        topology_->node_count() +
+                                    to];
+    floor = std::max(floor, deliver_at);
     return Status::Ok();
   }
-  Dispatch(from, to, sim_->Now() + *lat, std::move(payload), sent_at);
+  Dispatch(from, to, deliver_at, std::move(payload), sent_at);
   return Status::Ok();
 }
 
 void Network::SetLossProbability(double p, uint64_t seed) {
   loss_probability_ = p;
-  loss_rng_ = p > 0.0 ? std::make_unique<Rng>(seed) : nullptr;
+  // Keep the RNG stream alive across p transitions with the same seed so
+  // reopening a window continues (rather than replays) the drop pattern;
+  // only a different seed restarts it. While p == 0 no draws happen, so
+  // the stream position is unchanged by a closed window.
+  if (loss_rng_ == nullptr || seed != loss_seed_) {
+    loss_rng_ = std::make_unique<Rng>(seed);
+    loss_seed_ = seed;
+  }
+}
+
+void Network::SetChannelExtraDelay(NodeId from, NodeId to, SimTime extra) {
+  FRAGDB_CHECK(from >= 0 && from < topology_->node_count() && to >= 0 &&
+               to < topology_->node_count() && from != to);
+  FRAGDB_CHECK(extra >= 0);
+  if (channel_extra_.empty()) {
+    channel_extra_.assign(static_cast<size_t>(topology_->node_count()) *
+                              topology_->node_count(),
+                          0);
+  }
+  channel_extra_[static_cast<size_t>(from) * topology_->node_count() + to] =
+      extra;
+}
+
+SimTime Network::ArrivalTime(NodeId from, NodeId to, SimTime latency) const {
+  SimTime extra =
+      channel_extra_.empty()
+          ? 0
+          : channel_extra_[static_cast<size_t>(from) * topology_->node_count() +
+                           to];
+  return sim_->Now() + latency + extra;
 }
 
 Status Network::SendToAll(NodeId from,
@@ -77,8 +117,10 @@ void Network::Dispatch(NodeId from, NodeId to, SimTime deliver_at,
   floor = deliver_at;
   sim_->At(deliver_at, [this, from, to, sent_at, p = std::move(payload)] {
     ++stats_.messages_delivered;
+    Message m{from, to, sent_at, p};
+    if (delivery_observer_) delivery_observer_(m);
     if (handlers_[to]) {
-      handlers_[to](Message{from, to, sent_at, p});
+      handlers_[to](m);
     }
   });
 }
@@ -98,8 +140,8 @@ void Network::FlushPending() {
       still_pending.push_back(std::move(m));
       continue;
     }
-    Dispatch(m.from, m.to, sim_->Now() + *lat, std::move(m.payload),
-             m.sent_at);
+    Dispatch(m.from, m.to, ArrivalTime(m.from, m.to, *lat),
+             std::move(m.payload), m.sent_at);
   }
   pending_ = std::move(still_pending);
   flushing_ = false;

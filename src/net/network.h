@@ -62,10 +62,35 @@ class Network {
   /// Enables independent random loss of routed messages with probability
   /// `p` (deterministic from `seed`). Queued messages are never lost —
   /// they were never transmitted. Self-sends are never dropped. Layers
-  /// that promise reliable delivery (ReliableBroadcast with a retransmit
-  /// timer) must be configured to cope; the Cluster assumes a loss-free
-  /// channel underneath (see DESIGN.md).
+  /// that promise reliable delivery must be configured to cope; the
+  /// Cluster needs gap repair enabled (config.gap_repair_interval) to
+  /// survive loss (see DESIGN.md).
+  ///
+  /// Two guarantees make loss windows composable with FIFO channels:
+  ///  * A dropped message still advances the per-channel FIFO floor, so a
+  ///    window that opens mid-flight is timing-transparent: the messages
+  ///    that survive are delivered at exactly the instants they would have
+  ///    been in a loss-free run, and already-routed messages are never
+  ///    retroactively dropped or reordered.
+  ///  * Re-invoking with the same `seed` continues the existing drop
+  ///    stream rather than replaying it from the start, so closing a
+  ///    window (p = 0) and reopening it later draws fresh coin flips.
+  ///    A different seed restarts the stream.
   void SetLossProbability(double p, uint64_t seed);
+
+  /// Adds `extra` one-directional delay to every message routed on the
+  /// ordered channel (from, to) — a "gray" link: up and routable, but
+  /// slow in one direction. Composes with path latency and the FIFO
+  /// floor. Pass 0 to restore the channel. `from != to` required.
+  void SetChannelExtraDelay(NodeId from, NodeId to, SimTime extra);
+
+  /// Observer invoked once per delivery (the same moment
+  /// `stats_.messages_delivered` increments), just before the receive
+  /// handler. Sees self-sends too. Pass nullptr to disable. Used by the
+  /// verify layer's FIFO checker and per-scenario accounting.
+  void SetDeliveryObserver(std::function<void(const Message&)> observer) {
+    delivery_observer_ = std::move(observer);
+  }
 
   /// Observer invoked once per counted send (from != to, before loss or
   /// queueing — the same moment `stats_.messages_sent` increments), with
@@ -86,6 +111,9 @@ class Network {
                 std::shared_ptr<const MessagePayload> payload,
                 SimTime sent_at);
   void FlushPending();
+  /// Arrival instant for a message routed now on (from, to) with the
+  /// given path latency: now + latency + any gray-link extra delay.
+  SimTime ArrivalTime(NodeId from, NodeId to, SimTime latency) const;
 
   Simulator* sim_;
   Topology* topology_;
@@ -96,10 +124,15 @@ class Network {
   // stored dense at index from*n+to (0 = unconstrained, since deliveries
   // never predate the start of the simulation).
   std::vector<SimTime> channel_floor_;
+  // Gray-link extra delay per ordered (from, to) channel, dense at
+  // from*n+to; allocated lazily on first SetChannelExtraDelay.
+  std::vector<SimTime> channel_extra_;
   NetworkStats stats_;
   std::function<void(const MessagePayload&, size_t)> send_observer_;
+  std::function<void(const Message&)> delivery_observer_;
   bool flushing_ = false;
   double loss_probability_ = 0.0;
+  uint64_t loss_seed_ = 0;
   std::unique_ptr<Rng> loss_rng_;
 };
 

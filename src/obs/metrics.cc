@@ -172,6 +172,16 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   }
 }
 
+MetricsSnapshot MetricsSnapshot::Relabeled(const std::string& tag) const {
+  MetricsSnapshot out;
+  out.entries = entries;
+  for (MetricEntry& e : out.entries) {
+    e.key.label = e.key.label.empty() ? tag : tag + "/" + e.key.label;
+  }
+  std::sort(out.entries.begin(), out.entries.end(), EntryLess);
+  return out;
+}
+
 const MetricEntry* MetricsSnapshot::Find(const MetricKey& key) const {
   for (const MetricEntry& e : entries) {
     if (e.key == key) return &e;

@@ -112,6 +112,13 @@ class MetricsSnapshot {
   /// Series present only in `other` are inserted.
   void Merge(const MetricsSnapshot& other);
 
+  /// Copy with every series tagged by `tag` in the free label dimension:
+  /// an empty label becomes `tag`, an existing label becomes "tag/label".
+  /// Used to mark per-scenario snapshots before merging them into a grid
+  /// aggregate without colliding series from different cells. Entries are
+  /// re-sorted, preserving the determinism guarantee.
+  MetricsSnapshot Relabeled(const std::string& tag) const;
+
   const MetricEntry* Find(const MetricKey& key) const;
   /// Sum of every counter series with this name (over all scopes/labels).
   uint64_t CounterTotal(const std::string& name) const;

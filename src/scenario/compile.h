@@ -1,0 +1,59 @@
+#ifndef FRAGDB_SCENARIO_COMPILE_H_
+#define FRAGDB_SCENARIO_COMPILE_H_
+
+// Compiles a Scenario's fault ops into deterministic EventQueue events
+// against a live Cluster. Load-shaping ops (zipf / diurnal / flash) are
+// ignored here — they drive arrival generation in the runner, not cluster
+// state (see scenario/runner.h and LoadProfile).
+
+#include <functional>
+
+#include "core/cluster.h"
+#include "scenario/scenario.h"
+
+namespace fragdb {
+
+/// Counts of fault actions actually fired (incremented at event time, so a
+/// caller can inspect mid-run). Failures cover rejected crash/revive calls
+/// (e.g. amnesia without durability, or crashing an already-down node).
+struct ApplyStats {
+  int partitions = 0;
+  int heals = 0;
+  int link_flips = 0;
+  int gray_links = 0;
+  int loss_windows = 0;
+  int crashes = 0;
+  int revives = 0;
+  int failures = 0;
+};
+
+struct ApplyOptions {
+  /// Seed for the Network's loss RNG (kLoss windows).
+  uint64_t loss_seed = 0;
+  /// Invoked with the recovery stats when a compiled crash window's revive
+  /// completes (amnesia recovery or crash-stop immediate callback).
+  std::function<void(NodeId, const RecoveryStats&)> on_recovery;
+};
+
+/// Schedules every fault op of `scenario` against `cluster`. Actions whose
+/// instant is <= the simulator's current time are applied synchronously,
+/// in op order — so a scenario applied at t=0 with an op at t=0 behaves
+/// exactly like hand-written synchronous setup code. `stats` (optional)
+/// must outlive the run. The scenario and options are copied as needed;
+/// `cluster` must outlive the run.
+Status ApplyScenario(const Scenario& scenario, Cluster& cluster,
+                     const ApplyOptions& options, ApplyStats* stats = nullptr);
+
+/// Applies one op's *start* action synchronously (its window end, if any,
+/// is not scheduled). For drivers that interleave scenario ops with their
+/// own synchronous orchestration (see bench_fig4_3_cycles part A).
+void ApplyOpNow(const ScenarioOp& op, Cluster& cluster,
+                const ApplyOptions& options, ApplyStats* stats = nullptr);
+
+/// Expands kRestOfNodes group sentinels against a concrete node count.
+std::vector<std::vector<NodeId>> ExpandGroups(
+    const std::vector<std::vector<NodeId>>& groups, int node_count);
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_SCENARIO_COMPILE_H_

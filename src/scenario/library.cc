@@ -1,0 +1,132 @@
+#include "scenario/library.h"
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+namespace {
+
+struct NamedEntry {
+  const char* name;
+  const char* text;
+};
+
+// Fault scenarios. Windows are sized for the default 700ms grid cell.
+constexpr NamedEntry kScenarios[] = {
+    {"baseline",
+     "scenario baseline\n"
+     "# no faults: the control cell of every grid row\n"},
+    {"partition_split",
+     "scenario partition_split\n"
+     "partition at=150ms for=250ms groups=0,1|rest\n"},
+    {"flapping_split",
+     "scenario flapping_split\n"
+     "# four 75ms-down / 75ms-up cycles of the same split\n"
+     "flap at=100ms for=600ms period=150ms down=75ms groups=0,1|rest\n"},
+    {"gray_asymmetric",
+     "scenario gray_asymmetric\n"
+     "# one-directional slowness: 0->2 inflated early, 3->1 later\n"
+     "gray at=100ms for=300ms from=0 to=2 extra=20ms\n"
+     "gray at=250ms for=300ms from=3 to=1 extra=15ms\n"},
+    {"loss_burst",
+     "scenario loss_burst\n"
+     "# two loss windows; the second is heavier\n"
+     "loss at=100ms for=150ms p=0.15\n"
+     "loss at=400ms for=100ms p=0.3\n"},
+    {"amnesia_crash",
+     "scenario amnesia_crash\n"
+     "crash at=150ms for=200ms node=3 mode=amnesia\n"},
+    {"rolling_restart",
+     "scenario rolling_restart\n"
+     "# bounce every node in turn, 40ms outage each, 120ms apart\n"
+     "rolling at=50ms every=120ms down=40ms mode=stop\n"},
+};
+
+// Workload (load-shaping) profiles.
+constexpr NamedEntry kWorkloads[] = {
+    {"steady_uniform",
+     "scenario steady_uniform\n"
+     "# flat arrivals, uniform object choice\n"},
+    {"flash_hotkey",
+     "scenario flash_hotkey\n"
+     "# Zipf-skewed objects plus a 4x flash crowd mid-run\n"
+     "zipf theta=0.9\n"
+     "flash at=300ms for=150ms x=4\n"},
+    {"diurnal",
+     "scenario diurnal\n"
+     "# arrival rate swings 1 +/- 0.6 over a 400ms 'day'\n"
+     "diurnal period=400ms amp=0.6\n"},
+};
+
+const NamedEntry* FindEntry(const std::string& name) {
+  for (const NamedEntry& e : kScenarios) {
+    if (name == e.name) return &e;
+  }
+  for (const NamedEntry& e : kWorkloads) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> out;
+  for (const NamedEntry& e : kScenarios) out.emplace_back(e.name);
+  return out;
+}
+
+std::vector<std::string> WorkloadProfileNames() {
+  std::vector<std::string> out;
+  for (const NamedEntry& e : kWorkloads) out.emplace_back(e.name);
+  return out;
+}
+
+Result<Scenario> NamedScenario(const std::string& name) {
+  const NamedEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no scenario named '" + name + "'");
+  }
+  Result<Scenario> parsed = ParseScenario(entry->text);
+  // Built-in texts are tested; a parse failure here is a library bug.
+  FRAGDB_CHECK(parsed.ok());
+  return parsed;
+}
+
+Result<std::string> NamedScenarioText(const std::string& name) {
+  const NamedEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no scenario named '" + name + "'");
+  }
+  return std::string(entry->text);
+}
+
+Scenario AblationOutageSchedule() {
+  Scenario s;
+  s.name = "ablation_outages";
+  // The hand-rolled loop scheduled heals at t + 150ms - 1; expressing it
+  // as a flap keeps the same instants: down = one tick short of 150ms.
+  s.Flap(Millis(150), Millis(2850), Millis(300), Millis(150) - 1,
+         {{0, 1}, {2, 3}});
+  return s;
+}
+
+Scenario RecoveryOutage(SimTime history, SimTime downtime, NodeId victim,
+                        bool lose_disk) {
+  Scenario s;
+  s.name = "recovery_outage";
+  s.Crash(history, downtime, victim, /*amnesia=*/true,
+          /*wipe_disk=*/lose_disk);
+  return s;
+}
+
+Scenario Fig43TwoPhasePartition() {
+  Scenario s;
+  s.name = "fig43_two_phase";
+  s.Partition(0, 0, {{1, 2}, {0}});   // phase 1: T3, T2 commit beside node 0
+  s.Partition(0, 0, {{0, 1}, {2}});   // phase 2: b reaches node 0, c cannot
+  s.Heal(0);
+  return s;
+}
+
+}  // namespace fragdb

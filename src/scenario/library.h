@@ -1,0 +1,50 @@
+#ifndef FRAGDB_SCENARIO_LIBRARY_H_
+#define FRAGDB_SCENARIO_LIBRARY_H_
+
+// The built-in scenario library: named fault scenarios and workload
+// profiles for the standing torture grid (bench_scenario_matrix), plus
+// parameterized builders that re-express the hand-rolled schedules of the
+// older bench drivers. Named entries are stored as DSL text — loading one
+// exercises the parser — and documented in docs/SCENARIOS.md.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scenario/scenario.h"
+
+namespace fragdb {
+
+/// Names of the built-in fault scenarios, in grid order.
+std::vector<std::string> ScenarioNames();
+
+/// Names of the built-in workload (load-shaping) profiles, in grid order.
+std::vector<std::string> WorkloadProfileNames();
+
+/// Loads a built-in fault scenario or workload profile by name (the two
+/// namespaces are disjoint; either kind resolves here).
+Result<Scenario> NamedScenario(const std::string& name);
+
+/// The raw DSL text of a named entry (for docs and round-trip tests).
+Result<std::string> NamedScenarioText(const std::string& name);
+
+// --- Parameterized builders (dedup of hand-rolled bench schedules) -------
+
+/// bench_ablation_timeouts: 150ms-minus-one-tick outages of {0,1}|{2,3}
+/// every 300ms, first at t=150ms, last cycle starting at 2850ms.
+Scenario AblationOutageSchedule();
+
+/// bench_recovery: `victim` amnesia-crashes at `history` (optionally
+/// losing its stable files too) and revives after `downtime`.
+Scenario RecoveryOutage(SimTime history, SimTime downtime, NodeId victim,
+                        bool lose_disk);
+
+/// bench_fig4_3_cycles part A: the paper's two-phase partition — ops[0]
+/// splits {1,2}|{0}, ops[1] re-splits {0,1}|{2}, ops[2] heals. The driver
+/// applies each op synchronously between its scripted transactions
+/// (ApplyOpNow), so the phases carry no times of their own.
+Scenario Fig43TwoPhasePartition();
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_SCENARIO_LIBRARY_H_

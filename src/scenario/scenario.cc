@@ -1,0 +1,559 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace fragdb {
+
+// --------------------------------------------------------------------------
+// Fluent builders
+// --------------------------------------------------------------------------
+
+Scenario& Scenario::Partition(SimTime at, SimTime dur,
+                              std::vector<std::vector<NodeId>> groups) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kPartition;
+  op.at = at;
+  op.duration = dur;
+  op.groups = std::move(groups);
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+Scenario& Scenario::Heal(SimTime at) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kHeal;
+  op.at = at;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Flap(SimTime at, SimTime dur, SimTime period,
+                         SimTime down, std::vector<std::vector<NodeId>> groups) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kFlap;
+  op.at = at;
+  op.duration = dur;
+  op.period = period;
+  op.down = down;
+  op.groups = std::move(groups);
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+Scenario& Scenario::GrayLink(SimTime at, SimTime dur, NodeId from, NodeId to,
+                             SimTime extra) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kGrayLink;
+  op.at = at;
+  op.duration = dur;
+  op.from = from;
+  op.to = to;
+  op.extra = extra;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Loss(SimTime at, SimTime dur, double p) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kLoss;
+  op.at = at;
+  op.duration = dur;
+  op.probability = p;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Crash(SimTime at, SimTime dur, NodeId node, bool amnesia,
+                          bool wipe_disk) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kCrash;
+  op.at = at;
+  op.duration = dur;
+  op.node = node;
+  op.amnesia = amnesia;
+  op.wipe_disk = wipe_disk;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Rolling(SimTime at, SimTime period, SimTime down,
+                            bool amnesia) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kRolling;
+  op.at = at;
+  op.period = period;
+  op.down = down;
+  op.amnesia = amnesia;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Link(SimTime at, SimTime dur, NodeId a, NodeId b) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kLink;
+  op.at = at;
+  op.duration = dur;
+  op.a = a;
+  op.b = b;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Zipf(double theta) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kZipf;
+  op.theta = theta;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Diurnal(SimTime period, double amplitude) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kDiurnal;
+  op.period = period;
+  op.amplitude = amplitude;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Flash(SimTime at, SimTime dur, double multiplier) {
+  ScenarioOp op;
+  op.kind = ScenarioOpKind::kFlash;
+  op.at = at;
+  op.duration = dur;
+  op.multiplier = multiplier;
+  ops.push_back(op);
+  return *this;
+}
+
+Scenario& Scenario::Merge(const Scenario& other) {
+  ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+  return *this;
+}
+
+bool Scenario::HasLoss() const {
+  return std::any_of(ops.begin(), ops.end(), [](const ScenarioOp& op) {
+    return op.kind == ScenarioOpKind::kLoss && op.probability > 0.0;
+  });
+}
+
+bool Scenario::HasAmnesia() const {
+  return std::any_of(ops.begin(), ops.end(), [](const ScenarioOp& op) {
+    return (op.kind == ScenarioOpKind::kCrash ||
+            op.kind == ScenarioOpKind::kRolling) &&
+           op.amnesia;
+  });
+}
+
+SimTime Scenario::HorizonEnd() const {
+  SimTime end = 0;
+  for (const ScenarioOp& op : ops) {
+    end = std::max(end, op.at + op.duration);
+  }
+  return end;
+}
+
+// --------------------------------------------------------------------------
+// Text format
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// "150ms" -> 150000; "2s" -> 2000000; "42" / "42us" -> 42.
+bool ParseDuration(const std::string& s, SimTime* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str()) return false;
+  std::string suffix(end);
+  if (suffix.empty() || suffix == "us") {
+    *out = v;
+  } else if (suffix == "ms") {
+    *out = Millis(v);
+  } else if (suffix == "s") {
+    *out = Seconds(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseNode(const std::string& s, NodeId* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < 0) return false;
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+/// "0,1|rest" or "0,1|2,3".
+bool ParseGroups(const std::string& s,
+                 std::vector<std::vector<NodeId>>* out) {
+  out->clear();
+  std::vector<NodeId> group;
+  std::string token;
+  auto flush_token = [&]() -> bool {
+    if (token.empty()) return false;
+    if (token == "rest") {
+      group.push_back(kRestOfNodes);
+    } else {
+      NodeId n;
+      if (!ParseNode(token, &n)) return false;
+      group.push_back(n);
+    }
+    token.clear();
+    return true;
+  };
+  for (char c : s) {
+    if (c == ',') {
+      if (!flush_token()) return false;
+    } else if (c == '|') {
+      if (!flush_token()) return false;
+      out->push_back(std::move(group));
+      group.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!flush_token()) return false;
+  out->push_back(std::move(group));
+  return out->size() >= 2;
+}
+
+std::string FormatDuration(SimTime t) {
+  std::ostringstream os;
+  if (t != 0 && t % Seconds(1) == 0) {
+    os << t / Seconds(1) << "s";
+  } else if (t != 0 && t % Millis(1) == 0) {
+    os << t / Millis(1) << "ms";
+  } else {
+    os << t << "us";
+  }
+  return os.str();
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string FormatGroups(const std::vector<std::vector<NodeId>>& groups) {
+  std::string out;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (g > 0) out += "|";
+    for (size_t i = 0; i < groups[g].size(); ++i) {
+      if (i > 0) out += ",";
+      out += groups[g][i] == kRestOfNodes ? "rest"
+                                          : std::to_string(groups[g][i]);
+    }
+  }
+  return out;
+}
+
+/// Splits a directive line into whitespace-separated tokens, dropping
+/// everything from `#` on.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+/// key=value lookup over the tokens after the directive keyword.
+class Attrs {
+ public:
+  explicit Attrs(const std::vector<std::string>& tokens) {
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      size_t eq = tokens[i].find('=');
+      if (eq == std::string::npos) {
+        bad_ = tokens[i];
+        continue;
+      }
+      pairs_.emplace_back(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+    }
+  }
+
+  const std::string* Get(const std::string& key) const {
+    for (const auto& [k, v] : pairs_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  bool Time(const std::string& key, SimTime* out) const {
+    const std::string* v = Get(key);
+    return v != nullptr && ParseDuration(*v, out);
+  }
+  bool Double(const std::string& key, double* out) const {
+    const std::string* v = Get(key);
+    return v != nullptr && ParseDouble(*v, out);
+  }
+  bool Node(const std::string& key, NodeId* out) const {
+    const std::string* v = Get(key);
+    return v != nullptr && ParseNode(*v, out);
+  }
+
+  const std::string& bad() const { return bad_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+  std::string bad_;
+};
+
+}  // namespace
+
+Result<Scenario> ParseScenario(const std::string& text) {
+  Scenario scenario;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& what) {
+    return Status::InvalidArgument("scenario line " + std::to_string(line_no) +
+                                   ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    Attrs attrs(tokens);
+    if (!attrs.bad().empty() && tokens[0] != "scenario") {
+      return fail("malformed attribute '" + attrs.bad() + "'");
+    }
+    const std::string& kw = tokens[0];
+    if (kw == "scenario") {
+      if (tokens.size() != 2) return fail("expected: scenario <name>");
+      scenario.name = tokens[1];
+    } else if (kw == "partition") {
+      SimTime at = 0, dur = 0;
+      std::vector<std::vector<NodeId>> groups;
+      const std::string* g = attrs.Get("groups");
+      if (!attrs.Time("at", &at) || !attrs.Time("for", &dur) || g == nullptr ||
+          !ParseGroups(*g, &groups)) {
+        return fail("expected: partition at=<t> for=<d> groups=a,b|rest");
+      }
+      scenario.Partition(at, dur, std::move(groups));
+    } else if (kw == "heal") {
+      SimTime at = 0;
+      if (!attrs.Time("at", &at)) return fail("expected: heal at=<t>");
+      scenario.Heal(at);
+    } else if (kw == "flap") {
+      SimTime at = 0, dur = 0, period = 0, down = 0;
+      std::vector<std::vector<NodeId>> groups;
+      const std::string* g = attrs.Get("groups");
+      if (!attrs.Time("at", &at) || !attrs.Time("for", &dur) ||
+          !attrs.Time("period", &period) || !attrs.Time("down", &down) ||
+          g == nullptr || !ParseGroups(*g, &groups) || period <= 0 ||
+          down <= 0 || down > period) {
+        return fail(
+            "expected: flap at=<t> for=<d> period=<p> down=<d<=p> "
+            "groups=a,b|rest");
+      }
+      scenario.Flap(at, dur, period, down, std::move(groups));
+    } else if (kw == "gray") {
+      SimTime at = 0, dur = 0, extra = 0;
+      NodeId from = kInvalidNode, to = kInvalidNode;
+      if (!attrs.Time("at", &at) || !attrs.Time("for", &dur) ||
+          !attrs.Node("from", &from) || !attrs.Node("to", &to) ||
+          !attrs.Time("extra", &extra) || from == to || extra < 0) {
+        return fail(
+            "expected: gray at=<t> for=<d> from=<n> to=<n> extra=<d>");
+      }
+      scenario.GrayLink(at, dur, from, to, extra);
+    } else if (kw == "loss") {
+      SimTime at = 0, dur = 0;
+      double p = 0.0;
+      if (!attrs.Time("at", &at) || !attrs.Time("for", &dur) ||
+          !attrs.Double("p", &p) || p < 0.0 || p > 1.0) {
+        return fail("expected: loss at=<t> for=<d> p=<0..1>");
+      }
+      scenario.Loss(at, dur, p);
+    } else if (kw == "crash") {
+      SimTime at = 0, dur = 0;
+      NodeId node = kInvalidNode;
+      const std::string* mode = attrs.Get("mode");
+      const std::string* wipe = attrs.Get("wipe");
+      if (!attrs.Time("at", &at) || !attrs.Time("for", &dur) ||
+          !attrs.Node("node", &node) || mode == nullptr ||
+          (*mode != "stop" && *mode != "amnesia") ||
+          (wipe != nullptr && *wipe != "true" && *wipe != "false")) {
+        return fail(
+            "expected: crash at=<t> for=<d> node=<n> mode=stop|amnesia "
+            "[wipe=true|false]");
+      }
+      scenario.Crash(at, dur, node, *mode == "amnesia",
+                     wipe != nullptr && *wipe == "true");
+    } else if (kw == "rolling") {
+      SimTime at = 0, period = 0, down = 0;
+      const std::string* mode = attrs.Get("mode");
+      if (!attrs.Time("at", &at) || !attrs.Time("every", &period) ||
+          !attrs.Time("down", &down) || mode == nullptr ||
+          (*mode != "stop" && *mode != "amnesia") || period <= 0 ||
+          down <= 0 || down > period) {
+        return fail(
+            "expected: rolling at=<t> every=<p> down=<d<=p> "
+            "mode=stop|amnesia");
+      }
+      scenario.Rolling(at, period, down, *mode == "amnesia");
+    } else if (kw == "link") {
+      SimTime at = 0, dur = 0;
+      NodeId a = kInvalidNode, b = kInvalidNode;
+      if (!attrs.Time("at", &at) || !attrs.Time("for", &dur) ||
+          !attrs.Node("a", &a) || !attrs.Node("b", &b) || a == b) {
+        return fail("expected: link at=<t> for=<d> a=<n> b=<n>");
+      }
+      scenario.Link(at, dur, a, b);
+    } else if (kw == "zipf") {
+      double theta = 0.0;
+      if (!attrs.Double("theta", &theta) || theta < 0.0) {
+        return fail("expected: zipf theta=<t> (t >= 0)");
+      }
+      scenario.Zipf(theta);
+    } else if (kw == "diurnal") {
+      SimTime period = 0;
+      double amp = 0.0;
+      if (!attrs.Time("period", &period) || !attrs.Double("amp", &amp) ||
+          period <= 0 || amp < 0.0) {
+        return fail("expected: diurnal period=<p> amp=<a>");
+      }
+      scenario.Diurnal(period, amp);
+    } else if (kw == "flash") {
+      SimTime at = 0, dur = 0;
+      double x = 1.0;
+      if (!attrs.Time("at", &at) || !attrs.Time("for", &dur) ||
+          !attrs.Double("x", &x) || x <= 0.0) {
+        return fail("expected: flash at=<t> for=<d> x=<mult>");
+      }
+      scenario.Flash(at, dur, x);
+    } else {
+      return fail("unknown directive '" + kw + "'");
+    }
+  }
+  return scenario;
+}
+
+std::string FormatScenario(const Scenario& scenario) {
+  std::ostringstream os;
+  if (!scenario.name.empty()) os << "scenario " << scenario.name << "\n";
+  for (const ScenarioOp& op : scenario.ops) {
+    switch (op.kind) {
+      case ScenarioOpKind::kPartition:
+        os << "partition at=" << FormatDuration(op.at)
+           << " for=" << FormatDuration(op.duration)
+           << " groups=" << FormatGroups(op.groups);
+        break;
+      case ScenarioOpKind::kHeal:
+        os << "heal at=" << FormatDuration(op.at);
+        break;
+      case ScenarioOpKind::kFlap:
+        os << "flap at=" << FormatDuration(op.at)
+           << " for=" << FormatDuration(op.duration)
+           << " period=" << FormatDuration(op.period)
+           << " down=" << FormatDuration(op.down)
+           << " groups=" << FormatGroups(op.groups);
+        break;
+      case ScenarioOpKind::kGrayLink:
+        os << "gray at=" << FormatDuration(op.at)
+           << " for=" << FormatDuration(op.duration) << " from=" << op.from
+           << " to=" << op.to << " extra=" << FormatDuration(op.extra);
+        break;
+      case ScenarioOpKind::kLoss:
+        os << "loss at=" << FormatDuration(op.at)
+           << " for=" << FormatDuration(op.duration)
+           << " p=" << FormatDouble(op.probability);
+        break;
+      case ScenarioOpKind::kCrash:
+        os << "crash at=" << FormatDuration(op.at)
+           << " for=" << FormatDuration(op.duration) << " node=" << op.node
+           << " mode=" << (op.amnesia ? "amnesia" : "stop");
+        if (op.wipe_disk) os << " wipe=true";
+        break;
+      case ScenarioOpKind::kRolling:
+        os << "rolling at=" << FormatDuration(op.at)
+           << " every=" << FormatDuration(op.period)
+           << " down=" << FormatDuration(op.down)
+           << " mode=" << (op.amnesia ? "amnesia" : "stop");
+        break;
+      case ScenarioOpKind::kLink:
+        os << "link at=" << FormatDuration(op.at)
+           << " for=" << FormatDuration(op.duration) << " a=" << op.a
+           << " b=" << op.b;
+        break;
+      case ScenarioOpKind::kZipf:
+        os << "zipf theta=" << FormatDouble(op.theta);
+        break;
+      case ScenarioOpKind::kDiurnal:
+        os << "diurnal period=" << FormatDuration(op.period)
+           << " amp=" << FormatDouble(op.amplitude);
+        break;
+      case ScenarioOpKind::kFlash:
+        os << "flash at=" << FormatDuration(op.at)
+           << " for=" << FormatDuration(op.duration)
+           << " x=" << FormatDouble(op.multiplier);
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// --------------------------------------------------------------------------
+// LoadProfile
+// --------------------------------------------------------------------------
+
+LoadProfile LoadProfile::FromScenario(const Scenario& scenario) {
+  LoadProfile profile;
+  for (const ScenarioOp& op : scenario.ops) {
+    switch (op.kind) {
+      case ScenarioOpKind::kZipf:
+        profile.zipf_theta_ = std::max(profile.zipf_theta_, op.theta);
+        break;
+      case ScenarioOpKind::kDiurnal:
+      case ScenarioOpKind::kFlash:
+        profile.shaping_.push_back(op);
+        break;
+      default:
+        break;
+    }
+  }
+  return profile;
+}
+
+double LoadProfile::RateAt(SimTime t) const {
+  double rate = 1.0;
+  for (const ScenarioOp& op : shaping_) {
+    if (op.kind == ScenarioOpKind::kDiurnal) {
+      double phase = 2.0 * M_PI * static_cast<double>(t) /
+                     static_cast<double>(op.period);
+      rate *= 1.0 + op.amplitude * std::sin(phase);
+    } else if (t >= op.at && t < op.at + op.duration) {
+      rate *= op.multiplier;
+    }
+  }
+  return std::max(rate, 0.05);
+}
+
+}  // namespace fragdb

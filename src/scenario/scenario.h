@@ -1,0 +1,141 @@
+#ifndef FRAGDB_SCENARIO_SCENARIO_H_
+#define FRAGDB_SCENARIO_SCENARIO_H_
+
+// Declarative failure/load scenarios over simulated time.
+//
+// A Scenario is a list of primitive operations — partitions, link flaps,
+// gray links, loss windows, crash-and-revive schedules, rolling restarts,
+// plus load-shaping directives (Zipf skew, diurnal and flash-crowd arrival
+// curves). It can be built programmatically with the fluent setters or
+// parsed from a small line-oriented text format (see docs/SCENARIOS.md):
+//
+//   scenario flapping_split
+//   # two cycles of a clean split, 150ms down / 150ms up
+//   flap at=150ms for=600ms period=300ms down=150ms groups=0,1|rest
+//   loss at=900ms for=200ms p=0.15
+//
+// The compiler (scenario/compile.h) turns the ops into deterministic
+// EventQueue events against a Cluster; the runner (scenario/runner.h)
+// drives a full workload through one and checks every invariant.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Group element meaning "every node not named in another group".
+inline constexpr NodeId kRestOfNodes = -2;
+
+enum class ScenarioOpKind {
+  kPartition,  // split into groups for a window, heal at the end
+  kHeal,       // heal every link (duration 0; pairs with open partitions)
+  kFlap,       // periodic split/heal cycles within a window
+  kGrayLink,   // one-directional extra latency on a channel for a window
+  kLoss,       // probabilistic message loss for a window
+  kCrash,      // crash one node, revive at the end of the window
+  kRolling,    // rolling restart: nodes 0..n-1 bounced one after another
+  kLink,       // take the (a, b) link down for a window
+  kZipf,       // load: Zipf hot-key skew for object selection
+  kDiurnal,    // load: sinusoidal arrival-rate modulation
+  kFlash,      // load: flash crowd — arrival-rate multiplier for a window
+};
+
+/// One primitive, tagged by `kind`; only the fields that kind names are
+/// meaningful. Times are absolute simulated instants.
+struct ScenarioOp {
+  ScenarioOpKind kind = ScenarioOpKind::kPartition;
+  SimTime at = 0;        // window start
+  SimTime duration = 0;  // window length (0 = instantaneous / unbounded)
+
+  // kPartition / kFlap: the node groups (kRestOfNodes expands).
+  std::vector<std::vector<NodeId>> groups;
+  SimTime period = 0;  // kFlap: cycle length; kRolling: start-to-start gap
+  SimTime down = 0;    // kFlap: down time per cycle; kRolling: outage length
+
+  NodeId from = kInvalidNode;  // kGrayLink: slow direction source
+  NodeId to = kInvalidNode;    // kGrayLink: slow direction destination
+  SimTime extra = 0;           // kGrayLink: added one-way delay
+
+  double probability = 0.0;  // kLoss
+
+  NodeId node = kInvalidNode;  // kCrash victim
+  bool amnesia = false;        // kCrash / kRolling: amnesia vs crash-stop
+  bool wipe_disk = false;      // kCrash (amnesia): also lose stable files
+
+  NodeId a = kInvalidNode;  // kLink endpoints
+  NodeId b = kInvalidNode;
+
+  double theta = 0.0;       // kZipf skew parameter
+  double amplitude = 0.0;   // kDiurnal: rate swings 1±amplitude
+  double multiplier = 1.0;  // kFlash: rate multiplier inside the window
+};
+
+/// A named, ordered list of ops. Ordering matters only for equal
+/// timestamps (the compiler preserves it); ops are otherwise independent.
+struct Scenario {
+  std::string name;
+  std::vector<ScenarioOp> ops;
+
+  // Fluent builders (absolute times; durations as noted). A duration of 0
+  // makes windowed ops open-ended: no heal/restore is scheduled (close
+  // the window yourself with Heal or another op).
+  Scenario& Partition(SimTime at, SimTime dur,
+                      std::vector<std::vector<NodeId>> groups);
+  Scenario& Heal(SimTime at);
+  Scenario& Flap(SimTime at, SimTime dur, SimTime period, SimTime down,
+                 std::vector<std::vector<NodeId>> groups);
+  Scenario& GrayLink(SimTime at, SimTime dur, NodeId from, NodeId to,
+                     SimTime extra);
+  Scenario& Loss(SimTime at, SimTime dur, double p);
+  Scenario& Crash(SimTime at, SimTime dur, NodeId node, bool amnesia,
+                  bool wipe_disk = false);
+  Scenario& Rolling(SimTime at, SimTime period, SimTime down, bool amnesia);
+  Scenario& Link(SimTime at, SimTime dur, NodeId a, NodeId b);
+  Scenario& Zipf(double theta);
+  Scenario& Diurnal(SimTime period, double amplitude);
+  Scenario& Flash(SimTime at, SimTime dur, double multiplier);
+
+  /// Appends `other`'s ops (used to combine a fault scenario with a
+  /// workload-shaping profile into one grid cell).
+  Scenario& Merge(const Scenario& other);
+
+  bool HasLoss() const;
+  bool HasAmnesia() const;
+  /// Latest instant any op's window closes (0 for an empty scenario).
+  SimTime HorizonEnd() const;
+};
+
+/// Parses the text format. One directive per line; `#` starts a comment;
+/// `scenario <name>` names the result (optional, first line). Durations
+/// accept `us`, `ms`, `s` suffixes (bare numbers are microseconds).
+Result<Scenario> ParseScenario(const std::string& text);
+
+/// Inverse of ParseScenario: canonical text whose re-parse yields an
+/// identical scenario (the round-trip is tested).
+std::string FormatScenario(const Scenario& scenario);
+
+/// The load-shaping view of a scenario: the arrival-rate curve and object
+/// skew the runner applies while the fault ops play out.
+class LoadProfile {
+ public:
+  static LoadProfile FromScenario(const Scenario& scenario);
+
+  /// Zipf theta for object selection (0 = uniform).
+  double zipf_theta() const { return zipf_theta_; }
+
+  /// Arrival-rate multiplier at `t`: the product of every active flash
+  /// window and the diurnal curve 1 + amplitude*sin(2*pi*t/period),
+  /// clamped to at least 0.05 so the workload never fully stops.
+  double RateAt(SimTime t) const;
+
+ private:
+  double zipf_theta_ = 0.0;
+  std::vector<ScenarioOp> shaping_;  // kDiurnal / kFlash ops only
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_SCENARIO_SCENARIO_H_

@@ -194,6 +194,30 @@ PredicateTimeline TracePredicate(const History& history,
   return timeline;
 }
 
+void FifoOrderChecker::Observe(const Message& m) {
+  ++observed_;
+  SimTime& last = last_sent_[{m.from, m.to}];
+  if (m.sent_at < last) {
+    ++violations_;
+    if (first_violation_.empty()) {
+      std::ostringstream os;
+      os << "channel " << m.from << "->" << m.to << " delivered sent_at="
+         << m.sent_at << "us after sent_at=" << last << "us";
+      first_violation_ = os.str();
+    }
+    return;  // keep `last` at the highest stamp seen
+  }
+  last = m.sent_at;
+}
+
+CheckReport FifoOrderChecker::Report() const {
+  if (violations_ == 0) return CheckReport::Pass();
+  std::ostringstream os;
+  os << violations_ << " of " << observed_
+     << " deliveries out of FIFO order; first: " << first_violation_;
+  return CheckReport::Fail(os.str());
+}
+
 CheckReport CheckPredicateNeverViolated(const History& history,
                                         const Catalog& catalog,
                                         const ConsistencyPredicate& predicate,

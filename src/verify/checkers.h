@@ -1,11 +1,15 @@
 #ifndef FRAGDB_VERIFY_CHECKERS_H_
 #define FRAGDB_VERIFY_CHECKERS_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
+#include "net/message.h"
 #include "storage/catalog.h"
 #include "storage/object_store.h"
 #include "verify/history.h"
@@ -46,6 +50,28 @@ CheckReport CheckFragmentwiseSerializability(const History& history,
 /// quiescence (all propagation drained).
 CheckReport CheckMutualConsistency(
     const std::vector<const ObjectStore*>& replicas);
+
+/// Streaming check of the network's per-channel FIFO promise: fed every
+/// delivery (via Network::SetDeliveryObserver), it verifies that on each
+/// ordered (from, to) channel the delivered messages' send stamps are
+/// non-decreasing — i.e. no delivery ever overtakes an earlier send, even
+/// under latency changes, gray links, loss windows and queued-message
+/// flushes. O(1) per delivery; ask Report() at the end of the run.
+class FifoOrderChecker {
+ public:
+  void Observe(const Message& m);
+  CheckReport Report() const;
+
+  uint64_t observed() const { return observed_; }
+  uint64_t violations() const { return violations_; }
+
+ private:
+  // Last observed sent_at per ordered channel.
+  std::map<std::pair<NodeId, NodeId>, SimTime> last_sent_;
+  uint64_t observed_ = 0;
+  uint64_t violations_ = 0;
+  std::string first_violation_;
+};
 
 /// A consistency predicate over data objects (paper §4.3): single-fragment
 /// if all inputs lie in one fragment, multi-fragment otherwise.

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "net/network.h"
 
@@ -139,6 +140,105 @@ TEST(NetworkFuzzTest, FifoOrderAndCompletenessUnderChurn) {
   for (uint64_t seed : g_fuzz_seeds) RunEpisode(seed);
 }
 
+TEST(NetworkFuzzTest, LossWindowOpeningMidFlightDoesNotReorderOrDrop) {
+  // Regression for the loss/FIFO interaction: a loss window that opens
+  // while messages are in flight must not touch them (loss applies at
+  // Send time only), and a message dropped inside the window still
+  // advances the channel floor, so survivors keep the schedule they
+  // would have had without loss — no reordering either side of the
+  // window.
+  Topology topo(3);
+  ASSERT_TRUE(topo.AddLink(0, 1, Millis(50)).ok());
+  Simulator sim;
+  Network net(&sim, &topo);
+  std::vector<std::pair<uint64_t, SimTime>> got;
+  net.SetHandler(1, [&got, &sim](const Message& m) {
+    got.emplace_back(
+        std::dynamic_pointer_cast<const SeqPayload>(m.payload)->seq,
+        sim.Now());
+  });
+
+  // t=0: message 0 routed, due at 50ms.
+  ASSERT_TRUE(net.Send(0, 1, std::make_shared<SeqPayload>(0, 1, 0)).ok());
+  // t=10ms: a certain-loss window opens mid-flight; message 1 is dropped
+  // at Send but still claims its delivery slot (due 60ms) on the floor.
+  sim.RunUntil(Millis(10));
+  net.SetLossProbability(1.0, /*seed=*/7);
+  ASSERT_TRUE(net.Send(0, 1, std::make_shared<SeqPayload>(0, 1, 1)).ok());
+  // t=20ms: window closes and a 10ms route via node 2 appears. Message 2
+  // would arrive at 30ms, ahead of both its predecessors, without the
+  // floor; it must instead queue behind the dropped message's slot,
+  // exactly as if message 1 had been delivered.
+  sim.RunUntil(Millis(20));
+  net.SetLossProbability(0.0, /*seed=*/7);
+  ASSERT_TRUE(topo.AddLink(0, 2, Millis(5)).ok());
+  ASSERT_TRUE(topo.AddLink(2, 1, Millis(5)).ok());
+  ASSERT_TRUE(net.Send(0, 1, std::make_shared<SeqPayload>(0, 1, 2)).ok());
+  sim.RunToQuiescence();
+
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 0u);         // in-flight survivor untouched
+  EXPECT_EQ(got[0].second, Millis(50));
+  EXPECT_EQ(got[1].first, 2u);
+  EXPECT_EQ(got[1].second, Millis(60));  // held to the dropped slot's floor
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+}
+
+TEST(NetworkFuzzTest, SameSeedReopenContinuesDropStream) {
+  // Closing a loss window (p=0) draws nothing from the loss RNG, and
+  // reopening it with the same seed continues the stream instead of
+  // restarting it: a run with a mid-stream close/reopen drops exactly
+  // the same messages as an uninterrupted window.
+  auto run = [](bool interrupt) {
+    Topology topo(2);
+    EXPECT_TRUE(topo.AddLink(0, 1, Millis(5)).ok());
+    Simulator sim;
+    Network net(&sim, &topo);
+    std::vector<uint64_t> delivered;
+    net.SetHandler(1, [&delivered](const Message& m) {
+      delivered.push_back(
+          std::dynamic_pointer_cast<const SeqPayload>(m.payload)->seq);
+    });
+    net.SetHandler(0, [](const Message&) {});
+    net.SetLossProbability(0.5, /*seed=*/99);
+    for (uint64_t i = 0; i < 20; ++i) {
+      if (interrupt && i == 10) {
+        // Close and reopen the window mid-stream, same seed.
+        net.SetLossProbability(0.0, /*seed=*/99);
+        net.SetLossProbability(0.5, /*seed=*/99);
+      }
+      EXPECT_TRUE(net.Send(0, 1, std::make_shared<SeqPayload>(0, 1, i)).ok());
+    }
+    sim.RunToQuiescence();
+    return delivered;
+  };
+  std::vector<uint64_t> uninterrupted = run(false);
+  std::vector<uint64_t> reopened = run(true);
+  EXPECT_EQ(uninterrupted, reopened);
+  // A different seed restarts the stream: expect a different pattern for
+  // this seed pair (both streams are fixed by construction).
+  auto run_seed = [](uint64_t seed) {
+    Topology topo(2);
+    EXPECT_TRUE(topo.AddLink(0, 1, Millis(5)).ok());
+    Simulator sim;
+    Network net(&sim, &topo);
+    std::vector<uint64_t> delivered;
+    net.SetHandler(1, [&delivered](const Message& m) {
+      delivered.push_back(
+          std::dynamic_pointer_cast<const SeqPayload>(m.payload)->seq);
+    });
+    net.SetHandler(0, [](const Message&) {});
+    net.SetLossProbability(0.5, seed);
+    for (uint64_t i = 0; i < 20; ++i) {
+      EXPECT_TRUE(net.Send(0, 1, std::make_shared<SeqPayload>(0, 1, i)).ok());
+    }
+    sim.RunToQuiescence();
+    return delivered;
+  };
+  EXPECT_NE(run_seed(99), run_seed(100));
+}
+
 TEST(NetworkFuzzTest, LatencyDropDoesNotReorderChannel) {
   // Deterministic regression: the path latency dropping mid-stream (a
   // faster route appears) must not let a later message overtake an
@@ -172,14 +272,16 @@ TEST(NetworkFuzzTest, LatencyDropDoesNotReorderChannel) {
 
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
-  // Remaining args select fuzz seeds: --fuzz_seed=N or bare numbers.
+  // Remaining args select fuzz seeds: --fuzz_seed=N (comma lists work
+  // too) or bare numbers, via the shared CLI helpers.
   std::vector<uint64_t> seeds;
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--fuzz_seed=", 12) == 0) arg += 12;
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(arg, &end, 10);
-    if (end != arg && *end == '\0') seeds.push_back(v);
+    const char* value = argv[i];
+    (void)fragdb::cli::FlagValue(argv[i], "--fuzz_seed", &value);
+    std::vector<uint64_t> parsed;
+    if (fragdb::cli::ParseUint64List(value, &parsed)) {
+      seeds.insert(seeds.end(), parsed.begin(), parsed.end());
+    }
   }
   if (!seeds.empty()) fragdb::g_fuzz_seeds = seeds;
   return RUN_ALL_TESTS();

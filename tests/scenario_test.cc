@@ -1,0 +1,313 @@
+// The scenario subsystem end to end: DSL parsing and its Format round
+// trip, the built-in library, group expansion, compilation onto a live
+// cluster's event queue, load shaping, per-scenario metric relabeling,
+// and the runner's invariant gate — including gap repair restoring
+// mutual consistency after message loss.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "scenario/compile.h"
+#include "scenario/library.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace fragdb {
+namespace {
+
+// --- Parsing --------------------------------------------------------------
+
+TEST(ScenarioParseTest, ParsesEveryDirective) {
+  Result<Scenario> r = ParseScenario(
+      "scenario kitchen_sink\n"
+      "# a comment line\n"
+      "partition at=150ms for=250ms groups=0,1|rest  # trailing comment\n"
+      "heal at=500ms\n"
+      "flap at=100ms for=600ms period=150ms down=75ms groups=0|1,2\n"
+      "gray at=100ms for=300ms from=0 to=2 extra=20ms\n"
+      "loss at=1s for=100ms p=0.25\n"
+      "crash at=150ms for=200ms node=3 mode=amnesia wipe=true\n"
+      "rolling at=50ms every=120ms down=40ms mode=stop\n"
+      "link at=10ms for=20ms a=1 b=4\n"
+      "zipf theta=0.9\n"
+      "diurnal period=400ms amp=0.6\n"
+      "flash at=300ms for=150ms x=4\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Scenario& s = *r;
+  EXPECT_EQ(s.name, "kitchen_sink");
+  ASSERT_EQ(s.ops.size(), 11u);
+  EXPECT_EQ(s.ops[0].kind, ScenarioOpKind::kPartition);
+  EXPECT_EQ(s.ops[0].at, Millis(150));
+  EXPECT_EQ(s.ops[0].duration, Millis(250));
+  ASSERT_EQ(s.ops[0].groups.size(), 2u);
+  EXPECT_EQ(s.ops[0].groups[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(s.ops[0].groups[1], (std::vector<NodeId>{kRestOfNodes}));
+  EXPECT_EQ(s.ops[1].kind, ScenarioOpKind::kHeal);
+  EXPECT_EQ(s.ops[2].kind, ScenarioOpKind::kFlap);
+  EXPECT_EQ(s.ops[2].period, Millis(150));
+  EXPECT_EQ(s.ops[2].down, Millis(75));
+  EXPECT_EQ(s.ops[3].kind, ScenarioOpKind::kGrayLink);
+  EXPECT_EQ(s.ops[3].from, 0);
+  EXPECT_EQ(s.ops[3].to, 2);
+  EXPECT_EQ(s.ops[3].extra, Millis(20));
+  EXPECT_EQ(s.ops[4].kind, ScenarioOpKind::kLoss);
+  EXPECT_EQ(s.ops[4].at, Seconds(1));
+  EXPECT_DOUBLE_EQ(s.ops[4].probability, 0.25);
+  EXPECT_EQ(s.ops[5].kind, ScenarioOpKind::kCrash);
+  EXPECT_EQ(s.ops[5].node, 3);
+  EXPECT_TRUE(s.ops[5].amnesia);
+  EXPECT_TRUE(s.ops[5].wipe_disk);
+  EXPECT_EQ(s.ops[6].kind, ScenarioOpKind::kRolling);
+  EXPECT_FALSE(s.ops[6].amnesia);
+  EXPECT_EQ(s.ops[7].kind, ScenarioOpKind::kLink);
+  EXPECT_EQ(s.ops[7].a, 1);
+  EXPECT_EQ(s.ops[7].b, 4);
+  EXPECT_EQ(s.ops[8].kind, ScenarioOpKind::kZipf);
+  EXPECT_DOUBLE_EQ(s.ops[8].theta, 0.9);
+  EXPECT_EQ(s.ops[9].kind, ScenarioOpKind::kDiurnal);
+  EXPECT_EQ(s.ops[10].kind, ScenarioOpKind::kFlash);
+  EXPECT_DOUBLE_EQ(s.ops[10].multiplier, 4.0);
+  // Bare numbers are microseconds.
+  EXPECT_TRUE(s.HasLoss());
+  EXPECT_TRUE(s.HasAmnesia());
+}
+
+TEST(ScenarioParseTest, ReportsErrorsWithLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* expect;  // substring of the error message
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"partition at=150ms for=10ms groups=0|1\nxyzzy at=0\n", "line 2"},
+           {"xyzzy at=0\n", "unknown directive"},
+           {"partition at=150ms for=10ms groups=01\n", "partition"},
+           {"flap at=0 for=10ms period=5ms down=6ms groups=0|1\n", "flap"},
+           {"loss at=0 for=10ms p=1.5\n", "loss"},
+           {"crash at=0 for=10ms node=1 mode=sideways\n", "crash"},
+           {"gray at=0 for=10ms from=2 to=2 extra=1ms\n", "gray"},
+           {"partition at=150xx for=10ms groups=0|1\n", "partition"},
+           {"partition at=150ms for=10ms bogus groups=0|1\n",
+            "malformed attribute"},
+       }) {
+    Result<Scenario> r = ParseScenario(c.text);
+    ASSERT_FALSE(r.ok()) << c.text;
+    EXPECT_NE(r.status().ToString().find(c.expect), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST(ScenarioParseTest, FormatRoundTripsEveryOpKind) {
+  Scenario s;
+  s.name = "rt";
+  s.Partition(Millis(10), Millis(20), {{0, 1}, {kRestOfNodes}})
+      .Heal(Millis(30))
+      .Flap(Millis(40), Millis(400), Millis(100), Millis(50), {{0}, {1, 2}})
+      .GrayLink(Millis(5), Millis(15), 0, 2, Millis(7))
+      .Loss(Seconds(1), Millis(100), 0.25)
+      .Crash(Millis(50), Millis(60), 3, /*amnesia=*/true, /*wipe_disk=*/true)
+      .Rolling(Millis(70), Millis(80), Millis(40), /*amnesia=*/false)
+      .Link(Millis(90), Millis(100), 1, 4)
+      .Zipf(0.9)
+      .Diurnal(Millis(400), 0.6)
+      .Flash(Millis(300), Millis(150), 4.0);
+  std::string text = FormatScenario(s);
+  Result<Scenario> reparsed = ParseScenario(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  // The canonical form is a fixed point: Format(Parse(Format(s))) ==
+  // Format(s), and the reparse preserves every op.
+  EXPECT_EQ(FormatScenario(*reparsed), text);
+  ASSERT_EQ(reparsed->ops.size(), s.ops.size());
+  for (size_t i = 0; i < s.ops.size(); ++i) {
+    EXPECT_EQ(reparsed->ops[i].kind, s.ops[i].kind) << "op " << i;
+    EXPECT_EQ(reparsed->ops[i].at, s.ops[i].at) << "op " << i;
+    EXPECT_EQ(reparsed->ops[i].duration, s.ops[i].duration) << "op " << i;
+  }
+}
+
+// --- Library --------------------------------------------------------------
+
+TEST(ScenarioLibraryTest, EveryNamedEntryParsesAndRoundTrips) {
+  std::vector<std::string> all = ScenarioNames();
+  for (const std::string& w : WorkloadProfileNames()) all.push_back(w);
+  EXPECT_GE(all.size(), 9u);
+  for (const std::string& name : all) {
+    Result<Scenario> s = NamedScenario(name);
+    ASSERT_TRUE(s.ok()) << name;
+    EXPECT_EQ(s->name, name);
+    Result<Scenario> reparsed = ParseScenario(FormatScenario(*s));
+    ASSERT_TRUE(reparsed.ok()) << name;
+    EXPECT_EQ(reparsed->ops.size(), s->ops.size()) << name;
+    Result<std::string> text = NamedScenarioText(name);
+    ASSERT_TRUE(text.ok()) << name;
+  }
+  EXPECT_FALSE(NamedScenario("no_such_scenario").ok());
+}
+
+TEST(ScenarioLibraryTest, BuildersMatchTheirHandRolledSchedules) {
+  // AblationOutageSchedule: cycles at 150, 450, ..., 2850ms; heal one
+  // tick before each 150ms mark (the bench's historical `- 1`).
+  Scenario ablation = AblationOutageSchedule();
+  ASSERT_EQ(ablation.ops.size(), 1u);
+  EXPECT_EQ(ablation.ops[0].kind, ScenarioOpKind::kFlap);
+  EXPECT_EQ(ablation.ops[0].at, Millis(150));
+  EXPECT_EQ(ablation.ops[0].period, Millis(300));
+  EXPECT_EQ(ablation.ops[0].down, Millis(150) - 1);
+  EXPECT_EQ(ablation.ops[0].at + ablation.ops[0].duration, Seconds(3));
+
+  Scenario recovery = RecoveryOutage(Millis(300), Millis(20), 3, true);
+  ASSERT_EQ(recovery.ops.size(), 1u);
+  EXPECT_EQ(recovery.ops[0].kind, ScenarioOpKind::kCrash);
+  EXPECT_TRUE(recovery.ops[0].amnesia);
+  EXPECT_TRUE(recovery.ops[0].wipe_disk);
+  EXPECT_TRUE(recovery.HasAmnesia());
+
+  Scenario fig43 = Fig43TwoPhasePartition();
+  ASSERT_EQ(fig43.ops.size(), 3u);
+  EXPECT_EQ(fig43.ops[0].kind, ScenarioOpKind::kPartition);
+  EXPECT_EQ(fig43.ops[1].kind, ScenarioOpKind::kPartition);
+  EXPECT_EQ(fig43.ops[2].kind, ScenarioOpKind::kHeal);
+}
+
+// --- Compilation ----------------------------------------------------------
+
+TEST(ScenarioCompileTest, ExpandGroupsFillsInTheRest) {
+  std::vector<std::vector<NodeId>> expanded =
+      ExpandGroups({{0, 3}, {kRestOfNodes}}, 5);
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0], (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(expanded[1], (std::vector<NodeId>{1, 2, 4}));
+  // Explicit groups pass through; an all-named split has no rest.
+  expanded = ExpandGroups({{0, 1}, {2}}, 3);
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[1], (std::vector<NodeId>{2}));
+}
+
+TEST(ScenarioCompileTest, OpsFireOnTheEventQueue) {
+  ClusterConfig config;
+  Cluster cluster(config, Topology::FullMesh(4, Millis(5)));
+  FragmentId f = cluster.DefineFragment("F");
+  (void)cluster.DefineObject(f, "x", 0);
+  AgentId a = cluster.DefineUserAgent("a");
+  ASSERT_TRUE(cluster.AssignToken(f, a).ok());
+  ASSERT_TRUE(cluster.SetAgentHome(a, 0).ok());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  Scenario s;
+  s.name = "fire_counts";
+  s.Partition(Millis(10), Millis(10), {{0, 1}, {kRestOfNodes}})
+      .Flap(Millis(40), Millis(60), Millis(20), Millis(10), {{0}, {1, 2, 3}})
+      .Crash(Millis(120), Millis(30), 2, /*amnesia=*/false)
+      .Link(Millis(160), Millis(10), 0, 3);
+  ApplyStats stats;
+  ASSERT_TRUE(ApplyScenario(s, cluster, ApplyOptions{}, &stats).ok());
+  cluster.RunUntil(Millis(300));
+  cluster.RunToQuiescence();
+
+  EXPECT_EQ(stats.partitions, 1 + 3);  // one window + three flap cycles
+  EXPECT_EQ(stats.heals, 1 + 3);
+  EXPECT_EQ(stats.crashes, 1);
+  EXPECT_EQ(stats.revives, 1);
+  EXPECT_EQ(stats.link_flips, 2);  // down, then back up
+  EXPECT_EQ(stats.failures, 0);
+}
+
+TEST(ScenarioCompileTest, RejectsOpsNamingUnknownNodes) {
+  ClusterConfig config;
+  Cluster cluster(config, Topology::FullMesh(3, Millis(5)));
+  ASSERT_TRUE(cluster.Start().ok());
+  Scenario s;
+  s.Crash(Millis(10), Millis(10), 7, /*amnesia=*/false);
+  EXPECT_FALSE(ApplyScenario(s, cluster, ApplyOptions{}).ok());
+  Scenario g;
+  g.GrayLink(Millis(10), Millis(10), 0, 9, Millis(1));
+  EXPECT_FALSE(ApplyScenario(g, cluster, ApplyOptions{}).ok());
+}
+
+// --- Load shaping ---------------------------------------------------------
+
+TEST(ScenarioLoadProfileTest, FlashAndDiurnalShapeTheRate) {
+  Scenario s;
+  s.Zipf(0.9).Flash(Millis(100), Millis(50), 4.0).Diurnal(Millis(400), 0.5);
+  LoadProfile profile = LoadProfile::FromScenario(s);
+  EXPECT_DOUBLE_EQ(profile.zipf_theta(), 0.9);
+  // At t=0 the diurnal sine is 0: rate 1. Inside the flash window the
+  // rate is 4x the diurnal value; outside it falls back.
+  EXPECT_DOUBLE_EQ(profile.RateAt(0), 1.0);
+  EXPECT_GT(profile.RateAt(Millis(120)), 3.0);
+  EXPECT_LT(profile.RateAt(Millis(160)), 2.0);
+  // The clamp keeps a deep diurnal trough from stopping traffic.
+  Scenario deep;
+  deep.Diurnal(Millis(400), 1.0);
+  LoadProfile trough = LoadProfile::FromScenario(deep);
+  EXPECT_GE(trough.RateAt(Millis(300)), 0.05);  // sin = -1 at 3/4 period
+}
+
+// --- Metrics relabeling ---------------------------------------------------
+
+TEST(ScenarioMetricsTest, RelabeledTagsEverySeries) {
+  MetricsRegistry registry;
+  registry.GetCounter({"commits", 0, kInvalidFragment, ""})->Add(3);
+  registry.GetCounter({"sends", 1, kInvalidFragment, "quasi"})->Add(5);
+  MetricsSnapshot tagged = registry.Snapshot().Relabeled("cellA");
+  ASSERT_EQ(tagged.entries.size(), 2u);
+  for (const MetricEntry& e : tagged.entries) {
+    EXPECT_EQ(e.key.label.rfind("cellA", 0), 0u) << e.key.ToString();
+  }
+  EXPECT_NE(tagged.Find({"commits", 0, kInvalidFragment, "cellA"}), nullptr);
+  EXPECT_NE(tagged.Find({"sends", 1, kInvalidFragment, "cellA/quasi"}),
+            nullptr);
+  EXPECT_EQ(tagged.CounterTotal("commits"), 3u);
+}
+
+// --- Runner ---------------------------------------------------------------
+
+TEST(ScenarioRunnerTest, EveryLibraryScenarioPassesItsInvariants) {
+  for (const std::string& name : ScenarioNames()) {
+    Result<Scenario> scenario = NamedScenario(name);
+    ASSERT_TRUE(scenario.ok()) << name;
+    ScenarioRunOptions opt;
+    opt.duration = Millis(400);
+    ScenarioRunner runner(*scenario, opt);
+    ASSERT_TRUE(runner.Start().ok()) << name;
+    ScenarioCellReport report = runner.Run();
+    EXPECT_TRUE(report.ok()) << name << ": " << report.failure_detail;
+    EXPECT_GT(report.metrics.submitted, 0u) << name;
+    EXPECT_GT(report.fifo_deliveries, 0u) << name;
+  }
+}
+
+TEST(ScenarioRunnerTest, GapRepairRestoresConsistencyAfterLoss) {
+  Result<Scenario> scenario = NamedScenario("loss_burst");
+  ASSERT_TRUE(scenario.ok());
+  ScenarioRunOptions opt;
+  opt.seed = 3;
+  ScenarioRunner runner(*scenario, opt);
+  ASSERT_TRUE(runner.Start().ok());
+  ScenarioCellReport report = runner.Run();
+  // The scenario must actually lose messages, and the cluster must still
+  // converge: dropped quasis are refetched from the fragment home by the
+  // gap repairer, so mutual consistency and FIFO both hold at the end.
+  EXPECT_GT(report.net.messages_dropped, 0u);
+  EXPECT_TRUE(report.consistent_ok) << report.failure_detail;
+  EXPECT_TRUE(report.fifo_ok) << report.failure_detail;
+  EXPECT_TRUE(report.ok()) << report.failure_detail;
+}
+
+TEST(ScenarioRunnerTest, AmnesiaScenarioRunsTheRecoveryPipeline) {
+  Result<Scenario> scenario = NamedScenario("amnesia_crash");
+  ASSERT_TRUE(scenario.ok());
+  ScenarioRunOptions opt;
+  ScenarioRunner runner(*scenario, opt);
+  ASSERT_TRUE(runner.Start().ok());
+  ScenarioCellReport report = runner.Run();
+  EXPECT_TRUE(report.ok()) << report.failure_detail;
+  EXPECT_EQ(report.faults.crashes, 1);
+  EXPECT_GE(report.revives_completed, 1);
+  EXPECT_GE(report.recoveries_ran, 1);  // the durable-recovery path ran
+}
+
+}  // namespace
+}  // namespace fragdb
