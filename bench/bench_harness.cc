@@ -71,6 +71,17 @@ BenchOptions ParseBenchOptions(int* argc, char** argv) {
   return opts;
 }
 
+void PrintJsonLine(const std::string& json) {
+  // Stamp the schema version just inside the object's opening brace so
+  // every driver's lines carry it without each call site remembering to.
+  if (!json.empty() && json.front() == '{') {
+    std::printf("BENCH_JSON {\"schema_version\":%d,%s\n",
+                kBenchJsonSchemaVersion, json.c_str() + 1);
+  } else {
+    std::printf("BENCH_JSON %s\n", json.c_str());
+  }
+}
+
 void RunJobs(const std::vector<std::function<void()>>& jobs, int threads) {
   if (threads < 1) threads = 1;
   if (threads == 1 || jobs.size() <= 1) {

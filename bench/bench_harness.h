@@ -47,6 +47,19 @@ struct BenchOptions {
 /// downstream parsers. Exits with a message on malformed values.
 BenchOptions ParseBenchOptions(int* argc, char** argv);
 
+/// Version of the BENCH_JSON line format. Bump when a field changes
+/// meaning or disappears; adding fields is backward-compatible.
+///   v1: implicit (no schema_version field)
+///   v2: schema_version stamped into every line; scenario_matrix cells
+///       carry availability/staleness/attribution fields
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
+/// Emits one machine-readable result line. The "BENCH_JSON " prefix lets
+/// tooling grep structured results out of the human-readable tables; a
+/// "schema_version" field is stamped into the object just after its
+/// opening brace, so every driver's lines are versioned uniformly.
+void PrintJsonLine(const std::string& json);
+
 /// Runs `jobs` on `threads` workers (1 = run inline on the caller).
 /// Jobs are claimed in index order from a shared counter; the function
 /// returns only when every job has finished. Exceptions must not escape

@@ -96,35 +96,47 @@ int main(int argc, char** argv) {
   ObservabilityConfig all_on;
   all_on.metrics = true;
   all_on.tracing = true;
+  // The time-series layer: per-node timelines, the availability tracker's
+  // per-(node,fragment) state machines, and the flight-recorder ring.
+  ObservabilityConfig timelines_on;
+  timelines_on.timelines = true;
+  timelines_on.flight_recorder = true;
 
-  uint64_t served_off = 0, served_metrics = 0, served_all = 0;
+  uint64_t served_off = 0, served_metrics = 0, served_all = 0,
+           served_timelines = 0;
   // Warm-up run so allocator/page-cache state does not bias the baseline.
   (void)RunOnceMs(off, &served_off);
   // Interleave the configurations so slow machine-wide drift (thermal,
-  // frequency scaling) hits all three equally instead of whichever config
+  // frequency scaling) hits all four equally instead of whichever config
   // happens to run last.
-  std::vector<double> t_off, t_metrics, t_all;
+  std::vector<double> t_off, t_metrics, t_all, t_timelines;
   for (int i = 0; i < kReps; ++i) {
     t_off.push_back(RunOnceMs(off, &served_off));
     t_metrics.push_back(RunOnceMs(metrics_on, &served_metrics));
     t_all.push_back(RunOnceMs(all_on, &served_all));
-    if (t_off.back() < 0 || t_metrics.back() < 0 || t_all.back() < 0) {
+    t_timelines.push_back(RunOnceMs(timelines_on, &served_timelines));
+    if (t_off.back() < 0 || t_metrics.back() < 0 || t_all.back() < 0 ||
+        t_timelines.back() < 0) {
       return 2;
     }
   }
   double base = Min(t_off);
   double with_metrics = Min(t_metrics);
   double with_all = Min(t_all);
+  double with_timelines = Min(t_timelines);
   double metrics_pct = MedianOverheadPct(t_off, t_metrics);
   double all_pct = MedianOverheadPct(t_off, t_all);
-  if (served_off != served_metrics || served_off != served_all) {
+  double timelines_pct = MedianOverheadPct(t_off, t_timelines);
+  if (served_off != served_metrics || served_off != served_all ||
+      served_off != served_timelines) {
     // Observability must never change behavior, only observe it.
     std::fprintf(stderr,
                  "FAIL: served counts diverge (off=%llu metrics=%llu "
-                 "all=%llu)\n",
+                 "all=%llu timelines=%llu)\n",
                  (unsigned long long)served_off,
                  (unsigned long long)served_metrics,
-                 (unsigned long long)served_all);
+                 (unsigned long long)served_all,
+                 (unsigned long long)served_timelines);
     return 1;
   }
 
@@ -136,11 +148,16 @@ int main(int argc, char** argv) {
            widths);
   PrintRow({"metrics+tracing", Num(with_all, 2), Num(all_pct, 1) + "%"},
            widths);
+  PrintRow({"timelines+tracker", Num(with_timelines, 2),
+            Num(timelines_pct, 1) + "%"},
+           widths);
   PrintJsonLine("{\"config\":\"obs_overhead\",\"base_ms\":" + Num(base, 3) +
                 ",\"metrics_ms\":" + Num(with_metrics, 3) +
                 ",\"metrics_overhead_pct\":" + Num(metrics_pct, 2) +
                 ",\"all_ms\":" + Num(with_all, 3) +
-                ",\"all_overhead_pct\":" + Num(all_pct, 2) + "}");
+                ",\"all_overhead_pct\":" + Num(all_pct, 2) +
+                ",\"timelines_ms\":" + Num(with_timelines, 3) +
+                ",\"timelines_overhead_pct\":" + Num(timelines_pct, 2) + "}");
 
   if (metrics_pct >= 5.0) {
     std::fprintf(stderr, "\nFAIL: metrics overhead %.1f%% >= 5%%\n",

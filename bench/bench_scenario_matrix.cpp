@@ -8,6 +8,10 @@
 // --threads workers; results are printed in grid order, making the output
 // byte-identical at any thread count (verified by determinism_test).
 //
+// Every cell runs with timelines + the availability tracker + the flight
+// recorder on, so each BENCH_JSON line also carries read/write
+// availability, max staleness, and the per-fault blame summaries.
+//
 // Flags (beyond the harness's --threads / --seeds):
 //   --scenarios=a,b,c    fault scenarios (default: the whole library)
 //   --workloads=a,b      workload profiles (default: steady_uniform,
@@ -15,9 +19,15 @@
 //   --controls=a,b       fragmentwise | acyclic (default: both)
 //   --nodes=N            cluster size (default 5)
 //   --duration_ms=N      traffic window per cell (default 700)
+//   --out_dir=PATH       write availability_reports.jsonl plus one
+//                        flight_<cell>.jsonl per failing cell
+//   --force_fail=N       mark cell N failed after its checks pass, to
+//                        exercise the flight-recorder dump path end-to-end
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,16 +55,28 @@ struct Cell {
   std::string control_name;
   ControlOption control = ControlOption::kFragmentwise;
   uint64_t seed = 1;
+  bool force_fail = false;
 };
 
 struct CellResult {
   ScenarioCellReport report;
   std::string json;
+  /// {"cell":"<tag>","report":{...}} — one line of the artifact file.
+  std::string availability_json;
 };
 
 std::string CellTag(const Cell& cell) {
   return cell.scenario + "/" + cell.workload + "/" + cell.control_name +
          "/s" + std::to_string(cell.seed);
+}
+
+/// The tag with '/' flattened, usable as a file name.
+std::string CellFileTag(const Cell& cell) {
+  std::string tag = CellTag(cell);
+  for (char& c : tag) {
+    if (c == '/') c = '_';
+  }
+  return tag;
 }
 
 CellResult RunCell(const Cell& cell, int nodes, SimTime duration) {
@@ -73,6 +95,11 @@ CellResult RunCell(const Cell& cell, int nodes, SimTime duration) {
   opt.duration = duration;
   opt.seed = cell.seed;
   opt.control = cell.control;
+  // Timelines + tracker give every cell line its availability summary; the
+  // flight recorder's ring is dumped if the cell fails any check.
+  opt.observability.timelines = true;
+  opt.observability.flight_recorder = true;
+  opt.force_verify_failure = cell.force_fail;
   ScenarioRunner runner(std::move(merged), opt);
   Status started = runner.Start();
   if (!started.ok()) {
@@ -106,8 +133,13 @@ CellResult RunCell(const Cell& cell, int nodes, SimTime duration) {
      << ",\"fragmentwise_ok\":" << (r.fragmentwise_ok ? "true" : "false")
      << ",\"consistent_ok\":" << (r.consistent_ok ? "true" : "false")
      << ",\"recovery_ok\":" << (r.recovery_ok ? "true" : "false")
+     << ",\"timeline_ok\":" << (r.timeline_ok ? "true" : "false")
+     << ",\"forced_failure\":" << (r.forced_failure ? "true" : "false")
+     << "," << r.availability.SummaryJson()
      << ",\"ok\":" << (r.ok() ? "true" : "false") << "}";
   out.json = os.str();
+  out.availability_json = "{\"cell\":\"" + CellTag(cell) + "\",\"report\":" +
+                          r.availability.ToJson() + "}";
   return out;
 }
 
@@ -142,6 +174,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::vector<uint64_t> seeds = opts.SeedsOr(1);
+  std::string out_dir = opts.ExtraOr("out_dir", "");
+  int force_fail = std::atoi(opts.ExtraOr("force_fail", "-1").c_str());
 
   std::vector<Cell> cells;
   for (const std::string& s : scenarios) {
@@ -152,6 +186,14 @@ int main(int argc, char** argv) {
         }
       }
     }
+  }
+  if (force_fail >= 0) {
+    if (static_cast<size_t>(force_fail) >= cells.size()) {
+      std::fprintf(stderr, "--force_fail=%d out of range (%zu cells)\n",
+                   force_fail, cells.size());
+      return 2;
+    }
+    cells[force_fail].force_fail = true;
   }
 
   // Thread count goes to stderr: stdout is byte-identical at any --threads.
@@ -188,6 +230,30 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   for (const CellResult& res : results) PrintJsonLine(res.json);
+
+  if (!out_dir.empty()) {
+    // Written in grid order from this thread, after the parallel phase:
+    // the artifacts are byte-identical at any --threads too.
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --out_dir %s: %s\n",
+                   out_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    std::ofstream reports(out_dir + "/availability_reports.jsonl");
+    for (const CellResult& res : results) {
+      reports << res.availability_json << "\n";
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (results[i].report.flight_dump.empty()) continue;
+      std::ofstream dump(out_dir + "/flight_" + CellFileTag(cells[i]) +
+                         ".jsonl");
+      dump << results[i].report.flight_dump;
+    }
+    std::fprintf(stderr, "availability reports written to %s\n",
+                 out_dir.c_str());
+  }
 
   if (failed != 0) {
     std::printf("\n%zu/%zu cells FAILED an invariant\n", failed, cells.size());

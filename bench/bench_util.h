@@ -40,12 +40,6 @@ inline std::string Num(double v, int decimals = 1) {
 
 inline std::string Int(long long v) { return std::to_string(v); }
 
-/// Emits one machine-readable result line. The "BENCH_JSON " prefix lets
-/// tooling grep structured results out of the human-readable tables.
-inline void PrintJsonLine(const std::string& json) {
-  std::printf("BENCH_JSON %s\n", json.c_str());
-}
-
 }  // namespace fragdb_bench
 
 #endif  // FRAGDB_BENCH_BENCH_UTIL_H_

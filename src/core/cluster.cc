@@ -178,6 +178,37 @@ Status Cluster::Start() {
   if (config_.observability.tracing) {
     tracer_ = std::make_unique<Tracer>();
   }
+  if (config_.observability.timelines) {
+    timelines_ = std::make_unique<ClusterTimelines>(
+        topology_.node_count(), config_.observability.timeline_bucket_width);
+    std::vector<NodeId> home(catalog_.fragment_count());
+    for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+      home[f] = *catalog_.HomeOfFragment(f);  // validated above
+    }
+    availability_ = std::make_unique<AvailabilityTracker>(
+        topology_.node_count(), std::move(home),
+        config_.observability.staleness_threshold);
+    // Availability observation is strictly push-based: a topology listener
+    // plus explicit hooks at the crash/revive/install sites. Nothing is
+    // scheduled on the event queue, so runs behave identically with the
+    // tracker on or off.
+    topology_.OnChange([this] { RefreshHomeReachability(); });
+  }
+  if (config_.observability.flight_recorder) {
+    flight_ = std::make_unique<FlightRecorder>(
+        topology_.node_count(), config_.observability.flight_recorder_capacity);
+  }
+  if (flight_ || tracer_) {
+    // A dropped message is invisible to its receiver; the trace (and the
+    // black box in particular) is the only place it leaves evidence.
+    // Attributed to the receiver — the node that will show the gap.
+    network_->SetDropObserver(
+        [this](NodeId from, NodeId to, const MessagePayload& p) {
+          Trace("drop", to, kInvalidFragment, kInvalidTxn, 0,
+                std::string(p.TypeName()) + " N" + std::to_string(from) +
+                    "->N" + std::to_string(to));
+        });
+  }
   for (NodeId n = 0; n < topology_.node_count(); ++n) {
     runtimes_.push_back(std::make_unique<NodeRuntime>(this, n));
     network_->SetHandler(n, [this, n](const Message& msg) {
@@ -335,20 +366,24 @@ void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
                     sim_.Now()));
     return;
   }
-  if (obs_) {
-    obs_->TxnSubmitted(node)->Add();
+  if (obs_ || timelines_) {
+    if (obs_) obs_->TxnSubmitted(node)->Add();
     SimTime submitted_at = sim_.Now();
     done = [this, node, submitted_at,
             inner = std::move(done)](const TxnResult& r) {
       if (r.status.ok()) {
-        obs_->TxnCommitted(node)->Add();
-        obs_->CommitLatency(node)->Observe(r.finished_at - submitted_at);
+        if (obs_) {
+          obs_->TxnCommitted(node)->Add();
+          obs_->CommitLatency(node)->Observe(r.finished_at - submitted_at);
+        }
+        if (timelines_) timelines_->Committed(node).Mark(r.finished_at);
       } else if (r.status.IsFailedPrecondition()) {
-        obs_->TxnDeclined(node)->Add();
+        if (obs_) obs_->TxnDeclined(node)->Add();
       } else if (r.status.IsUnavailable() || r.status.IsTimedOut()) {
-        obs_->TxnUnavailable(node)->Add();
+        if (obs_) obs_->TxnUnavailable(node)->Add();
+        if (timelines_) timelines_->Unavailable(node).Mark(r.finished_at);
       } else {
-        obs_->TxnRejected(node)->Add();
+        if (obs_) obs_->TxnRejected(node)->Add();
       }
       inner(r);
     };
@@ -839,7 +874,7 @@ void Cluster::Trace(const char* kind, std::string detail) {
 
 void Cluster::Trace(const char* kind, NodeId node, FragmentId fragment,
                     TxnId txn, SeqNum seq, std::string detail) {
-  if (!trace_sink_ && !tracer_) return;
+  if (!trace_sink_ && !tracer_ && !flight_) return;
   TraceEvent ev;
   ev.at = sim_.Now();
   ev.kind = kind;
@@ -849,6 +884,7 @@ void Cluster::Trace(const char* kind, NodeId node, FragmentId fragment,
   ev.seq = seq;
   ev.detail = std::move(detail);
   if (trace_sink_) trace_sink_(ev);
+  if (flight_) flight_->Record(ev);
   if (tracer_) tracer_->Record(std::move(ev));
 }
 
@@ -915,7 +951,11 @@ Status Cluster::SetNodeUp(NodeId node, bool up) {
   Trace(up ? "node-up" : "node-down", node, kInvalidFragment, kInvalidTxn, 0,
         "N" + std::to_string(node));
   if (obs_) (up ? obs_->NodeUps() : obs_->NodeDowns())->Add();
-  return topology_.SetNodeUp(node, up);
+  Status st = topology_.SetNodeUp(node, up);
+  if (st.ok() && availability_) {
+    availability_->SetNodeDown(node, sim_.Now(), !up);
+  }
+  return st;
 }
 
 Status Cluster::CrashNode(NodeId node, CrashMode mode) {
@@ -937,6 +977,7 @@ Status Cluster::CrashNode(NodeId node, CrashMode mode) {
     obs_->AmnesiaCrashes()->Add();
   }
   FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, false));
+  if (availability_) availability_->SetNodeDown(node, sim_.Now(), true);
   recovery_->Abort(node);  // a crash during recovery drops the session
   // §4.4.1 waits prepared at this node die with its volatile state. Their
   // timeout lambdas would touch the wiped stream (next_seq rollback), so
@@ -984,6 +1025,7 @@ Status Cluster::ReviveNode(NodeId node, RecoveryCallback done) {
           "N" + std::to_string(node));
     if (obs_) obs_->NodeUps()->Add();
     FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, true));
+    if (availability_) availability_->SetNodeDown(node, sim_.Now(), false);
     if (done) done(RecoveryStats{});
     return Status::Ok();
   }
@@ -992,6 +1034,14 @@ Status Cluster::ReviveNode(NodeId node, RecoveryCallback done) {
   }
   Trace("recover-start", node, kInvalidFragment, kInvalidTxn, 0,
         "N" + std::to_string(node));
+  if (availability_) {
+    // Catch-up (set when local replay rejoins the network) ends when the
+    // recovery session reports fully caught up.
+    done = [this, node, inner = std::move(done)](const RecoveryStats& s) {
+      availability_->SetCatchingUp(node, sim_.Now(), false);
+      if (inner) inner(s);
+    };
+  }
   if (obs_) {
     done = [this, node, inner = std::move(done)](const RecoveryStats& s) {
       obs_->Recoveries()->Add();
@@ -1014,6 +1064,24 @@ void Cluster::OnLocalReplayDone(NodeId node) {
   if (obs_) obs_->NodeUps()->Add();
   Status st = topology_.SetNodeUp(node, true);
   FRAGDB_CHECK(st.ok());
+  if (availability_) {
+    // Serving again, but from replayed state: degraded-stale until the
+    // peer catch-up phase completes (the ReviveNode done wrapper).
+    SimTime now = sim_.Now();
+    availability_->SetNodeDown(node, now, false);
+    availability_->SetCatchingUp(node, now, true);
+  }
+}
+
+void Cluster::RefreshHomeReachability() {
+  if (!availability_) return;
+  SimTime now = sim_.Now();
+  for (NodeId n = 0; n < topology_.node_count(); ++n) {
+    for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+      availability_->SetHomeReachable(
+          n, f, now, topology_.Reachable(n, availability_->HomeOf(f)));
+    }
+  }
 }
 
 CheckpointImage Cluster::CaptureCheckpoint(NodeId node) {

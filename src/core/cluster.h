@@ -16,8 +16,11 @@
 #include "net/broadcast.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/availability.h"
+#include "obs/flight_recorder.h"
 #include "obs/instruments.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "recovery/checkpoint.h"
 #include "recovery/node_durability.h"
@@ -226,6 +229,16 @@ class Cluster {
   /// The structured-event tracer, or nullptr unless
   /// config().observability.tracing. Valid after Start().
   Tracer* tracer() { return tracer_.get(); }
+  /// Per-node bucketed time series, or nullptr unless
+  /// config().observability.timelines. Valid after Start().
+  ClusterTimelines* timelines() { return timelines_.get(); }
+  /// Per-(node,fragment) availability state machines, or nullptr unless
+  /// config().observability.timelines. Valid after Start(). Call
+  /// Finalize() on it once the run is over, before reading intervals.
+  AvailabilityTracker* availability() { return availability_.get(); }
+  /// Bounded ring of recent trace events, or nullptr unless
+  /// config().observability.flight_recorder. Valid after Start().
+  FlightRecorder* flight_recorder() { return flight_.get(); }
   /// Refreshes the durability/recovery gauges and returns a frozen copy of
   /// every metric series. Empty snapshot when metrics are off.
   MetricsSnapshot SnapshotMetrics() const;
@@ -263,9 +276,10 @@ class Cluster {
   /// corrective action.
   void CommitRepackaged(NodeId home, FragmentId fragment,
                         const QuasiTxn& missing, std::vector<WriteOp> kept);
-  /// True when any trace consumer (sink or tracer) is attached — guard
-  /// call sites whose detail strings are expensive to build.
-  bool tracing_active() const { return trace_sink_ || tracer_; }
+  /// True when any trace consumer (sink, tracer, or flight recorder) is
+  /// attached — guard call sites whose detail strings are expensive to
+  /// build.
+  bool tracing_active() const { return trace_sink_ || tracer_ || flight_; }
   /// Emits a cluster-scoped trace event if a consumer is attached.
   void Trace(const char* kind, std::string detail);
   /// Emits a fully structured trace event (node / fragment / txn / seq).
@@ -321,6 +335,9 @@ class Cluster {
 
   /// Validation + registration shared by Submit/SubmitReadOnlyAt.
   void SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done);
+  /// Re-derives every (node, fragment) home-reachability flag for the
+  /// availability tracker; registered as a topology change listener.
+  void RefreshHomeReachability();
   Status ValidateSpec(NodeId node, const TxnSpec& spec,
                       FragmentId* type_fragment) const;
   /// §4.2 conformance check for `spec` as type `type_fragment`.
@@ -384,6 +401,9 @@ class Cluster {
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<ClusterInstruments> obs_;
+  std::unique_ptr<ClusterTimelines> timelines_;
+  std::unique_ptr<AvailabilityTracker> availability_;
+  std::unique_ptr<FlightRecorder> flight_;
   TxnId next_txn_id_ = 1;
   bool started_ = false;
 };

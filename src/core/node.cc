@@ -152,11 +152,13 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
     // Later sequences are waiting but the next expected one is missing —
     // with a lossy network that may be a dropped message, never to arrive.
     if (!s.holdback.empty()) MaybeScheduleGapRepair(f);
+    UpdateGapState(f);
     return;
   }
   QuasiTxn quasi = *next;
   s.holdback.Erase(quasi.seq);
   s.install_in_flight = true;
+  UpdateGapState(f);
   TxnId install_id = cluster_->NewTxnId();
   scheduler_->Install(quasi, install_id, [this, f, quasi] {
     FragmentStream& stream = streams_[f];
@@ -164,16 +166,29 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
     stream.log.Put(quasi.seq, quasi);
     stream.install_in_flight = false;
     if (durability_) durability_->OnQuasiApplied(quasi, stream.epoch);
-    if (ClusterInstruments* ins = cluster_->instruments()) {
-      // Replication lag: commit at the origin to install here. The home's
-      // own (re)install of its quasi-transaction is not replication.
-      if (quasi.origin_node != id_) {
-        ins->ReplicationLag(id_, f)->Observe(cluster_->sim().Now() -
-                                             quasi.origin_time);
+    // Replication lag: commit at the origin to install here. The home's
+    // own (re)install of its quasi-transaction is not replication.
+    if (quasi.origin_node != id_) {
+      SimTime lag = cluster_->sim().Now() - quasi.origin_time;
+      if (ClusterInstruments* ins = cluster_->instruments()) {
+        ins->ReplicationLag(id_, f)->Observe(lag);
       }
+      if (ClusterTimelines* tl = cluster_->timelines()) {
+        tl->ReplicationLag(id_).Observe(cluster_->sim().Now(), lag);
+      }
+      if (AvailabilityTracker* av = cluster_->availability()) {
+        av->OnInstallLag(id_, f, cluster_->sim().Now(), lag);
+      }
+    }
+    if (ClusterInstruments* ins = cluster_->instruments()) {
       ins->AppliedSeq(id_, f)->Set(stream.applied_seq);
       ins->HoldbackDepth(id_, f)
           ->Set(static_cast<int64_t>(stream.holdback.size()));
+    }
+    if (ClusterTimelines* tl = cluster_->timelines()) {
+      tl->HoldbackDepth(id_).Observe(
+          cluster_->sim().Now(),
+          static_cast<int64_t>(stream.holdback.size()));
     }
     if (cluster_->tracing_active()) {
       cluster_->Trace("install", id_, f, quasi.origin_txn, quasi.seq,
@@ -184,6 +199,15 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
     OnAppliedAdvanced(f);
     TryInstallNext(f);
   });
+}
+
+void NodeRuntime::UpdateGapState(FragmentId f) {
+  AvailabilityTracker* av = cluster_->availability();
+  if (av == nullptr) return;
+  const FragmentStream& s = streams_[f];
+  bool gap = !s.install_in_flight && !s.holdback.empty() &&
+             s.holdback.Find(s.applied_seq + 1) == nullptr;
+  av->SetGap(id_, f, cluster_->sim().Now(), gap);
 }
 
 void NodeRuntime::OnAppliedAdvanced(FragmentId f) {
@@ -537,6 +561,13 @@ void NodeRuntime::WipeVolatile() {
   locks_->Clear();
   scheduler_->Reset();
   streams_.assign(cluster_->catalog().fragment_count(), FragmentStream{});
+  if (AvailabilityTracker* av = cluster_->availability()) {
+    // Holdback evidence died with the volatile state; the node-down flag
+    // carries the unavailability from here.
+    for (FragmentId f = 0; f < cluster_->catalog().fragment_count(); ++f) {
+      av->SetGap(id_, f, cluster_->sim().Now(), false);
+    }
+  }
   catchup_ = CatchUpState{};
   repackaged_.clear();
   durability_ = nullptr;

@@ -147,6 +147,9 @@ class NodeRuntime {
   void TryInstallNext(FragmentId f);
   void MaybeCompleteTransition(FragmentId f);
   void OnAppliedAdvanced(FragmentId f);
+  /// Re-derives the availability tracker's holdback-gap flag for f (no-op
+  /// unless the cluster runs with observability.timelines).
+  void UpdateGapState(FragmentId f);
 
   // --- Message handlers --------------------------------------------------
   void OnQuasi(const QuasiTxnMsg& msg);

@@ -57,6 +57,7 @@ Status Network::Send(NodeId from, NodeId to,
                                         topology_->node_count() +
                                     to];
     floor = std::max(floor, deliver_at);
+    if (drop_observer_) drop_observer_(from, to, *payload);
     return Status::Ok();
   }
   Dispatch(from, to, deliver_at, std::move(payload), sent_at);

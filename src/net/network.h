@@ -101,6 +101,17 @@ class Network {
     send_observer_ = std::move(observer);
   }
 
+  /// Observer invoked once per loss-window drop (the same moment
+  /// `stats_.messages_dropped` increments), with the doomed message's
+  /// endpoints and payload. Pass nullptr to disable. Used by the flight
+  /// recorder: a drop is invisible to the receiver, so the black box is
+  /// the only place it can leave evidence.
+  void SetDropObserver(
+      std::function<void(NodeId from, NodeId to, const MessagePayload&)>
+          observer) {
+    drop_observer_ = std::move(observer);
+  }
+
   const NetworkStats& stats() const { return stats_; }
 
   /// Number of messages currently queued waiting for connectivity.
@@ -130,6 +141,7 @@ class Network {
   NetworkStats stats_;
   std::function<void(const MessagePayload&, size_t)> send_observer_;
   std::function<void(const Message&)> delivery_observer_;
+  std::function<void(NodeId, NodeId, const MessagePayload&)> drop_observer_;
   bool flushing_ = false;
   double loss_probability_ = 0.0;
   uint64_t loss_seed_ = 0;

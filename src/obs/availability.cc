@@ -1,0 +1,445 @@
+#include "obs/availability.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+const char* ServeStateName(ServeState s) {
+  switch (s) {
+    case ServeState::kServing:
+      return "serving";
+    case ServeState::kDegradedStale:
+      return "degraded-stale";
+    case ServeState::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+const char* AccessKindName(AccessKind a) {
+  return a == AccessKind::kRead ? "read" : "write";
+}
+
+// --------------------------------------------------------------------------
+// AvailabilityTracker
+// --------------------------------------------------------------------------
+
+AvailabilityTracker::AvailabilityTracker(int nodes, std::vector<NodeId> home,
+                                         SimTime staleness_threshold)
+    : nodes_(nodes),
+      fragments_(static_cast<int>(home.size())),
+      home_(std::move(home)),
+      staleness_threshold_(staleness_threshold) {
+  size_t cells = static_cast<size_t>(nodes_) * fragments_;
+  down_.assign(nodes_, false);
+  catching_up_.assign(nodes_, false);
+  gap_.assign(cells, false);
+  home_reachable_.assign(cells, true);
+  read_.assign(cells, CellState{});
+  write_.assign(cells, CellState{});
+}
+
+ServeState AvailabilityTracker::ComputeState(NodeId n, FragmentId f,
+                                             AccessKind a) const {
+  size_t idx = Index(n, f);
+  if (a == AccessKind::kRead) {
+    if (down_[n]) return ServeState::kUnavailable;
+    // Reads are served from the local replica; being cut off from the home
+    // or behind on the stream degrades freshness, not availability.
+    if (catching_up_[n] || gap_[idx] || !home_reachable_[idx]) {
+      return ServeState::kDegradedStale;
+    }
+    return ServeState::kServing;
+  }
+  NodeId h = home_[f];
+  if (down_[n] || down_[h] || !home_reachable_[idx] || catching_up_[n] ||
+      catching_up_[h]) {
+    return ServeState::kUnavailable;
+  }
+  return ServeState::kServing;
+}
+
+ServeState AvailabilityTracker::CurrentState(NodeId n, FragmentId f,
+                                             AccessKind a) const {
+  return (a == AccessKind::kRead ? read_ : write_)[Index(n, f)].state;
+}
+
+void AvailabilityTracker::Transition(CellState& cell, NodeId n, FragmentId f,
+                                     AccessKind a, ServeState next,
+                                     SimTime t) {
+  if (cell.state == next) return;
+  if (cell.state != ServeState::kServing && t > cell.since) {
+    intervals_.push_back({n, f, a, cell.state, cell.since, t});
+  }
+  cell.state = next;
+  cell.since = t;
+}
+
+void AvailabilityTracker::Recompute(NodeId n, FragmentId f, SimTime t) {
+  size_t idx = Index(n, f);
+  Transition(read_[idx], n, f, AccessKind::kRead,
+             ComputeState(n, f, AccessKind::kRead), t);
+  Transition(write_[idx], n, f, AccessKind::kWrite,
+             ComputeState(n, f, AccessKind::kWrite), t);
+}
+
+void AvailabilityTracker::RecomputeNodeScope(NodeId n, SimTime t) {
+  // The node's own row, plus every cell whose fragment is homed at n
+  // (write availability everywhere depends on the home's health).
+  for (FragmentId f = 0; f < fragments_; ++f) Recompute(n, f, t);
+  for (FragmentId f = 0; f < fragments_; ++f) {
+    if (home_[f] != n) continue;
+    for (NodeId m = 0; m < nodes_; ++m) {
+      if (m != n) Recompute(m, f, t);
+    }
+  }
+}
+
+void AvailabilityTracker::SetNodeDown(NodeId n, SimTime t, bool down) {
+  if (down_[n] == down) return;
+  down_[n] = down;
+  RecomputeNodeScope(n, t);
+}
+
+void AvailabilityTracker::SetCatchingUp(NodeId n, SimTime t,
+                                        bool catching_up) {
+  if (catching_up_[n] == catching_up) return;
+  catching_up_[n] = catching_up;
+  RecomputeNodeScope(n, t);
+}
+
+void AvailabilityTracker::SetGap(NodeId n, FragmentId f, SimTime t,
+                                 bool gap) {
+  size_t idx = Index(n, f);
+  if (gap_[idx] == gap) return;
+  gap_[idx] = gap;
+  Recompute(n, f, t);
+}
+
+void AvailabilityTracker::SetHomeReachable(NodeId n, FragmentId f, SimTime t,
+                                           bool reachable) {
+  size_t idx = Index(n, f);
+  if (home_reachable_[idx] == reachable) return;
+  home_reachable_[idx] = reachable;
+  Recompute(n, f, t);
+}
+
+void AvailabilityTracker::OnInstallLag(NodeId n, FragmentId f, SimTime t,
+                                       SimTime lag) {
+  if (lag > max_staleness_) max_staleness_ = lag;
+  if (lag <= staleness_threshold_) return;
+  SimTime start = t - lag + staleness_threshold_;
+  if (start < 0) start = 0;
+  if (start >= t) return;
+  stale_.push_back(
+      {n, f, AccessKind::kRead, ServeState::kDegradedStale, start, t});
+}
+
+namespace {
+
+bool IntervalOrder(const AvailabilityInterval& a,
+                   const AvailabilityInterval& b) {
+  if (a.node != b.node) return a.node < b.node;
+  if (a.fragment != b.fragment) return a.fragment < b.fragment;
+  if (a.access != b.access) return a.access < b.access;
+  if (a.start != b.start) return a.start < b.start;
+  return a.end < b.end;
+}
+
+}  // namespace
+
+void AvailabilityTracker::Finalize(SimTime end) {
+  FRAGDB_CHECK(!finalized_);
+  finalized_ = true;
+  for (NodeId n = 0; n < nodes_; ++n) {
+    for (FragmentId f = 0; f < fragments_; ++f) {
+      size_t idx = Index(n, f);
+      Transition(read_[idx], n, f, AccessKind::kRead, ServeState::kServing,
+                 end);
+      Transition(write_[idx], n, f, AccessKind::kWrite, ServeState::kServing,
+                 end);
+      // Leave the cell marked serving; CurrentState after Finalize reports
+      // the closed-out state.
+    }
+  }
+
+  // Fold the retroactive stale observations in: merge overlapping stale
+  // windows per cell, then subtract any time already covered by a state-
+  // machine interval for that cell so per-cell intervals never overlap.
+  std::sort(stale_.begin(), stale_.end(), IntervalOrder);
+  std::vector<AvailabilityInterval> merged;
+  for (const AvailabilityInterval& s : stale_) {
+    if (s.end > end || s.start >= end) {
+      // Clamp to the horizon; drop anything entirely past it.
+      if (s.start >= end) continue;
+    }
+    AvailabilityInterval cur = s;
+    if (cur.end > end) cur.end = end;
+    if (!merged.empty() && merged.back().node == cur.node &&
+        merged.back().fragment == cur.fragment &&
+        merged.back().end >= cur.start) {
+      if (cur.end > merged.back().end) merged.back().end = cur.end;
+    } else {
+      merged.push_back(cur);
+    }
+  }
+
+  std::sort(intervals_.begin(), intervals_.end(), IntervalOrder);
+  std::vector<AvailabilityInterval> extra;
+  for (const AvailabilityInterval& s : merged) {
+    // Subtract every already-recorded read interval of the same cell.
+    SimTime cursor = s.start;
+    for (const AvailabilityInterval& i : intervals_) {
+      if (i.node != s.node || i.fragment != s.fragment ||
+          i.access != AccessKind::kRead) {
+        continue;
+      }
+      if (i.end <= cursor || i.start >= s.end) continue;
+      if (i.start > cursor) {
+        extra.push_back({s.node, s.fragment, AccessKind::kRead,
+                         ServeState::kDegradedStale, cursor, i.start});
+      }
+      cursor = std::max(cursor, i.end);
+      if (cursor >= s.end) break;
+    }
+    if (cursor < s.end) {
+      extra.push_back({s.node, s.fragment, AccessKind::kRead,
+                       ServeState::kDegradedStale, cursor, s.end});
+    }
+  }
+  intervals_.insert(intervals_.end(), extra.begin(), extra.end());
+  std::sort(intervals_.begin(), intervals_.end(), IntervalOrder);
+  stale_.clear();
+}
+
+double AvailabilityTracker::AvailableFraction(AccessKind a,
+                                              SimTime horizon) const {
+  if (horizon <= 0) return 1.0;
+  SimTime down = 0;
+  for (const AvailabilityInterval& i : intervals_) {
+    if (i.access != a || i.state != ServeState::kUnavailable) continue;
+    down += std::min(i.end, horizon) - std::min(i.start, horizon);
+  }
+  double total = static_cast<double>(horizon) * nodes_ * fragments_;
+  return 1.0 - static_cast<double>(down) / total;
+}
+
+double AvailabilityTracker::NodeAvailableFraction(NodeId n, AccessKind a,
+                                                  SimTime horizon) const {
+  if (horizon <= 0) return 1.0;
+  SimTime down = 0;
+  for (const AvailabilityInterval& i : intervals_) {
+    if (i.node != n || i.access != a || i.state != ServeState::kUnavailable) {
+      continue;
+    }
+    down += std::min(i.end, horizon) - std::min(i.start, horizon);
+  }
+  double total = static_cast<double>(horizon) * fragments_;
+  return 1.0 - static_cast<double>(down) / total;
+}
+
+// --------------------------------------------------------------------------
+// Attribution
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatFraction(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+bool FaultTouches(const FaultWindow& fw, const AvailabilityInterval& i,
+                  NodeId home) {
+  if (fw.nodes.empty()) return true;
+  for (NodeId n : fw.nodes) {
+    if (n == i.node || n == home) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AvailabilityReport BuildAvailabilityReport(
+    const AvailabilityTracker& tracker, const std::vector<FaultWindow>& faults,
+    SimTime horizon) {
+  AvailabilityReport report;
+  report.horizon = horizon;
+  report.max_staleness = tracker.max_staleness();
+  report.read_availability =
+      tracker.AvailableFraction(AccessKind::kRead, horizon);
+  report.write_availability =
+      tracker.AvailableFraction(AccessKind::kWrite, horizon);
+  for (NodeId n = 0; n < tracker.nodes(); ++n) {
+    report.node_read_availability.push_back(
+        tracker.NodeAvailableFraction(n, AccessKind::kRead, horizon));
+    report.node_write_availability.push_back(
+        tracker.NodeAvailableFraction(n, AccessKind::kWrite, horizon));
+  }
+
+  std::vector<FaultAttributionSummary> per_fault(faults.size());
+  for (size_t fi = 0; fi < faults.size(); ++fi) {
+    per_fault[fi].label = faults[fi].label;
+  }
+
+  for (const AvailabilityInterval& iv : tracker.intervals()) {
+    AttributedInterval ai;
+    ai.interval = iv;
+    NodeId home = tracker.HomeOf(iv.fragment);
+    // Best overlap wins; earliest fault on ties. If nothing overlaps, fall
+    // back to the latest candidate fault that started at or before the
+    // interval (detection can lag the fault's scheduled window).
+    SimTime best_overlap = 0;
+    int best = -1;
+    int fallback = -1;
+    for (size_t fi = 0; fi < faults.size(); ++fi) {
+      const FaultWindow& fw = faults[fi];
+      if (!FaultTouches(fw, iv, home)) continue;
+      SimTime overlap =
+          std::min(iv.end, fw.end) - std::max(iv.start, fw.at);
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = static_cast<int>(fi);
+      }
+      if (fw.at <= iv.start &&
+          (fallback < 0 || faults[fallback].at <= fw.at)) {
+        fallback = static_cast<int>(fi);
+      }
+    }
+    if (best < 0) best = fallback;
+    ai.fault = best;
+    if (best >= 0) {
+      const FaultWindow& fw = faults[best];
+      ai.fault_label = fw.label;
+      ai.detect_latency = std::max<SimTime>(0, iv.start - fw.at);
+      ai.repair_latency = std::max<SimTime>(0, iv.end - fw.end);
+      FaultAttributionSummary& sum = per_fault[best];
+      sum.intervals += 1;
+      if (iv.state == ServeState::kUnavailable) {
+        sum.downtime += iv.duration();
+      } else {
+        sum.stale_time += iv.duration();
+      }
+      sum.max_detect_latency =
+          std::max(sum.max_detect_latency, ai.detect_latency);
+      sum.max_repair_latency =
+          std::max(sum.max_repair_latency, ai.repair_latency);
+    } else {
+      report.unattributed += 1;
+    }
+    report.attributed.push_back(std::move(ai));
+  }
+
+  for (FaultAttributionSummary& sum : per_fault) {
+    if (sum.intervals > 0) report.per_fault.push_back(std::move(sum));
+  }
+  return report;
+}
+
+// --------------------------------------------------------------------------
+// Report rendering
+// --------------------------------------------------------------------------
+
+namespace {
+
+void AppendFaultSummaries(
+    std::ostringstream& os,
+    const std::vector<FaultAttributionSummary>& per_fault) {
+  os << "[";
+  for (size_t i = 0; i < per_fault.size(); ++i) {
+    const FaultAttributionSummary& s = per_fault[i];
+    if (i > 0) os << ",";
+    os << "{\"fault\":\"" << JsonEscape(s.label)
+       << "\",\"intervals\":" << s.intervals
+       << ",\"downtime_us\":" << s.downtime
+       << ",\"stale_time_us\":" << s.stale_time
+       << ",\"max_detect_latency_us\":" << s.max_detect_latency
+       << ",\"max_repair_latency_us\":" << s.max_repair_latency << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string AvailabilityReport::SummaryJson() const {
+  std::ostringstream os;
+  os << "\"read_availability\":" << FormatFraction(read_availability)
+     << ",\"write_availability\":" << FormatFraction(write_availability)
+     << ",\"max_staleness_us\":" << max_staleness
+     << ",\"unavailability_intervals\":" << attributed.size()
+     << ",\"attributed_faults\":";
+  AppendFaultSummaries(os, per_fault);
+  return os.str();
+}
+
+std::string AvailabilityReport::ToJson() const {
+  std::ostringstream os;
+  os << "{" << SummaryJson() << ",\"horizon_us\":" << horizon
+     << ",\"unattributed\":" << unattributed
+     << ",\"node_read_availability\":[";
+  for (size_t n = 0; n < node_read_availability.size(); ++n) {
+    if (n > 0) os << ",";
+    os << FormatFraction(node_read_availability[n]);
+  }
+  os << "],\"node_write_availability\":[";
+  for (size_t n = 0; n < node_write_availability.size(); ++n) {
+    if (n > 0) os << ",";
+    os << FormatFraction(node_write_availability[n]);
+  }
+  os << "],\"intervals\":[";
+  for (size_t i = 0; i < attributed.size(); ++i) {
+    const AttributedInterval& ai = attributed[i];
+    if (i > 0) os << ",";
+    os << "{\"node\":" << ai.interval.node
+       << ",\"fragment\":" << ai.interval.fragment << ",\"access\":\""
+       << AccessKindName(ai.interval.access) << "\",\"state\":\""
+       << ServeStateName(ai.interval.state)
+       << "\",\"start_us\":" << ai.interval.start
+       << ",\"end_us\":" << ai.interval.end << ",\"fault\":";
+    if (ai.fault >= 0) {
+      os << "\"" << JsonEscape(ai.fault_label) << "\"";
+    } else {
+      os << "null";
+    }
+    os << ",\"detect_latency_us\":" << ai.detect_latency
+       << ",\"repair_latency_us\":" << ai.repair_latency << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string AvailabilityReport::Fingerprint() const {
+  std::ostringstream os;
+  os << "ra=" << FormatFraction(read_availability)
+     << ";wa=" << FormatFraction(write_availability)
+     << ";ms=" << max_staleness << ";un=" << unattributed;
+  for (const AttributedInterval& ai : attributed) {
+    os << "\n" << ai.interval.node << "/" << ai.interval.fragment << "/"
+       << AccessKindName(ai.interval.access)[0] << "/"
+       << static_cast<int>(ai.interval.state) << ":" << ai.interval.start
+       << "-" << ai.interval.end << "@" << ai.fault << "+" << ai.detect_latency
+       << "+" << ai.repair_latency;
+  }
+  return os.str();
+}
+
+}  // namespace fragdb

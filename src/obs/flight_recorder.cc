@@ -1,0 +1,61 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+FlightRecorder::FlightRecorder(int nodes, int capacity)
+    : capacity_(capacity), rings_(static_cast<size_t>(nodes) + 1) {
+  FRAGDB_CHECK(capacity > 0);
+}
+
+void FlightRecorder::Record(TraceEvent ev) {
+  NodeId node = ev.node;
+  // Cluster-wide and out-of-range events land in the last ring.
+  if (node < 0 || static_cast<size_t>(node) + 1 >= rings_.size()) {
+    node = kInvalidNode;
+  }
+  Ring& ring = RingFor(node);
+  Slot slot{next_seq_++, std::move(ev)};
+  if (ring.slots.size() < static_cast<size_t>(capacity_)) {
+    ring.slots.push_back(std::move(slot));
+  } else {
+    ring.slots[ring.next] = std::move(slot);
+    ring.full = true;
+  }
+  ring.next = (ring.next + 1) % capacity_;
+}
+
+std::vector<TraceEvent> FlightRecorder::NodeEvents(NodeId node) const {
+  size_t idx = node == kInvalidNode ? rings_.size() - 1
+                                    : static_cast<size_t>(node);
+  std::vector<TraceEvent> out;
+  if (idx >= rings_.size()) return out;
+  const Ring& ring = rings_[idx];
+  size_t n = ring.slots.size();
+  size_t start = ring.full ? ring.next : 0;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring.slots[(start + i) % n].ev);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpJsonl() const {
+  std::vector<const Slot*> all;
+  for (const Ring& ring : rings_) {
+    for (const Slot& slot : ring.slots) all.push_back(&slot);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Slot* a, const Slot* b) { return a->seq < b->seq; });
+  std::string out;
+  for (const Slot* slot : all) {
+    out += TraceEventToJsonLine(slot->ev);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fragdb

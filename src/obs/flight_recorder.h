@@ -1,0 +1,62 @@
+#ifndef FRAGDB_OBS_FLIGHT_RECORDER_H_
+#define FRAGDB_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/trace.h"
+
+namespace fragdb {
+
+/// Bounded per-node rings of recent TraceEvents — the black box pulled out
+/// after a crash. Unlike the Tracer (which keeps everything and is meant
+/// for offline span analysis), the recorder holds only the last
+/// `capacity` events per node plus one ring for cluster-wide events
+/// (partition/heal), so it can stay on in long runs at O(nodes) memory.
+///
+/// Every record gets a global monotonically increasing sequence number, so
+/// DumpJsonl() can interleave the per-node rings back into exact record
+/// order — the dump is deterministic for a deterministic run.
+class FlightRecorder {
+ public:
+  FlightRecorder(int nodes, int capacity);
+
+  void Record(TraceEvent ev);
+
+  int capacity() const { return capacity_; }
+  uint64_t total_recorded() const { return next_seq_; }
+  /// Events currently retained for `node` (kInvalidNode = the cluster-wide
+  /// ring), oldest first.
+  std::vector<TraceEvent> NodeEvents(NodeId node) const;
+
+  /// All retained events merged across rings in record order, one Chrome
+  /// trace_event JSON object per line — the same line format as
+  /// Tracer::ToJsonl, so Tracer::ParseJsonl reads dumps back.
+  std::string DumpJsonl() const;
+
+ private:
+  struct Slot {
+    uint64_t seq = 0;
+    TraceEvent ev;
+  };
+  struct Ring {
+    std::vector<Slot> slots;  // capacity once full
+    size_t next = 0;          // insert position
+    bool full = false;
+  };
+
+  Ring& RingFor(NodeId node) {
+    return rings_[node == kInvalidNode ? rings_.size() - 1
+                                       : static_cast<size_t>(node)];
+  }
+
+  int capacity_;
+  uint64_t next_seq_ = 0;
+  std::vector<Ring> rings_;  // nodes + 1 (cluster-wide last)
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_OBS_FLIGHT_RECORDER_H_

@@ -22,8 +22,27 @@ struct ObservabilityConfig {
   /// Allocate a Tracer recording every structured TraceEvent (independent
   /// of any SetTraceSink callback).
   bool tracing = false;
+  /// Allocate the time-series layer (ClusterTimelines + AvailabilityTracker):
+  /// per-node bucketed series of commits/unavailability/lag plus
+  /// per-(node,fragment) read/write availability state machines. Purely
+  /// push-based — no events are scheduled, so simulation behavior is
+  /// byte-identical with timelines on or off.
+  bool timelines = false;
+  /// Simulated-time width of one timeline bucket.
+  SimTime timeline_bucket_width = Millis(10);
+  /// Replication lag beyond which a replica counts as degraded-stale for
+  /// reads. Default sits above healthy propagation (link latency + a few
+  /// scheduler steps) but below gray-link / repair-path delays.
+  SimTime staleness_threshold = Millis(15);
+  /// Keep a bounded per-node ring of recent trace events, dumpable as
+  /// JSONL when a verify check fails.
+  bool flight_recorder = false;
+  /// Events retained per node ring (and for the cluster-wide ring).
+  int flight_recorder_capacity = 256;
 
-  bool enabled() const { return metrics || tracing; }
+  bool enabled() const {
+    return metrics || tracing || timelines || flight_recorder;
+  }
 };
 
 /// The cluster's built-in instrument panel: every handle pre-resolved at

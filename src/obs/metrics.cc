@@ -76,10 +76,31 @@ int64_t Histogram::Percentile(double p) const {
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen >= rank) {
-      return i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+    uint64_t c = buckets_[i];
+    seen += c;
+    if (seen < rank) continue;
+    // Linear interpolation inside the selected bucket. The bucket's value
+    // range is (lo, hi]; Observe() puts a value exactly equal to bounds_[i]
+    // in bucket i (closed upper bound), so a bucket filled only with its
+    // boundary value must report that boundary exactly — clamping lo/hi to
+    // the recorded min_/max_ achieves that, and makes single-observation
+    // and all-equal histograms exact as well.
+    int64_t lo, hi;
+    if (i < bounds_.size()) {
+      lo = i > 0 ? bounds_[i - 1] : min_;
+      hi = std::min(bounds_[i], max_);
+    } else {
+      lo = bounds_.empty() ? min_ : bounds_.back();
+      hi = max_;
     }
+    lo = std::max(lo, min_);
+    if (hi <= lo) return hi;
+    // rank-th observation is the (rank - (seen - c))-th of this bucket's c;
+    // interpolate so position c (the last) lands exactly on hi.
+    uint64_t pos = rank - (seen - c);
+    return lo + static_cast<int64_t>(
+                    (static_cast<double>(hi - lo) * static_cast<double>(pos)) /
+                    static_cast<double>(c));
   }
   return max_;
 }

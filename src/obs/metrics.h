@@ -60,8 +60,10 @@ class Histogram {
   int64_t min() const { return count_ == 0 ? 0 : min_; }
   int64_t max() const { return count_ == 0 ? 0 : max_; }
   double Mean() const;
-  /// Upper bound of the bucket holding the p-quantile (p in [0,1]); the
-  /// recorded max for the overflow bucket. 0 when empty.
+  /// Estimate of the p-quantile (p in [0,1]): linear interpolation inside
+  /// the bucket holding the p-th observation, with the bucket range clamped
+  /// to the recorded min/max so exact-boundary, all-equal and
+  /// single-observation histograms report exact values. 0 when empty.
   int64_t Percentile(double p) const;
 
   const std::vector<int64_t>& bounds() const { return bounds_; }

@@ -1,0 +1,127 @@
+#include "obs/timeline.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+TimeSeries::TimeSeries(SimTime bucket_width, size_t max_buckets)
+    : width_(bucket_width), max_buckets_(max_buckets) {
+  FRAGDB_CHECK(bucket_width > 0);
+  FRAGDB_CHECK(max_buckets >= 2);
+}
+
+void TimeSeries::Observe(SimTime t, int64_t v) {
+  if (!have_origin_) {
+    // Anchor the origin on a width boundary so bucket edges are stable
+    // regardless of when the first observation lands.
+    origin_ = (t / width_) * width_;
+    if (t < 0 && t % width_ != 0) origin_ -= width_;
+    have_origin_ = true;
+  }
+  SimTime rel = t - origin_;
+  size_t idx = rel < 0 ? 0 : static_cast<size_t>(rel / width_);
+  while (idx >= max_buckets_) {
+    Coalesce();
+    rel = t - origin_;
+    idx = rel < 0 ? 0 : static_cast<size_t>(rel / width_);
+  }
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+  buckets_[idx].Observe(v);
+  total_count_ += 1;
+}
+
+void TimeSeries::Coalesce() {
+  // Double the width and merge adjacent bucket pairs. Origin stays put, so
+  // existing bucket boundaries remain a subset of the new coarser grid.
+  std::vector<TimeBucket> merged((buckets_.size() + 1) / 2);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    merged[i / 2].Merge(buckets_[i]);
+  }
+  buckets_ = std::move(merged);
+  width_ *= 2;
+}
+
+std::string TimeSeries::ToJson() const {
+  std::ostringstream os;
+  os << "{\"bucket_width_us\":" << width_ << ",\"origin_us\":" << origin_
+     << ",\"buckets\":[";
+  bool first = true;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const TimeBucket& b = buckets_[i];
+    if (b.count == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"t\":" << BucketStart(i) << ",\"count\":" << b.count
+       << ",\"sum\":" << b.sum << ",\"min\":" << b.min << ",\"max\":" << b.max
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string TimeSeries::Fingerprint() const {
+  std::ostringstream os;
+  os << "w=" << width_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const TimeBucket& b = buckets_[i];
+    if (b.count == 0) continue;
+    os << ";" << BucketStart(i) << ":" << b.count << "/" << b.sum;
+  }
+  return os.str();
+}
+
+ClusterTimelines::ClusterTimelines(int nodes, SimTime bucket_width) {
+  committed_.reserve(nodes);
+  unavailable_.reserve(nodes);
+  replication_lag_.reserve(nodes);
+  holdback_depth_.reserve(nodes);
+  for (int n = 0; n < nodes; ++n) {
+    committed_.emplace_back(bucket_width);
+    unavailable_.emplace_back(bucket_width);
+    replication_lag_.emplace_back(bucket_width);
+    holdback_depth_.emplace_back(bucket_width);
+  }
+}
+
+namespace {
+
+void AppendSeriesArray(std::ostringstream& os, const char* name,
+                       const std::vector<TimeSeries>& series) {
+  os << "\"" << name << "\":[";
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) os << ",";
+    os << series[i].ToJson();
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string ClusterTimelines::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  AppendSeriesArray(os, "committed", committed_);
+  os << ",";
+  AppendSeriesArray(os, "unavailable", unavailable_);
+  os << ",";
+  AppendSeriesArray(os, "replication_lag_us", replication_lag_);
+  os << ",";
+  AppendSeriesArray(os, "holdback_depth", holdback_depth_);
+  os << "}";
+  return os.str();
+}
+
+std::string ClusterTimelines::Fingerprint() const {
+  std::ostringstream os;
+  for (size_t n = 0; n < committed_.size(); ++n) {
+    os << "n" << n << "{c:" << committed_[n].Fingerprint()
+       << "|u:" << unavailable_[n].Fingerprint()
+       << "|l:" << replication_lag_[n].Fingerprint()
+       << "|h:" << holdback_depth_[n].Fingerprint() << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace fragdb

@@ -1,0 +1,117 @@
+#ifndef FRAGDB_OBS_TIMELINE_H_
+#define FRAGDB_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fragdb {
+
+/// One fixed simulated-time bucket of a TimeSeries.
+struct TimeBucket {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+
+  void Observe(int64_t v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    count += 1;
+    sum += v;
+  }
+
+  void Merge(const TimeBucket& o) {
+    if (o.count == 0) return;
+    if (count == 0) {
+      *this = o;
+      return;
+    }
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+    count += o.count;
+    sum += o.sum;
+  }
+};
+
+/// Windows a stream of (time, value) observations into fixed
+/// simulated-time buckets. The reservoir is bounded: when the number of
+/// live buckets would exceed `max_buckets`, the bucket width doubles and
+/// adjacent pairs coalesce — so arbitrarily long runs keep a full-horizon
+/// timeline at progressively coarser resolution instead of dropping data.
+/// Purely deterministic: the final bucket layout depends only on the
+/// observation stream, never on wall-clock or thread scheduling.
+class TimeSeries {
+ public:
+  explicit TimeSeries(SimTime bucket_width, size_t max_buckets = 4096);
+
+  /// Record value `v` at simulated time `t`. Times may arrive slightly out
+  /// of order (retroactive staleness intervals); buckets before the first
+  /// observation are clamped into bucket 0.
+  void Observe(SimTime t, int64_t v);
+  /// Count-only convenience (event series: commits per bucket, ...).
+  void Mark(SimTime t) { Observe(t, 1); }
+
+  SimTime bucket_width() const { return width_; }
+  SimTime origin() const { return origin_; }
+  size_t bucket_count() const { return buckets_.size(); }
+  const std::vector<TimeBucket>& buckets() const { return buckets_; }
+  /// Start time of bucket i.
+  SimTime BucketStart(size_t i) const {
+    return origin_ + static_cast<SimTime>(i) * width_;
+  }
+  uint64_t total_count() const { return total_count_; }
+
+  /// One JSON object: {"bucket_width_us":..,"origin_us":..,"buckets":[
+  ///   {"t":start,"count":..,"sum":..,"min":..,"max":..}, ...]} with empty
+  /// buckets omitted.
+  std::string ToJson() const;
+  /// Compact deterministic digest for fingerprint tests:
+  /// "w=<width>;t:count/sum;t:count/sum;...".
+  std::string Fingerprint() const;
+
+ private:
+  void Coalesce();
+
+  SimTime width_;
+  size_t max_buckets_;
+  SimTime origin_ = 0;
+  bool have_origin_ = false;
+  std::vector<TimeBucket> buckets_;
+  uint64_t total_count_ = 0;
+};
+
+/// The cluster's built-in per-node timelines, fed push-style from the same
+/// hook sites as ClusterInstruments. All series share one bucket width.
+class ClusterTimelines {
+ public:
+  ClusterTimelines(int nodes, SimTime bucket_width);
+
+  TimeSeries& Committed(NodeId n) { return committed_[n]; }
+  TimeSeries& Unavailable(NodeId n) { return unavailable_[n]; }
+  TimeSeries& ReplicationLag(NodeId n) { return replication_lag_[n]; }
+  TimeSeries& HoldbackDepth(NodeId n) { return holdback_depth_[n]; }
+
+  int nodes() const { return static_cast<int>(committed_.size()); }
+
+  /// {"committed":[<series per node>],"unavailable":[...],...}
+  std::string ToJson() const;
+  /// Deterministic digest over every series (determinism tests).
+  std::string Fingerprint() const;
+
+ private:
+  std::vector<TimeSeries> committed_;
+  std::vector<TimeSeries> unavailable_;
+  std::vector<TimeSeries> replication_lag_;
+  std::vector<TimeSeries> holdback_depth_;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_OBS_TIMELINE_H_

@@ -42,7 +42,9 @@ std::string JsonUnescape(const std::string& s) {
   return out;
 }
 
-std::string EventToJson(const TraceEvent& ev) {
+}  // namespace
+
+std::string TraceEventToJsonLine(const TraceEvent& ev) {
   std::string line = "{\"name\":\"" + JsonEscape(ev.kind) + "\"";
   line += ",\"ph\":\"i\",\"s\":\"p\"";
   line += ",\"ts\":" + std::to_string(ev.at);
@@ -55,6 +57,8 @@ std::string EventToJson(const TraceEvent& ev) {
   line += "}}";
   return line;
 }
+
+namespace {
 
 /// Extracts the value of `"field":` in `line` starting the search at
 /// `from`. Returns npos-marked empty on absence.
@@ -107,7 +111,7 @@ std::vector<TraceEvent> Tracer::TxnSpan(TxnId txn) const {
 std::string Tracer::ToJsonl() const {
   std::string out;
   for (const TraceEvent& ev : events_) {
-    out += EventToJson(ev);
+    out += TraceEventToJsonLine(ev);
     out += "\n";
   }
   return out;
@@ -117,7 +121,7 @@ std::string Tracer::ToChromeJson() const {
   std::string out = "{\"traceEvents\":[";
   for (size_t i = 0; i < events_.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\n" + EventToJson(events_[i]);
+    out += "\n" + TraceEventToJsonLine(events_[i]);
   }
   out += "\n]}";
   return out;

@@ -16,8 +16,9 @@ namespace fragdb {
 struct TraceEvent {
   SimTime at = 0;
   /// "submit", "commit", "decline", "fail", "broadcast", "install",
-  /// "move-start", "move-finish", "recover", "recover-start", "repackage",
-  /// "partition", "heal", "node-up", "node-down".
+  /// "move-start", "move-finish", "recover", "recover-start",
+  /// "catch-up-start", "repackage", "partition", "heal", "node-up",
+  /// "node-down", "drop".
   std::string kind;
   /// Node where the event happened, or kInvalidNode for cluster-wide
   /// events (partition/heal).
@@ -31,6 +32,11 @@ struct TraceEvent {
   /// Residual human-readable context (labels, status text, group layout).
   std::string detail;
 };
+
+/// Renders one event as a Chrome trace_event JSON object (the line format
+/// of Tracer::ToJsonl and of FlightRecorder dumps); parseable back via
+/// Tracer::ParseJsonl.
+std::string TraceEventToJsonLine(const TraceEvent& ev);
 
 /// In-memory recorder of TraceEvents with per-transaction span queries and
 /// JSONL export in Chrome trace_event format (load the file — or the

@@ -119,6 +119,12 @@ void RecoveryManager::SendQueries(NodeId node, Session* session) {
     ++session->stats.peers_queried;
     cluster_->network().Send(node, peer, query);
   }
+  if (cluster_->tracing_active()) {
+    cluster_->Trace("catch-up-start", node, kInvalidFragment, kInvalidTxn, 0,
+                    "N" + std::to_string(node) + " querying " +
+                        std::to_string(session->stats.peers_queried) +
+                        " peers");
+  }
   if (session->expected_replies == 0) {
     session->replies_closed = true;
     return;

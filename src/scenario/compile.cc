@@ -231,6 +231,54 @@ std::vector<std::vector<NodeId>> ExpandGroups(
   return out;
 }
 
+std::vector<FaultWindow> BuildFaultWindows(const Scenario& scenario,
+                                           int node_count) {
+  std::vector<FaultWindow> out;
+  for (const ScenarioOp& op : scenario.ops) {
+    const std::string label = FormatScenarioOp(op);
+    const SimTime end = op.at + op.duration;
+    switch (op.kind) {
+      case ScenarioOpKind::kPartition:
+      case ScenarioOpKind::kLoss:
+        out.push_back({label, op.at, end, {}});
+        break;
+      case ScenarioOpKind::kFlap: {
+        int cycle = 0;
+        for (SimTime start = op.at; start < op.at + op.duration;
+             start += op.period, ++cycle) {
+          out.push_back(
+              {label + " #" + std::to_string(cycle), start, start + op.down,
+               {}});
+        }
+        break;
+      }
+      case ScenarioOpKind::kGrayLink:
+        out.push_back({label, op.at, end, {op.from, op.to}});
+        break;
+      case ScenarioOpKind::kCrash:
+        out.push_back({label, op.at, end, {op.node}});
+        break;
+      case ScenarioOpKind::kRolling:
+        for (NodeId node = 0; node < node_count; ++node) {
+          SimTime start = op.at + static_cast<SimTime>(node) * op.period;
+          out.push_back(
+              {label + " #" + std::to_string(node), start, start + op.down,
+               {node}});
+        }
+        break;
+      case ScenarioOpKind::kLink:
+        out.push_back({label, op.at, end, {op.a, op.b}});
+        break;
+      case ScenarioOpKind::kHeal:
+      case ScenarioOpKind::kZipf:
+      case ScenarioOpKind::kDiurnal:
+      case ScenarioOpKind::kFlash:
+        break;  // not faults: nothing to blame on them
+    }
+  }
+  return out;
+}
+
 Status ApplyScenario(const Scenario& scenario, Cluster& cluster,
                      const ApplyOptions& options, ApplyStats* stats) {
   for (const ScenarioOp& op : scenario.ops) {

@@ -7,8 +7,10 @@
 // state (see scenario/runner.h and LoadProfile).
 
 #include <functional>
+#include <vector>
 
 #include "core/cluster.h"
+#include "obs/availability.h"
 #include "scenario/scenario.h"
 
 namespace fragdb {
@@ -53,6 +55,18 @@ void ApplyOpNow(const ScenarioOp& op, Cluster& cluster,
 /// Expands kRestOfNodes group sentinels against a concrete node count.
 std::vector<std::vector<NodeId>> ExpandGroups(
     const std::vector<std::vector<NodeId>>& groups, int node_count);
+
+/// The attribution view of a scenario: one labelled FaultWindow per fault
+/// action the compiler would fire, in schedule order. Composite ops expand
+/// the same way ScheduleOp does — a kFlap yields one window per down cycle
+/// ("<op> #0", "<op> #1", ...), a kRolling one per bounced node. Crash /
+/// gray / link windows name the nodes they touch; partition and loss
+/// windows are cluster-wide (empty node set). Load-shaping ops and heals
+/// produce nothing. An op with duration 0 yields a zero-length window at
+/// its start instant (attribution's latest-preceding-fault fallback still
+/// finds it).
+std::vector<FaultWindow> BuildFaultWindows(const Scenario& scenario,
+                                           int node_count);
 
 }  // namespace fragdb
 

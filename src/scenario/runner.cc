@@ -178,6 +178,23 @@ ScenarioCellReport ScenarioRunner::Run() {
                        revives_completed_ >= fault_stats_.revives &&
                        (!scenario_.HasAmnesia() || recoveries_ran_ > 0 ||
                         fault_stats_.crashes == 0);
+  CheckReport timeline = CheckReport::Pass();
+  if (AvailabilityTracker* av = c.availability()) {
+    // The horizon is the post-drain instant: deterministic, and every
+    // interval the tracker closed lies inside it.
+    const SimTime horizon = c.Now();
+    av->Finalize(horizon);
+    timeline = CheckAvailabilityIntervals(av->intervals(), horizon);
+    report.timeline_ok = timeline.ok;
+    report.availability = BuildAvailabilityReport(
+        *av, BuildFaultWindows(scenario_, options_.nodes), horizon);
+    report.availability_fingerprint = report.availability.Fingerprint();
+  }
+  if (ClusterTimelines* tl = c.timelines()) {
+    report.timeline_fingerprint = tl->Fingerprint();
+  }
+  report.forced_failure = options_.force_verify_failure;
+
   if (!fifo.ok) {
     report.failure_detail = "fifo: " + fifo.detail;
   } else if (!audit.configured_property.ok) {
@@ -186,6 +203,16 @@ ScenarioCellReport ScenarioRunner::Run() {
     report.failure_detail = "consistency: " + audit.replica_consistency.detail;
   } else if (!report.recovery_ok) {
     report.failure_detail = "recovery: a compiled crash window failed";
+  } else if (!timeline.ok) {
+    report.failure_detail = "timeline: " + timeline.detail;
+  } else if (report.forced_failure) {
+    report.failure_detail = "forced: verify failure injected by options";
+  }
+
+  if (!report.ok()) {
+    if (FlightRecorder* fr = c.flight_recorder()) {
+      report.flight_dump = fr->DumpJsonl();
+    }
   }
 
   if (options_.observability.metrics) {

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "core/audit.h"
 #include "core/cluster.h"
+#include "obs/availability.h"
 #include "scenario/compile.h"
 #include "scenario/scenario.h"
 #include "verify/checkers.h"
@@ -42,7 +43,14 @@ struct ScenarioRunOptions {
   SimTime gap_repair_interval = 0;
   /// Forwarded to ClusterConfig::observability (off by default). With
   /// metrics on, the report carries a snapshot relabeled by scenario name.
+  /// With timelines on, it carries the availability report and timeline
+  /// fingerprints; with flight_recorder on, a failing cell dumps the
+  /// recorder into the report.
   ObservabilityConfig observability;
+  /// Marks the cell failed after all real checks pass — exercises the
+  /// failure path end-to-end (flight-recorder dump, CI artifact plumbing)
+  /// without needing an actual bug.
+  bool force_verify_failure = false;
 };
 
 /// Everything a grid cell reports. `ok()` is the gate CI greps for.
@@ -56,6 +64,8 @@ struct ScenarioCellReport {
   bool fragmentwise_ok = true; // Properties 1+2 (always, extra signal)
   bool consistent_ok = true;   // mutual consistency at quiescence
   bool recovery_ok = true;     // every compiled revive ran to completion
+  bool timeline_ok = true;     // availability intervals structurally sound
+  bool forced_failure = false; // options.force_verify_failure fired
   std::string failure_detail;  // first failing checker's message
 
   uint64_t fifo_deliveries = 0;
@@ -66,8 +76,20 @@ struct ScenarioCellReport {
   /// Per-scenario-labeled metrics (empty unless observability.metrics).
   MetricsSnapshot metrics_snapshot;
 
+  /// Blame report joining non-serving intervals to the scenario's fault
+  /// schedule (meaningful only with observability.timelines).
+  AvailabilityReport availability;
+  /// Deterministic digests, pinned by the determinism tests (empty unless
+  /// observability.timelines).
+  std::string timeline_fingerprint;
+  std::string availability_fingerprint;
+  /// Flight-recorder JSONL (Chrome trace_event lines), captured
+  /// automatically when the cell fails and the recorder was on.
+  std::string flight_dump;
+
   bool ok() const {
-    return fifo_ok && property_ok && consistent_ok && recovery_ok;
+    return fifo_ok && property_ok && consistent_ok && recovery_ok &&
+           timeline_ok && !forced_failure;
   }
 };
 

@@ -455,67 +455,72 @@ Result<Scenario> ParseScenario(const std::string& text) {
   return scenario;
 }
 
+std::string FormatScenarioOp(const ScenarioOp& op) {
+  std::ostringstream os;
+  switch (op.kind) {
+    case ScenarioOpKind::kPartition:
+      os << "partition at=" << FormatDuration(op.at)
+         << " for=" << FormatDuration(op.duration)
+         << " groups=" << FormatGroups(op.groups);
+      break;
+    case ScenarioOpKind::kHeal:
+      os << "heal at=" << FormatDuration(op.at);
+      break;
+    case ScenarioOpKind::kFlap:
+      os << "flap at=" << FormatDuration(op.at)
+         << " for=" << FormatDuration(op.duration)
+         << " period=" << FormatDuration(op.period)
+         << " down=" << FormatDuration(op.down)
+         << " groups=" << FormatGroups(op.groups);
+      break;
+    case ScenarioOpKind::kGrayLink:
+      os << "gray at=" << FormatDuration(op.at)
+         << " for=" << FormatDuration(op.duration) << " from=" << op.from
+         << " to=" << op.to << " extra=" << FormatDuration(op.extra);
+      break;
+    case ScenarioOpKind::kLoss:
+      os << "loss at=" << FormatDuration(op.at)
+         << " for=" << FormatDuration(op.duration)
+         << " p=" << FormatDouble(op.probability);
+      break;
+    case ScenarioOpKind::kCrash:
+      os << "crash at=" << FormatDuration(op.at)
+         << " for=" << FormatDuration(op.duration) << " node=" << op.node
+         << " mode=" << (op.amnesia ? "amnesia" : "stop");
+      if (op.wipe_disk) os << " wipe=true";
+      break;
+    case ScenarioOpKind::kRolling:
+      os << "rolling at=" << FormatDuration(op.at)
+         << " every=" << FormatDuration(op.period)
+         << " down=" << FormatDuration(op.down)
+         << " mode=" << (op.amnesia ? "amnesia" : "stop");
+      break;
+    case ScenarioOpKind::kLink:
+      os << "link at=" << FormatDuration(op.at)
+         << " for=" << FormatDuration(op.duration) << " a=" << op.a
+         << " b=" << op.b;
+      break;
+    case ScenarioOpKind::kZipf:
+      os << "zipf theta=" << FormatDouble(op.theta);
+      break;
+    case ScenarioOpKind::kDiurnal:
+      os << "diurnal period=" << FormatDuration(op.period)
+         << " amp=" << FormatDouble(op.amplitude);
+      break;
+    case ScenarioOpKind::kFlash:
+      os << "flash at=" << FormatDuration(op.at)
+         << " for=" << FormatDuration(op.duration)
+         << " x=" << FormatDouble(op.multiplier);
+      break;
+  }
+  return os.str();
+}
+
 std::string FormatScenario(const Scenario& scenario) {
   std::ostringstream os;
   if (!scenario.name.empty()) os << "scenario " << scenario.name << "\n";
   for (const ScenarioOp& op : scenario.ops) {
-    switch (op.kind) {
-      case ScenarioOpKind::kPartition:
-        os << "partition at=" << FormatDuration(op.at)
-           << " for=" << FormatDuration(op.duration)
-           << " groups=" << FormatGroups(op.groups);
-        break;
-      case ScenarioOpKind::kHeal:
-        os << "heal at=" << FormatDuration(op.at);
-        break;
-      case ScenarioOpKind::kFlap:
-        os << "flap at=" << FormatDuration(op.at)
-           << " for=" << FormatDuration(op.duration)
-           << " period=" << FormatDuration(op.period)
-           << " down=" << FormatDuration(op.down)
-           << " groups=" << FormatGroups(op.groups);
-        break;
-      case ScenarioOpKind::kGrayLink:
-        os << "gray at=" << FormatDuration(op.at)
-           << " for=" << FormatDuration(op.duration) << " from=" << op.from
-           << " to=" << op.to << " extra=" << FormatDuration(op.extra);
-        break;
-      case ScenarioOpKind::kLoss:
-        os << "loss at=" << FormatDuration(op.at)
-           << " for=" << FormatDuration(op.duration)
-           << " p=" << FormatDouble(op.probability);
-        break;
-      case ScenarioOpKind::kCrash:
-        os << "crash at=" << FormatDuration(op.at)
-           << " for=" << FormatDuration(op.duration) << " node=" << op.node
-           << " mode=" << (op.amnesia ? "amnesia" : "stop");
-        if (op.wipe_disk) os << " wipe=true";
-        break;
-      case ScenarioOpKind::kRolling:
-        os << "rolling at=" << FormatDuration(op.at)
-           << " every=" << FormatDuration(op.period)
-           << " down=" << FormatDuration(op.down)
-           << " mode=" << (op.amnesia ? "amnesia" : "stop");
-        break;
-      case ScenarioOpKind::kLink:
-        os << "link at=" << FormatDuration(op.at)
-           << " for=" << FormatDuration(op.duration) << " a=" << op.a
-           << " b=" << op.b;
-        break;
-      case ScenarioOpKind::kZipf:
-        os << "zipf theta=" << FormatDouble(op.theta);
-        break;
-      case ScenarioOpKind::kDiurnal:
-        os << "diurnal period=" << FormatDuration(op.period)
-           << " amp=" << FormatDouble(op.amplitude);
-        break;
-      case ScenarioOpKind::kFlash:
-        os << "flash at=" << FormatDuration(op.at)
-           << " for=" << FormatDuration(op.duration)
-           << " x=" << FormatDouble(op.multiplier);
-        break;
-    }
-    os << "\n";
+    os << FormatScenarioOp(op) << "\n";
   }
   return os.str();
 }

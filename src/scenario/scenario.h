@@ -117,6 +117,11 @@ Result<Scenario> ParseScenario(const std::string& text);
 /// identical scenario (the round-trip is tested).
 std::string FormatScenario(const Scenario& scenario);
 
+/// One op in the same canonical directive syntax, without a trailing
+/// newline — the labels the availability attribution engine blames
+/// downtime on.
+std::string FormatScenarioOp(const ScenarioOp& op);
+
 /// The load-shaping view of a scenario: the arrival-rate curve and object
 /// skew the runner applies while the fault ops play out.
 class LoadProfile {

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 namespace fragdb {
 
@@ -216,6 +217,47 @@ CheckReport FifoOrderChecker::Report() const {
   os << violations_ << " of " << observed_
      << " deliveries out of FIFO order; first: " << first_violation_;
   return CheckReport::Fail(os.str());
+}
+
+CheckReport CheckAvailabilityIntervals(
+    const std::vector<AvailabilityInterval>& intervals, SimTime horizon) {
+  auto cell = [](const AvailabilityInterval& iv) {
+    return std::make_tuple(iv.node, iv.fragment, static_cast<int>(iv.access));
+  };
+  auto describe = [](const AvailabilityInterval& iv) {
+    std::ostringstream os;
+    os << "N" << iv.node << "/F" << iv.fragment << "/"
+       << AccessKindName(iv.access) << " [" << iv.start << "," << iv.end
+       << ")us " << ServeStateName(iv.state);
+    return os.str();
+  };
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const AvailabilityInterval& iv = intervals[i];
+    if (iv.start >= iv.end) {
+      return CheckReport::Fail("empty availability interval: " + describe(iv));
+    }
+    if (iv.start < 0 || iv.end > horizon) {
+      return CheckReport::Fail("availability interval outside [0," +
+                               std::to_string(horizon) +
+                               "]us: " + describe(iv));
+    }
+    if (iv.state == ServeState::kServing) {
+      return CheckReport::Fail("serving-state interval recorded: " +
+                               describe(iv));
+    }
+    if (i == 0) continue;
+    const AvailabilityInterval& prev = intervals[i - 1];
+    if (cell(prev) > cell(iv) ||
+        (cell(prev) == cell(iv) && prev.start > iv.start)) {
+      return CheckReport::Fail("availability intervals out of order: " +
+                               describe(prev) + " before " + describe(iv));
+    }
+    if (cell(prev) == cell(iv) && prev.end > iv.start) {
+      return CheckReport::Fail("overlapping availability intervals: " +
+                               describe(prev) + " and " + describe(iv));
+    }
+  }
+  return CheckReport::Pass();
 }
 
 CheckReport CheckPredicateNeverViolated(const History& history,

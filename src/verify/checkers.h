@@ -10,6 +10,7 @@
 
 #include "common/types.h"
 #include "net/message.h"
+#include "obs/availability.h"
 #include "storage/catalog.h"
 #include "storage/object_store.h"
 #include "verify/history.h"
@@ -111,6 +112,15 @@ PredicateTimeline TracePredicate(const History& history,
                                  const Catalog& catalog,
                                  const ConsistencyPredicate& predicate,
                                  NodeId node);
+
+/// Structural soundness of a finalized AvailabilityTracker's interval
+/// list: sorted by (node, fragment, access, start), every interval
+/// non-empty and inside [0, horizon], and no two intervals of the same
+/// (node, fragment, access) cell overlapping. A violation means the
+/// tracker's state machine double-opened or mis-closed a window — a bug in
+/// the observability layer itself, not in the database.
+CheckReport CheckAvailabilityIntervals(
+    const std::vector<AvailabilityInterval>& intervals, SimTime horizon);
 
 /// §4.3's consequence, checked over a whole run: a single-fragment
 /// predicate that every update transaction preserves must hold at every

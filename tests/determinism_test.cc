@@ -100,8 +100,9 @@ struct ScenarioCell {
 };
 
 /// Everything observable about one cell, rendered to a comparable string:
-/// workload counters, network totals, invariant verdicts, and the full
-/// metrics exposition (bit-identical or bust).
+/// workload counters, network totals, invariant verdicts, the full metrics
+/// exposition, and the timeline/availability digests (bit-identical or
+/// bust).
 std::string RunCellFingerprint(const ScenarioCell& cell) {
   Result<Scenario> scenario = NamedScenario(cell.scenario);
   EXPECT_TRUE(scenario.ok());
@@ -109,6 +110,7 @@ std::string RunCellFingerprint(const ScenarioCell& cell) {
   opt.seed = cell.seed;
   opt.control = cell.control;
   opt.observability.metrics = true;
+  opt.observability.timelines = true;
   ScenarioRunner runner(*scenario, opt);
   EXPECT_TRUE(runner.Start().ok());
   ScenarioCellReport r = runner.Run();
@@ -124,6 +126,8 @@ std::string RunCellFingerprint(const ScenarioCell& cell) {
         std::to_string(r.revives_completed) + "|" + (r.ok() ? "ok" : "FAIL") +
         "\n";
   fp += r.metrics_snapshot.ToText();
+  fp += "timeline:" + r.timeline_fingerprint + "\n";
+  fp += "availability:" + r.availability_fingerprint + "\n";
   return fp;
 }
 

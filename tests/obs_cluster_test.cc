@@ -31,6 +31,10 @@ class ObsBankingTest : public ::testing::Test {
     opt.initial_balance = 300;
     opt.observability.metrics = true;
     opt.observability.tracing = true;
+    // Large enough that no ring wraps in this short run: the flight dump
+    // must then be byte-identical to the full trace export.
+    opt.observability.flight_recorder = true;
+    opt.observability.flight_recorder_capacity = 4096;
     bank_ = std::make_unique<BankingWorkload>(opt);
     ASSERT_TRUE(bank_->Start().ok());
     Cluster& cluster = bank_->cluster();
@@ -128,6 +132,24 @@ TEST_F(ObsBankingTest, SpanChainReconstructsFromJsonl) {
     if (c.submits == 1 && c.commits == 1 && c.installs == 2) full_chains += 1;
   }
   EXPECT_GT(full_chains, 0);
+}
+
+TEST_F(ObsBankingTest, FlightDumpMatchesTracerWhenNothingWrapped) {
+  // Same hook sites feed both sinks; with capacity exceeding the event
+  // count, the seq-merged dump reproduces the tracer's JSONL byte for
+  // byte — so every span-chain property proven for the trace export holds
+  // for flight-recorder dumps too.
+  FlightRecorder* fr = bank_->cluster().flight_recorder();
+  Tracer* tracer = bank_->cluster().tracer();
+  ASSERT_NE(fr, nullptr);
+  ASSERT_NE(tracer, nullptr);
+  ASSERT_LE(tracer->events().size(), static_cast<size_t>(fr->capacity()));
+  EXPECT_EQ(fr->total_recorded(), tracer->events().size());
+  EXPECT_EQ(fr->DumpJsonl(), tracer->ToJsonl());
+
+  Result<std::vector<TraceEvent>> parsed = Tracer::ParseJsonl(fr->DumpJsonl());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), tracer->events().size());
 }
 
 TEST_F(ObsBankingTest, AuditAgreesWithTheMetrics) {

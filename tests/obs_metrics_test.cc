@@ -23,16 +23,53 @@ TEST(HistogramTest, ObserveAndStats) {
   EXPECT_EQ(h.buckets()[3], 1u);
 }
 
-TEST(HistogramTest, PercentileIsBucketUpperBound) {
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
   Histogram h(std::vector<int64_t>{10, 20, 40});
   for (int i = 0; i < 98; ++i) h.Observe(7);
   h.Observe(15);
   h.Observe(1000);
-  EXPECT_EQ(h.Percentile(0.5), 10);
+  // p50 is the 50th of 98 observations in (min=7, 10]: interpolated, not
+  // snapped to the bucket's upper bound.
+  EXPECT_EQ(h.Percentile(0.5), 8);
+  // p99 is the last observation of bucket (10, 20]: exactly the bound.
   EXPECT_EQ(h.Percentile(0.99), 20);
-  // Overflow bucket reports the recorded max.
+  // Overflow bucket interpolates (bounds.back(), max]; its last
+  // observation reports the recorded max.
   EXPECT_EQ(h.Percentile(1.0), 1000);
   EXPECT_EQ(Histogram(std::vector<int64_t>{10}).Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, PercentileExactAtBucketBoundaries) {
+  // Every value sits exactly on a bucket's closed upper bound: any
+  // percentile must report that boundary, never an interpolated value
+  // below it.
+  Histogram h(std::vector<int64_t>{10, 20});
+  for (int i = 0; i < 5; ++i) h.Observe(10);
+  EXPECT_EQ(h.Percentile(0.01), 10);
+  EXPECT_EQ(h.Percentile(0.5), 10);
+  EXPECT_EQ(h.Percentile(1.0), 10);
+
+  // Mixed: boundary value plus one below it in the same bucket.
+  Histogram m(std::vector<int64_t>{10});
+  m.Observe(5);
+  m.Observe(10);
+  EXPECT_EQ(m.Percentile(0.5), 7);   // midpoint of (5, 10], rank 1 of 2
+  EXPECT_EQ(m.Percentile(1.0), 10);  // last observation = the boundary
+}
+
+TEST(HistogramTest, PercentileSingleObservationIsExact) {
+  Histogram h(std::vector<int64_t>{10, 20});
+  h.Observe(17);
+  EXPECT_EQ(h.Percentile(0.0), 17);
+  EXPECT_EQ(h.Percentile(0.5), 17);
+  EXPECT_EQ(h.Percentile(1.0), 17);
+}
+
+TEST(HistogramTest, PercentileInterpolatesUniformFill) {
+  Histogram h(std::vector<int64_t>{100});
+  for (int v = 1; v <= 100; ++v) h.Observe(v);
+  EXPECT_EQ(h.Percentile(0.5), 50);
+  EXPECT_EQ(h.Percentile(1.0), 100);
 }
 
 TEST(HistogramTest, MergeAddsBucketwise) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/compile.h"
 #include "scenario/library.h"
 #include "scenario/runner.h"
@@ -307,6 +308,62 @@ TEST(ScenarioRunnerTest, AmnesiaScenarioRunsTheRecoveryPipeline) {
   EXPECT_EQ(report.faults.crashes, 1);
   EXPECT_GE(report.revives_completed, 1);
   EXPECT_GE(report.recoveries_ran, 1);  // the durable-recovery path ran
+}
+
+TEST(ScenarioRunnerTest, TimelinesAttributeFaultDowntimeToScenarioOps) {
+  Result<Scenario> scenario = NamedScenario("amnesia_crash");
+  ASSERT_TRUE(scenario.ok());
+  ScenarioRunOptions opt;
+  opt.observability.timelines = true;
+  ScenarioRunner runner(*scenario, opt);
+  ASSERT_TRUE(runner.Start().ok());
+  ScenarioCellReport report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.failure_detail;
+  EXPECT_TRUE(report.timeline_ok);
+
+  // The crash must show up as real downtime: write availability dips below
+  // 100%, the tracker emits intervals, and attribution blames every one of
+  // them on the scenario's crash op (no fault-free intervals here).
+  const AvailabilityReport& av = report.availability;
+  EXPECT_LT(av.write_availability, 1.0);
+  EXPECT_GT(av.horizon, 0);
+  ASSERT_FALSE(av.attributed.empty());
+  EXPECT_EQ(av.unattributed, 0);
+  ASSERT_FALSE(av.per_fault.empty());
+  bool crash_blamed = false;
+  for (const FaultAttributionSummary& f : av.per_fault) {
+    if (f.label.rfind("crash", 0) == 0 && f.downtime > 0) crash_blamed = true;
+  }
+  EXPECT_TRUE(crash_blamed);
+
+  // Digests are present for the determinism suite to pin.
+  EXPECT_FALSE(report.timeline_fingerprint.empty());
+  EXPECT_FALSE(report.availability_fingerprint.empty());
+  // A passing cell never carries a flight dump.
+  EXPECT_TRUE(report.flight_dump.empty());
+}
+
+TEST(ScenarioRunnerTest, ForcedFailureDumpsTheFlightRecorder) {
+  Result<Scenario> scenario = NamedScenario("baseline");
+  ASSERT_TRUE(scenario.ok());
+  ScenarioRunOptions opt;
+  opt.duration = Millis(200);
+  opt.observability.flight_recorder = true;
+  opt.force_verify_failure = true;
+  ScenarioRunner runner(*scenario, opt);
+  ASSERT_TRUE(runner.Start().ok());
+  ScenarioCellReport report = runner.Run();
+  // All real checks pass; only the injected flag fails the cell — and that
+  // is enough to trigger the automatic dump.
+  EXPECT_TRUE(report.fifo_ok && report.consistent_ok && report.recovery_ok);
+  EXPECT_TRUE(report.forced_failure);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.failure_detail.find("forced"), std::string::npos);
+  ASSERT_FALSE(report.flight_dump.empty());
+  Result<std::vector<TraceEvent>> parsed =
+      Tracer::ParseJsonl(report.flight_dump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->empty());
 }
 
 }  // namespace
