@@ -23,7 +23,6 @@
 #include <vector>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "scenario/library.h"
 #include "scenario/runner.h"
 

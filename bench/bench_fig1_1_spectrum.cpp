@@ -17,7 +17,6 @@
 #include "baselines/log_transform.h"
 #include "baselines/mutual_exclusion.h"
 #include "baselines/optimistic.h"
-#include "bench_util.h"
 #include "common/rng.h"
 #include "verify/checkers.h"
 #include "workload/synthetic.h"

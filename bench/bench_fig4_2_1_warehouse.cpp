@@ -13,7 +13,6 @@
 #include <cstdlib>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "common/rng.h"
 #include "verify/checkers.h"
 #include "workload/warehouse.h"

@@ -15,7 +15,6 @@
 #include <memory>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "core/cluster.h"
 #include "scenario/compile.h"
 #include "scenario/library.h"

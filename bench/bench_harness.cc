@@ -11,6 +11,16 @@
 namespace fragdb_bench {
 namespace {
 
+int ParseNonNegativeInt(const char* flag, const char* value) {
+  char* end = nullptr;
+  long t = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || t < 0) {
+    std::fprintf(stderr, "bad %s value: %s\n", flag, value);
+    std::exit(2);
+  }
+  return static_cast<int>(t);
+}
+
 std::vector<uint64_t> ParseSeedList(const char* value) {
   std::vector<uint64_t> seeds;
   if (!fragdb::cli::ParseUint64List(value, &seeds)) {
@@ -41,13 +51,15 @@ BenchOptions ParseBenchOptions(int* argc, char** argv) {
     const char* arg = argv[i];
     const char* value = nullptr;
     if (fragdb::cli::FlagValue(arg, "--threads", &value)) {
-      char* end = nullptr;
-      long t = std::strtol(value, &end, 10);
-      if (end == value || *end != '\0' || t < 0) {
-        std::fprintf(stderr, "bad --threads value: %s\n", value);
-        std::exit(2);
-      }
-      opts.threads = static_cast<int>(t);
+      opts.threads = ParseNonNegativeInt("--threads", value);
+      continue;
+    }
+    if (fragdb::cli::FlagValue(arg, "--sim_threads", &value)) {
+      opts.sim_threads = ParseNonNegativeInt("--sim_threads", value);
+      continue;
+    }
+    if (fragdb::cli::FlagValue(arg, "--sim_partitions", &value)) {
+      opts.sim_partitions = ParseNonNegativeInt("--sim_partitions", value);
       continue;
     }
     if (fragdb::cli::FlagValue(arg, "--seeds", &value)) {

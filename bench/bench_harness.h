@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
@@ -21,12 +22,17 @@ namespace fragdb_bench {
 
 /// Shared CLI options for the bench drivers. All drivers accept
 /// `--threads=N` (worker threads for the harness; 0 = hardware
-/// concurrency) and `--seeds=a,b,c` (comma-separated RNG seeds; each
-/// bench defines its own default). Unrecognised `--key=value` flags are
+/// concurrency), `--seeds=a,b,c` (comma-separated RNG seeds; each bench
+/// defines its own default), `--sim_threads=N` (worker threads *inside*
+/// one simulation, for drivers built on the PDES scheduler; 0 = hardware
+/// concurrency) and `--sim_partitions=N` (partition count for the PDES
+/// plan; 0 = the driver's default). Unrecognised `--key=value` flags are
 /// collected in `extra` for driver-specific handling; anything else is
 /// left in place for downstream parsers (e.g. google-benchmark).
 struct BenchOptions {
   int threads = 1;
+  int sim_threads = 1;
+  int sim_partitions = 0;
   std::vector<uint64_t> seeds;
   std::vector<std::pair<std::string, std::string>> extra;
 
@@ -82,6 +88,42 @@ std::vector<Out> RunIndexed(const std::vector<In>& inputs,
   RunJobs(jobs, threads);
   return results;
 }
+
+// --- Table formatting -----------------------------------------------------
+// Fixed-width text-table helpers shared by the experiment binaries
+// (formerly bench_util.h, folded in here since every driver already
+// depends on the harness).
+
+/// Prints a fixed-width row: columns are padded to `widths`.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", w, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(const std::vector<int>& widths) {
+  int total = 0;
+  for (int w : widths) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+inline std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+inline std::string Num(double v, int decimals = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string Int(long long v) { return std::to_string(v); }
 
 }  // namespace fragdb_bench
 

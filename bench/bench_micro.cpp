@@ -8,7 +8,6 @@
 #include <vector>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "cc/lock_manager.h"
 #include "common/rng.h"
 #include "core/cluster.h"

@@ -18,7 +18,6 @@
 #include <vector>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "workload/synthetic.h"
 
 using namespace fragdb;

@@ -11,7 +11,6 @@
 
 #include "baselines/log_transform.h"
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "verify/checkers.h"
 #include "workload/synthetic.h"
 

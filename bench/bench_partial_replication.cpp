@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "common/rng.h"
 #include "core/cluster.h"
 #include "verify/checkers.h"

@@ -17,7 +17,6 @@
 #include <cstdlib>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "core/cluster.h"
 #include "scenario/compile.h"
 #include "scenario/library.h"

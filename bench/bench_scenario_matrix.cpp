@@ -33,7 +33,6 @@
 #include <vector>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "common/cli.h"
 #include "scenario/library.h"
 #include "scenario/runner.h"

@@ -18,7 +18,6 @@
 #include "baselines/mutual_exclusion.h"
 #include "baselines/optimistic.h"
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "verify/checkers.h"
 #include "workload/banking.h"
 #include "workload/metrics.h"

@@ -16,7 +16,6 @@
 #include <cstdlib>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "verify/checkers.h"
 #include "workload/banking.h"
 

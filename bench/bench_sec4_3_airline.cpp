@@ -14,7 +14,6 @@
 #include <cstdlib>
 
 #include "bench_harness.h"
-#include "bench_util.h"
 #include "common/rng.h"
 #include "verify/checkers.h"
 #include "workload/airline.h"

@@ -1,0 +1,226 @@
+#include "core/sharded_cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+ShardedCluster::ShardedCluster(ShardedClusterOptions options,
+                               ChannelTable channels)
+    : options_(options), channels_(std::move(channels)) {
+  FRAGDB_CHECK(options_.nodes > 0);
+  FRAGDB_CHECK(channels_.node_count() == options_.nodes);
+  FRAGDB_CHECK(options_.replication >= 0 &&
+               options_.replication <= options_.nodes);
+  options_.workload.nodes = options_.nodes;
+
+  int partitions = options_.partitions > 0
+                       ? options_.partitions
+                       : std::min(options_.nodes, 16);
+  PartitionPlan plan = PartitionPlan::Contiguous(options_.nodes, partitions);
+
+  shards_.resize(static_cast<size_t>(options_.nodes));
+  for (NodeId node = 0; node < options_.nodes; ++node) {
+    Shard& shard = shards_[node];
+    shard.source = std::make_unique<OpSource>(options_.workload, node);
+    shard.value.assign(static_cast<size_t>(options_.nodes), 0);
+    shard.seq.assign(static_cast<size_t>(options_.nodes), 0);
+  }
+
+  PdesScheduler::Options sched_options;
+  sched_options.threads = options_.sim_threads;
+  sched_options.max_window = options_.max_window;
+  // The table is frozen for the run, so the lookahead is exact: no
+  // message between partitions can arrive faster than the fastest
+  // cross-partition channel.
+  scheduler_ = std::make_unique<PdesScheduler>(
+      std::move(plan),
+      [this](const PartitionPlan& p) {
+        return channels_.MinCrossPartitionLatency(p.owners());
+      },
+      sched_options);
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+const PartitionPlan& ShardedCluster::plan() const {
+  return scheduler_->plan();
+}
+
+bool ShardedCluster::Replicates(NodeId node, FragmentId frag) const {
+  if (options_.replication == 0) return true;
+  int n = options_.nodes;
+  return (node - frag + n) % n < options_.replication;
+}
+
+void ShardedCluster::ForEachPeerReplica(
+    FragmentId frag, const std::function<void(NodeId)>& fn) const {
+  int n = options_.nodes;
+  if (options_.replication == 0) {
+    for (NodeId node = 0; node < n; ++node) {
+      if (node != frag) fn(node);
+    }
+    return;
+  }
+  for (int i = 1; i < options_.replication; ++i) {
+    fn(static_cast<NodeId>((frag + i) % n));
+  }
+}
+
+void ShardedCluster::ChainNextOp(NodeId node) {
+  GeneratedOp op;
+  if (!shards_[node].source->Next(&op)) return;
+  // Each arrival schedules the next: the queue holds one pending op per
+  // node instead of the whole stream, so 10M-op runs stay flat on memory
+  // and generation runs inside the partition workers.
+  scheduler_->ScheduleAt(node, op.at, [this, node, op] {
+    HandleOp(node, op, op.at);
+    ChainNextOp(node);
+  });
+}
+
+void ShardedCluster::HandleOp(NodeId node, const GeneratedOp& op,
+                              SimTime now) {
+  Shard& shard = shards_[node];
+  if (!shard.up) {
+    shard.deferred_ops.push_back(op);
+    ++shard.deferred;
+    return;
+  }
+  CommitOp(node, op, now);
+}
+
+void ShardedCluster::CommitOp(NodeId node, const GeneratedOp& op,
+                              SimTime now) {
+  Shard& shard = shards_[node];
+  FragmentId frag = node;  // ops commit against the home fragment
+  SeqNum seq = ++shard.seq[frag];
+  shard.value[frag] += op.delta;
+  ++shard.ops;
+  shard.op_hash = FoldOp(shard.op_hash, op);
+  shard.op_hash = FoldU64(shard.op_hash, static_cast<uint64_t>(now));
+
+  Install install{node, seq, shard.value[frag], now};
+  ForEachPeerReplica(frag, [&](NodeId peer) {
+    SimTime latency = channels_.Latency(node, peer);
+    if (latency == kSimTimeMax) return;  // severed channel: install lost
+    SimTime arrival = now + latency;
+    scheduler_->Post(node, peer, arrival, [this, peer, install, arrival] {
+      HandleInstall(peer, install, arrival);
+    });
+    ++shard.sends;
+  });
+}
+
+void ShardedCluster::HandleInstall(NodeId node, const Install& install,
+                                   SimTime arrival) {
+  Shard& shard = shards_[node];
+  if (!shard.up) {
+    shard.deferred_installs.push_back(install);
+    ++shard.deferred;
+    return;
+  }
+  ApplyInstall(node, install, arrival);
+}
+
+void ShardedCluster::ApplyInstall(NodeId node, const Install& install,
+                                  SimTime applied_at) {
+  Shard& shard = shards_[node];
+  // Channels are FIFO and the merge phase delivers a home's installs in
+  // send order, so sequence numbers arrive contiguously per fragment.
+  FRAGDB_CHECK(install.seq == shard.seq[install.from] + 1);
+  shard.seq[install.from] = install.seq;
+  shard.value[install.from] = install.value;
+  ++shard.installs;
+  SimTime lag = applied_at - install.sent_at;
+  shard.lag_sum += lag;
+  shard.lag_max = std::max(shard.lag_max, lag);
+}
+
+void ShardedCluster::ScheduleCrash(NodeId node, SimTime crash_at,
+                                   SimTime revive_at,
+                                   bool reshuffle_on_revive) {
+  FRAGDB_CHECK(!ran_);
+  FRAGDB_CHECK(node >= 0 && node < options_.nodes);
+  FRAGDB_CHECK(crash_at < revive_at);
+  scheduler_->ScheduleAt(node, crash_at,
+                         [this, node] { shards_[node].up = false; });
+  // Setup-scheduled events carry the smallest per-node sequence numbers,
+  // so the revive fires before any op or install at the same instant —
+  // the backlog replays first, then same-time traffic applies normally.
+  scheduler_->ScheduleAt(
+      node, revive_at, [this, node, revive_at, reshuffle_on_revive] {
+        Shard& shard = shards_[node];
+        shard.up = true;
+        std::vector<Install> installs;
+        installs.swap(shard.deferred_installs);
+        for (const Install& install : installs) {
+          ApplyInstall(node, install, revive_at);
+        }
+        std::vector<GeneratedOp> ops;
+        ops.swap(shard.deferred_ops);
+        for (const GeneratedOp& op : ops) {
+          CommitOp(node, op, revive_at);
+        }
+        if (reshuffle_on_revive) {
+          const PartitionPlan& plan = scheduler_->plan();
+          scheduler_->RequestReassign(
+              node, (plan.PartitionOf(node) + 1) % plan.partition_count());
+        }
+      });
+}
+
+void ShardedCluster::ScheduleReassign(SimTime at, NodeId node,
+                                      int partition) {
+  FRAGDB_CHECK(!ran_);
+  scheduler_->ScheduleAt(node, at, [this, node, partition] {
+    scheduler_->RequestReassign(node, partition);
+  });
+}
+
+ShardedReport ShardedCluster::Run() {
+  FRAGDB_CHECK(!ran_);
+  ran_ = true;
+  for (NodeId node = 0; node < options_.nodes; ++node) {
+    ChainNextOp(node);
+  }
+  scheduler_->RunToQuiescence();
+
+  ShardedReport report;
+  report.end_time = scheduler_->Now();
+  report.sched = scheduler_->stats();
+  report.consistent = true;
+  uint64_t hash = kOpHashSeed;
+  for (NodeId node = 0; node < options_.nodes; ++node) {
+    const Shard& shard = shards_[node];
+    report.ops += shard.ops;
+    report.installs += shard.installs;
+    report.sends += shard.sends;
+    report.deferred += shard.deferred;
+    report.lag_sum += shard.lag_sum;
+    report.lag_max = std::max(report.lag_max, shard.lag_max);
+
+    hash = FoldU64(hash, static_cast<uint64_t>(node));
+    hash = FoldU64(hash, shard.ops);
+    hash = FoldU64(hash, shard.installs);
+    hash = FoldU64(hash, shard.deferred);
+    hash = FoldU64(hash, static_cast<uint64_t>(shard.lag_sum));
+    hash = FoldU64(hash, static_cast<uint64_t>(shard.lag_max));
+    hash = FoldU64(hash, shard.op_hash);
+    for (FragmentId frag = 0; frag < options_.nodes; ++frag) {
+      if (!Replicates(node, frag)) continue;
+      hash = FoldU64(hash, static_cast<uint64_t>(shard.value[frag]));
+      hash = FoldU64(hash, static_cast<uint64_t>(shard.seq[frag]));
+      const Shard& home = shards_[frag];
+      if (shard.seq[frag] != home.seq[frag] ||
+          shard.value[frag] != home.value[frag]) {
+        report.consistent = false;
+      }
+    }
+  }
+  report.fingerprint = hash;
+  return report;
+}
+
+}  // namespace fragdb

@@ -1,0 +1,144 @@
+#ifndef FRAGDB_CORE_SHARDED_CLUSTER_H_
+#define FRAGDB_CORE_SHARDED_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "net/channel_table.h"
+#include "sim/partition.h"
+#include "sim/pdes_scheduler.h"
+#include "workload/opstream.h"
+
+namespace fragdb {
+
+/// Partition-confined replication kernel for the parallel simulator.
+///
+/// The full Cluster facade keeps shared state (history, metrics, agent
+/// maps) that every event touches, which forbids executing events
+/// concurrently. This kernel is the paper's replicated-update core —
+/// home-node commit, sequence-numbered installs at replicas, crash-stop
+/// faults with deferred delivery — restated so that every event reads and
+/// writes exactly one node's state. That is what lets the PdesScheduler
+/// run partitions on parallel workers while the result stays
+/// byte-identical to the serial execution.
+///
+/// Model: fragment f is homed at node f (nodes == fragments). An op homed
+/// at node n commits against fragment n — bumps the fragment's sequence
+/// number, applies the delta — and posts an install carrying the absolute
+/// (value, seq) snapshot to every other replica over the ChannelTable.
+/// Replicas check contiguity (FIFO channels deliver a home's installs in
+/// send order; the merge phase guarantees it) and overwrite. A crashed
+/// node defers everything — arriving installs and its own clients' ops —
+/// and replays the backlog in arrival order when it revives; a revive may
+/// also request a partition reassignment, exercising mid-run plan
+/// changes under load.
+struct ShardedClusterOptions {
+  int nodes = 16;
+  /// Replicas per fragment including the home (home + the next
+  /// replication-1 nodes mod n); 0 = full replication on all nodes.
+  int replication = 0;
+  /// Partition count for the plan; 0 = min(nodes, 16). Fixed at
+  /// construction and independent of sim_threads, so the event order is
+  /// a function of the plan, never of the thread count.
+  int partitions = 0;
+  /// Worker threads (PdesScheduler::Options::threads); 0 = hardware.
+  int sim_threads = 1;
+  /// Optional window cap, forwarded to the scheduler.
+  SimTime max_window = kSimTimeMax;
+  /// Workload; `nodes` is overridden to match the cluster.
+  OpStreamOptions workload;
+};
+
+/// Everything the benches and tests need from one run. All fields except
+/// the wall clock (measured by callers) are deterministic at any
+/// sim_threads; `fingerprint` additionally does not depend on the
+/// partition count (it folds only simulation state, in node order).
+struct ShardedReport {
+  uint64_t ops = 0;         // client ops committed (incl. replayed)
+  uint64_t installs = 0;    // install messages applied at replicas
+  uint64_t sends = 0;       // install messages posted
+  uint64_t deferred = 0;    // messages + ops parked at crashed nodes
+  SimTime end_time = 0;     // quiescence time
+  SimTime lag_sum = 0;      // sum over installs of apply - send time
+  SimTime lag_max = 0;
+  bool consistent = false;  // every replica converged to its home's state
+  uint64_t fingerprint = 0; // FNV fold of all per-node state, node order
+  PdesScheduler::Stats sched;
+};
+
+class ShardedCluster {
+ public:
+  /// `channels.node_count()` must equal `options.nodes`.
+  ShardedCluster(ShardedClusterOptions options, ChannelTable channels);
+  ~ShardedCluster();
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  /// Schedules a crash-stop at `crash_at` and a revive at `revive_at`
+  /// (must be later). While down the node defers all deliveries and its
+  /// clients' ops; revive replays the backlog at the revive time. If
+  /// `reshuffle_on_revive`, the revived node asks to move to the next
+  /// partition (mod partition count) — a mid-window plan change.
+  void ScheduleCrash(NodeId node, SimTime crash_at, SimTime revive_at,
+                     bool reshuffle_on_revive);
+
+  /// Moves `node` to `partition` once the simulation clock passes `at`
+  /// (buffered plan change, applied at the next barrier).
+  void ScheduleReassign(SimTime at, NodeId node, int partition);
+
+  /// Runs the workload to quiescence and folds the report. Call once.
+  ShardedReport Run();
+
+  const PartitionPlan& plan() const;
+
+ private:
+  struct Install {
+    NodeId from;
+    SeqNum seq;
+    Value value;
+    SimTime sent_at;
+  };
+
+  /// One node's entire mutable world. Only events executing on the node
+  /// touch it, so partitions never contend.
+  struct Shard {
+    std::unique_ptr<OpSource> source;
+    bool up = true;
+    /// Replicated fragment state, indexed by fragment id (== home node).
+    std::vector<Value> value;
+    std::vector<SeqNum> seq;
+    /// Backlog while down, in arrival order.
+    std::vector<Install> deferred_installs;
+    std::vector<GeneratedOp> deferred_ops;
+    uint64_t ops = 0;
+    uint64_t installs = 0;
+    uint64_t sends = 0;
+    uint64_t deferred = 0;
+    SimTime lag_sum = 0;
+    SimTime lag_max = 0;
+    uint64_t op_hash = kOpHashSeed;
+  };
+
+  void ChainNextOp(NodeId node);
+  void HandleOp(NodeId node, const GeneratedOp& op, SimTime now);
+  void CommitOp(NodeId node, const GeneratedOp& op, SimTime now);
+  void HandleInstall(NodeId node, const Install& install, SimTime arrival);
+  void ApplyInstall(NodeId node, const Install& install, SimTime applied_at);
+  /// Replicas of fragment `frag` other than the home, in a fixed order.
+  void ForEachPeerReplica(FragmentId frag,
+                          const std::function<void(NodeId)>& fn) const;
+  bool Replicates(NodeId node, FragmentId frag) const;
+
+  ShardedClusterOptions options_;
+  ChannelTable channels_;  // immutable after construction (lock-free reads)
+  std::vector<Shard> shards_;
+  std::unique_ptr<PdesScheduler> scheduler_;
+  bool ran_ = false;
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_CORE_SHARDED_CLUSTER_H_

@@ -1,0 +1,84 @@
+#include "net/channel_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+ChannelTable::ChannelTable(int node_count, bool uniform,
+                           SimTime uniform_latency)
+    : node_count_(node_count),
+      uniform_(uniform),
+      uniform_latency_(uniform_latency) {
+  FRAGDB_CHECK(node_count >= 0);
+  if (!uniform_) {
+    lat_.assign(static_cast<size_t>(node_count) * node_count, kSimTimeMax);
+  }
+}
+
+ChannelTable ChannelTable::UniformMesh(int node_count, SimTime latency) {
+  FRAGDB_CHECK(latency >= 0);
+  return ChannelTable(node_count, true, latency);
+}
+
+ChannelTable ChannelTable::FromTopology(const Topology& topology) {
+  int n = topology.node_count();
+  ChannelTable table(n, false, 0);
+  for (NodeId from = 0; from < n; ++from) {
+    for (NodeId to = 0; to < n; ++to) {
+      if (from == to) continue;
+      Result<SimTime> d = topology.PathLatency(from, to);
+      if (d.ok()) {
+        table.lat_[static_cast<size_t>(from) * n + to] = *d;
+      }
+    }
+  }
+  return table;
+}
+
+void ChannelTable::Materialize() {
+  if (!uniform_) return;
+  lat_.assign(static_cast<size_t>(node_count_) * node_count_,
+              uniform_latency_);
+  for (NodeId i = 0; i < node_count_; ++i) {
+    lat_[static_cast<size_t>(i) * node_count_ + i] = 0;
+  }
+  uniform_ = false;
+}
+
+void ChannelTable::SetLatency(NodeId from, NodeId to, SimTime latency) {
+  FRAGDB_CHECK(from >= 0 && from < node_count_);
+  FRAGDB_CHECK(to >= 0 && to < node_count_);
+  FRAGDB_CHECK(from != to);
+  Materialize();
+  lat_[static_cast<size_t>(from) * node_count_ + to] = latency;
+}
+
+SimTime ChannelTable::MinCrossPartitionLatency(
+    const std::vector<int>& owner) const {
+  if (uniform_) {
+    // Any two partitions with members are joined by uniform channels.
+    int first = -1;
+    for (int o : owner) {
+      if (o < 0) continue;
+      if (first == -1) {
+        first = o;
+      } else if (o != first) {
+        return uniform_latency_;
+      }
+    }
+    return kSimTimeMax;
+  }
+  SimTime best = kSimTimeMax;
+  for (NodeId from = 0; from < node_count_; ++from) {
+    const SimTime* row = &lat_[static_cast<size_t>(from) * node_count_];
+    for (NodeId to = 0; to < node_count_; ++to) {
+      if (owner[from] == owner[to]) continue;
+      best = std::min(best, row[to]);
+    }
+  }
+  return best;
+}
+
+}  // namespace fragdb

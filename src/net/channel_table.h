@@ -1,0 +1,72 @@
+#ifndef FRAGDB_NET_CHANNEL_TABLE_H_
+#define FRAGDB_NET_CHANNEL_TABLE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace fragdb {
+
+/// Dense per-ordered-channel delivery-latency table — the routing layer
+/// of the parallel simulation. The PDES kernel cannot afford a topology
+/// query per message (and must not share the mutable Topology cache
+/// across worker threads), so routing is frozen into a flat n×n table of
+/// one-way latencies read lock-free by every worker. Channels are
+/// directed: SetLatency can model a gray link that is slow one way.
+///
+/// Two constructions:
+///  * FromTopology snapshots the shortest-path latency of every ordered
+///    pair out of the topology's dense distance tables — exact, O(n²)
+///    space, for clusters whose topology is interesting.
+///  * UniformMesh models the full mesh with one latency in O(1) space —
+///    the 1,000-node regime, where materializing half a million Link
+///    records buys nothing. The table materializes lazily to dense form
+///    the first time a channel is overridden.
+///
+/// The table is also where the scheduler's lookahead comes from:
+/// MinCrossPartitionLatency is the tightest safe window bound — the true
+/// minimum delivery latency between any two cross-partition nodes, which
+/// is at least the crossing-link bound Topology can offer.
+class ChannelTable {
+ public:
+  /// Full mesh, every ordered channel at `latency`.
+  static ChannelTable UniformMesh(int node_count, SimTime latency);
+
+  /// Snapshot of the topology's current shortest-path latencies.
+  /// Unreachable (or down) pairs get kSimTimeMax — the kernel treats
+  /// such channels as nonexistent.
+  static ChannelTable FromTopology(const Topology& topology);
+
+  int node_count() const { return node_count_; }
+
+  /// One-way delivery latency of the ordered channel (from, to);
+  /// kSimTimeMax if there is no channel. Zero for from == to.
+  SimTime Latency(NodeId from, NodeId to) const {
+    if (from == to) return 0;
+    if (uniform_) return uniform_latency_;
+    return lat_[static_cast<size_t>(from) * node_count_ + to];
+  }
+
+  /// Overrides one directed channel (gray link, adversarial zero-latency
+  /// edge, severed channel via kSimTimeMax). Materializes a uniform
+  /// table to dense form on first use.
+  void SetLatency(NodeId from, NodeId to, SimTime latency);
+
+  /// Minimum latency over channels crossing partitions (`owner[node]` =
+  /// partition); kSimTimeMax when nothing crosses. The PDES lookahead.
+  SimTime MinCrossPartitionLatency(const std::vector<int>& owner) const;
+
+ private:
+  ChannelTable(int node_count, bool uniform, SimTime uniform_latency);
+  void Materialize();
+
+  int node_count_;
+  bool uniform_;
+  SimTime uniform_latency_;
+  std::vector<SimTime> lat_;  // dense n×n, empty while uniform_
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_NET_CHANNEL_TABLE_H_

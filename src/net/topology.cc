@@ -211,6 +211,17 @@ std::vector<std::vector<NodeId>> Topology::Components() const {
   return out;
 }
 
+SimTime Topology::MinCrossPartitionLatency(
+    const std::vector<int>& owner) const {
+  SimTime best = kSimTimeMax;
+  for (const Link& link : links_) {
+    if (!LinkUsable(link)) continue;
+    if (owner[link.a] == owner[link.b]) continue;
+    best = std::min(best, link.latency);
+  }
+  return best;
+}
+
 void Topology::OnChange(std::function<void()> fn) {
   listeners_.push_back(std::move(fn));
 }

@@ -77,6 +77,15 @@ class Topology {
   /// smallest member. Used by quorum logic and by tests.
   std::vector<std::vector<NodeId>> Components() const;
 
+  /// Smallest latency of any usable link crossing partitions, where
+  /// `owner[node]` names the partition owning `node` (one entry per
+  /// node). kSimTimeMax if no usable link crosses. This is a valid — if
+  /// loose — conservative-PDES lookahead: any path between nodes in
+  /// different partitions traverses at least one crossing link, so no
+  /// cross-partition message can arrive sooner than this. O(links); the
+  /// scheduler re-extracts it only when the plan changes.
+  SimTime MinCrossPartitionLatency(const std::vector<int>& owner) const;
+
   /// Registers a callback invoked after any connectivity change (link state
   /// flip, partition, heal). Listeners are invoked in registration order.
   void OnChange(std::function<void()> fn);

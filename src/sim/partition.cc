@@ -1,0 +1,58 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+PartitionPlan::PartitionPlan(int node_count, int partition_count) {
+  FRAGDB_CHECK(node_count >= 0);
+  FRAGDB_CHECK(partition_count >= 1);
+  owner_.assign(node_count, -1);
+  members_.resize(partition_count);
+}
+
+PartitionPlan PartitionPlan::Contiguous(int node_count, int partition_count) {
+  if (partition_count > node_count && node_count > 0) {
+    partition_count = node_count;
+  }
+  PartitionPlan plan(node_count, partition_count);
+  // Balanced blocks: the first (n % p) partitions get one extra node.
+  int base = node_count / partition_count;
+  int extra = node_count % partition_count;
+  NodeId next = 0;
+  for (int p = 0; p < partition_count; ++p) {
+    int size = base + (p < extra ? 1 : 0);
+    for (int i = 0; i < size; ++i) plan.ReassignNode(next++, p);
+  }
+  return plan;
+}
+
+PartitionPlan PartitionPlan::RoundRobin(int node_count, int partition_count) {
+  if (partition_count > node_count && node_count > 0) {
+    partition_count = node_count;
+  }
+  PartitionPlan plan(node_count, partition_count);
+  for (NodeId n = 0; n < node_count; ++n) {
+    plan.ReassignNode(n, n % partition_count);
+  }
+  return plan;
+}
+
+void PartitionPlan::ReassignNode(NodeId node, int partition) {
+  FRAGDB_CHECK(node >= 0 && node < node_count());
+  FRAGDB_CHECK(partition >= 0 && partition < partition_count());
+  int old = owner_[node];
+  if (old == partition) return;
+  if (old >= 0) {
+    auto& m = members_[old];
+    m.erase(std::lower_bound(m.begin(), m.end(), node));
+  }
+  auto& m = members_[partition];
+  m.insert(std::upper_bound(m.begin(), m.end(), node), node);
+  owner_[node] = partition;
+}
+
+}  // namespace fragdb

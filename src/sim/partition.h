@@ -1,0 +1,62 @@
+#ifndef FRAGDB_SIM_PARTITION_H_
+#define FRAGDB_SIM_PARTITION_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Node → partition assignment for parallel discrete-event simulation.
+/// A partition is the unit of sequential execution: one worker thread
+/// owns one partition at a time, so everything a node's events touch must
+/// be confined to the node (or exchanged through the scheduler's
+/// mailboxes). The plan is mutable between windows — ReassignNode moves a
+/// node (and its pending events) to another partition at the next
+/// barrier — but never during one.
+///
+/// The number of partitions is a property of the *plan*, not of the
+/// worker-thread count: results depend on the plan, while any number of
+/// threads executing it produces byte-identical output (the scheduler's
+/// core guarantee, see docs/PERFORMANCE.md).
+class PartitionPlan {
+ public:
+  /// `partition_count` empty partitions over `node_count` unassigned
+  /// nodes; use the factories below for the common layouts.
+  PartitionPlan(int node_count, int partition_count);
+
+  /// Nodes 0..n-1 split into contiguous, balanced blocks: nodes that are
+  /// adjacent by id (and, in the standard benches, by fragment locality)
+  /// land in the same partition.
+  static PartitionPlan Contiguous(int node_count, int partition_count);
+
+  /// Node i → partition i % partitions. Spreads hot id ranges.
+  static PartitionPlan RoundRobin(int node_count, int partition_count);
+
+  int node_count() const { return static_cast<int>(owner_.size()); }
+  int partition_count() const { return static_cast<int>(members_.size()); }
+
+  /// Partition owning `node`; -1 if unassigned.
+  int PartitionOf(NodeId node) const { return owner_[node]; }
+
+  /// Member nodes of `partition`, ascending by id.
+  const std::vector<NodeId>& Members(int partition) const {
+    return members_[partition];
+  }
+
+  /// Moves `node` to `partition` (no-op if already there). Callers inside
+  /// a running PdesScheduler must go through RequestReassign instead —
+  /// the plan may only change at a window barrier.
+  void ReassignNode(NodeId node, int partition);
+
+  /// The raw owner vector (node → partition), for lookahead extraction.
+  const std::vector<int>& owners() const { return owner_; }
+
+ private:
+  std::vector<int> owner_;                   // node -> partition
+  std::vector<std::vector<NodeId>> members_; // partition -> sorted nodes
+};
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_SIM_PARTITION_H_

@@ -1,0 +1,91 @@
+#include "workload/opstream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fragdb {
+
+namespace {
+
+/// SplitMix64-style mix of (seed, node) — every node stream independent,
+/// derived from the master seed alone.
+uint64_t NodeSeed(uint64_t seed, NodeId node) {
+  uint64_t z = seed ^ (0x9E3779B97F4A7C15ULL *
+                       (static_cast<uint64_t>(node) + 0x243F6A8885A308D3ULL));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t FoldU64(uint64_t hash, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (v >> (i * 8)) & 0xFF;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t FoldOp(uint64_t hash, const GeneratedOp& op) {
+  hash = FoldU64(hash, static_cast<uint64_t>(op.at));
+  hash = FoldU64(hash, static_cast<uint64_t>(op.node));
+  hash = FoldU64(hash, op.client);
+  hash = FoldU64(hash, static_cast<uint64_t>(op.delta));
+  return hash;
+}
+
+uint64_t OpSource::ClientsOnNode(const OpStreamOptions& options, NodeId node) {
+  uint64_t n = static_cast<uint64_t>(options.nodes);
+  return options.clients / n +
+         (static_cast<uint64_t>(node) < options.clients % n ? 1 : 0);
+}
+
+uint64_t OpSource::ClientBase(const OpStreamOptions& options, NodeId node) {
+  uint64_t n = static_cast<uint64_t>(options.nodes);
+  uint64_t base = options.clients / n * static_cast<uint64_t>(node);
+  return base + std::min<uint64_t>(node, options.clients % n);
+}
+
+OpSource::OpSource(const OpStreamOptions& options, NodeId node)
+    : rng_(NodeSeed(options.seed, node)),
+      node_(node),
+      client_base_(ClientBase(options, node)),
+      client_count_(ClientsOnNode(options, node)),
+      total_(client_count_ * options.ops_per_client),
+      clock_(options.start),
+      mean_(std::max<SimTime>(1, options.mean_interarrival)) {
+  FRAGDB_CHECK(node >= 0 && node < options.nodes);
+}
+
+bool OpSource::Next(GeneratedOp* op) {
+  if (generated_ >= total_) return false;
+  // Uniform integer gap in [1, 2*mean-1]: exact mean, no libm.
+  clock_ += 1 + static_cast<SimTime>(
+                    rng_.NextBelow(static_cast<uint64_t>(2 * mean_ - 1)));
+  op->at = clock_;
+  op->node = node_;
+  op->client = client_base_ + rng_.NextBelow(client_count_);
+  op->delta = static_cast<Value>(rng_.NextBelow(100)) + 1;
+  ++generated_;
+  return true;
+}
+
+std::vector<GeneratedOp> GenerateMerged(const OpStreamOptions& options) {
+  std::vector<GeneratedOp> all;
+  for (NodeId node = 0; node < options.nodes; ++node) {
+    OpSource source(options, node);
+    GeneratedOp op;
+    while (source.Next(&op)) all.push_back(op);
+  }
+  // (time, node, per-node order) — per-node streams are already in time
+  // order, so a stable sort by (at, node) realizes the canonical merge.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const GeneratedOp& a, const GeneratedOp& b) {
+                     return a.at != b.at ? a.at < b.at : a.node < b.node;
+                   });
+  return all;
+}
+
+}  // namespace fragdb

@@ -1,0 +1,87 @@
+#ifndef FRAGDB_WORKLOAD_OPSTREAM_H_
+#define FRAGDB_WORKLOAD_OPSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace fragdb {
+
+/// Parallel deterministic workload generation.
+///
+/// The serial simulator could afford one RNG for the whole run; a
+/// parallel one cannot — the draw order would depend on thread
+/// interleaving. Instead every node owns an independent stream seeded
+/// from (master seed, node id) alone, so the op sequence a node sees is
+/// a pure function of the seed — identical no matter which partition or
+/// worker thread generates it, how nodes are reshuffled mid-run, or
+/// whether the whole thing runs serially. Client count stops being a
+/// bottleneck because generation rides the partition workers.
+///
+/// All draws are integer-only (no exp/log), so streams are bit-stable
+/// across platforms and libm versions — safe to pin in golden tests.
+struct OpStreamOptions {
+  uint64_t seed = 1;
+  int nodes = 1;
+  /// Total clients, split across nodes in contiguous blocks (the first
+  /// `clients % nodes` nodes get one extra).
+  uint64_t clients = 0;
+  uint64_t ops_per_client = 1;
+  /// Mean gap between consecutive ops at one node (uniform integer in
+  /// [1, 2*mean-1], so the mean is exact and the draw is pure-integer).
+  SimTime mean_interarrival = Millis(1);
+  SimTime start = 0;
+};
+
+/// One generated client operation, homed at a node.
+struct GeneratedOp {
+  SimTime at = 0;
+  NodeId node = 0;
+  uint64_t client = 0;
+  Value delta = 0;
+};
+
+/// FNV-1a fold of an op into a running fingerprint; combine per-node
+/// hashes in node order for the canonical global fingerprint.
+inline constexpr uint64_t kOpHashSeed = 1469598103934665603ULL;
+uint64_t FoldOp(uint64_t hash, const GeneratedOp& op);
+uint64_t FoldU64(uint64_t hash, uint64_t v);
+
+/// One node's deterministic op stream.
+class OpSource {
+ public:
+  OpSource(const OpStreamOptions& options, NodeId node);
+
+  /// Next op in arrival order; false when the stream is exhausted.
+  bool Next(GeneratedOp* op);
+
+  uint64_t total_ops() const { return total_; }
+  uint64_t generated() const { return generated_; }
+
+  /// Clients homed at `node` under `options`.
+  static uint64_t ClientsOnNode(const OpStreamOptions& options, NodeId node);
+  /// First client id homed at `node`.
+  static uint64_t ClientBase(const OpStreamOptions& options, NodeId node);
+
+ private:
+  Rng rng_;
+  NodeId node_;
+  uint64_t client_base_;
+  uint64_t client_count_;
+  uint64_t total_;
+  uint64_t generated_ = 0;
+  SimTime clock_;
+  SimTime mean_;
+};
+
+/// The merged global op sequence — every node's stream interleaved by
+/// (time, node, per-node order). What a serial generator would have
+/// produced; used by equivalence tests and legacy drivers. O(total ops)
+/// memory: prefer per-node OpSources inside simulations.
+std::vector<GeneratedOp> GenerateMerged(const OpStreamOptions& options);
+
+}  // namespace fragdb
+
+#endif  // FRAGDB_WORKLOAD_OPSTREAM_H_

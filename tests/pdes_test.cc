@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/sharded_cluster.h"
+#include "net/channel_table.h"
+#include "sim/partition.h"
+#include "sim/pdes_scheduler.h"
+
+namespace fragdb {
+namespace {
+
+// --- PartitionPlan --------------------------------------------------------
+
+TEST(PartitionPlan, ContiguousBalancesAndSorts) {
+  PartitionPlan plan = PartitionPlan::Contiguous(10, 3);
+  EXPECT_EQ(plan.node_count(), 10);
+  EXPECT_EQ(plan.partition_count(), 3);
+  // 10 = 4 + 3 + 3.
+  EXPECT_EQ(plan.Members(0), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.Members(1), (std::vector<NodeId>{4, 5, 6}));
+  EXPECT_EQ(plan.Members(2), (std::vector<NodeId>{7, 8, 9}));
+  for (NodeId n = 0; n < 10; ++n) {
+    EXPECT_EQ(plan.PartitionOf(n), n < 4 ? 0 : (n < 7 ? 1 : 2));
+  }
+}
+
+TEST(PartitionPlan, RoundRobinSpreads) {
+  PartitionPlan plan = PartitionPlan::RoundRobin(7, 3);
+  EXPECT_EQ(plan.Members(0), (std::vector<NodeId>{0, 3, 6}));
+  EXPECT_EQ(plan.Members(1), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(plan.Members(2), (std::vector<NodeId>{2, 5}));
+}
+
+TEST(PartitionPlan, ClampsPartitionCountToNodes) {
+  PartitionPlan plan = PartitionPlan::Contiguous(3, 16);
+  EXPECT_EQ(plan.partition_count(), 3);
+}
+
+TEST(PartitionPlan, ReassignKeepsMembersSorted) {
+  PartitionPlan plan = PartitionPlan::Contiguous(6, 2);
+  plan.ReassignNode(1, 1);
+  plan.ReassignNode(4, 0);
+  EXPECT_EQ(plan.Members(0), (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_EQ(plan.Members(1), (std::vector<NodeId>{1, 3, 5}));
+  EXPECT_EQ(plan.PartitionOf(1), 1);
+  plan.ReassignNode(1, 1);  // no-op
+  EXPECT_EQ(plan.Members(1), (std::vector<NodeId>{1, 3, 5}));
+}
+
+// --- ChannelTable ---------------------------------------------------------
+
+TEST(ChannelTable, UniformMeshLatencies) {
+  ChannelTable table = ChannelTable::UniformMesh(4, Millis(5));
+  EXPECT_EQ(table.Latency(0, 3), Millis(5));
+  EXPECT_EQ(table.Latency(2, 2), 0);
+}
+
+TEST(ChannelTable, SetLatencyMaterializesUniform) {
+  ChannelTable table = ChannelTable::UniformMesh(3, Millis(5));
+  table.SetLatency(0, 1, Millis(1));
+  EXPECT_EQ(table.Latency(0, 1), Millis(1));
+  EXPECT_EQ(table.Latency(1, 0), Millis(5));  // directed override
+  EXPECT_EQ(table.Latency(1, 2), Millis(5));  // untouched channels keep mesh
+}
+
+TEST(ChannelTable, FromTopologySnapshotsShortestPaths) {
+  Topology topo = Topology::Line(3, Millis(2));
+  ChannelTable table = ChannelTable::FromTopology(topo);
+  EXPECT_EQ(table.Latency(0, 1), Millis(2));
+  EXPECT_EQ(table.Latency(0, 2), Millis(4));  // via node 1
+}
+
+TEST(ChannelTable, MinCrossPartitionLatency) {
+  ChannelTable table = ChannelTable::UniformMesh(4, Millis(5));
+  std::vector<int> owner{0, 0, 1, 1};
+  EXPECT_EQ(table.MinCrossPartitionLatency(owner), Millis(5));
+  std::vector<int> one_partition{0, 0, 0, 0};
+  EXPECT_EQ(table.MinCrossPartitionLatency(one_partition), kSimTimeMax);
+  table.SetLatency(1, 2, 0);  // adversarial zero-latency crossing channel
+  EXPECT_EQ(table.MinCrossPartitionLatency(owner), 0);
+}
+
+TEST(TopologyLookahead, MinCrossingLinkLatency) {
+  // Line 0-1-2-3 with a fast 1ms link inside partition 0: the bound must
+  // come from links that actually cross the cut, and ignore downed ones.
+  Topology topo(4);
+  ASSERT_TRUE(topo.AddLink(0, 1, Millis(1)).ok());
+  ASSERT_TRUE(topo.AddLink(1, 2, Millis(5)).ok());
+  ASSERT_TRUE(topo.AddLink(2, 3, Millis(3)).ok());
+  std::vector<int> owner{0, 0, 1, 1};
+  EXPECT_EQ(topo.MinCrossPartitionLatency(owner), Millis(5));
+  std::vector<int> split{0, 1, 1, 0};
+  EXPECT_EQ(topo.MinCrossPartitionLatency(split), Millis(1));
+  ASSERT_TRUE(topo.SetLinkUp(1, 2, false).ok());
+  EXPECT_EQ(topo.MinCrossPartitionLatency(owner), kSimTimeMax);
+  std::vector<int> one{0, 0, 0, 0};
+  EXPECT_EQ(topo.MinCrossPartitionLatency(one), kSimTimeMax);
+}
+
+// --- PdesScheduler --------------------------------------------------------
+
+PdesScheduler::Options Threads(int n) {
+  PdesScheduler::Options o;
+  o.threads = n;
+  return o;
+}
+
+/// Records (time, node, tag) triples per node; partition-confined.
+struct NodeLog {
+  std::vector<std::vector<std::pair<SimTime, int>>> per_node;
+  explicit NodeLog(int nodes) : per_node(nodes) {}
+  void Add(NodeId n, SimTime t, int tag) { per_node[n].emplace_back(t, tag); }
+};
+
+TEST(PdesScheduler, ExecutesInTimeOrderWithinNode) {
+  PartitionPlan plan = PartitionPlan::Contiguous(2, 2);
+  PdesScheduler sched(
+      plan, [](const PartitionPlan&) { return Millis(1); }, Threads(1));
+  NodeLog log(2);
+  sched.ScheduleAt(0, Millis(3), [&] { log.Add(0, Millis(3), 1); });
+  sched.ScheduleAt(0, Millis(1), [&] { log.Add(0, Millis(1), 2); });
+  sched.ScheduleAt(1, Millis(2), [&] { log.Add(1, Millis(2), 3); });
+  sched.RunToQuiescence();
+  ASSERT_EQ(log.per_node[0].size(), 2u);
+  EXPECT_EQ(log.per_node[0][0].second, 2);
+  EXPECT_EQ(log.per_node[0][1].second, 1);
+  ASSERT_EQ(log.per_node[1].size(), 1u);
+  EXPECT_EQ(sched.stats().events_executed, 3u);
+}
+
+TEST(PdesScheduler, CrossPartitionPostDelivers) {
+  PartitionPlan plan = PartitionPlan::Contiguous(4, 2);
+  PdesScheduler sched(
+      plan, [](const PartitionPlan&) { return Millis(5); }, Threads(2));
+  std::vector<SimTime> deliveries;
+  // Node 0 (partition 0) pings node 3 (partition 1), which pongs back.
+  sched.ScheduleAt(0, Millis(1), [&] {
+    sched.Post(0, 3, Millis(6), [&] {
+      deliveries.push_back(Millis(6));
+      sched.Post(3, 0, Millis(11), [&] { deliveries.push_back(Millis(11)); });
+    });
+  });
+  sched.RunToQuiescence();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], Millis(6));
+  EXPECT_EQ(deliveries[1], Millis(11));
+  EXPECT_GE(sched.stats().mailbox_envelopes, 2u);
+}
+
+TEST(PdesScheduler, RunUntilAdvancesClockToDeadline) {
+  PartitionPlan plan = PartitionPlan::Contiguous(2, 2);
+  PdesScheduler sched(
+      plan, [](const PartitionPlan&) { return Millis(1); }, Threads(1));
+  int fired = 0;
+  sched.ScheduleAt(0, Millis(2), [&] { ++fired; });
+  sched.ScheduleAt(1, Millis(9), [&] { ++fired; });
+  sched.RunUntil(Millis(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.Now(), Millis(5));
+  sched.RunToQuiescence();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PdesScheduler, ZeroLookaheadFallsBackToSerialSteps) {
+  PartitionPlan plan = PartitionPlan::Contiguous(4, 2);
+  PdesScheduler sched(
+      plan, [](const PartitionPlan&) { return 0; }, Threads(4));
+  std::vector<int> order;
+  sched.ScheduleAt(0, Millis(1), [&] {
+    order.push_back(0);
+    // Zero-latency cross-partition message: arrival == send time. Only
+    // legal because the scheduler is in serial micro-steps.
+    sched.Post(0, 2, Millis(1), [&] { order.push_back(2); });
+  });
+  sched.ScheduleAt(3, Millis(1), [&] { order.push_back(3); });
+  sched.RunToQuiescence();
+  // Canonical order: (1ms, node 0), (1ms, node 2, arrived), (1ms, node 3)?
+  // The posted event reaches node 2's queue only after node 0's event
+  // executes; the serial scan then picks node 2 before node 3 (same time,
+  // lower id).
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(sched.stats().windows, 0u);
+  EXPECT_EQ(sched.stats().serial_steps, 3u);
+}
+
+TEST(PdesScheduler, ReassignAppliesAtBarrierAndRebalances) {
+  PartitionPlan plan = PartitionPlan::Contiguous(4, 2);
+  PdesScheduler sched(
+      plan, [](const PartitionPlan&) { return Millis(1); }, Threads(2));
+  sched.ScheduleAt(1, Millis(1), [&] { sched.RequestReassign(1, 1); });
+  int late_fired = 0;
+  sched.ScheduleAt(1, Millis(10), [&] { ++late_fired; });
+  sched.RunToQuiescence();
+  EXPECT_EQ(late_fired, 1);  // pending events moved with the node
+  EXPECT_EQ(sched.plan().PartitionOf(1), 1);
+  EXPECT_EQ(sched.stats().reassignments, 1u);
+}
+
+// --- ShardedCluster -------------------------------------------------------
+
+ShardedClusterOptions BaseOptions(int nodes, int sim_threads) {
+  ShardedClusterOptions o;
+  o.nodes = nodes;
+  o.replication = 3;
+  o.partitions = 8;
+  o.sim_threads = sim_threads;
+  o.workload.seed = 11;
+  o.workload.clients = 64;
+  o.workload.ops_per_client = 20;
+  o.workload.mean_interarrival = Millis(3);
+  return o;
+}
+
+ShardedReport RunSharded(const ShardedClusterOptions& options,
+                         bool with_faults) {
+  ShardedCluster cluster(options, ChannelTable::UniformMesh(options.nodes,
+                                                            Millis(5)));
+  if (with_faults) {
+    cluster.ScheduleCrash(3, Millis(20), Millis(90), /*reshuffle=*/true);
+    cluster.ScheduleCrash(10, Millis(40), Millis(60), /*reshuffle=*/false);
+  }
+  return cluster.Run();
+}
+
+TEST(ShardedCluster, ConvergesAndCountsAddUp) {
+  ShardedClusterOptions o = BaseOptions(16, 1);
+  ShardedReport r = RunSharded(o, false);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.ops, o.workload.clients * o.workload.ops_per_client);
+  // Every committed op fans out to replication - 1 peers, and every send
+  // is eventually applied.
+  EXPECT_EQ(r.sends, r.ops * 2);
+  EXPECT_EQ(r.installs, r.sends);
+  EXPECT_EQ(r.deferred, 0u);
+  EXPECT_GT(r.sched.windows, 0u);
+  EXPECT_EQ(r.sched.serial_steps, 0u);
+}
+
+TEST(ShardedCluster, ByteIdenticalAcrossSimThreads) {
+  ShardedReport base = RunSharded(BaseOptions(16, 1), false);
+  for (int threads : {2, 4, 8}) {
+    ShardedReport r = RunSharded(BaseOptions(16, threads), false);
+    EXPECT_EQ(r.fingerprint, base.fingerprint) << threads << " threads";
+    EXPECT_EQ(r.end_time, base.end_time);
+    EXPECT_EQ(r.lag_sum, base.lag_sum);
+    EXPECT_EQ(r.sched.events_executed, base.sched.events_executed);
+    EXPECT_EQ(r.sched.windows, base.sched.windows);
+    EXPECT_EQ(r.sched.mailbox_envelopes, base.sched.mailbox_envelopes);
+    EXPECT_EQ(r.sched.direct_posts, base.sched.direct_posts);
+  }
+}
+
+TEST(ShardedCluster, ByteIdenticalAcrossSimThreadsUnderFaults) {
+  // The adversarial version: crash/revive replays backlogs, and one
+  // revive requests a partition reassignment mid-run, reshuffling load
+  // while windows are in flight.
+  ShardedReport base = RunSharded(BaseOptions(16, 1), true);
+  EXPECT_TRUE(base.consistent);
+  EXPECT_GT(base.deferred, 0u);
+  EXPECT_EQ(base.sched.reassignments, 1u);
+  for (int threads : {2, 4, 8}) {
+    ShardedReport r = RunSharded(BaseOptions(16, threads), true);
+    EXPECT_EQ(r.fingerprint, base.fingerprint) << threads << " threads";
+    EXPECT_EQ(r.end_time, base.end_time);
+    EXPECT_EQ(r.deferred, base.deferred);
+    EXPECT_EQ(r.sched.events_executed, base.sched.events_executed);
+    EXPECT_EQ(r.sched.windows, base.sched.windows);
+    EXPECT_EQ(r.sched.reassignments, base.sched.reassignments);
+  }
+}
+
+TEST(ShardedCluster, StateInvariantAcrossPartitionCounts) {
+  // The state fingerprint folds simulation state only (no scheduler
+  // stats), and install application commutes across same-time arrivals
+  // from different homes — so even the *plan* must not affect it.
+  ShardedClusterOptions o = BaseOptions(16, 2);
+  o.partitions = 1;
+  uint64_t fp1 = RunSharded(o, true).fingerprint;
+  for (int partitions : {2, 4, 16}) {
+    o.partitions = partitions;
+    EXPECT_EQ(RunSharded(o, true).fingerprint, fp1)
+        << partitions << " partitions";
+  }
+}
+
+TEST(ShardedCluster, ZeroLookaheadChannelStaysCorrect) {
+  ShardedClusterOptions o = BaseOptions(8, 4);
+  o.partitions = 4;
+  o.workload.clients = 16;
+  o.workload.ops_per_client = 8;
+  ChannelTable channels = ChannelTable::UniformMesh(8, Millis(5));
+  channels.SetLatency(0, 7, 0);  // crossing channel with zero latency
+  ShardedCluster cluster(o, std::move(channels));
+  ShardedReport r = cluster.Run();
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.sched.windows, 0u);
+  EXPECT_GT(r.sched.serial_steps, 0u);
+
+  // And it matches the serial execution exactly.
+  ChannelTable again = ChannelTable::UniformMesh(8, Millis(5));
+  again.SetLatency(0, 7, 0);
+  o.sim_threads = 1;
+  ShardedCluster serial(o, std::move(again));
+  EXPECT_EQ(serial.Run().fingerprint, r.fingerprint);
+}
+
+TEST(ShardedCluster, ExplicitMidRunReassign) {
+  ShardedClusterOptions o = BaseOptions(12, 4);
+  o.partitions = 4;
+  ShardedCluster cluster(o, ChannelTable::UniformMesh(12, Millis(5)));
+  cluster.ScheduleReassign(Millis(30), 2, 3);
+  ShardedReport r = cluster.Run();
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.sched.reassignments, 1u);
+  EXPECT_EQ(cluster.plan().PartitionOf(2), 3);
+
+  o.sim_threads = 1;
+  ShardedCluster serial(o, ChannelTable::UniformMesh(12, Millis(5)));
+  serial.ScheduleReassign(Millis(30), 2, 3);
+  EXPECT_EQ(serial.Run().fingerprint, r.fingerprint);
+}
+
+TEST(ShardedCluster, FullReplicationBroadcastsEverywhere) {
+  ShardedClusterOptions o = BaseOptions(8, 2);
+  o.replication = 0;  // full
+  o.partitions = 4;
+  o.workload.clients = 16;
+  o.workload.ops_per_client = 4;
+  ShardedReport r = RunSharded(o, false);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.sends, r.ops * 7);
+  EXPECT_EQ(r.installs, r.sends);
+}
+
+TEST(ShardedCluster, PinnedFingerprint) {
+  // Golden end-state hash for a fixed configuration, pinned so any drift
+  // in the event order, merge order, RNG, or replication logic fails
+  // loudly. Must hold at every sim_threads (the determinism tests above
+  // cross-check that); pinned at 2 threads to exercise the pool.
+  ShardedReport r = RunSharded(BaseOptions(16, 2), true);
+  EXPECT_EQ(r.fingerprint, 8281541404279616325ULL)
+      << "fingerprint drifted: " << r.fingerprint;
+}
+
+}  // namespace
+}  // namespace fragdb
