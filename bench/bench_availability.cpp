@@ -15,6 +15,12 @@
 //   --duration_ms=N      traffic window (default 700)
 //   --bucket_ms=N        timeline bucket width (default 25)
 //   --out=FILE           also write the full JSON report to FILE
+//   --engine=E           serial (default) | pdes: run the cell on the
+//                        windowed PDES scheduler with --sim_threads
+//                        workers / --sim_partitions partitions
+//   --verify_serial=1    (pdes only) re-run the cell single-threaded on
+//                        the same scheduler and fail if the timeline or
+//                        availability fingerprints diverge
 
 #include <cstdio>
 #include <cstdlib>
@@ -88,13 +94,43 @@ int main(int argc, char** argv) {
   opt.observability.flight_recorder = true;
   opt.observability.timeline_bucket_width = bucket;
 
-  ScenarioRunner runner(std::move(merged), opt);
+  std::string engine_name = opts.ExtraOr("engine", "serial");
+  if (engine_name == "pdes") {
+    opt.engine.kind = EngineKind::kParallel;
+    opt.engine.threads = opts.sim_threads;
+    opt.engine.partitions = opts.sim_partitions;
+  } else if (engine_name != "serial") {
+    std::fprintf(stderr, "unknown --engine '%s' (serial|pdes)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+
+  ScenarioRunner runner(Scenario(merged), opt);
   Status started = runner.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
     return 2;
   }
   ScenarioCellReport report = runner.Run();
+
+  if (opts.ExtraOr("verify_serial", "0") != "0" &&
+      opt.engine.kind == EngineKind::kParallel) {
+    ScenarioRunOptions ref_opt = opt;
+    ref_opt.engine.threads = 1;
+    ScenarioRunner ref_runner(Scenario(merged), ref_opt);
+    if (!ref_runner.Start().ok()) return 2;
+    ScenarioCellReport reference = ref_runner.Run();
+    if (reference.timeline_fingerprint != report.timeline_fingerprint ||
+        reference.availability_fingerprint !=
+            report.availability_fingerprint) {
+      std::fprintf(stderr,
+                   "VERIFY MISMATCH: %d-thread run diverges from the "
+                   "single-threaded reference\n", opt.engine.threads);
+      return 1;
+    }
+    std::fprintf(stderr, "verify_serial: fingerprints match the "
+                 "single-threaded reference\n");
+  }
   const AvailabilityReport& av = report.availability;
 
   std::printf("E-avail — %s / %s / %s, %d nodes, seed %llu\n\n",

@@ -284,9 +284,10 @@ void BM_SchedulerRunLocal(benchmark::State& state) {
   FragmentId f = catalog.AddFragment("F");
   ObjectId x = *catalog.AddObject(f, "x", 0);
   Simulator sim;
+  SerialEngine engine(&sim);
   ObjectStore store(&catalog);
   LockManager locks;
-  Scheduler sched(0, &sim, &store, &locks, Scheduler::Config{}, {});
+  Scheduler sched(0, &engine, &store, &locks, Scheduler::Config{}, {});
   TxnSpec spec;
   spec.agent = 0;
   spec.write_fragment = f;

@@ -23,7 +23,23 @@
 //                        flight_<cell>.jsonl per failing cell
 //   --force_fail=N       mark cell N failed after its checks pass, to
 //                        exercise the flight-recorder dump path end-to-end
+//   --engine=E           serial (default) | pdes: run every cell's full
+//                        protocol stack on the windowed PDES scheduler
+//                        with --sim_threads workers / --sim_partitions
+//                        partitions. All BENCH_JSON cell lines are
+//                        byte-identical at any --sim_threads; only the
+//                        "scenario_matrix_wall" line (wall clock) varies,
+//                        and determinism diffs strip it.
+//   --verify_serial=1    (pdes only) re-run every cell single-threaded on
+//                        the same scheduler and byte-compare its JSON and
+//                        fingerprints. The reference is pdes at one
+//                        worker, not the serial engine: pdes stripes txn
+//                        ids per node and draws workload/loss RNG streams
+//                        per agent/sender, so its (equally valid)
+//                        schedule differs from the serial engine's by
+//                        design — see docs/PERFORMANCE.md.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -62,7 +78,15 @@ struct CellResult {
   std::string json;
   /// {"cell":"<tag>","report":{...}} — one line of the artifact file.
   std::string availability_json;
+  /// --verify_serial found the single-threaded re-run diverging.
+  bool verify_mismatch = false;
 };
+
+double WallSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 std::string CellTag(const Cell& cell) {
   return cell.scenario + "/" + cell.workload + "/" + cell.control_name +
@@ -78,7 +102,8 @@ std::string CellFileTag(const Cell& cell) {
   return tag;
 }
 
-CellResult RunCell(const Cell& cell, int nodes, SimTime duration) {
+CellResult RunCellOnce(const Cell& cell, int nodes, SimTime duration,
+                       const EngineConfig& engine) {
   Result<Scenario> fault = NamedScenario(cell.scenario);
   Result<Scenario> load = NamedScenario(cell.workload);
   if (!fault.ok() || !load.ok()) {
@@ -94,6 +119,7 @@ CellResult RunCell(const Cell& cell, int nodes, SimTime duration) {
   opt.duration = duration;
   opt.seed = cell.seed;
   opt.control = cell.control;
+  opt.engine = engine;
   // Timelines + tracker give every cell line its availability summary; the
   // flight recorder's ring is dumped if the cell fails any check.
   opt.observability.timelines = true;
@@ -111,8 +137,10 @@ CellResult RunCell(const Cell& cell, int nodes, SimTime duration) {
   out.report = runner.Run();
   const ScenarioCellReport& r = out.report;
   const WorkloadMetrics& m = r.metrics;
+  const bool pdes = engine.kind == EngineKind::kParallel;
   std::ostringstream os;
   os << "{\"config\":\"scenario_matrix\""
+     << (pdes ? ",\"engine\":\"pdes\"" : "")
      << ",\"scenario\":\"" << cell.scenario << "\""
      << ",\"workload\":\"" << cell.workload << "\""
      << ",\"control\":\"" << cell.control_name << "\""
@@ -139,6 +167,27 @@ CellResult RunCell(const Cell& cell, int nodes, SimTime duration) {
   out.json = os.str();
   out.availability_json = "{\"cell\":\"" + CellTag(cell) + "\",\"report\":" +
                           r.availability.ToJson() + "}";
+  return out;
+}
+
+CellResult RunCell(const Cell& cell, int nodes, SimTime duration,
+                   const EngineConfig& engine, bool verify_serial) {
+  CellResult out = RunCellOnce(cell, nodes, duration, engine);
+  if (verify_serial && engine.kind == EngineKind::kParallel) {
+    EngineConfig reference = engine;
+    reference.threads = 1;
+    CellResult ref = RunCellOnce(cell, nodes, duration, reference);
+    if (ref.json != out.json ||
+        ref.report.timeline_fingerprint != out.report.timeline_fingerprint ||
+        ref.report.availability_fingerprint !=
+            out.report.availability_fingerprint) {
+      out.verify_mismatch = true;
+      std::fprintf(stderr,
+                   "VERIFY MISMATCH %s: %d-thread run diverges from the "
+                   "single-threaded reference\n",
+                   CellTag(cell).c_str(), engine.threads);
+    }
+  }
   return out;
 }
 
@@ -176,6 +225,19 @@ int main(int argc, char** argv) {
   std::string out_dir = opts.ExtraOr("out_dir", "");
   int force_fail = std::atoi(opts.ExtraOr("force_fail", "-1").c_str());
 
+  std::string engine_name = opts.ExtraOr("engine", "serial");
+  EngineConfig engine;
+  if (engine_name == "pdes") {
+    engine.kind = EngineKind::kParallel;
+    engine.threads = opts.sim_threads;
+    engine.partitions = opts.sim_partitions;
+  } else if (engine_name != "serial") {
+    std::fprintf(stderr, "unknown --engine '%s' (serial|pdes)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+  bool verify_serial = opts.ExtraOr("verify_serial", "0") != "0";
+
   std::vector<Cell> cells;
   for (const std::string& s : scenarios) {
     for (const std::string& w : workloads) {
@@ -195,19 +257,25 @@ int main(int argc, char** argv) {
     cells[force_fail].force_fail = true;
   }
 
-  // Thread count goes to stderr: stdout is byte-identical at any --threads.
-  std::fprintf(stderr, "running %zu cells on %d threads\n", cells.size(),
-               opts.threads);
+  // Thread count goes to stderr: stdout is byte-identical at any --threads
+  // (and, in pdes mode, at any --sim_threads).
+  std::fprintf(stderr, "running %zu cells on %d threads (engine=%s"
+               " sim_threads=%d)\n", cells.size(), opts.threads,
+               engine_name.c_str(), opts.sim_threads);
   std::printf("scenario matrix: %zu cells (%zu scenarios x %zu workloads"
               " x %zu controls x %zu seeds)\n\n",
               cells.size(), scenarios.size(), workloads.size(),
               control_names.size(), seeds.size());
 
+  auto t0 = std::chrono::steady_clock::now();
   std::vector<CellResult> results =
       fragdb_bench::RunIndexed<Cell, CellResult>(
           cells,
-          [&](const Cell& cell) { return RunCell(cell, nodes, duration); },
+          [&](const Cell& cell) {
+            return RunCell(cell, nodes, duration, engine, verify_serial);
+          },
           opts.threads);
+  double wall_ms = WallSince(t0);
 
   std::vector<int> widths = {44, 8, 8, 7, 10, 9, 7};
   PrintRow({"cell", "subm", "commit", "avail", "p95(ms)", "dropped", "ok"},
@@ -229,6 +297,29 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   for (const CellResult& res : results) PrintJsonLine(res.json);
+
+  // Wall clock under its own config name so determinism diffs (which
+  // byte-compare cell lines across --sim_threads) can strip it.
+  {
+    char wall_json[256];
+    std::snprintf(wall_json, sizeof(wall_json),
+                  "{\"config\":\"scenario_matrix_wall\",\"engine\":\"%s\","
+                  "\"threads\":%d,\"sim_threads\":%d,\"sim_partitions\":%d,"
+                  "\"cells\":%zu,\"wall_ms\":%.1f}",
+                  engine_name.c_str(), opts.threads, opts.sim_threads,
+                  opts.sim_partitions, cells.size(), wall_ms);
+    PrintJsonLine(wall_json);
+  }
+
+  size_t mismatches = 0;
+  for (const CellResult& res : results) {
+    if (res.verify_mismatch) ++mismatches;
+  }
+  if (mismatches != 0) {
+    std::printf("\n%zu/%zu cells DIVERGED from the single-threaded "
+                "reference\n", mismatches, cells.size());
+    return 1;
+  }
 
   if (!out_dir.empty()) {
     // Written in grid order from this thread, after the parallel phase:

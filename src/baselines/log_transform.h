@@ -85,7 +85,7 @@ class LogTransformEngine {
   Value ReadAt(NodeId node, ObjectId object) const;
   std::vector<const ObjectStore*> Replicas() const;
   const Stats& stats() const { return stats_; }
-  const NetworkStats& net_stats() const { return network_->stats(); }
+  NetworkStats net_stats() const { return network_->stats(); }
 
  private:
   /// A logged operation: totally ordered by (ts, origin, local_seq).

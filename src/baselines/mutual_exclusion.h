@@ -67,7 +67,7 @@ class MutualExclusionEngine {
   Value ReadAt(NodeId node, ObjectId object) const;
   std::vector<const ObjectStore*> Replicas() const;
   const Stats& stats() const { return stats_; }
-  const NetworkStats& net_stats() const { return network_->stats(); }
+  NetworkStats net_stats() const { return network_->stats(); }
 
  private:
   struct ForwardMsg;

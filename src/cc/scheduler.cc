@@ -6,10 +6,10 @@
 
 namespace fragdb {
 
-Scheduler::Scheduler(NodeId node, Simulator* sim, ObjectStore* store,
+Scheduler::Scheduler(NodeId node, SimEngine* engine, ObjectStore* store,
                      LockManager* locks, Config config, Hooks hooks)
     : node_(node),
-      sim_(sim),
+      engine_(engine),
       store_(store),
       locks_(locks),
       config_(config),
@@ -22,7 +22,7 @@ void Scheduler::RunLocal(TxnId id, TxnSpec spec, bool write_lock_preacquired,
       !spec.read_only() && !write_lock_preacquired;
   if (!needs_lock) {
     bool owns = false;
-    sim_->After(config_.exec_time,
+    engine_->AfterNode(node_, config_.exec_time,
                 [this, gen = generation_, id, spec = std::move(spec), owns,
                  seq_alloc = std::move(seq_alloc), done = std::move(done)] {
                   if (gen != generation_) return;  // node crashed meanwhile
@@ -39,11 +39,11 @@ void Scheduler::RunLocal(TxnId id, TxnSpec spec, bool write_lock_preacquired,
           TxnResult result;
           result.id = id;
           result.status = st;
-          result.finished_at = sim_->Now();
+          result.finished_at = engine_->Now();
           done(result);
           return;
         }
-        sim_->After(config_.exec_time,
+        engine_->AfterNode(node_, config_.exec_time,
                     [this, gen = generation_, id, spec, seq_alloc, done] {
                       if (gen != generation_) return;
                       ExecuteBody(id, spec, /*owns_write_lock=*/true,
@@ -65,7 +65,7 @@ void Scheduler::ExecuteBody(TxnId id, const TxnSpec& spec,
   for (ObjectId o : spec.read_set) {
     const VersionInfo& seen = store_->Info(o);
     result.reads.push_back(seen.value);
-    if (hooks_.on_read) hooks_.on_read(id, o, seen, sim_->Now());
+    if (hooks_.on_read) hooks_.on_read(id, o, seen, engine_->Now());
   }
 
   Result<std::vector<WriteOp>> body_out = spec.body
@@ -102,20 +102,20 @@ void Scheduler::ExecuteBody(TxnId id, const TxnSpec& spec,
         quasi.fragment = spec.write_fragment;
         quasi.seq = result.frag_seq;
         quasi.origin_node = node_;
-        quasi.origin_time = sim_->Now();
+        quasi.origin_time = engine_->Now();
         quasi.writes = result.writes;
         for (const WriteOp& w : result.writes) {
-          store_->Write(w.object, w.value, id, result.frag_seq, sim_->Now());
+          store_->Write(w.object, w.value, id, result.frag_seq, engine_->Now());
         }
         if (hooks_.on_install && !spec.read_only()) {
-          hooks_.on_install(node_, quasi, sim_->Now());
+          hooks_.on_install(node_, quasi, engine_->Now());
         }
       }
       result.status = Status::Ok();
     }
   }
 
-  result.finished_at = sim_->Now();
+  result.finished_at = engine_->Now();
   if (owns_write_lock) locks_->ReleaseAll(id);
   done(std::move(result));
 }
@@ -131,7 +131,7 @@ void Scheduler::Prepare(TxnId id, TxnSpec spec, bool write_lock_preacquired,
     for (ObjectId o : spec.read_set) {
       const VersionInfo& seen = store_->Info(o);
       result.reads.push_back(seen.value);
-      if (hooks_.on_read) hooks_.on_read(id, o, seen, sim_->Now());
+      if (hooks_.on_read) hooks_.on_read(id, o, seen, engine_->Now());
     }
     Result<std::vector<WriteOp>> body_out = spec.body
         ? spec.body(result.reads)
@@ -155,7 +155,7 @@ void Scheduler::Prepare(TxnId id, TxnSpec spec, bool write_lock_preacquired,
         result.status = Status::Ok();
       }
     }
-    result.finished_at = sim_->Now();
+    result.finished_at = engine_->Now();
     (*prepared)(std::move(result));
   };
 
@@ -164,7 +164,7 @@ void Scheduler::Prepare(TxnId id, TxnSpec spec, bool write_lock_preacquired,
     execute();
   };
   if (spec.read_only() || write_lock_preacquired) {
-    sim_->After(config_.exec_time, std::move(guarded));
+    engine_->AfterNode(node_, config_.exec_time, std::move(guarded));
     return;
   }
   locks_->Acquire(id, FragmentResource(spec.write_fragment),
@@ -175,11 +175,11 @@ void Scheduler::Prepare(TxnId id, TxnSpec spec, bool write_lock_preacquired,
                       TxnResult result;
                       result.id = id;
                       result.status = st;
-                      result.finished_at = sim_->Now();
+                      result.finished_at = engine_->Now();
                       (*prepared)(std::move(result));
                       return;
                     }
-                    sim_->After(config_.exec_time, std::move(guarded));
+                    engine_->AfterNode(node_, config_.exec_time, std::move(guarded));
                   });
 }
 
@@ -191,12 +191,12 @@ void Scheduler::CommitPrepared(TxnId id, FragmentId fragment,
   quasi.fragment = fragment;
   quasi.seq = seq;
   quasi.origin_node = node_;
-  quasi.origin_time = sim_->Now();
+  quasi.origin_time = engine_->Now();
   quasi.writes = writes;
   for (const WriteOp& w : writes) {
-    store_->Write(w.object, w.value, id, seq, sim_->Now());
+    store_->Write(w.object, w.value, id, seq, engine_->Now());
   }
-  if (hooks_.on_install) hooks_.on_install(node_, quasi, sim_->Now());
+  if (hooks_.on_install) hooks_.on_install(node_, quasi, engine_->Now());
   if (release_locks) locks_->ReleaseAll(id);
 }
 
@@ -214,14 +214,14 @@ void Scheduler::Install(QuasiTxn quasi, TxnId install_id,
         // Quasi-transactions are never deadlock victims: they request a
         // single resource, so they cannot close a waits-for cycle.
         FRAGDB_CHECK(st.ok());
-        sim_->After(config_.install_time, [this, gen = generation_, quasi,
+        engine_->AfterNode(node_, config_.install_time, [this, gen = generation_, quasi,
                                            install_id, done] {
           if (gen != generation_) return;  // node crashed meanwhile
           for (const WriteOp& w : quasi.writes) {
             store_->Write(w.object, w.value, quasi.origin_txn, quasi.seq,
-                          sim_->Now());
+                          engine_->Now());
           }
-          if (hooks_.on_install) hooks_.on_install(node_, quasi, sim_->Now());
+          if (hooks_.on_install) hooks_.on_install(node_, quasi, engine_->Now());
           locks_->ReleaseAll(install_id);
           done();
         });

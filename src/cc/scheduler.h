@@ -8,7 +8,7 @@
 #include "cc/transaction.h"
 #include "common/status.h"
 #include "common/types.h"
-#include "sim/simulator.h"
+#include "sim/engine.h"
 #include "storage/object_store.h"
 
 namespace fragdb {
@@ -42,7 +42,7 @@ class Scheduler {
         on_install;
   };
 
-  Scheduler(NodeId node, Simulator* sim, ObjectStore* store,
+  Scheduler(NodeId node, SimEngine* engine, ObjectStore* store,
             LockManager* locks, Config config, Hooks hooks);
 
   Scheduler(const Scheduler&) = delete;
@@ -105,7 +105,7 @@ class Scheduler {
                    const std::function<void(TxnResult)>& done);
 
   NodeId node_;
-  Simulator* sim_;
+  SimEngine* engine_;
   ObjectStore* store_;
   LockManager* locks_;
   Config config_;

@@ -8,23 +8,29 @@ namespace fragdb {
 AuditReport AuditRun(const Cluster& cluster) {
   AuditReport report;
   const History& history = cluster.history();
-  report.global_serializability = CheckGlobalSerializability(history);
-  report.fragmentwise = CheckFragmentwiseSerializability(
-      history, cluster.catalog().fragment_count());
+  // One index serves every serializability check below; without it each
+  // check rescans the install log, and the per-fragment sweep turns the
+  // audit quadratic in the history size.
+  HistoryIndex index(history);
+  report.global_serializability = CheckGlobalSerializability(index);
+  // Single per-fragment sweep: the first failure doubles as the
+  // fragmentwise verdict, and every failure is collected for the report.
   for (FragmentId f = 0; f < cluster.catalog().fragment_count(); ++f) {
-    CheckReport p1 = CheckProperty1(history, f);
+    CheckReport p1 = CheckProperty1(index, f);
     if (!p1.ok) {
+      if (report.fragmentwise.ok) report.fragmentwise = p1;
       report.fragment_failures.push_back("F" + std::to_string(f) + " P1: " +
                                          p1.detail);
     }
-    CheckReport p2 = CheckProperty2(history, f);
+    CheckReport p2 = CheckProperty2(index, f);
     if (!p2.ok) {
+      if (report.fragmentwise.ok) report.fragmentwise = p2;
       report.fragment_failures.push_back("F" + std::to_string(f) + " P2: " +
                                          p2.detail);
     }
   }
   report.replica_consistency = cluster.CheckReplicaSetConsistency();
-  report.configured_property = cluster.CheckConfiguredProperty();
+  report.configured_property = cluster.CheckConfiguredProperty(&index);
   for (const auto& [id, rec] : history.txns()) {
     (void)id;
     if (rec.committed) {

@@ -1,6 +1,7 @@
 #include "core/cluster.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -38,7 +39,34 @@ const char* MoveProtocolName(MoveProtocol protocol) {
 
 Cluster::Cluster(ClusterConfig config, Topology topology)
     : config_(config), topology_(std::move(topology)) {
-  network_ = std::make_unique<Network>(&sim_, &topology_);
+  if (config_.engine.kind == EngineKind::kParallel) {
+    const int nodes = topology_.node_count();
+    const int parts = config_.engine.partitions > 0
+                          ? std::min(config_.engine.partitions, nodes)
+                          : nodes;
+    PdesScheduler::Options opts;
+    opts.threads = config_.engine.threads;
+    engine_ = std::make_unique<PdesEngine>(
+        PartitionPlan::Contiguous(nodes, parts),
+        [this](const PartitionPlan& p) {
+          return topology_.MinCrossPartitionLatency(p.owners());
+        },
+        opts);
+    parallel_ = true;
+    // Topology mutations happen in global events. Precompute the routing
+    // rows there so concurrent node events never race on the lazy row
+    // cache, and tell the scheduler its lookahead bound may have moved.
+    // Registered before the Network's flush listener: lookahead shrinks
+    // before any flushed message is posted.
+    topology_.PrecomputeAllRows();
+    topology_.OnChange([this] {
+      topology_.PrecomputeAllRows();
+      engine_->NotifyTopologyChanged();
+    });
+  } else {
+    engine_ = std::make_unique<SerialEngine>(&sim_);
+  }
+  network_ = std::make_unique<Network>(engine_.get(), &topology_);
 }
 
 Cluster::~Cluster() = default;
@@ -123,6 +151,11 @@ ControlOption Cluster::ControlFor(FragmentId fragment) const {
 
 Status Cluster::Start() {
   if (started_) return Status::FailedPrecondition("already started");
+  // The metrics registry and the tracer keep single append-only sinks;
+  // they are not sharded, so the parallel engine refuses them. Timelines,
+  // availability, and the flight recorder shard per node and work.
+  FRAGDB_CHECK(!parallel_ || (!config_.observability.metrics &&
+                              !config_.observability.tracing));
   rag_ = std::make_unique<ReadAccessGraph>(catalog_.fragment_count());
   for (const auto& [from, to] : declared_reads_) {
     FRAGDB_RETURN_IF_ERROR(rag_->AddEdge(from, to));
@@ -197,6 +230,7 @@ Status Cluster::Start() {
   if (config_.observability.flight_recorder) {
     flight_ = std::make_unique<FlightRecorder>(
         topology_.node_count(), config_.observability.flight_recorder_capacity);
+    if (parallel_) flight_->SetParallelMode(true);
   }
   if (flight_ || tracer_) {
     // A dropped message is invisible to its receiver; the trace (and the
@@ -220,13 +254,19 @@ Status Cluster::Start() {
       runtimes_[n]->HandleMessage(msg);
     });
   }
-  amnesia_down_.assign(topology_.node_count(), false);
+  amnesia_down_.assign(topology_.node_count(), 0);
+  remote_waits_.resize(topology_.node_count());
+  ack_waits_.resize(topology_.node_count());
+  if (parallel_) {
+    history_shards_.resize(topology_.node_count());
+    txn_stripe_next_.assign(topology_.node_count() + 1, 0);
+  }
   if (config_.durability.enabled) {
     recovery_ = std::make_unique<RecoveryManager>(this);
     for (NodeId n = 0; n < topology_.node_count(); ++n) {
       stable_.push_back(std::make_unique<StableStorage>());
       durability_.push_back(std::make_unique<NodeDurability>(
-          &sim_, stable_[n].get(), &config_.durability,
+          n, engine_.get(), stable_[n].get(), &config_.durability,
           [this, n] { return CaptureCheckpoint(n); }));
       runtimes_[n]->SetDurability(durability_[n].get());
     }
@@ -326,7 +366,7 @@ void Cluster::Submit(const TxnSpec& spec, TxnCallback done) {
   if (!home.ok()) {
     done(FailResult(kInvalidTxn,
                     Status::FailedPrecondition("agent has no home node"),
-                    sim_.Now()));
+                    engine_->Now()));
     return;
   }
   auto state_it = agent_state_.find(spec.agent);
@@ -334,7 +374,7 @@ void Cluster::Submit(const TxnSpec& spec, TxnCallback done) {
     AgentState& st = state_it->second;
     if (st.phase == AgentPhase::kInTransit && !spec.read_only()) {
       done(FailResult(kInvalidTxn,
-                      Status::Unavailable("agent is in transit"), sim_.Now()));
+                      Status::Unavailable("agent is in transit"), engine_->Now()));
       return;
     }
     if (st.phase == AgentPhase::kCatchingUp && !spec.read_only()) {
@@ -354,7 +394,7 @@ void Cluster::SubmitReadOnlyAt(NodeId node, const TxnSpec& spec,
     done(FailResult(kInvalidTxn,
                     Status::InvalidArgument(
                         "SubmitReadOnlyAt requires a read-only transaction"),
-                    sim_.Now()));
+                    engine_->Now()));
     return;
   }
   SubmitAt(node, spec, std::move(done));
@@ -363,12 +403,12 @@ void Cluster::SubmitReadOnlyAt(NodeId node, const TxnSpec& spec,
 void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
   if (node < 0 || node >= topology_.node_count()) {
     done(FailResult(kInvalidTxn, Status::InvalidArgument("no such node"),
-                    sim_.Now()));
+                    engine_->Now()));
     return;
   }
   if (obs_ || timelines_) {
     if (obs_) obs_->TxnSubmitted(node)->Add();
-    SimTime submitted_at = sim_.Now();
+    SimTime submitted_at = engine_->Now();
     done = [this, node, submitted_at,
             inner = std::move(done)](const TxnResult& r) {
       if (r.status.ok()) {
@@ -390,14 +430,14 @@ void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
   }
   if (!topology_.IsNodeUp(node)) {
     done(FailResult(kInvalidTxn, Status::Unavailable("node is down"),
-                    sim_.Now()));
+                    engine_->Now()));
     return;
   }
   FragmentId type_fragment = kInvalidFragment;
   Status st = ValidateSpec(node, spec, &type_fragment);
   if (st.ok()) st = CheckRagConformance(spec, type_fragment);
   if (!st.ok()) {
-    done(FailResult(kInvalidTxn, st, sim_.Now()));
+    done(FailResult(kInvalidTxn, st, engine_->Now()));
     return;
   }
 
@@ -409,7 +449,7 @@ void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
   rec.home = node;
   rec.read_only = spec.read_only();
   rec.label = spec.label;
-  history_.RegisterTxn(rec);
+  HistorySink(node).RegisterTxn(rec);
   if (tracing_active()) {
     Trace("submit", node, type_fragment, id, 0,
           "T" + std::to_string(id) +
@@ -498,15 +538,17 @@ void Cluster::AcquireLockPlan(TxnId id, NodeId node,
   wait.cont = proceed;
   wait.home = step.home;
   wait.requester = node;
-  wait.timeout_event = sim_.After(config_.remote_lock_timeout, [this, key] {
-    auto it = remote_waits_.find(key);
-    if (it == remote_waits_.end() || it->second.abandoned) return;
-    it->second.abandoned = true;
-    auto cont = std::move(it->second.cont);
-    // Entry stays so a late grant is released; cont fails the plan.
-    cont(Status::TimedOut("remote read lock timed out"));
-  });
-  remote_waits_[key] = std::move(wait);
+  wait.timeout_event = engine_->AfterNode(
+      node, config_.remote_lock_timeout, [this, key, node] {
+        auto& shard = remote_waits_[node];
+        auto it = shard.find(key);
+        if (it == shard.end() || it->second.abandoned) return;
+        it->second.abandoned = true;
+        auto cont = std::move(it->second.cont);
+        // Entry stays so a late grant is released; cont fails the plan.
+        cont(Status::TimedOut("remote read lock timed out"));
+      });
+  remote_waits_[node][key] = std::move(wait);
   auto req = std::make_shared<ReadLockRequest>();
   req->txn = id;
   req->fragment = step.fragment;
@@ -517,8 +559,9 @@ void Cluster::AcquireLockPlan(TxnId id, NodeId node,
 
 void Cluster::OnRemoteLockGrant(NodeId node, const ReadLockGrant& grant) {
   auto key = std::make_pair(grant.txn, grant.fragment);
-  auto it = remote_waits_.find(key);
-  if (it == remote_waits_.end()) return;
+  auto& shard = remote_waits_[node];
+  auto it = shard.find(key);
+  if (it == shard.end()) return;
   RemoteLockWait& wait = it->second;
   if (wait.abandoned) {
     // Grant arrived after the timeout: release it right back.
@@ -526,12 +569,12 @@ void Cluster::OnRemoteLockGrant(NodeId node, const ReadLockGrant& grant) {
     rel->txn = grant.txn;
     rel->fragment = grant.fragment;
     network_->Send(node, wait.home, rel);
-    remote_waits_.erase(it);
+    shard.erase(it);
     return;
   }
-  sim_.Cancel(wait.timeout_event);
+  engine_->CancelNode(node, wait.timeout_event);
   auto cont = std::move(wait.cont);
-  remote_waits_.erase(it);
+  shard.erase(it);
   cont(Status::Ok());
 }
 
@@ -541,7 +584,7 @@ void Cluster::FailLockPlan(TxnId id, NodeId node,
                            TxnCallback done, Status why) {
   (void)spec;
   ReleasePlanLocks(id, node, plan, acquired);
-  done(FailResult(id, std::move(why), sim_.Now()));
+  done(FailResult(id, std::move(why), engine_->Now()));
 }
 
 void Cluster::ReleasePlanLocks(TxnId id, NodeId node,
@@ -563,11 +606,13 @@ void Cluster::ReleasePlanLocks(TxnId id, NodeId node,
     }
   }
   // Drop any still-pending remote waits of this transaction (the grant, if
-  // it ever comes, is released by the abandoned path).
-  for (auto it = remote_waits_.begin(); it != remote_waits_.end();) {
+  // it ever comes, is released by the abandoned path). All of them live in
+  // the requester's shard — the transaction submitted at `node`.
+  auto& shard = remote_waits_[node];
+  for (auto it = shard.begin(); it != shard.end();) {
     if (it->first.first == id && !it->second.abandoned) {
-      sim_.Cancel(it->second.timeout_event);
-      it = remote_waits_.erase(it);
+      engine_->CancelNode(node, it->second.timeout_event);
+      it = shard.erase(it);
     } else {
       ++it;
     }
@@ -602,7 +647,7 @@ void Cluster::ExecuteAndPropagate(TxnId id, NodeId node, const TxnSpec& spec,
                 "T" + std::to_string(id) + " " + result.status.ToString());
         }
         if (result.status.ok()) {
-          history_.MarkCommitted(id, result.frag_seq);
+          MarkCommittedAt(node, id, result.frag_seq);
           if (!spec.read_only()) {
             QuasiTxn quasi;
             quasi.origin_txn = id;
@@ -660,7 +705,7 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
         quasi.fragment = wf;
         quasi.seq = seq;
         quasi.origin_node = node;
-        quasi.origin_time = sim_.Now();
+        quasi.origin_time = engine_->Now();
         quasi.writes = result->writes;
 
         auto prep = std::make_shared<QuasiPrepare>();
@@ -679,7 +724,7 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
           NodeRuntime& rt = *runtimes_[node];
           rt.scheduler().CommitPrepared(id, wf, quasi.writes, seq,
                                         release_locks);
-          history_.MarkCommitted(id, seq);
+          MarkCommittedAt(node, id, seq);
           rt.RecordLocalCommit(quasi);
           auto cmt = std::make_shared<QuasiCommit>();
           cmt->fragment = wf;
@@ -687,7 +732,7 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
           Status s2 = SendToReplicas(node, wf, cmt);
           FRAGDB_CHECK(s2.ok());
           result->status = Status::Ok();
-          result->finished_at = sim_.Now();
+          result->finished_at = engine_->Now();
           if (tracing_active()) {
             Trace("commit", node, wf, id, seq,
                   "T" + std::to_string(id) + " OK (majority)");
@@ -697,13 +742,14 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
           after();
           done(*result);
         };
-        wait.timeout_event =
-            sim_.After(config_.majority_ack_timeout, [this, id, node, wf,
-                                                      release_locks, result,
-                                                      done, after, key] {
-              auto it = ack_waits_.find(key);
-              if (it == ack_waits_.end()) return;
-              ack_waits_.erase(it);
+        wait.timeout_event = engine_->AfterNode(
+            node, config_.majority_ack_timeout, [this, id, node, wf,
+                                                 release_locks, result,
+                                                 done, after, key] {
+              auto& shard = ack_waits_[node];
+              auto it = shard.find(key);
+              if (it == shard.end()) return;
+              shard.erase(it);
               NodeRuntime& rt = *runtimes_[node];
               // Roll the tentative sequence back; the exclusive fragment
               // lock is still held, so nothing else allocated meanwhile.
@@ -711,7 +757,7 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
               rt.scheduler().AbortPrepared(id, release_locks);
               result->status = Status::Unavailable(
                   "majority acknowledgments not received");
-              result->finished_at = sim_.Now();
+              result->finished_at = engine_->Now();
               Trace("fail", node, wf, id, 0,
                     "T" + std::to_string(id) +
                         " Unavailable: no majority acks");
@@ -720,24 +766,25 @@ void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
             });
         if (wait.acks >= wait.needed) {
           // Single-node majority: commit immediately.
-          sim_.Cancel(wait.timeout_event);
+          engine_->CancelNode(node, wait.timeout_event);
           auto go = wait.on_majority;
           go();
           return;
         }
-        ack_waits_[key] = std::move(wait);
+        ack_waits_[node][key] = std::move(wait);
       });
 }
 
-void Cluster::OnMajorityAck(const QuasiAck& ack) {
-  auto it = ack_waits_.find(ack.txn);
-  if (it == ack_waits_.end()) return;
+void Cluster::OnMajorityAck(NodeId home, const QuasiAck& ack) {
+  auto& shard = ack_waits_[home];
+  auto it = shard.find(ack.txn);
+  if (it == shard.end()) return;
   AckWait& wait = it->second;
   wait.acks += 1;
   if (wait.acks >= wait.needed) {
-    sim_.Cancel(wait.timeout_event);
+    engine_->CancelNode(home, wait.timeout_event);
     auto go = std::move(wait.on_majority);
-    ack_waits_.erase(it);
+    shard.erase(it);
     go();
   }
 }
@@ -808,7 +855,7 @@ void Cluster::CommitRepackaged(NodeId home, FragmentId fragment,
     rec.home = home;
     rec.read_only = false;
     rec.label = label;
-    history_.RegisterTxn(rec);
+    HistorySink(home).RegisterTxn(rec);
     TxnSpec spec;
     spec.agent = *agent;
     spec.write_fragment = fragment;
@@ -822,7 +869,7 @@ void Cluster::CommitRepackaged(NodeId home, FragmentId fragment,
         id, spec, /*write_lock_preacquired=*/false, seq_alloc,
         [this, id, home, fragment, then](TxnResult result) {
           if (result.status.ok()) {
-            history_.MarkCommitted(id, result.frag_seq);
+            MarkCommittedAt(home, id, result.frag_seq);
             QuasiTxn quasi;
             quasi.origin_txn = id;
             quasi.fragment = fragment;
@@ -876,7 +923,7 @@ void Cluster::Trace(const char* kind, NodeId node, FragmentId fragment,
                     TxnId txn, SeqNum seq, std::string detail) {
   if (!trace_sink_ && !tracer_ && !flight_) return;
   TraceEvent ev;
-  ev.at = sim_.Now();
+  ev.at = engine_->Now();
   ev.kind = kind;
   ev.node = node;
   ev.fragment = fragment;
@@ -884,7 +931,7 @@ void Cluster::Trace(const char* kind, NodeId node, FragmentId fragment,
   ev.seq = seq;
   ev.detail = std::move(detail);
   if (trace_sink_) trace_sink_(ev);
-  if (flight_) flight_->Record(ev);
+  if (flight_) flight_->Record(ev, engine_->CurrentNode());
   if (tracer_) tracer_->Record(std::move(ev));
 }
 
@@ -953,7 +1000,7 @@ Status Cluster::SetNodeUp(NodeId node, bool up) {
   if (obs_) (up ? obs_->NodeUps() : obs_->NodeDowns())->Add();
   Status st = topology_.SetNodeUp(node, up);
   if (st.ok() && availability_) {
-    availability_->SetNodeDown(node, sim_.Now(), !up);
+    availability_->SetNodeDown(node, engine_->Now(), !up);
   }
   return st;
 }
@@ -977,25 +1024,21 @@ Status Cluster::CrashNode(NodeId node, CrashMode mode) {
     obs_->AmnesiaCrashes()->Add();
   }
   FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, false));
-  if (availability_) availability_->SetNodeDown(node, sim_.Now(), true);
+  if (availability_) availability_->SetNodeDown(node, engine_->Now(), true);
   recovery_->Abort(node);  // a crash during recovery drops the session
   // §4.4.1 waits prepared at this node die with its volatile state. Their
   // timeout lambdas would touch the wiped stream (next_seq rollback), so
   // they must not fire; the submitters' callbacks are simply lost, like
   // any client talking to a crashed server.
-  for (auto it = ack_waits_.begin(); it != ack_waits_.end();) {
-    if (it->second.home == node) {
-      sim_.Cancel(it->second.timeout_event);
-      it = ack_waits_.erase(it);
-    } else {
-      ++it;
-    }
+  for (auto& [id, wait] : ack_waits_[node]) {
+    engine_->CancelNode(node, wait.timeout_event);
   }
+  ack_waits_[node].clear();
   // Remote read-lock waits this node initiated: mark abandoned so a late
   // grant is released back to its home instead of leaking the lock.
-  for (auto& [key, wait] : remote_waits_) {
-    if (wait.requester == node && !wait.abandoned) {
-      sim_.Cancel(wait.timeout_event);
+  for (auto& [key, wait] : remote_waits_[node]) {
+    if (!wait.abandoned) {
+      engine_->CancelNode(node, wait.timeout_event);
       wait.abandoned = true;
     }
   }
@@ -1004,7 +1047,7 @@ Status Cluster::CrashNode(NodeId node, CrashMode mode) {
   // held by its staged-WAL sync and in-flight checkpoint events, which is
   // exactly how the staged suffix gets lost.
   durability_[node] = std::make_unique<NodeDurability>(
-      &sim_, stable_[node].get(), &config_.durability,
+      node, engine_.get(), stable_[node].get(), &config_.durability,
       [this, node] { return CaptureCheckpoint(node); });
   runtimes_[node]->SetDurability(durability_[node].get());
   amnesia_down_[node] = true;
@@ -1025,7 +1068,7 @@ Status Cluster::ReviveNode(NodeId node, RecoveryCallback done) {
           "N" + std::to_string(node));
     if (obs_) obs_->NodeUps()->Add();
     FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, true));
-    if (availability_) availability_->SetNodeDown(node, sim_.Now(), false);
+    if (availability_) availability_->SetNodeDown(node, engine_->Now(), false);
     if (done) done(RecoveryStats{});
     return Status::Ok();
   }
@@ -1038,7 +1081,7 @@ Status Cluster::ReviveNode(NodeId node, RecoveryCallback done) {
     // Catch-up (set when local replay rejoins the network) ends when the
     // recovery session reports fully caught up.
     done = [this, node, inner = std::move(done)](const RecoveryStats& s) {
-      availability_->SetCatchingUp(node, sim_.Now(), false);
+      availability_->SetCatchingUp(node, engine_->Now(), false);
       if (inner) inner(s);
     };
   }
@@ -1067,7 +1110,7 @@ void Cluster::OnLocalReplayDone(NodeId node) {
   if (availability_) {
     // Serving again, but from replayed state: degraded-stale until the
     // peer catch-up phase completes (the ReviveNode done wrapper).
-    SimTime now = sim_.Now();
+    SimTime now = engine_->Now();
     availability_->SetNodeDown(node, now, false);
     availability_->SetCatchingUp(node, now, true);
   }
@@ -1075,7 +1118,7 @@ void Cluster::OnLocalReplayDone(NodeId node) {
 
 void Cluster::RefreshHomeReachability() {
   if (!availability_) return;
-  SimTime now = sim_.Now();
+  SimTime now = engine_->Now();
   for (NodeId n = 0; n < topology_.node_count(); ++n) {
     for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
       availability_->SetHomeReachable(
@@ -1086,7 +1129,7 @@ void Cluster::RefreshHomeReachability() {
 
 CheckpointImage Cluster::CaptureCheckpoint(NodeId node) {
   CheckpointImage image;
-  image.taken_at = sim_.Now();
+  image.taken_at = engine_->Now();
   image.versions = runtimes_[node]->store().AllVersions();
   for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
     if (!catalog_.ReplicatedAt(f, node)) continue;
@@ -1134,10 +1177,49 @@ void Cluster::StartGapRepairSweep() {
   }
 }
 
-void Cluster::RunFor(SimTime duration) { sim_.RunUntil(sim_.Now() + duration); }
-void Cluster::RunUntil(SimTime deadline) { sim_.RunUntil(deadline); }
-void Cluster::RunToQuiescence() { sim_.RunToQuiescence(); }
-SimTime Cluster::Now() const { return sim_.Now(); }
+void Cluster::RunFor(SimTime duration) {
+  engine_->RunUntil(engine_->Now() + duration);
+  CollapseHistoryShards();
+}
+void Cluster::RunUntil(SimTime deadline) {
+  engine_->RunUntil(deadline);
+  CollapseHistoryShards();
+}
+void Cluster::RunToQuiescence() {
+  engine_->RunToQuiescence();
+  CollapseHistoryShards();
+}
+SimTime Cluster::Now() const { return engine_->Now(); }
+
+History& Cluster::HistorySink(NodeId node) {
+  if (parallel_ && node >= 0 &&
+      node < static_cast<NodeId>(history_shards_.size())) {
+    return history_shards_[node];
+  }
+  return history_;
+}
+
+void Cluster::MarkCommittedAt(NodeId node, TxnId id, SeqNum frag_seq) {
+  if (parallel_) {
+    HistorySink(node).MarkCommittedPartial(id, frag_seq);
+  } else {
+    history_.MarkCommitted(id, frag_seq);
+  }
+}
+
+TxnId Cluster::NewTxnId() {
+  if (!parallel_) return next_txn_id_++;
+  const NodeId node = engine_->CurrentNode();
+  const size_t stripe = node == kInvalidNode ? txn_stripe_next_.size() - 1
+                                             : static_cast<size_t>(node);
+  const TxnId stripes = static_cast<TxnId>(txn_stripe_next_.size());
+  return 1 + txn_stripe_next_[stripe]++ * stripes +
+         static_cast<TxnId>(stripe);
+}
+
+void Cluster::CollapseHistoryShards() {
+  for (History& shard : history_shards_) history_.AbsorbShard(&shard);
+}
 
 int Cluster::node_count() const { return topology_.node_count(); }
 
@@ -1146,7 +1228,7 @@ Value Cluster::ReadAt(NodeId node, ObjectId object) const {
   return runtimes_[node]->store().Read(object);
 }
 
-const NetworkStats& Cluster::net_stats() const { return network_->stats(); }
+NetworkStats Cluster::net_stats() const { return network_->stats(); }
 
 std::vector<const ObjectStore*> Cluster::Replicas() const {
   std::vector<const ObjectStore*> out;
@@ -1155,7 +1237,7 @@ std::vector<const ObjectStore*> Cluster::Replicas() const {
   return out;
 }
 
-CheckReport Cluster::CheckConfiguredProperty() const {
+CheckReport Cluster::CheckConfiguredProperty(const HistoryIndex* index) const {
   if (config_.move_protocol == MoveProtocol::kOmitPrep) {
     // §4.4.3 promises only mutual consistency, which is a quiescence-time
     // replica comparison, not a history property.
@@ -1172,9 +1254,13 @@ CheckReport Cluster::CheckConfiguredProperty() const {
   for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
     if (ControlFor(f) == ControlOption::kFragmentwise) all_sr = false;
   }
-  if (all_sr) return CheckGlobalSerializability(history_);
-  return CheckFragmentwiseSerializability(history_,
-                                          catalog_.fragment_count());
+  std::optional<HistoryIndex> local;
+  if (index == nullptr) {
+    local.emplace(history_);
+    index = &*local;
+  }
+  if (all_sr) return CheckGlobalSerializability(*index);
+  return CheckFragmentwiseSerializability(*index, catalog_.fragment_count());
 }
 
 }  // namespace fragdb

@@ -26,6 +26,7 @@
 #include "recovery/node_durability.h"
 #include "recovery/recovery_manager.h"
 #include "recovery/stable_storage.h"
+#include "sim/engine.h"
 #include "sim/simulator.h"
 #include "storage/catalog.h"
 #include "storage/read_access_graph.h"
@@ -192,10 +193,21 @@ class Cluster {
   const Catalog& catalog() const { return catalog_; }
   const ReadAccessGraph& rag() const { return *rag_; }
   const History& history() const { return history_; }
-  const NetworkStats& net_stats() const;
+  NetworkStats net_stats() const;
   const ClusterConfig& config() const { return config_; }
   std::vector<const ObjectStore*> Replicas() const;
+  /// The serial event queue. Only meaningful under EngineKind::kSerial —
+  /// existing tests drive it directly; new code should use engine().
   Simulator& sim() { return sim_; }
+  /// The discrete-event engine the protocol stack runs on (serial shim or
+  /// the PDES scheduler, per config().engine).
+  SimEngine* engine() { return engine_.get(); }
+  /// The windowed scheduler when running on the parallel engine, else
+  /// nullptr. Exposes mid-run plan reassignment and window/merge stats.
+  PdesScheduler* pdes_scheduler() {
+    return parallel_ ? &static_cast<PdesEngine*>(engine_.get())->scheduler()
+                     : nullptr;
+  }
   Topology& topology() { return topology_; }
   NodeRuntime& runtime(NodeId node) { return *runtimes_[node]; }
 
@@ -212,7 +224,10 @@ class Cluster {
   /// option promises (global serializability for kReadLocks/kAcyclicReads,
   /// fragmentwise serializability for kFragmentwise). Mutual consistency
   /// is a separate, quiescence-time check (CheckMutualConsistency).
-  CheckReport CheckConfiguredProperty() const;
+  /// Callers that already indexed the history (AuditRun) pass it in;
+  /// otherwise one is built for the call.
+  CheckReport CheckConfiguredProperty(const HistoryIndex* index =
+                                          nullptr) const;
 
   /// Registers an observer for the cluster's structured event trace
   /// (transaction lifecycle, installs, moves, partitions). Pass nullptr
@@ -254,7 +269,19 @@ class Cluster {
   Network& network() { return *network_; }
   const ClusterConfig& cfg() const { return config_; }
   History& mutable_history() { return history_; }
-  TxnId NewTxnId() { return next_txn_id_++; }
+  /// The history sink for events acting on `node`: the merged history in
+  /// serial mode, the node's private shard under the parallel engine
+  /// (folded back in by CollapseHistoryShards at the end of every run).
+  History& HistorySink(NodeId node);
+  /// Records a commit through the sink for `node`. Serial mode keeps the
+  /// strict registered-then-committed check; parallel mode upserts,
+  /// because the commit may land in a different shard than the
+  /// registration (e.g. a repackaged commit after an agent move).
+  void MarkCommittedAt(NodeId node, TxnId id, SeqNum frag_seq);
+  /// Fresh transaction id. Serial mode counts up by one; parallel mode
+  /// stripes the id space by acting node so concurrent partitions never
+  /// share a counter (ids are unique but not dense).
+  TxnId NewTxnId();
   int MajoritySize() const;
   /// §4.4.1 majority within `fragment`'s replica set (the whole network
   /// under full replication).
@@ -269,8 +296,10 @@ class Cluster {
   void OnAppliedAdvanced(NodeId node, FragmentId fragment);
   /// A remote read-lock grant arrived at `node` (§4.1).
   void OnRemoteLockGrant(NodeId node, const ReadLockGrant& grant);
-  /// A majority-commit acknowledgment arrived at the home node (§4.4.1).
-  void OnMajorityAck(const QuasiAck& ack);
+  /// A majority-commit acknowledgment arrived at `home` (§4.4.1). The
+  /// handler runs in the home node's event context; `home` routes the
+  /// lookup to that node's ack-wait shard.
+  void OnMajorityAck(NodeId home, const QuasiAck& ack);
   /// §4.4.3 A(2): commit the surviving writes of a missing transaction as
   /// a fresh update transaction at `home`, then run the fragment's
   /// corrective action.
@@ -303,6 +332,10 @@ class Cluster {
     std::deque<std::pair<TxnSpec, TxnCallback>> queued;
     /// §4.4.2B: per fragment, the sequence the new home must reach.
     std::map<FragmentId, SeqNum> must_reach;
+    /// Parallel engine: a FinishMove has been deferred to a global event
+    /// and not yet run (suppresses duplicate completions from later
+    /// installs in the same window).
+    bool finishing = false;
     MoveCallback move_done;
   };
 
@@ -372,13 +405,29 @@ class Cluster {
                   std::map<FragmentId, SeqNum> carried_seqs,
                   std::map<FragmentId, QuasiSeqMap> logs);
   void FinishMove(AgentId agent);
+  /// FinishMove, routed by context: direct in serial mode (and from
+  /// globals), deferred to a global event under the parallel engine —
+  /// FinishMove mutates shared agent/catalog state that node events may
+  /// not touch.
+  void CompleteMove(AgentId agent);
   void DrainQueuedSubmissions(AgentId agent);
+  /// Folds the per-node history shards back into history_ (ascending node
+  /// order); called at the end of every Run* so inspection sees one merged
+  /// history. No-op in serial mode.
+  void CollapseHistoryShards();
 
   friend class NodeRuntime;
 
   ClusterConfig config_;
   Simulator sim_;
   Topology topology_;
+  /// The engine every runtime, timer, and message rides on. SerialEngine
+  /// wraps sim_ (byte-identical to the pre-engine code); PdesEngine owns
+  /// its scheduler and ignores sim_. Declared before network_ (which
+  /// holds a pointer to it).
+  std::unique_ptr<SimEngine> engine_;
+  /// Cached engine_->parallel() for hot paths.
+  bool parallel_ = false;
   std::unique_ptr<Network> network_;
   Catalog catalog_;
   std::unique_ptr<ReadAccessGraph> rag_;  // built at Start()
@@ -387,15 +436,24 @@ class Cluster {
   std::map<FragmentId, CorrectiveAction> corrective_;
   std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
   std::map<AgentId, AgentState> agent_state_;
-  std::map<std::pair<TxnId, FragmentId>, RemoteLockWait> remote_waits_;
-  std::map<TxnId, AckWait> ack_waits_;
+  /// §4.1 remote-lock waits, sharded by the requesting node (the only
+  /// node whose events touch the entry). Sized at Start().
+  std::vector<std::map<std::pair<TxnId, FragmentId>, RemoteLockWait>>
+      remote_waits_;
+  /// §4.4.1 ack waits, sharded by the home node preparing the update.
+  std::vector<std::map<TxnId, AckWait>> ack_waits_;
   /// Durability subsystem (empty/null unless config_.durability.enabled).
   std::vector<std::unique_ptr<StableStorage>> stable_;
   std::vector<std::unique_ptr<NodeDurability>> durability_;
   std::unique_ptr<RecoveryManager> recovery_;
   /// Per node: down with volatile state wiped (must revive via recovery).
-  std::vector<bool> amnesia_down_;
+  /// uint8_t, not bool: vector<bool> bit-packs, and adjacent flags may be
+  /// read from concurrent partitions under the parallel engine.
+  std::vector<uint8_t> amnesia_down_;
   History history_;
+  /// Parallel engine: per-node history shards (single writer each),
+  /// absorbed into history_ at the end of every run. Empty in serial mode.
+  std::vector<History> history_shards_;
   std::function<void(const TraceEvent&)> trace_sink_;
   /// Observability (null unless enabled in config_.observability).
   std::unique_ptr<MetricsRegistry> metrics_;
@@ -405,6 +463,9 @@ class Cluster {
   std::unique_ptr<AvailabilityTracker> availability_;
   std::unique_ptr<FlightRecorder> flight_;
   TxnId next_txn_id_ = 1;
+  /// Parallel engine: per-stripe counters for NewTxnId — one stripe per
+  /// node plus one for global/setup contexts.
+  std::vector<TxnId> txn_stripe_next_;
   bool started_ = false;
 };
 

@@ -49,6 +49,27 @@ enum class MoveProtocol {
 const char* ControlOptionName(ControlOption option);
 const char* MoveProtocolName(MoveProtocol protocol);
 
+/// Which discrete-event engine drives the cluster's protocol stack.
+enum class EngineKind {
+  /// The classic single-threaded Simulator; event order (and every byte
+  /// of output) identical to all prior releases.
+  kSerial,
+  /// The conservative windowed PDES scheduler: node events run
+  /// concurrently, partitioned across worker threads, with shared-state
+  /// work serialized at window barriers. Output is deterministic at any
+  /// thread count, but is a *different* (equally valid) schedule than the
+  /// serial engine's — see docs/PERFORMANCE.md.
+  kParallel,
+};
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::kSerial;
+  /// Worker threads (kParallel): 1 = inline, 0 = hardware concurrency.
+  int threads = 1;
+  /// Node partitions (kParallel): 0 = one per node.
+  int partitions = 0;
+};
+
 /// Tuning knobs for a cluster run. All times are simulated.
 struct ClusterConfig {
   ControlOption control = ControlOption::kFragmentwise;
@@ -91,6 +112,11 @@ struct ClusterConfig {
   /// off the cluster pays only a null-pointer check per would-be
   /// instrumentation site.
   ObservabilityConfig observability;
+
+  /// Discrete-event engine selection. kParallel requires
+  /// observability.metrics and observability.tracing to stay off (their
+  /// sinks are not sharded); timelines and the flight recorder work.
+  EngineConfig engine;
 };
 
 }  // namespace fragdb

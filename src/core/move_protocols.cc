@@ -52,11 +52,13 @@ Status Cluster::MoveAgent(AgentId agent, NodeId to_node, MoveCallback done) {
   // one of the agent's fragments (the paper's protocols assume the last
   // transaction at the old home completed there).
   for (FragmentId f : catalog_.TokensOf(agent)) {
-    for (const auto& [txn, wait] : ack_waits_) {
-      (void)txn;
-      if (wait.fragment == f) {
-        return Status::FailedPrecondition(
-            "an update on the agent's fragment is awaiting majority acks");
+    for (const auto& shard : ack_waits_) {
+      for (const auto& [txn, wait] : shard) {
+        (void)txn;
+        if (wait.fragment == f) {
+          return Status::FailedPrecondition(
+              "an update on the agent's fragment is awaiting majority acks");
+        }
       }
     }
   }
@@ -104,13 +106,16 @@ void Cluster::StartMove(AgentId agent, NodeId from, NodeId to) {
           break;
       }
     }
-    sim_.After(config_.agent_travel_time,
-               [this, agent, from, to, snapshots = std::move(snapshots),
-                carried_seqs = std::move(carried_seqs),
-                logs = std::move(logs)]() mutable {
-                 ArriveMove(agent, from, to, std::move(snapshots),
-                            std::move(carried_seqs), std::move(logs));
-               });
+    // Arrival mutates the catalog (SetHome) and shared agent state, so it
+    // is a global event. Serial engine: identical to the old sim_.After.
+    engine_->AtGlobal(
+        engine_->Now() + config_.agent_travel_time,
+        [this, agent, from, to, snapshots = std::move(snapshots),
+         carried_seqs = std::move(carried_seqs),
+         logs = std::move(logs)]() mutable {
+          ArriveMove(agent, from, to, std::move(snapshots),
+                     std::move(carried_seqs), std::move(logs));
+        });
   };
   if (!drain) {
     capture_and_travel();
@@ -193,7 +198,10 @@ void Cluster::ArriveMove(
       std::weak_ptr<std::function<void(size_t)>> weak = next;
       *next = [this, agent, to, tokens, weak](size_t i) {
         if (i >= tokens->size()) {
-          FinishMove(agent);
+          // The catch-up may complete inside a node event at `to`
+          // (OnSeqReply / an install advancing); CompleteMove routes the
+          // shared-state mutation to a global event when it must.
+          CompleteMove(agent);
           return;
         }
         auto self = weak.lock();
@@ -242,7 +250,8 @@ Status Cluster::RecoverAgent(AgentId agent, NodeId to_node,
   st.move_done = std::move(done);
   Trace("recover", to_node, kInvalidFragment, kInvalidTxn, 0,
         catalog_.AgentName(agent) + " -> N" + std::to_string(to_node));
-  sim_.After(config_.agent_travel_time, [this, agent, to_node] {
+  engine_->AtGlobal(engine_->Now() + config_.agent_travel_time, [this, agent,
+                                                                 to_node] {
     Status set = catalog_.SetHome(agent, to_node);
     FRAGDB_CHECK(set.ok());
     agent_state_[agent].phase = AgentPhase::kCatchingUp;
@@ -257,7 +266,7 @@ Status Cluster::RecoverAgent(AgentId agent, NodeId to_node,
         for (FragmentId f : *tokens) {
           runtimes_[to_node]->BeginOmitPrepEpoch(f);
         }
-        FinishMove(agent);
+        CompleteMove(agent);
         return;
       }
       auto self = weak.lock();
@@ -289,9 +298,29 @@ void Cluster::OnAppliedAdvanced(NodeId node, FragmentId fragment) {
       (void)seq;
       dst.stream(f).next_seq = dst.stream(f).applied_seq + 1;
     }
-    FinishMove(agent);
+    CompleteMove(agent);
     return;  // FinishMove may mutate agent_state_; restart next event
   }
+}
+
+void Cluster::CompleteMove(AgentId agent) {
+  // From setup, a global event, or the serial engine, FinishMove runs
+  // inline (exactly the historical behavior). From a node event under the
+  // parallel engine it is deferred to a global: FinishMove flips shared
+  // agent state and drains queued submissions, neither of which a node
+  // event may touch. The catch-up conditions cannot regress meanwhile —
+  // streams only advance — so no re-check is needed at the global.
+  if (!parallel_ || engine_->CurrentNode() == kInvalidNode) {
+    FinishMove(agent);
+    return;
+  }
+  AgentState& st = agent_state_[agent];
+  if (st.finishing) return;
+  st.finishing = true;
+  engine_->AtGlobal(engine_->Now(), [this, agent] {
+    agent_state_[agent].finishing = false;
+    FinishMove(agent);
+  });
 }
 
 void Cluster::FinishMove(AgentId agent) {

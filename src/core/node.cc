@@ -24,7 +24,7 @@ NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id)
     r.version_writer = seen.writer;
     r.version_seq = seen.frag_seq;
     r.at = at;
-    cluster_->mutable_history().RecordRead(r);
+    cluster_->HistorySink(id_).RecordRead(r);
     if (ClusterInstruments* ins = cluster_->instruments()) {
       // Staleness is the age of the version served; initial values (never
       // written) carry no install time and are skipped.
@@ -34,9 +34,9 @@ NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id)
     }
   };
   hooks.on_install = [this](NodeId node, const QuasiTxn& quasi, SimTime at) {
-    cluster_->mutable_history().RecordInstall(node, quasi, at);
+    cluster_->HistorySink(id_).RecordInstall(node, quasi, at);
   };
-  scheduler_ = std::make_unique<Scheduler>(id, &cluster->sim(), store_.get(),
+  scheduler_ = std::make_unique<Scheduler>(id, cluster->engine(), store_.get(),
                                            locks_.get(),
                                            cluster->cfg().scheduler, hooks);
   streams_.resize(cluster->catalog().fragment_count());
@@ -44,7 +44,7 @@ NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id)
   gap_repair_strikes_.assign(streams_.size(), 0);
   if (ClusterInstruments* ins = cluster->instruments()) {
     LockManager::Observer lock_obs;
-    lock_obs.now = [cluster] { return cluster->sim().Now(); };
+    lock_obs.now = [cluster] { return cluster->engine()->Now(); };
     lock_obs.on_grant = [h = ins->LockWait(id)](ResourceId, LockMode,
                                                 SimTime waited) {
       h->Observe(waited);
@@ -169,15 +169,15 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
     // Replication lag: commit at the origin to install here. The home's
     // own (re)install of its quasi-transaction is not replication.
     if (quasi.origin_node != id_) {
-      SimTime lag = cluster_->sim().Now() - quasi.origin_time;
+      SimTime lag = cluster_->engine()->Now() - quasi.origin_time;
       if (ClusterInstruments* ins = cluster_->instruments()) {
         ins->ReplicationLag(id_, f)->Observe(lag);
       }
       if (ClusterTimelines* tl = cluster_->timelines()) {
-        tl->ReplicationLag(id_).Observe(cluster_->sim().Now(), lag);
+        tl->ReplicationLag(id_).Observe(cluster_->engine()->Now(), lag);
       }
       if (AvailabilityTracker* av = cluster_->availability()) {
-        av->OnInstallLag(id_, f, cluster_->sim().Now(), lag);
+        av->OnInstallLag(id_, f, cluster_->engine()->Now(), lag);
       }
     }
     if (ClusterInstruments* ins = cluster_->instruments()) {
@@ -187,7 +187,7 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
     }
     if (ClusterTimelines* tl = cluster_->timelines()) {
       tl->HoldbackDepth(id_).Observe(
-          cluster_->sim().Now(),
+          cluster_->engine()->Now(),
           static_cast<int64_t>(stream.holdback.size()));
     }
     if (cluster_->tracing_active()) {
@@ -207,7 +207,7 @@ void NodeRuntime::UpdateGapState(FragmentId f) {
   const FragmentStream& s = streams_[f];
   bool gap = !s.install_in_flight && !s.holdback.empty() &&
              s.holdback.Find(s.applied_seq + 1) == nullptr;
-  av->SetGap(id_, f, cluster_->sim().Now(), gap);
+  av->SetGap(id_, f, cluster_->engine()->Now(), gap);
 }
 
 void NodeRuntime::OnAppliedAdvanced(FragmentId f) {
@@ -322,7 +322,9 @@ void NodeRuntime::OnPrepare(NodeId from, const QuasiPrepare& msg) {
   cluster_->network().Send(id_, from, ack);
 }
 
-void NodeRuntime::OnAck(const QuasiAck& msg) { cluster_->OnMajorityAck(msg); }
+void NodeRuntime::OnAck(const QuasiAck& msg) {
+  cluster_->OnMajorityAck(id_, msg);
+}
 
 void NodeRuntime::OnCommit(const QuasiCommit& msg) {
   FragmentStream& s = streams_[msg.fragment];
@@ -565,7 +567,7 @@ void NodeRuntime::WipeVolatile() {
     // Holdback evidence died with the volatile state; the node-down flag
     // carries the unavailability from here.
     for (FragmentId f = 0; f < cluster_->catalog().fragment_count(); ++f) {
-      av->SetGap(id_, f, cluster_->sim().Now(), false);
+      av->SetGap(id_, f, cluster_->engine()->Now(), false);
     }
   }
   catchup_ = CatchUpState{};
@@ -636,7 +638,7 @@ void NodeRuntime::MaybeScheduleGapRepair(FragmentId f) {
   Result<NodeId> home = cluster_->catalog().HomeOfFragment(f);
   if (!home.ok() || *home == id_) return;  // nobody upstream to ask
   gap_repair_armed_[f] = 1;
-  cluster_->sim().After(interval, [this, f] { GapRepairTick(f); });
+  cluster_->engine()->AfterNode(id_, interval, [this, f] { GapRepairTick(f); });
 }
 
 void NodeRuntime::GapRepairTick(FragmentId f) {

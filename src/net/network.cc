@@ -6,11 +6,37 @@
 
 namespace fragdb {
 
+namespace {
+
+/// Per-sender loss-stream seed under the parallel engine: derived so each
+/// sender's drop pattern is an independent deterministic stream.
+uint64_t SenderSeed(uint64_t seed, NodeId from) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(from + 1));
+}
+
+}  // namespace
+
 Network::Network(Simulator* sim, Topology* topology)
-    : sim_(sim), topology_(topology) {
+    : owned_engine_(std::make_unique<SerialEngine>(sim)),
+      engine_(owned_engine_.get()),
+      topology_(topology) {
   handlers_.resize(topology->node_count());
   channel_floor_.assign(
       static_cast<size_t>(topology->node_count()) * topology->node_count(), 0);
+  stats_.resize(topology->node_count());
+  topology_->OnChange([this] { FlushPending(); });
+}
+
+Network::Network(SimEngine* engine, Topology* topology)
+    : engine_(engine), topology_(topology) {
+  handlers_.resize(topology->node_count());
+  channel_floor_.assign(
+      static_cast<size_t>(topology->node_count()) * topology->node_count(), 0);
+  stats_.resize(topology->node_count());
+  if (engine_->parallel()) {
+    pending_by_sender_.resize(topology->node_count());
+    loss_rngs_.resize(topology->node_count());
+  }
   topology_->OnChange([this] { FlushPending(); });
 }
 
@@ -20,6 +46,15 @@ void Network::SetHandler(NodeId node,
   handlers_[node] = std::move(handler);
 }
 
+Rng* Network::LossRngFor(NodeId from) {
+  if (!engine_->parallel()) return loss_rng_.get();
+  std::unique_ptr<Rng>& rng = loss_rngs_[from];
+  if (rng == nullptr && have_loss_seed_) {
+    rng = std::make_unique<Rng>(SenderSeed(loss_seed_, from));
+  }
+  return rng.get();
+}
+
 Status Network::Send(NodeId from, NodeId to,
                      std::shared_ptr<const MessagePayload> payload) {
   if (from < 0 || from >= topology_->node_count() || to < 0 ||
@@ -27,27 +62,30 @@ Status Network::Send(NodeId from, NodeId to,
     return Status::InvalidArgument("bad endpoint");
   }
   FRAGDB_CHECK(payload != nullptr);
-  SimTime sent_at = sim_->Now();
+  SimTime sent_at = engine_->Now();
+  NetworkStats& sender_stats = stats_[from];
   if (from != to) {
     size_t bytes = payload->ByteSize();
-    ++stats_.messages_sent;
-    stats_.bytes_sent += bytes;
+    ++sender_stats.messages_sent;
+    sender_stats.bytes_sent += bytes;
     if (send_observer_) send_observer_(*payload, bytes);
   }
   if (from == to) {
-    Dispatch(from, to, sim_->Now(), std::move(payload), sent_at);
+    Dispatch(from, to, sent_at, std::move(payload), sent_at);
     return Status::Ok();
   }
   Result<SimTime> lat = topology_->PathLatency(from, to);
   if (!lat.ok()) {
-    ++stats_.messages_queued;
-    pending_.push_back(Message{from, to, sent_at, std::move(payload)});
+    ++sender_stats.messages_queued;
+    std::deque<Message>& q =
+        engine_->parallel() ? pending_by_sender_[from] : pending_;
+    q.push_back(Message{from, to, sent_at, std::move(payload)});
     return Status::Ok();
   }
   SimTime deliver_at = ArrivalTime(from, to, *lat);
-  if (loss_probability_ > 0.0 && loss_rng_ != nullptr &&
-      loss_rng_->NextBool(loss_probability_)) {
-    ++stats_.messages_dropped;
+  Rng* loss_rng = loss_probability_ > 0.0 ? LossRngFor(from) : nullptr;
+  if (loss_rng != nullptr && loss_rng->NextBool(loss_probability_)) {
+    ++sender_stats.messages_dropped;
     // A dropped message still occupies its slot on the FIFO channel: the
     // floor advances exactly as if it had been delivered, so survivors
     // keep the schedule of a loss-free run and a window opening
@@ -66,14 +104,21 @@ Status Network::Send(NodeId from, NodeId to,
 
 void Network::SetLossProbability(double p, uint64_t seed) {
   loss_probability_ = p;
-  // Keep the RNG stream alive across p transitions with the same seed so
-  // reopening a window continues (rather than replays) the drop pattern;
-  // only a different seed restarts it. While p == 0 no draws happen, so
-  // the stream position is unchanged by a closed window.
-  if (loss_rng_ == nullptr || seed != loss_seed_) {
+  // Keep the RNG stream(s) alive across p transitions with the same seed
+  // so reopening a window continues (rather than replays) the drop
+  // pattern; only a different seed restarts it. While p == 0 no draws
+  // happen, so the stream position is unchanged by a closed window.
+  if (engine_->parallel()) {
+    if (!have_loss_seed_ || seed != loss_seed_) {
+      for (NodeId n = 0; n < topology_->node_count(); ++n) {
+        loss_rngs_[n] = std::make_unique<Rng>(SenderSeed(seed, n));
+      }
+    }
+  } else if (loss_rng_ == nullptr || seed != loss_seed_) {
     loss_rng_ = std::make_unique<Rng>(seed);
-    loss_seed_ = seed;
   }
+  loss_seed_ = seed;
+  have_loss_seed_ = true;
 }
 
 void Network::SetChannelExtraDelay(NodeId from, NodeId to, SimTime extra) {
@@ -95,7 +140,7 @@ SimTime Network::ArrivalTime(NodeId from, NodeId to, SimTime latency) const {
           ? 0
           : channel_extra_[static_cast<size_t>(from) * topology_->node_count() +
                            to];
-  return sim_->Now() + latency + extra;
+  return engine_->Now() + latency + extra;
 }
 
 Status Network::SendToAll(NodeId from,
@@ -116,14 +161,15 @@ void Network::Dispatch(NodeId from, NodeId to, SimTime deliver_at,
       channel_floor_[static_cast<size_t>(from) * topology_->node_count() + to];
   deliver_at = std::max(deliver_at, floor);
   floor = deliver_at;
-  sim_->At(deliver_at, [this, from, to, sent_at, p = std::move(payload)] {
-    ++stats_.messages_delivered;
-    Message m{from, to, sent_at, p};
-    if (delivery_observer_) delivery_observer_(m);
-    if (handlers_[to]) {
-      handlers_[to](m);
-    }
-  });
+  engine_->Post(from, to, deliver_at,
+                [this, from, to, sent_at, p = std::move(payload)] {
+                  ++stats_[to].messages_delivered;
+                  Message m{from, to, sent_at, p};
+                  if (delivery_observer_) delivery_observer_(m);
+                  if (handlers_[to]) {
+                    handlers_[to](m);
+                  }
+                });
 }
 
 void Network::FlushPending() {
@@ -132,6 +178,29 @@ void Network::FlushPending() {
   // pick up anything new.
   if (flushing_) return;
   flushing_ = true;
+  if (engine_->parallel()) {
+    // Per-sender queues, flushed sender-major: deterministic, and legal
+    // because FlushPending only runs from globals/setup (topology changes
+    // are global events under the parallel engine).
+    for (NodeId n = 0; n < topology_->node_count(); ++n) {
+      std::deque<Message>& q = pending_by_sender_[n];
+      std::deque<Message> still_pending;
+      while (!q.empty()) {
+        Message m = std::move(q.front());
+        q.pop_front();
+        Result<SimTime> lat = topology_->PathLatency(m.from, m.to);
+        if (!lat.ok()) {
+          still_pending.push_back(std::move(m));
+          continue;
+        }
+        Dispatch(m.from, m.to, ArrivalTime(m.from, m.to, *lat),
+                 std::move(m.payload), m.sent_at);
+      }
+      q = std::move(still_pending);
+    }
+    flushing_ = false;
+    return;
+  }
   std::deque<Message> still_pending;
   while (!pending_.empty()) {
     Message m = std::move(pending_.front());
@@ -148,6 +217,22 @@ void Network::FlushPending() {
   flushing_ = false;
 }
 
-size_t Network::pending_count() const { return pending_.size(); }
+NetworkStats Network::stats() const {
+  NetworkStats total;
+  for (const NetworkStats& s : stats_) {
+    total.messages_sent += s.messages_sent;
+    total.messages_delivered += s.messages_delivered;
+    total.messages_queued += s.messages_queued;
+    total.messages_dropped += s.messages_dropped;
+    total.bytes_sent += s.bytes_sent;
+  }
+  return total;
+}
+
+size_t Network::pending_count() const {
+  size_t n = pending_.size();
+  for (const std::deque<Message>& q : pending_by_sender_) n += q.size();
+  return n;
+}
 
 }  // namespace fragdb

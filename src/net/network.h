@@ -13,6 +13,7 @@
 #include "common/types.h"
 #include "net/message.h"
 #include "net/topology.h"
+#include "sim/engine.h"
 #include "sim/simulator.h"
 
 namespace fragdb {
@@ -43,6 +44,14 @@ class Network {
  public:
   /// `sim` and `topology` must outlive the network.
   Network(Simulator* sim, Topology* topology);
+
+  /// Engine-attributed variant: deliveries ride engine->Post(from, to),
+  /// so under the parallel engine messages become real cross-partition
+  /// mailbox traffic. With a parallel engine the loss RNG and the
+  /// unreachable-queue become per-sender (each sender draws and queues
+  /// only from its own events); counters shard per acting node. `engine`
+  /// and `topology` must outlive the network.
+  Network(SimEngine* engine, Topology* topology);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -112,7 +121,10 @@ class Network {
     drop_observer_ = std::move(observer);
   }
 
-  const NetworkStats& stats() const { return stats_; }
+  /// Summed over the per-node shards (sends/drops/queues are counted at
+  /// the sender, deliveries at the receiver, so each shard has a single
+  /// writer under the parallel engine).
+  NetworkStats stats() const;
 
   /// Number of messages currently queued waiting for connectivity.
   size_t pending_count() const;
@@ -125,12 +137,19 @@ class Network {
   /// Arrival instant for a message routed now on (from, to) with the
   /// given path latency: now + latency + any gray-link extra delay.
   SimTime ArrivalTime(NodeId from, NodeId to, SimTime latency) const;
+  /// Loss stream for messages sent by `from` (the shared stream under the
+  /// serial engine, a per-sender stream under the parallel one).
+  Rng* LossRngFor(NodeId from);
 
-  Simulator* sim_;
+  std::unique_ptr<SerialEngine> owned_engine_;  // Simulator-ctor shim
+  SimEngine* engine_;
   Topology* topology_;
   std::vector<std::function<void(const Message&)>> handlers_;
-  // Messages waiting for a route, in send order per sender.
+  // Messages waiting for a route, in send order per sender. Serial engine:
+  // one queue in global send order (flush preserves the exact interleave).
+  // Parallel engine: per-sender queues, flushed in (sender, send order).
   std::deque<Message> pending_;
+  std::vector<std::deque<Message>> pending_by_sender_;
   // FIFO channel floor: earliest permissible next delivery per (from, to),
   // stored dense at index from*n+to (0 = unconstrained, since deliveries
   // never predate the start of the simulation).
@@ -138,14 +157,16 @@ class Network {
   // Gray-link extra delay per ordered (from, to) channel, dense at
   // from*n+to; allocated lazily on first SetChannelExtraDelay.
   std::vector<SimTime> channel_extra_;
-  NetworkStats stats_;
+  std::vector<NetworkStats> stats_;  // per acting node
   std::function<void(const MessagePayload&, size_t)> send_observer_;
   std::function<void(const Message&)> delivery_observer_;
   std::function<void(NodeId, NodeId, const MessagePayload&)> drop_observer_;
   bool flushing_ = false;
   double loss_probability_ = 0.0;
   uint64_t loss_seed_ = 0;
-  std::unique_ptr<Rng> loss_rng_;
+  bool have_loss_seed_ = false;
+  std::unique_ptr<Rng> loss_rng_;                // serial engine
+  std::vector<std::unique_ptr<Rng>> loss_rngs_;  // parallel: per sender
 };
 
 }  // namespace fragdb

@@ -226,6 +226,12 @@ void Topology::OnChange(std::function<void()> fn) {
   listeners_.push_back(std::move(fn));
 }
 
+void Topology::PrecomputeAllRows() const {
+  for (NodeId n = 0; n < node_count_; ++n) {
+    if (!row_valid_[n]) ComputeRow(n);
+  }
+}
+
 void Topology::InvalidateCache() {
   std::fill(row_valid_.begin(), row_valid_.end(), false);
 }

@@ -90,6 +90,12 @@ class Topology {
   /// flip, partition, heal). Listeners are invoked in registration order.
   void OnChange(std::function<void()> fn);
 
+  /// Fills every shortest-path row now. The parallel engine calls this
+  /// after each connectivity change (a global event) so per-message
+  /// PathLatency queries from concurrent node events are pure reads —
+  /// the lazy cache fill never races.
+  void PrecomputeAllRows() const;
+
  private:
   struct Link {
     NodeId a;  // a < b

@@ -35,12 +35,15 @@ AvailabilityTracker::AvailabilityTracker(int nodes, std::vector<NodeId> home,
       home_(std::move(home)),
       staleness_threshold_(staleness_threshold) {
   size_t cells = static_cast<size_t>(nodes_) * fragments_;
-  down_.assign(nodes_, false);
-  catching_up_.assign(nodes_, false);
-  gap_.assign(cells, false);
-  home_reachable_.assign(cells, true);
+  down_.assign(nodes_, 0);
+  catching_up_.assign(nodes_, 0);
+  gap_.assign(cells, 0);
+  home_reachable_.assign(cells, 1);
   read_.assign(cells, CellState{});
   write_.assign(cells, CellState{});
+  interval_shards_.resize(nodes_);
+  stale_shards_.resize(nodes_);
+  max_staleness_by_node_.assign(nodes_, 0);
 }
 
 ServeState AvailabilityTracker::ComputeState(NodeId n, FragmentId f,
@@ -73,7 +76,7 @@ void AvailabilityTracker::Transition(CellState& cell, NodeId n, FragmentId f,
                                      SimTime t) {
   if (cell.state == next) return;
   if (cell.state != ServeState::kServing && t > cell.since) {
-    intervals_.push_back({n, f, a, cell.state, cell.since, t});
+    interval_shards_[n].push_back({n, f, a, cell.state, cell.since, t});
   }
   cell.state = next;
   cell.since = t;
@@ -130,13 +133,19 @@ void AvailabilityTracker::SetHomeReachable(NodeId n, FragmentId f, SimTime t,
 
 void AvailabilityTracker::OnInstallLag(NodeId n, FragmentId f, SimTime t,
                                        SimTime lag) {
-  if (lag > max_staleness_) max_staleness_ = lag;
+  if (lag > max_staleness_by_node_[n]) max_staleness_by_node_[n] = lag;
   if (lag <= staleness_threshold_) return;
   SimTime start = t - lag + staleness_threshold_;
   if (start < 0) start = 0;
   if (start >= t) return;
-  stale_.push_back(
+  stale_shards_[n].push_back(
       {n, f, AccessKind::kRead, ServeState::kDegradedStale, start, t});
+}
+
+SimTime AvailabilityTracker::max_staleness() const {
+  SimTime max = 0;
+  for (SimTime v : max_staleness_by_node_) max = std::max(max, v);
+  return max;
 }
 
 namespace {
@@ -167,12 +176,24 @@ void AvailabilityTracker::Finalize(SimTime end) {
     }
   }
 
+  // Collect the per-node shards (node-major; the sorts below make the
+  // result independent of accumulation order anyway).
+  for (std::vector<AvailabilityInterval>& shard : interval_shards_) {
+    intervals_.insert(intervals_.end(), shard.begin(), shard.end());
+    shard.clear();
+  }
+  std::vector<AvailabilityInterval> stale;
+  for (std::vector<AvailabilityInterval>& shard : stale_shards_) {
+    stale.insert(stale.end(), shard.begin(), shard.end());
+    shard.clear();
+  }
+
   // Fold the retroactive stale observations in: merge overlapping stale
   // windows per cell, then subtract any time already covered by a state-
   // machine interval for that cell so per-cell intervals never overlap.
-  std::sort(stale_.begin(), stale_.end(), IntervalOrder);
+  std::sort(stale.begin(), stale.end(), IntervalOrder);
   std::vector<AvailabilityInterval> merged;
-  for (const AvailabilityInterval& s : stale_) {
+  for (const AvailabilityInterval& s : stale) {
     if (s.end > end || s.start >= end) {
       // Clamp to the horizon; drop anything entirely past it.
       if (s.start >= end) continue;
@@ -213,7 +234,6 @@ void AvailabilityTracker::Finalize(SimTime end) {
   }
   intervals_.insert(intervals_.end(), extra.begin(), extra.end());
   std::sort(intervals_.begin(), intervals_.end(), IntervalOrder);
-  stale_.clear();
 }
 
 double AvailabilityTracker::AvailableFraction(AccessKind a,

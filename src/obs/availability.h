@@ -101,7 +101,7 @@ class AvailabilityTracker {
   double NodeAvailableFraction(NodeId n, AccessKind a, SimTime horizon) const;
 
   /// Largest replication lag ever observed at an install (us).
-  SimTime max_staleness() const { return max_staleness_; }
+  SimTime max_staleness() const;
 
   int nodes() const { return nodes_; }
   int fragments() const { return fragments_; }
@@ -128,17 +128,27 @@ class AvailabilityTracker {
   std::vector<NodeId> home_;
   SimTime staleness_threshold_;
 
-  std::vector<bool> down_;          // per node
-  std::vector<bool> catching_up_;   // per node
-  std::vector<bool> gap_;           // per (node, fragment)
-  std::vector<bool> home_reachable_;  // per (node, fragment)
+  // uint8_t, not bool: vector<bool> bit-packs, so two nodes toggling
+  // adjacent flags from concurrent partitions would race on the shared
+  // byte. One byte per flag keeps per-node rows truly disjoint.
+  std::vector<uint8_t> down_;            // per node
+  std::vector<uint8_t> catching_up_;     // per node
+  std::vector<uint8_t> gap_;             // per (node, fragment)
+  std::vector<uint8_t> home_reachable_;  // per (node, fragment)
 
   std::vector<CellState> read_;   // per (node, fragment)
   std::vector<CellState> write_;  // per (node, fragment)
 
-  std::vector<AvailabilityInterval> intervals_;
-  std::vector<AvailabilityInterval> stale_;  // retroactive, merged at finalize
-  SimTime max_staleness_ = 0;
+  /// Closed intervals and retroactive stale observations accumulate in
+  /// per-node shards (indexed by the cell's node, which under the
+  /// parallel engine is also the acting node for every node-event call
+  /// site). Finalize concatenates node-major and sorts — the same total
+  /// order the unsharded tracker produced, at any worker-thread count.
+  std::vector<std::vector<AvailabilityInterval>> interval_shards_;
+  std::vector<std::vector<AvailabilityInterval>> stale_shards_;
+  std::vector<SimTime> max_staleness_by_node_;
+
+  std::vector<AvailabilityInterval> intervals_;  // merged at finalize
   bool finalized_ = false;
 };
 

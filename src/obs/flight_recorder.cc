@@ -11,14 +11,16 @@ FlightRecorder::FlightRecorder(int nodes, int capacity)
   FRAGDB_CHECK(capacity > 0);
 }
 
-void FlightRecorder::Record(TraceEvent ev) {
-  NodeId node = ev.node;
+void FlightRecorder::Record(TraceEvent ev, NodeId acting) {
+  // Parallel mode routes by the acting node (the only context that may
+  // write concurrently); serial mode and global events route by subject.
+  NodeId node = parallel_ && acting != kInvalidNode ? acting : ev.node;
   // Cluster-wide and out-of-range events land in the last ring.
   if (node < 0 || static_cast<size_t>(node) + 1 >= rings_.size()) {
     node = kInvalidNode;
   }
   Ring& ring = RingFor(node);
-  Slot slot{next_seq_++, std::move(ev)};
+  Slot slot{parallel_ ? ring.next_seq++ : next_seq_++, std::move(ev)};
   if (ring.slots.size() < static_cast<size_t>(capacity_)) {
     ring.slots.push_back(std::move(slot));
   } else {
@@ -43,15 +45,35 @@ std::vector<TraceEvent> FlightRecorder::NodeEvents(NodeId node) const {
   return out;
 }
 
+uint64_t FlightRecorder::total_recorded() const {
+  if (!parallel_) return next_seq_;
+  uint64_t total = 0;
+  for (const Ring& ring : rings_) total += ring.next_seq;
+  return total;
+}
+
 std::string FlightRecorder::DumpJsonl() const {
-  std::vector<const Slot*> all;
-  for (const Ring& ring : rings_) {
-    for (const Slot& slot : ring.slots) all.push_back(&slot);
+  std::vector<std::pair<size_t, const Slot*>> all;
+  for (size_t r = 0; r < rings_.size(); ++r) {
+    for (const Slot& slot : rings_[r].slots) all.emplace_back(r, &slot);
   }
-  std::sort(all.begin(), all.end(),
-            [](const Slot* a, const Slot* b) { return a->seq < b->seq; });
+  if (parallel_) {
+    // Per-ring seqs are not globally ordered; (time, ring, seq) is the
+    // deterministic total order.
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.second->ev.at != b.second->ev.at) {
+        return a.second->ev.at < b.second->ev.at;
+      }
+      if (a.first != b.first) return a.first < b.first;
+      return a.second->seq < b.second->seq;
+    });
+  } else {
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      return a.second->seq < b.second->seq;
+    });
+  }
   std::string out;
-  for (const Slot* slot : all) {
+  for (const auto& [ring, slot] : all) {
     out += TraceEventToJsonLine(slot->ev);
     out += "\n";
   }

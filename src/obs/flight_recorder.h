@@ -23,10 +23,18 @@ class FlightRecorder {
  public:
   FlightRecorder(int nodes, int capacity);
 
-  void Record(TraceEvent ev);
+  /// Parallel-engine mode: records are routed to the acting node's ring
+  /// (passed as `acting` by the cluster) and sequenced per ring instead
+  /// of globally, so concurrent partitions never share a counter.
+  /// DumpJsonl then merges by (time, ring, ring-seq) — deterministic at
+  /// any worker-thread count. Serial mode keeps the global sequence and
+  /// its exact record-order dump.
+  void SetParallelMode(bool parallel) { parallel_ = parallel; }
+
+  void Record(TraceEvent ev, NodeId acting = kInvalidNode);
 
   int capacity() const { return capacity_; }
-  uint64_t total_recorded() const { return next_seq_; }
+  uint64_t total_recorded() const;
   /// Events currently retained for `node` (kInvalidNode = the cluster-wide
   /// ring), oldest first.
   std::vector<TraceEvent> NodeEvents(NodeId node) const;
@@ -45,6 +53,7 @@ class FlightRecorder {
     std::vector<Slot> slots;  // capacity once full
     size_t next = 0;          // insert position
     bool full = false;
+    uint64_t next_seq = 0;    // per-ring sequence (parallel mode)
   };
 
   Ring& RingFor(NodeId node) {
@@ -53,6 +62,7 @@ class FlightRecorder {
   }
 
   int capacity_;
+  bool parallel_ = false;
   uint64_t next_seq_ = 0;
   std::vector<Ring> rings_;  // nodes + 1 (cluster-wide last)
 };

@@ -4,14 +4,16 @@
 
 namespace fragdb {
 
-NodeDurability::NodeDurability(Simulator* sim, StableStorage* storage,
+NodeDurability::NodeDurability(NodeId node, SimEngine* engine,
+                               StableStorage* storage,
                                const DurabilityConfig* config,
                                std::function<CheckpointImage()> capture)
-    : sim_(sim),
+    : node_(node),
+      engine_(engine),
       storage_(storage),
       config_(config),
       capture_(std::move(capture)),
-      wal_(sim, storage, kWalFile, config->wal_fsync_time),
+      wal_(node, engine, storage, kWalFile, config->wal_fsync_time),
       alive_(std::make_shared<bool>(true)) {}
 
 void NodeDurability::OnQuasiApplied(const QuasiTxn& quasi, Epoch epoch) {
@@ -48,7 +50,7 @@ void NodeDurability::AfterAppend() {
   if (config_->checkpoint_interval <= 0 || checkpoint_timer_armed_) return;
   checkpoint_timer_armed_ = true;
   std::weak_ptr<bool> weak = alive_;
-  sim_->After(config_->checkpoint_interval, [this, weak] {
+  engine_->AfterNode(node_, config_->checkpoint_interval, [this, weak] {
     if (weak.expired()) return;  // crashed meanwhile
     checkpoint_timer_armed_ = false;
     if (!checkpoint_in_flight_) BeginCheckpoint();
@@ -65,7 +67,7 @@ void NodeDurability::BeginCheckpoint() {
   storage_->Write(kCheckpointPendingFile, "");
   CheckpointImage image = capture_();
   std::weak_ptr<bool> weak = alive_;
-  sim_->After(config_->checkpoint_write_time, [this, weak, image] {
+  engine_->AfterNode(node_, config_->checkpoint_write_time, [this, weak, image] {
     if (weak.expired()) return;  // crash mid-checkpoint: marker stays
     CommitCheckpoint(image);
   });

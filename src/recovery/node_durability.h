@@ -10,7 +10,7 @@
 #include "recovery/checkpoint.h"
 #include "recovery/stable_storage.h"
 #include "recovery/wal.h"
-#include "sim/simulator.h"
+#include "sim/engine.h"
 
 namespace fragdb {
 
@@ -85,7 +85,7 @@ class NodeDurability {
 
   /// `capture` must return the node's current CheckpointImage; it is
   /// invoked at checkpoint begin.
-  NodeDurability(Simulator* sim, StableStorage* storage,
+  NodeDurability(NodeId node, SimEngine* engine, StableStorage* storage,
                  const DurabilityConfig* config,
                  std::function<CheckpointImage()> capture);
 
@@ -114,7 +114,8 @@ class NodeDurability {
   void BeginCheckpoint();
   void CommitCheckpoint(const CheckpointImage& image);
 
-  Simulator* sim_;
+  NodeId node_;
+  SimEngine* engine_;
   StableStorage* storage_;
   const DurabilityConfig* config_;
   std::function<CheckpointImage()> capture_;

@@ -18,7 +18,7 @@ void RecoveryManager::StartRecovery(NodeId node, RecoveryCallback done) {
   session.id = next_recovery_id_++;
   session.done = std::move(done);
   session.stats.ran = true;
-  session.stats.started_at = cluster_->sim().Now();
+  session.stats.started_at = cluster_->engine()->Now();
 
   // Charge the simulated cost of reading stable storage up front, then
   // restore in one event. The node stays off the network until then, so
@@ -32,24 +32,36 @@ void RecoveryManager::StartRecovery(NodeId node, RecoveryCallback done) {
       static_cast<SimTime>(scan.records.size()) * cfg.wal_replay_time_per_record;
 
   int64_t id = session.id;
-  session.pending_event =
-      cluster_->sim().After(load_delay, [this, node, id] {
-        auto it = sessions_.find(node);
-        if (it == sessions_.end() || it->second.id != id) return;
-        Session& s = it->second;
-        RestoreLocal(node, &s);
-        s.local_replay_done = true;
-        s.stats.local_replay_done_at = cluster_->sim().Now();
-        cluster_->OnLocalReplayDone(node);  // node rejoins the network
-        SendQueries(node, &s);
-        MaybeFinish(node);
-      });
+  SimEngine* engine = cluster_->engine();
+  if (engine->parallel()) {
+    // The load completion rejoins the topology — shared state — so it
+    // runs as a global event. StartRecovery itself is a global (revival
+    // is a scenario/operator action), so the time is exact, and the
+    // stale-id guard in LoadDone replaces event cancellation on Abort.
+    engine->AtGlobal(engine->Now() + load_delay,
+                     [this, node, id] { LoadDone(node, id); });
+    return;
+  }
+  session.pending_event = engine->AfterNode(
+      node, load_delay, [this, node, id] { LoadDone(node, id); });
+}
+
+void RecoveryManager::LoadDone(NodeId node, int64_t id) {
+  auto it = sessions_.find(node);
+  if (it == sessions_.end() || it->second.id != id) return;
+  Session& s = it->second;
+  RestoreLocal(node, &s);
+  s.local_replay_done = true;
+  s.stats.local_replay_done_at = cluster_->engine()->Now();
+  cluster_->OnLocalReplayDone(node);  // node rejoins the network
+  SendQueries(node, &s);
+  MaybeFinish(node);
 }
 
 void RecoveryManager::RestoreLocal(NodeId node, Session* session) {
   StableStorage* stable = cluster_->stable_storage(node);
   NodeRuntime& rt = cluster_->runtime(node);
-  SimTime now = cluster_->sim().Now();
+  SimTime now = cluster_->engine()->Now();
 
   // An interrupted checkpoint left its intent marker; the image it never
   // published is simply absent, so the marker is only cleaned up here.
@@ -130,8 +142,9 @@ void RecoveryManager::SendQueries(NodeId node, Session* session) {
     return;
   }
   int64_t id = session->id;
-  session->pending_event = cluster_->sim().After(
-      cluster_->cfg().durability.recovery_reply_timeout, [this, node, id] {
+  session->pending_event = cluster_->engine()->AfterNode(
+      node, cluster_->cfg().durability.recovery_reply_timeout,
+      [this, node, id] {
         auto it = sessions_.find(node);
         if (it == sessions_.end() || it->second.id != id) return;
         it->second.replies_closed = true;
@@ -200,13 +213,32 @@ void RecoveryManager::MaybeFinish(NodeId node) {
   if (!session.local_replay_done || !session.replies_closed) return;
   if (!TargetsMet(node, session)) return;
 
-  cluster_->sim().Cancel(session.pending_event);
+  SimEngine* engine = cluster_->engine();
+  if (engine->parallel()) {
+    // Completion touches cross-session maps and fires cluster callbacks:
+    // hand off to a global event (once).
+    if (session.finishing) return;
+    session.finishing = true;
+    int64_t id = session.id;
+    engine->AtGlobal(engine->Now(),
+                     [this, node, id] { FinishSession(node, id); });
+    return;
+  }
+  FinishSession(node, session.id);
+}
+
+void RecoveryManager::FinishSession(NodeId node, int64_t id) {
+  auto it = sessions_.find(node);
+  if (it == sessions_.end() || it->second.id != id) return;
+  Session& session = it->second;
+
+  cluster_->engine()->CancelNode(node, session.pending_event);
   NodeRuntime& rt = cluster_->runtime(node);
   for (FragmentId f = 0; f < cluster_->catalog().fragment_count(); ++f) {
     FragmentStream& s = rt.stream(f);
     s.next_seq = std::max(s.next_seq, s.applied_seq + 1);
   }
-  session.stats.finished_at = cluster_->sim().Now();
+  session.stats.finished_at = cluster_->engine()->Now();
   if (NodeDurability* d = cluster_->durability(node)) {
     d->ForceCheckpoint();  // bound the next recovery's WAL replay
   }
@@ -226,7 +258,7 @@ void RecoveryManager::MaybeFinish(NodeId node) {
 void RecoveryManager::Abort(NodeId node) {
   auto it = sessions_.find(node);
   if (it == sessions_.end()) return;
-  cluster_->sim().Cancel(it->second.pending_event);
+  cluster_->engine()->CancelNode(node, it->second.pending_event);
   sessions_.erase(it);
 }
 

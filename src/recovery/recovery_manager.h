@@ -89,14 +89,24 @@ class RecoveryManager {
     /// All expected replies arrived, or the reply timeout fired.
     bool replies_closed = false;
     bool local_replay_done = false;
+    /// Completion handed off to a global event (parallel engine only).
+    bool finishing = false;
     EventId pending_event = -1;  // load event, then reply-timeout event
   };
 
   /// Restores checkpoint + WAL into the node's runtime (no simulated cost;
   /// the caller already charged it).
   void RestoreLocal(NodeId node, Session* session);
+  /// Load delay elapsed: restore checkpoint + WAL, rejoin the network,
+  /// query peers. A global event under the parallel engine (it mutates
+  /// the topology); a node event on the serial one.
+  void LoadDone(NodeId node, int64_t id);
   void SendQueries(NodeId node, Session* session);
   void MaybeFinish(NodeId node);
+  /// Tears the session down (trace, stats, callback). Under the parallel
+  /// engine this runs as a global event: it touches maps shared across
+  /// per-node sessions and fires cluster-level callbacks.
+  void FinishSession(NodeId node, int64_t id);
   bool TargetsMet(NodeId node, const Session& session) const;
 
   Cluster* cluster_;

@@ -94,7 +94,17 @@ WalScan ScanWal(const std::string& bytes) {
 
 WalWriter::WalWriter(Simulator* sim, StableStorage* storage, std::string file,
                      SimTime fsync_time)
-    : sim_(sim),
+    : owned_engine_(std::make_unique<SerialEngine>(sim)),
+      engine_(owned_engine_.get()),
+      storage_(storage),
+      file_(std::move(file)),
+      fsync_time_(fsync_time),
+      staging_(std::make_shared<Staging>()) {}
+
+WalWriter::WalWriter(NodeId node, SimEngine* engine, StableStorage* storage,
+                     std::string file, SimTime fsync_time)
+    : node_(node),
+      engine_(engine),
       storage_(storage),
       file_(std::move(file)),
       fsync_time_(fsync_time),
@@ -108,7 +118,7 @@ void WalWriter::Append(const WalRecord& record) {
   std::weak_ptr<Staging> weak = staging_;
   StableStorage* storage = storage_;
   std::string file = file_;
-  sim_->After(fsync_time_, [weak, storage, file] {
+  engine_->AfterNode(node_, fsync_time_, [weak, storage, file] {
     auto staging = weak.lock();
     if (!staging) return;  // the writer crashed; the staged bytes are lost
     storage->Append(file, staging->buf);

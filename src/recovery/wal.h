@@ -9,6 +9,7 @@
 #include "cc/transaction.h"
 #include "common/types.h"
 #include "recovery/stable_storage.h"
+#include "sim/engine.h"
 #include "sim/simulator.h"
 
 namespace fragdb {
@@ -59,6 +60,11 @@ class WalWriter {
   WalWriter(Simulator* sim, StableStorage* storage, std::string file,
             SimTime fsync_time);
 
+  /// Engine-attributed variant: the group-commit fsync timer is an event
+  /// on `node`, so the writer is usable from the parallel engine.
+  WalWriter(NodeId node, SimEngine* engine, StableStorage* storage,
+            std::string file, SimTime fsync_time);
+
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
@@ -84,7 +90,9 @@ class WalWriter {
     uint64_t syncs = 0;
   };
 
-  Simulator* sim_;
+  std::unique_ptr<SerialEngine> owned_engine_;  // Simulator-ctor shim
+  NodeId node_ = 0;
+  SimEngine* engine_;
   StableStorage* storage_;
   std::string file_;
   SimTime fsync_time_;

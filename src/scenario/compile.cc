@@ -26,12 +26,15 @@ using Ctx = std::shared_ptr<const ApplyContext>;
 
 /// Runs `fn` now if `at` is not in the future, else schedules it. The
 /// synchronous path makes "scenario applied at t >= op.at" behave exactly
-/// like hand-written setup code (same event insertion order).
+/// like hand-written setup code (same event insertion order). Every
+/// scenario op mutates shared cluster state (topology, network knobs,
+/// crash/revive), so scheduled ops are global events; on the serial
+/// engine AtGlobal is a plain sim At — identical behavior.
 void RunAt(Cluster& cluster, SimTime at, std::function<void()> fn) {
-  if (at <= cluster.sim().Now()) {
+  if (at <= cluster.engine()->Now()) {
     fn();
   } else {
-    cluster.sim().At(at, std::move(fn));
+    cluster.engine()->AtGlobal(at, std::move(fn));
   }
 }
 

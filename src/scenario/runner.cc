@@ -17,6 +17,8 @@ ScenarioRunner::ScenarioRunner(Scenario scenario,
   ClusterConfig config;
   config.control = options_.control;
   config.observability = options_.observability;
+  config.engine = options_.engine;
+  parallel_ = options_.engine.kind == EngineKind::kParallel;
   // Amnesia crashes need a durable copy to come back from.
   config.durability.enabled = scenario_.HasAmnesia();
   config.gap_repair_interval =
@@ -25,6 +27,35 @@ ScenarioRunner::ScenarioRunner(Scenario scenario,
           : (scenario_.HasLoss() ? Millis(50) : 0);
   cluster_ = std::make_unique<Cluster>(
       config, Topology::FullMesh(options_.nodes, options_.link_latency));
+  if (parallel_) {
+    // One workload stream per agent, each derived from the cell seed but
+    // disjoint from the shared stream and the loss stream.
+    for (int i = 0; i < options_.nodes; ++i) {
+      agent_rngs_.emplace_back(options_.seed * 0x9e3779b97f4a7c15ULL + 2 +
+                               static_cast<uint64_t>(i));
+    }
+    metrics_shards_.resize(options_.nodes);
+    fifo_shards_.resize(options_.nodes);
+  }
+}
+
+Rng& ScenarioRunner::WorkloadRng(int agent_index) {
+  return parallel_ ? agent_rngs_[agent_index] : rng_;
+}
+
+WorkloadMetrics& ScenarioRunner::MetricsSink() {
+  if (!parallel_) return metrics_;
+  NodeId node = cluster_->engine()->CurrentNode();
+  if (node < 0 || node >= static_cast<NodeId>(metrics_shards_.size())) {
+    return metrics_shards_[0];  // global-context completions (rare)
+  }
+  return metrics_shards_[node];
+}
+
+FifoOrderChecker& ScenarioRunner::FifoSink(NodeId to) {
+  if (!parallel_) return fifo_;
+  FRAGDB_CHECK(to >= 0 && to < static_cast<NodeId>(fifo_shards_.size()));
+  return fifo_shards_[to];
 }
 
 Status ScenarioRunner::Start() {
@@ -67,12 +98,13 @@ Status ScenarioRunner::Start() {
 
 void ScenarioRunner::SubmitOne(int agent_index) {
   int i = agent_index;
+  Rng& rng = WorkloadRng(i);
   TxnSpec spec;
   spec.agent = agents_[i];
   spec.write_fragment = fragments_[i];
   spec.label = "cell" + std::to_string(i);
   double theta = profile_.zipf_theta();
-  ObjectId own = objects_[i][rng_.NextZipf(objects_[i].size(), theta)];
+  ObjectId own = objects_[i][rng.NextZipf(objects_[i].size(), theta)];
   spec.read_set.push_back(own);
   if (!readable_[i].empty() && options_.read_fan > 0) {
     int fan = 0;
@@ -81,13 +113,13 @@ void ScenarioRunner::SubmitOne(int agent_index) {
       ++fan;
       expect -= 1.0;
     }
-    if (rng_.NextBool(expect)) ++fan;
+    if (rng.NextBool(expect)) ++fan;
     fan = std::min<int>(fan, static_cast<int>(readable_[i].size()));
     std::vector<FragmentId> pool = readable_[i];
-    rng_.Shuffle(pool);
+    rng.Shuffle(pool);
     for (int k = 0; k < fan; ++k) {
       const std::vector<ObjectId>& objs = objects_[pool[k]];
-      spec.read_set.push_back(objs[rng_.NextZipf(objs.size(), theta)]);
+      spec.read_set.push_back(objs[rng.NextZipf(objs.size(), theta)]);
     }
   }
   ObjectId target = own;
@@ -99,7 +131,7 @@ void ScenarioRunner::SubmitOne(int agent_index) {
   };
   SimTime submitted_at = cluster_->Now();
   cluster_->Submit(spec, [this, submitted_at](const TxnResult& r) {
-    metrics_.Record(r, submitted_at);
+    MetricsSink().Record(r, submitted_at);
   });
 }
 
@@ -108,18 +140,26 @@ void ScenarioRunner::ScheduleArrival(int agent_index) {
   // flash crowd quarters the wait, a diurnal trough stretches it.
   double rate = profile_.RateAt(cluster_->Now());
   SimTime wait = static_cast<SimTime>(
-      rng_.NextExponential(double(options_.base_interarrival)) / rate);
-  cluster_->sim().After(std::max<SimTime>(wait, 1), [this, agent_index] {
-    if (!traffic_open_) return;
-    SubmitOne(agent_index);
-    ScheduleArrival(agent_index);
-  });
+      WorkloadRng(agent_index).NextExponential(
+          double(options_.base_interarrival)) /
+      rate);
+  // Agent i homes at node i, so its whole arrival->submit->complete chain
+  // stays inside node i's partition — under pdes this is what lets cells
+  // run multi-core without cross-partition draws from a shared RNG.
+  cluster_->engine()->AfterNode(agent_index, std::max<SimTime>(wait, 1),
+                                [this, agent_index] {
+                                  if (!traffic_open_) return;
+                                  SubmitOne(agent_index);
+                                  ScheduleArrival(agent_index);
+                                });
 }
 
 ScenarioCellReport ScenarioRunner::Run() {
   Cluster& c = *cluster_;
+  // Deliveries run in the receiving node's event context under pdes, so
+  // the observation routes to the destination's shard.
   c.network().SetDeliveryObserver(
-      [this](const Message& m) { fifo_.Observe(m); });
+      [this](const Message& m) { FifoSink(m.to).Observe(m); });
 
   ApplyOptions apply;
   // Distinct stream from the workload RNG, still seed-deterministic.
@@ -160,6 +200,11 @@ ScenarioCellReport ScenarioRunner::Run() {
 
   ScenarioCellReport report;
   report.metrics = metrics_;
+  // Shard merge order is node-index order: deterministic at any thread
+  // count (all shards empty under the serial engine).
+  for (const WorkloadMetrics& shard : metrics_shards_) {
+    report.metrics += shard;
+  }
   report.net = c.net_stats();
   report.faults = fault_stats_;
   report.fifo_deliveries = fifo_.observed();
@@ -167,6 +212,10 @@ ScenarioCellReport ScenarioRunner::Run() {
   report.recoveries_ran = recoveries_ran_;
 
   CheckReport fifo = fifo_.Report();
+  for (const FifoOrderChecker& shard : fifo_shards_) {
+    report.fifo_deliveries += shard.observed();
+    if (fifo.ok) fifo = shard.Report();
+  }
   AuditReport audit = AuditRun(c);
   report.fifo_ok = fifo.ok;
   report.property_ok = audit.configured_property.ok;

@@ -15,6 +15,22 @@ thread_local int tl_partition = -1;
 /// True only during the window-execution phase (when the partition heap
 /// must be kept in sync with same-window schedules).
 thread_local bool tl_in_exec = false;
+/// Scheduled time of the event this thread is currently executing; valid
+/// only while tl_have_now — makes Now() context-aware inside events.
+thread_local SimTime tl_now = 0;
+thread_local bool tl_have_now = false;
+/// Node whose event this thread is executing; kInvalidNode during
+/// globals, merges, and outside phases.
+thread_local NodeId tl_node = kInvalidNode;
+
+/// Max-heap comparator turning std::push_heap into a (when, seq) min-heap
+/// over global events.
+struct GlobalLater {
+  template <typename G>
+  bool operator()(const G& a, const G& b) const {
+    return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+  }
+};
 
 /// Min-heap comparator over (time, node): std::push_heap et al. build a
 /// max-heap, so invert. Ties broken by node id — the canonical global
@@ -70,20 +86,56 @@ PdesScheduler::~PdesScheduler() {
   for (auto& w : workers_) w.join();
 }
 
-void PdesScheduler::ScheduleAt(NodeId node, SimTime when, EventFn fn) {
+EventId PdesScheduler::ScheduleAt(NodeId node, SimTime when, EventFn fn) {
   FRAGDB_CHECK(node >= 0 && node < plan_.node_count());
   if (running_phase_) {
     int p = plan_.PartitionOf(node);
     FRAGDB_CHECK(tl_partition == p);  // partition confinement
-    nodes_[node]->queue.Schedule(when, std::move(fn));
+    EventId id = nodes_[node]->queue.Schedule(when, std::move(fn));
     if (tl_in_exec && when < window_end_) {
       auto& heap = partitions_[p]->heap;
       heap.emplace_back(when, node);
       std::push_heap(heap.begin(), heap.end(), LaterFirst{});
     }
+    return id;
+  }
+  // Setup or a global event (partitions parked): direct access is safe.
+  // Clamp to the clock so a global can fire node work "now".
+  if (when < now_) when = now_;
+  return nodes_[node]->queue.Schedule(when, std::move(fn));
+}
+
+bool PdesScheduler::CancelNode(NodeId node, EventId id) {
+  FRAGDB_CHECK(node >= 0 && node < plan_.node_count());
+  if (running_phase_) {
+    FRAGDB_CHECK(tl_partition == plan_.PartitionOf(node));
+  }
+  // Stale partition-heap entries left by a cancel are skipped by the
+  // NextTime check in ExecuteWindow.
+  return nodes_[node]->queue.Cancel(id);
+}
+
+void PdesScheduler::AtGlobal(SimTime when, EventFn fn) {
+  if (running_phase_) {
+    FRAGDB_CHECK(tl_partition >= 0 && tl_node != kInvalidNode);
+    // Defer to the window barrier: peers may have run past `when`.
+    SimTime eff = std::max(when, window_end_);
+    partitions_[tl_partition]->global_requests.push_back(GlobalRequest{
+        eff, tl_node, nodes_[tl_node]->global_req_seq++, std::move(fn)});
     return;
   }
-  nodes_[node]->queue.Schedule(when, std::move(fn));
+  if (when < now_) when = now_;
+  globals_.push_back(GlobalEvent{when, global_seq_++, std::move(fn)});
+  std::push_heap(globals_.begin(), globals_.end(), GlobalLater{});
+}
+
+SimTime PdesScheduler::Now() const { return tl_have_now ? tl_now : now_; }
+
+NodeId PdesScheduler::CurrentNode() const { return tl_node; }
+
+void PdesScheduler::RefreshLookahead() {
+  FRAGDB_CHECK(!running_phase_);
+  if (lookahead_fn_) lookahead_ = lookahead_fn_(plan_);
 }
 
 void PdesScheduler::Post(NodeId from, NodeId to, SimTime arrival, EventFn fn) {
@@ -123,7 +175,10 @@ void PdesScheduler::RequestReassign(NodeId node, int partition) {
     FRAGDB_CHECK(tl_partition >= 0);
     partitions_[tl_partition]->reassign_requests.emplace_back(node, partition);
   } else {
+    // Setup or a global event: every partition is parked, so the change
+    // applies immediately instead of waiting for a barrier.
     plan_.ReassignNode(node, partition);
+    ++stats_.reassignments;
     if (lookahead_fn_) lookahead_ = lookahead_fn_(plan_);
   }
 }
@@ -154,7 +209,12 @@ void PdesScheduler::ExecuteWindow(int p, SimTime window_end) {
     EventQueue& q = nodes_[n]->queue;
     if (q.NextTime() != t) continue;  // stale entry; a re-push covers n
     EventQueue::Fired fired = q.PopNext();
+    tl_now = t;
+    tl_have_now = true;
+    tl_node = n;
     fired.fn();
+    tl_node = kInvalidNode;
+    tl_have_now = false;
     ++part.events;
     part.max_time = t;  // heap pops in nondecreasing time order
     SimTime nt = q.NextTime();
@@ -224,6 +284,58 @@ void PdesScheduler::ApplyReassignments() {
   if (lookahead_fn_) lookahead_ = lookahead_fn_(plan_);
 }
 
+void PdesScheduler::FlushGlobalRequests() {
+  // (when, requesting node, per-node seq) is a total order independent of
+  // the partition that buffered the request and the thread that ran it.
+  struct Ref {
+    SimTime when;
+    NodeId node;
+    uint64_t seq;
+    int part;
+    size_t idx;
+    bool operator<(const Ref& o) const {
+      if (when != o.when) return when < o.when;
+      if (node != o.node) return node < o.node;
+      return seq < o.seq;
+    }
+  };
+  std::vector<Ref> refs;
+  for (int p = 0; p < plan_.partition_count(); ++p) {
+    auto& log = partitions_[p]->global_requests;
+    for (size_t i = 0; i < log.size(); ++i) {
+      refs.push_back(Ref{log[i].when, log[i].node, log[i].seq, p, i});
+    }
+  }
+  if (refs.empty()) return;
+  std::sort(refs.begin(), refs.end());
+  for (const Ref& r : refs) {
+    GlobalRequest& req = partitions_[r.part]->global_requests[r.idx];
+    globals_.push_back(GlobalEvent{req.when, global_seq_++, std::move(req.fn)});
+    std::push_heap(globals_.begin(), globals_.end(), GlobalLater{});
+  }
+  for (auto& part : partitions_) part->global_requests.clear();
+}
+
+void PdesScheduler::RunGlobalBatch(SimTime t) {
+  now_ = t;
+  tl_now = t;
+  tl_have_now = true;
+  // A global firing AtGlobal(t) (clamped to now_) joins this batch with a
+  // higher seq, so the drain below also runs it.
+  while (!globals_.empty() && globals_.front().when <= t) {
+    std::pop_heap(globals_.begin(), globals_.end(), GlobalLater{});
+    GlobalEvent ev = std::move(globals_.back());
+    globals_.pop_back();
+    ev.fn();
+    ++stats_.global_events;
+    ++stats_.events_executed;
+  }
+  tl_have_now = false;
+  // Globals are where shared latency structure (topology, plan) may
+  // change; the next window must use the new bound.
+  if (lookahead_fn_) lookahead_ = lookahead_fn_(plan_);
+}
+
 void PdesScheduler::SerialStep() {
   // Zero-lookahead fallback: execute the single globally earliest event
   // — smallest (time, node, seq); per-node queues order by seq, the scan
@@ -242,7 +354,12 @@ void PdesScheduler::SerialStep() {
   tl_partition = plan_.PartitionOf(who);
   window_end_ = best;  // every post (arrival >= best) rides a mailbox
   EventQueue::Fired fired = nodes_[who]->queue.PopNext();
+  tl_now = best;
+  tl_have_now = true;
+  tl_node = who;
   fired.fn();
+  tl_node = kInvalidNode;
+  tl_have_now = false;
   tl_partition = -1;
   // Inline deterministic merge of everything the event posted.
   for (int p = 0; p < plan_.partition_count(); ++p) MergeInbound(p);
@@ -250,6 +367,7 @@ void PdesScheduler::SerialStep() {
   ++stats_.serial_steps;
   ++stats_.events_executed;
   now_ = best;
+  FlushGlobalRequests();
   ApplyReassignments();
 }
 
@@ -307,14 +425,26 @@ void PdesScheduler::WorkerLoop() {
 
 void PdesScheduler::Drive(SimTime deadline) {
   while (true) {
-    SimTime next = GlobalNextTime();
+    SimTime next_node = GlobalNextTime();
+    SimTime next_global = globals_.empty() ? kSimTimeMax : globals_[0].when;
+    SimTime next = std::min(next_node, next_global);
     if (next == kSimTimeMax || next > deadline) break;
+    if (next_global <= next_node) {
+      // Globals run strictly before node events at the same time: they
+      // are the only place shared state may change, and node events in
+      // the following window observe the post-change world.
+      RunGlobalBatch(next_global);
+      continue;
+    }
     SimTime la = std::min(lookahead_, options_.max_window);
     if (la <= 0) {
       SerialStep();
       continue;
     }
-    SimTime we = SaturatingAdd(next, la);
+    SimTime we = SaturatingAdd(next_node, la);
+    // A window may not run past the next global event (its shared-state
+    // mutation must be visible to every later node event).
+    if (we > next_global) we = next_global;
     if (deadline != kSimTimeMax && we > deadline) we = deadline + 1;
     window_end_ = we;
     running_phase_ = true;
@@ -332,6 +462,7 @@ void PdesScheduler::Drive(SimTime deadline) {
     SimTime advanced = we == kSimTimeMax ? std::max(now_, executed_max) : we;
     if (advanced > deadline) advanced = deadline;  // we may be deadline + 1
     now_ = advanced;
+    FlushGlobalRequests();
     ApplyReassignments();
   }
   if (deadline != kSimTimeMax) now_ = std::max(now_, deadline);

@@ -78,8 +78,27 @@ class PdesScheduler {
   /// Schedules `fn` on `node` at absolute time `when`. Callable from the
   /// setup phase (before Run*) for any node, and during execution only by
   /// the worker currently running `node`'s partition — e.g. a node's
-  /// event chaining its own next arrival or timer.
-  void ScheduleAt(NodeId node, SimTime when, EventFn fn);
+  /// event chaining its own next arrival or timer. Returns an id usable
+  /// with CancelNode under the same confinement rule.
+  EventId ScheduleAt(NodeId node, SimTime when, EventFn fn);
+
+  /// Cancels a pending event on `node`. Same confinement rule as
+  /// ScheduleAt: during execution only the worker running `node`'s
+  /// partition (or a global event, with every partition parked) may call
+  /// it. Returns false if the event already fired.
+  bool CancelNode(NodeId node, EventId id);
+
+  /// Schedules `fn` as a *global* event: it runs on the driving thread
+  /// with every partition parked, so it may freely touch shared state
+  /// (topology, catalog, plan) and any node's queue. Globals execute in
+  /// (time, submission seq) order, strictly before node events at the
+  /// same time; the lookahead is re-evaluated after each global batch.
+  ///
+  /// Called from a node event, the request is deferred to the current
+  /// window's end (other partitions may already have executed past
+  /// `when`); concurrent requests are ordered by (effective time,
+  /// requesting node, per-node seq), independent of thread count.
+  void AtGlobal(SimTime when, EventFn fn);
 
   /// Posts a message event: `fn` runs on `to` at `arrival`. Must be
   /// called from an event executing on `from` (or setup). Same-partition
@@ -107,9 +126,19 @@ class PdesScheduler {
 
   // --- Inspection -------------------------------------------------------
 
-  /// Global clock: the end of the last completed window. Meaningful only
-  /// between Run* calls (event code should use its own scheduled time).
-  SimTime Now() const { return now_; }
+  /// Context-aware clock: inside an event (node or global) this is the
+  /// event's scheduled time; between Run* calls it is the end of the
+  /// last completed window.
+  SimTime Now() const;
+
+  /// The node whose event the calling thread is currently executing, or
+  /// kInvalidNode outside node events (setup, globals, between runs).
+  NodeId CurrentNode() const;
+
+  /// Re-evaluates the lookahead function against the current plan.
+  /// Callable from global events (after they mutate the latency
+  /// structure) and between runs.
+  void RefreshLookahead();
 
   const PartitionPlan& plan() const { return plan_; }
 
@@ -120,6 +149,7 @@ class PdesScheduler {
     uint64_t mailbox_envelopes = 0;  // messages merged at barriers
     uint64_t direct_posts = 0;  // same-partition, same-window deliveries
     uint64_t reassignments = 0; // applied plan changes
+    uint64_t global_events = 0; // barrier-serialized global events
   };
   /// Deterministic at any thread count (every field is a function of the
   /// simulation state and the plan, never of scheduling).
@@ -139,6 +169,23 @@ class PdesScheduler {
   struct NodeState {
     EventQueue queue;
     uint64_t send_seq = 0;  // orders this node's posts deterministically
+    uint64_t global_req_seq = 0;  // orders this node's AtGlobal requests
+  };
+
+  /// A pending global event (heap-ordered by (when, seq)).
+  struct GlobalEvent {
+    SimTime when;
+    uint64_t seq;
+    EventFn fn;
+  };
+
+  /// An AtGlobal call made from inside a node event, parked until the
+  /// window barrier.
+  struct GlobalRequest {
+    SimTime when;  // already deferred to the window end
+    NodeId node;
+    uint64_t seq;  // per-requesting-node sequence
+    EventFn fn;
   };
 
   /// Merge-phase sort key; envelopes themselves stay in their mailboxes
@@ -165,6 +212,7 @@ class PdesScheduler {
     std::vector<std::pair<SimTime, NodeId>> heap;  // min-heap (time, node)
     std::vector<MergeKey> merge_scratch;
     std::vector<std::pair<NodeId, int>> reassign_requests;
+    std::vector<GlobalRequest> global_requests;
     // Per-phase counters, aggregated into stats_ at the barrier.
     uint64_t events = 0;
     uint64_t merged = 0;
@@ -180,6 +228,11 @@ class PdesScheduler {
   void SerialStep();
   /// Barrier bookkeeping: apply reassignments, refresh lookahead.
   void ApplyReassignments();
+  /// Moves node-buffered AtGlobal requests into the global heap in
+  /// (effective time, requesting node, per-node seq) order.
+  void FlushGlobalRequests();
+  /// Runs every global event due at `t` serially on the calling thread.
+  void RunGlobalBatch(SimTime t);
   /// Earliest pending event time across all sub-queues.
   SimTime GlobalNextTime();
   /// Runs `fn(p)` for every partition, on the pool if threads > 1.
@@ -193,6 +246,8 @@ class PdesScheduler {
   std::vector<std::unique_ptr<Partition>> partitions_;
   SimTime now_ = 0;
   SimTime lookahead_ = 0;
+  std::vector<GlobalEvent> globals_;  // min-heap by (when, seq)
+  uint64_t global_seq_ = 0;
   /// Exclusive upper bound of the window being executed; nodes' posts
   /// compare arrivals against it. Written at the barrier (before workers
   /// wake), constant during a phase.

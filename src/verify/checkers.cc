@@ -37,43 +37,58 @@ std::string JoinTxns(const std::vector<TxnId>& txns,
 
 }  // namespace
 
-CheckReport CheckGlobalSerializability(const History& history) {
-  TxnGraph g = BuildGlobalSerializationGraph(history);
+CheckReport CheckGlobalSerializability(const HistoryIndex& index) {
+  TxnGraph g = BuildGlobalSerializationGraph(index);
   std::vector<TxnId> cycle = g.FindCycle();
   if (cycle.empty()) return CheckReport::Pass();
-  return CheckReport::Fail(
-      "global serialization graph has cycle: " + JoinTxns(cycle, &history),
-      cycle);
+  return CheckReport::Fail("global serialization graph has cycle: " +
+                               JoinTxns(cycle, &index.history()),
+                           cycle);
 }
 
-CheckReport CheckProperty1(const History& history, FragmentId fragment) {
-  TxnGraph g = BuildUpdaterGraph(history, fragment);
+CheckReport CheckGlobalSerializability(const History& history) {
+  return CheckGlobalSerializability(HistoryIndex(history));
+}
+
+CheckReport CheckProperty1(const HistoryIndex& index, FragmentId fragment) {
+  TxnGraph g = BuildUpdaterGraph(index, fragment);
   std::vector<TxnId> cycle = g.FindCycle();
   if (cycle.empty()) return CheckReport::Pass();
   return CheckReport::Fail("U(F" + std::to_string(fragment) +
                                ") schedule not serializable: " +
-                               JoinTxns(cycle, &history),
+                               JoinTxns(cycle, &index.history()),
                            cycle);
 }
 
-CheckReport CheckProperty2(const History& history, FragmentId fragment) {
+CheckReport CheckProperty1(const History& history, FragmentId fragment) {
+  return CheckProperty1(HistoryIndex(history), fragment);
+}
+
+CheckReport CheckProperty2(const HistoryIndex& index, FragmentId fragment) {
   // For each committed updater W of `fragment`, and each reader T, T's
   // reads of objects written by W must either all reflect W (version
-  // sequence >= W's) or none (version sequence < W's).
-  std::vector<TxnId> updaters = history.UpdatersOf(fragment);
+  // sequence >= W's) or none (version sequence < W's). Only updaters
+  // with at least two writes matter — a single write cannot be partial —
+  // and only reads of the fragment's own objects can land in a W's
+  // write set.
+  const History& history = index.history();
+  std::vector<TxnId> updaters;
+  for (TxnId w : index.UpdatersOf(fragment)) {
+    if (index.WritesOf(w).size() >= 2) updaters.push_back(w);
+  }
+  if (updaters.empty()) return CheckReport::Pass();
   std::map<TxnId, std::map<ObjectId, bool>> writes_of;  // writer -> objects
   std::map<TxnId, SeqNum> seq_of;
   for (TxnId w : updaters) {
-    const TxnRecord* rec = history.FindTxn(w);
-    seq_of[w] = rec->frag_seq;
-    for (const WriteOp& op : history.WritesOf(w)) {
+    seq_of[w] = history.FindTxn(w)->frag_seq;
+    for (const WriteOp& op : index.WritesOf(w)) {
       writes_of[w][op.object] = true;
     }
   }
-  // Group reads by reader.
+  // Group the fragment's read observations by reader.
   std::map<TxnId, std::vector<const ReadRecord*>> reads_by_txn;
-  for (const ReadRecord& r : history.reads()) {
-    reads_by_txn[r.reader].push_back(&r);
+  for (const ReadRecord* r : index.ReadsOn(fragment)) {
+    reads_by_txn[r->reader].push_back(r);
   }
   for (const auto& [reader, reads] : reads_by_txn) {
     const TxnRecord* reader_rec = history.FindTxn(reader);
@@ -81,7 +96,6 @@ CheckReport CheckProperty2(const History& history, FragmentId fragment) {
     for (TxnId w : updaters) {
       if (w == reader) continue;
       const auto& wset = writes_of[w];
-      if (wset.size() < 2) continue;  // a single write cannot be partial
       bool saw = false, missed = false;
       for (const ReadRecord* r : reads) {
         if (wset.count(r->object) == 0) continue;
@@ -102,15 +116,25 @@ CheckReport CheckProperty2(const History& history, FragmentId fragment) {
   return CheckReport::Pass();
 }
 
-CheckReport CheckFragmentwiseSerializability(const History& history,
+CheckReport CheckProperty2(const History& history, FragmentId fragment) {
+  return CheckProperty2(HistoryIndex(history), fragment);
+}
+
+CheckReport CheckFragmentwiseSerializability(const HistoryIndex& index,
                                              int fragment_count) {
   for (FragmentId f = 0; f < fragment_count; ++f) {
-    CheckReport p1 = CheckProperty1(history, f);
+    CheckReport p1 = CheckProperty1(index, f);
     if (!p1.ok) return p1;
-    CheckReport p2 = CheckProperty2(history, f);
+    CheckReport p2 = CheckProperty2(index, f);
     if (!p2.ok) return p2;
   }
   return CheckReport::Pass();
+}
+
+CheckReport CheckFragmentwiseSerializability(const History& history,
+                                             int fragment_count) {
+  return CheckFragmentwiseSerializability(HistoryIndex(history),
+                                          fragment_count);
 }
 
 CheckReport CheckMutualConsistency(

@@ -47,6 +47,16 @@ CheckReport CheckProperty2(const History& history, FragmentId fragment);
 CheckReport CheckFragmentwiseSerializability(const History& history,
                                              int fragment_count);
 
+/// Index-aware variants of the serializability checks: identical
+/// verdicts, but lookups hit the prebuilt HistoryIndex instead of
+/// rescanning the history, so an audit that sweeps every fragment stays
+/// linear in the history size. Build the index once per quiesced run.
+CheckReport CheckGlobalSerializability(const HistoryIndex& index);
+CheckReport CheckProperty1(const HistoryIndex& index, FragmentId fragment);
+CheckReport CheckProperty2(const HistoryIndex& index, FragmentId fragment);
+CheckReport CheckFragmentwiseSerializability(const HistoryIndex& index,
+                                             int fragment_count);
+
 /// Mutual consistency: all replicas hold identical contents. Valid only at
 /// quiescence (all propagation drained).
 CheckReport CheckMutualConsistency(

@@ -19,6 +19,51 @@ void History::MarkCommitted(TxnId id, SeqNum frag_seq) {
   it->second.frag_seq = frag_seq;
 }
 
+void History::MarkCommittedPartial(TxnId id, SeqNum frag_seq) {
+  TxnRecord& rec = txns_[id];
+  rec.id = id;
+  rec.committed = true;
+  rec.frag_seq = frag_seq;
+}
+
+void History::AbsorbShard(History* shard) {
+  for (auto& [id, rec] : shard->txns_) {
+    auto [it, inserted] = txns_.try_emplace(id);
+    if (inserted) {
+      it->second = std::move(rec);
+      continue;
+    }
+    TxnRecord& dst = it->second;
+    bool registered = rec.home != kInvalidNode || rec.agent != kInvalidAgent ||
+                      rec.type_fragment != kInvalidFragment ||
+                      !rec.label.empty() || rec.read_only;
+    if (registered) {
+      bool was_committed = dst.committed;
+      SeqNum was_seq = dst.frag_seq;
+      dst = std::move(rec);
+      if (was_committed && !dst.committed) {
+        dst.committed = true;
+        dst.frag_seq = was_seq;
+      }
+    } else if (rec.committed) {
+      dst.committed = true;
+      dst.frag_seq = rec.frag_seq;
+    }
+  }
+  shard->txns_.clear();
+  reads_.insert(reads_.end(), std::make_move_iterator(shard->reads_.begin()),
+                std::make_move_iterator(shard->reads_.end()));
+  shard->reads_.clear();
+  installs_.insert(installs_.end(),
+                   std::make_move_iterator(shard->installs_.begin()),
+                   std::make_move_iterator(shard->installs_.end()));
+  shard->installs_.clear();
+  for (const auto& [node, count] : shard->next_node_order_) {
+    int64_t& mine = next_node_order_[node];
+    mine = std::max(mine, count);
+  }
+}
+
 void History::RecordRead(const ReadRecord& read) { reads_.push_back(read); }
 
 void History::RecordInstall(NodeId node, const QuasiTxn& quasi, SimTime at) {

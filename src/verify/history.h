@@ -71,6 +71,20 @@ class History {
   /// Marks a registered transaction committed and records its sequence.
   void MarkCommitted(TxnId id, SeqNum frag_seq);
 
+  /// Shard variant of MarkCommitted: upserts, because under the parallel
+  /// engine the commit may be recorded in a different per-node shard than
+  /// the registration (e.g. a repackaged commit after an agent move).
+  /// AbsorbShard joins the halves.
+  void MarkCommittedPartial(TxnId id, SeqNum frag_seq);
+
+  /// Folds a per-node shard into this history and empties it (the
+  /// shard's per-node install counters survive, so recording can resume
+  /// after the merge). Partial TxnRecords merge field-wise: a
+  /// registration adopts any commit mark already present and vice versa.
+  /// Called between runs in ascending node order — a deterministic
+  /// merge independent of worker-thread count.
+  void AbsorbShard(History* shard);
+
   void RecordRead(const ReadRecord& read);
 
   /// Records an install; assigns node_order automatically.

@@ -93,38 +93,33 @@ namespace {
 
 /// Shared conflict-edge machinery: adds ww/wr/rw edges derived from the
 /// multiversion history, restricted to vertex pairs accepted by `keep`.
-void AddConflictEdges(
-    const History& history, TxnGraph& g,
-    const std::function<bool(TxnId, TxnId)>& keep) {
-  // Gather the set of objects ever written, then their version chains.
-  std::set<ObjectId> objects;
-  for (const InstallRecord& rec : history.installs()) {
-    for (const WriteOp& w : rec.writes) objects.insert(w.object);
-  }
-  for (const ReadRecord& r : history.reads()) objects.insert(r.object);
+/// With a valid `fragment`, only that fragment's version chains and read
+/// observations are visited — sound whenever `keep` accepts only pairs
+/// of that fragment's updaters, because every such conflict is anchored
+/// on an object the fragment wrote.
+void AddConflictEdges(const HistoryIndex& index, TxnGraph& g,
+                      const std::function<bool(TxnId, TxnId)>& keep,
+                      FragmentId fragment = kInvalidFragment) {
+  const History& history = index.history();
 
   // ww edges: consecutive versions of each object.
-  std::map<ObjectId, std::vector<std::pair<TxnId, SeqNum>>> versions;
-  for (ObjectId o : objects) {
-    versions[o] = history.VersionsOf(o);
-    const auto& chain = versions[o];
+  auto chain_edges = [&](const std::vector<std::pair<TxnId, SeqNum>>& chain) {
     for (size_t i = 0; i + 1 < chain.size(); ++i) {
       if (keep(chain[i].first, chain[i + 1].first)) {
         g.AddEdge(chain[i].first, chain[i + 1].first);
       }
     }
-  }
+  };
 
-  // wr and rw edges from read observations.
-  for (const ReadRecord& r : history.reads()) {
-    const TxnRecord* reader = history.FindTxn(r.reader);
-    if (reader == nullptr) continue;
+  // wr and rw edges from one read observation.
+  auto read_edges = [&](const ReadRecord& r) {
+    if (history.FindTxn(r.reader) == nullptr) return;
     if (r.version_writer != kInvalidTxn && r.version_writer != r.reader &&
         keep(r.version_writer, r.reader)) {
       g.AddEdge(r.version_writer, r.reader);  // wr
     }
     // rw: the first version after the one observed.
-    const auto& chain = versions[r.object];
+    const auto& chain = index.VersionsOf(r.object);
     auto next = std::upper_bound(
         chain.begin(), chain.end(), r.version_seq,
         [](SeqNum seq, const std::pair<TxnId, SeqNum>& v) {
@@ -134,31 +129,52 @@ void AddConflictEdges(
         keep(r.reader, next->first)) {
       g.AddEdge(r.reader, next->first);  // rw
     }
+  };
+
+  if (fragment == kInvalidFragment) {
+    for (const auto& [object, chain] : index.versions()) {
+      (void)object;
+      chain_edges(chain);
+    }
+    for (const ReadRecord& r : history.reads()) read_edges(r);
+  } else {
+    for (ObjectId o : index.ObjectsOf(fragment)) {
+      chain_edges(index.VersionsOf(o));
+    }
+    for (const ReadRecord* r : index.ReadsOn(fragment)) read_edges(*r);
   }
 }
 
 }  // namespace
 
-TxnGraph BuildGlobalSerializationGraph(const History& history) {
+TxnGraph BuildGlobalSerializationGraph(const HistoryIndex& index) {
   TxnGraph g;
-  for (const auto& [id, rec] : history.txns()) {
+  for (const auto& [id, rec] : index.history().txns()) {
     if (rec.committed) g.AddVertex(id);
   }
   auto keep = [&](TxnId a, TxnId b) {
     return g.HasVertex(a) && g.HasVertex(b);
   };
-  AddConflictEdges(history, g, keep);
+  AddConflictEdges(index, g, keep);
+  return g;
+}
+
+TxnGraph BuildGlobalSerializationGraph(const History& history) {
+  return BuildGlobalSerializationGraph(HistoryIndex(history));
+}
+
+TxnGraph BuildUpdaterGraph(const HistoryIndex& index, FragmentId fragment) {
+  TxnGraph g;
+  for (TxnId id : index.UpdatersOf(fragment)) g.AddVertex(id);
+  auto keep = [&](TxnId a, TxnId b) {
+    return g.HasVertex(a) && g.HasVertex(b);
+  };
+  AddConflictEdges(index, g, keep, fragment);
   return g;
 }
 
 TxnGraph BuildUpdaterGraph(const History& history, FragmentId fragment) {
-  TxnGraph g;
-  for (TxnId id : history.UpdatersOf(fragment)) g.AddVertex(id);
-  auto keep = [&](TxnId a, TxnId b) {
-    return g.HasVertex(a) && g.HasVertex(b);
-  };
-  AddConflictEdges(history, g, keep);
-  return g;
+  return BuildUpdaterGraph(HistoryIndex(history), fragment);
 }
 
 TxnGraph BuildLocalSerializationGraph(const History& history,
@@ -193,7 +209,7 @@ TxnGraph BuildLocalSerializationGraph(const History& history,
     if (ta == fragment || tb == fragment) return true;
     return false;  // clauses (iii)/(iv) are handled below
   };
-  AddConflictEdges(history, g, keep);
+  AddConflictEdges(HistoryIndex(history), g, keep);
 
   // (iii): pairs of non-local transactions of the same type, ordered by
   // installation order at home_node. (iv): different types — no edge.

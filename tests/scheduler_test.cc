@@ -25,7 +25,7 @@ struct SchedFixture : ::testing::Test {
     Scheduler::Config cfg;
     cfg.exec_time = Micros(100);
     cfg.install_time = Micros(50);
-    sched = std::make_unique<Scheduler>(0, &sim, store.get(), &locks, cfg,
+    sched = std::make_unique<Scheduler>(0, &engine, store.get(), &locks, cfg,
                                         hooks);
   }
 
@@ -46,6 +46,7 @@ struct SchedFixture : ::testing::Test {
   FragmentId f0, f1;
   ObjectId a, b;
   Simulator sim;
+  SerialEngine engine{&sim};
   LockManager locks;
   std::unique_ptr<ObjectStore> store;
   std::unique_ptr<Scheduler> sched;
