@@ -44,8 +44,15 @@ struct RowResult {
   std::string json;
 };
 
+/// Quorum/read-mix knobs for the rows that need them (zeros elsewhere).
+struct QuorumKnobs {
+  int read_quorum = 0;
+  int write_quorum = 0;
+  double read_only_fraction = 0.0;
+};
+
 SyntheticOptions ClusterOptions(ControlOption control, MoveProtocol move,
-                                uint64_t seed) {
+                                uint64_t seed, const QuorumKnobs& q) {
   SyntheticOptions opt;
   opt.nodes = kNodes;
   opt.objects_per_fragment = 3;
@@ -59,14 +66,17 @@ SyntheticOptions ClusterOptions(ControlOption control, MoveProtocol move,
   opt.seed = seed;
   opt.control = control;
   opt.move_protocol = move;
+  opt.read_quorum = q.read_quorum;
+  opt.write_quorum = q.write_quorum;
+  opt.read_only_fraction = q.read_only_fraction;
   return opt;
 }
 
 RowResult RunCluster(const std::string& name, const std::string& guarantee,
                      uint64_t seed, ControlOption control,
                      MoveProtocol move = MoveProtocol::kForbidden,
-                     bool with_moves = false) {
-  SyntheticWorkload workload(ClusterOptions(control, move, seed));
+                     bool with_moves = false, QuorumKnobs quorum = {}) {
+  SyntheticWorkload workload(ClusterOptions(control, move, seed, quorum));
   Status st = workload.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "%s failed to start: %s\n", name.c_str(),
@@ -93,7 +103,9 @@ RowResult RunCluster(const std::string& name, const std::string& guarantee,
   row.submitted = report.metrics.submitted;
   row.served = report.metrics.served();
   bool base_ok = report.mutually_consistent;
-  row.guarantee_holds = base_ok && report.property_ok;
+  // commit_atomic defaults true; under kPaxosCommit it additionally
+  // demands agreeing decisions and no commit left blocked.
+  row.guarantee_holds = base_ok && report.property_ok && report.commit_atomic;
   row.msgs_per_served =
       row.served ? double(report.net.messages_sent) / double(row.served) : 0;
   return row;
@@ -219,10 +231,30 @@ RowResult RunRow(int row, uint64_t seed) {
       return RunCluster("frag+agents 4.3 fragmentwise", "fragmentwise SR",
                         seed, ControlOption::kFragmentwise);
     case 4:
+      // Read-cheap quorum point (R=2, W=5 on 6 replicas, R+W>N): reads
+      // touch a third of the cluster, writes wait for nearly all of it.
+      return RunCluster("quorum R=2 W=5", "quorum freshness", seed,
+                        ControlOption::kQuorum, MoveProtocol::kForbidden,
+                        /*with_moves=*/false,
+                        QuorumKnobs{2, 5, /*read_only_fraction=*/0.3});
+    case 5:
+      // Write-cheap quorum point (R=5, W=2): the mirror image — writes
+      // ack fast, reads pay the assembly cost.
+      return RunCluster("quorum R=5 W=2", "quorum freshness", seed,
+                        ControlOption::kQuorum, MoveProtocol::kForbidden,
+                        /*with_moves=*/false,
+                        QuorumKnobs{5, 2, /*read_only_fraction=*/0.3});
+    case 6:
+      // Non-blocking commit: every update decided by an acceptor majority,
+      // so a crashed home never strands a prepared transaction.
+      return RunCluster("paxos-commit", "atomic commit (NB)", seed,
+                        ControlOption::kFragmentwise,
+                        MoveProtocol::kPaxosCommit);
+    case 7:
       return RunCluster("frag+agents 4.4.3 moving", "mutual consistency",
                         seed, ControlOption::kFragmentwise,
                         MoveProtocol::kOmitPrep, /*with_moves=*/true);
-    case 5: {
+    case 8: {
       Catalog catalog = MakeBaselineCatalog();
       OptimisticEngine eng(&catalog, Topology::FullMesh(kNodes, Millis(5)));
       return RunBaseline("optimistic (free-for-all)", "convergence", seed,
@@ -237,7 +269,7 @@ RowResult RunRow(int row, uint64_t seed) {
   }
 }
 
-constexpr int kRows = 7;
+constexpr int kRows = 10;
 
 }  // namespace
 

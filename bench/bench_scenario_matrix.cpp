@@ -16,7 +16,12 @@
 //   --scenarios=a,b,c    fault scenarios (default: the whole library)
 //   --workloads=a,b      workload profiles (default: steady_uniform,
 //                        flash_hotkey)
-//   --controls=a,b       fragmentwise | acyclic (default: both)
+//   --controls=a,b       fragmentwise | acyclic | quorum | paxos
+//                        (default: all four). quorum = kQuorum control
+//                        with majority R/W quorums and a quarter of the
+//                        traffic as assembled quorum reads; paxos =
+//                        fragmentwise control with every update committed
+//                        through non-blocking Paxos Commit.
 //   --nodes=N            cluster size (default 5)
 //   --duration_ms=N      traffic window per cell (default 700)
 //   --out_dir=PATH       write availability_reports.jsonl plus one
@@ -64,11 +69,21 @@ using fragdb_bench::PrintRule;
 
 namespace {
 
+/// Everything a --controls entry configures: the control option plus the
+/// commit protocol and quorum shape that go with it.
+struct ControlSpec {
+  ControlOption control = ControlOption::kFragmentwise;
+  MoveProtocol move = MoveProtocol::kForbidden;
+  int read_quorum = 0;   // 0 = majority default (quorum cells only)
+  int write_quorum = 0;  // 0 = majority default (quorum cells only)
+  double read_only_fraction = 0.0;
+};
+
 struct Cell {
   std::string scenario;
   std::string workload;
   std::string control_name;
-  ControlOption control = ControlOption::kFragmentwise;
+  ControlSpec spec;
   uint64_t seed = 1;
   bool force_fail = false;
 };
@@ -118,7 +133,11 @@ CellResult RunCellOnce(const Cell& cell, int nodes, SimTime duration,
   opt.nodes = nodes;
   opt.duration = duration;
   opt.seed = cell.seed;
-  opt.control = cell.control;
+  opt.control = cell.spec.control;
+  opt.move_protocol = cell.spec.move;
+  opt.read_quorum = cell.spec.read_quorum;
+  opt.write_quorum = cell.spec.write_quorum;
+  opt.read_only_fraction = cell.spec.read_only_fraction;
   opt.engine = engine;
   // Timelines + tracker give every cell line its availability summary; the
   // flight recorder's ring is dumped if the cell fails any check.
@@ -161,6 +180,8 @@ CellResult RunCellOnce(const Cell& cell, int nodes, SimTime duration,
      << ",\"consistent_ok\":" << (r.consistent_ok ? "true" : "false")
      << ",\"recovery_ok\":" << (r.recovery_ok ? "true" : "false")
      << ",\"timeline_ok\":" << (r.timeline_ok ? "true" : "false")
+     << ",\"quorum_ok\":" << (r.quorum_ok ? "true" : "false")
+     << ",\"paxos_ok\":" << (r.paxos_ok ? "true" : "false")
      << ",\"forced_failure\":" << (r.forced_failure ? "true" : "false")
      << "," << r.availability.SummaryJson()
      << ",\"ok\":" << (r.ok() ? "true" : "false") << "}";
@@ -191,12 +212,21 @@ CellResult RunCell(const Cell& cell, int nodes, SimTime duration,
   return out;
 }
 
-ControlOption ControlByName(const std::string& name) {
-  if (name == "fragmentwise") return ControlOption::kFragmentwise;
-  if (name == "acyclic") return ControlOption::kAcyclicReads;
-  std::fprintf(stderr,
-               "unknown --controls entry '%s' (fragmentwise|acyclic)\n",
-               name.c_str());
+ControlSpec ControlByName(const std::string& name) {
+  if (name == "fragmentwise") return {};
+  if (name == "acyclic") return {ControlOption::kAcyclicReads};
+  if (name == "quorum") {
+    // Majority read and write quorums (R+W > N at any cluster size), a
+    // quarter of the traffic served as assembled quorum reads.
+    return {ControlOption::kQuorum, MoveProtocol::kForbidden, 0, 0, 0.25};
+  }
+  if (name == "paxos") {
+    return {ControlOption::kFragmentwise, MoveProtocol::kPaxosCommit};
+  }
+  std::fprintf(
+      stderr,
+      "unknown --controls entry '%s' (fragmentwise|acyclic|quorum|paxos)\n",
+      name.c_str());
   std::exit(2);
 }
 
@@ -213,7 +243,9 @@ int main(int argc, char** argv) {
   if (workloads.empty()) workloads = {"steady_uniform", "flash_hotkey"};
   std::vector<std::string> control_names =
       cli::SplitCommaList(opts.ExtraOr("controls", ""));
-  if (control_names.empty()) control_names = {"fragmentwise", "acyclic"};
+  if (control_names.empty()) {
+    control_names = {"fragmentwise", "acyclic", "quorum", "paxos"};
+  }
 
   int nodes = std::atoi(opts.ExtraOr("nodes", "5").c_str());
   SimTime duration = Millis(std::atoi(opts.ExtraOr("duration_ms", "700").c_str()));
@@ -243,7 +275,7 @@ int main(int argc, char** argv) {
     for (const std::string& w : workloads) {
       for (const std::string& c : control_names) {
         for (uint64_t seed : seeds) {
-          cells.push_back(Cell{s, w, c, ControlByName(c), seed});
+          cells.push_back(Cell{s, w, c, ControlByName(c), seed, false});
         }
       }
     }

@@ -31,6 +31,15 @@ AuditReport AuditRun(const Cluster& cluster) {
   }
   report.replica_consistency = cluster.CheckReplicaSetConsistency();
   report.configured_property = cluster.CheckConfiguredProperty(&index);
+  report.quorum_freshness = CheckQuorumFreshness(index);
+  report.commit_atomicity = CheckCommitAtomicity(history);
+  // Majority-commit legitimately strands prepared entries when the home
+  // dies mid-broadcast (no abort message exists); only Paxos Commit
+  // promises — and is held to — non-blocking termination.
+  report.commit_nonblocking =
+      cluster.config().move_protocol == MoveProtocol::kPaxosCommit
+          ? cluster.CheckCommitNonBlocking()
+          : CheckReport::Pass();
   for (const auto& [id, rec] : history.txns()) {
     (void)id;
     if (rec.committed) {
@@ -62,6 +71,9 @@ std::string AuditReport::ToString() const {
   line("replica consistency   ", replica_consistency);
   line("global serializability", global_serializability);
   line("fragmentwise (P1+P2)  ", fragmentwise);
+  line("quorum freshness      ", quorum_freshness);
+  line("commit atomicity      ", commit_atomicity);
+  line("commit non-blocking   ", commit_nonblocking);
   for (const std::string& f : fragment_failures) {
     os << "    " << f << "\n";
   }

@@ -23,6 +23,16 @@ struct AuditReport {
   CheckReport replica_consistency;
   // The property the cluster's configuration promises.
   CheckReport configured_property;
+  /// Quorum freshness (R+W>N intersection): trivially Pass when no
+  /// fragment runs under ControlOption::kQuorum.
+  CheckReport quorum_freshness;
+  /// Commit-decision agreement + decided-implies-committed; trivially Pass
+  /// when the run recorded no commit decisions.
+  CheckReport commit_atomicity;
+  /// No prepared-but-undecided commit left behind at quiescence. Only
+  /// gates Paxos Commit runs (majority-commit has a legitimate blocking
+  /// window — that is exactly the weakness Paxos Commit removes).
+  CheckReport commit_nonblocking;
   // Counts.
   int committed_txns = 0;
   int uncommitted_txns = 0;
@@ -35,9 +45,11 @@ struct AuditReport {
   /// replication_lag_us histogram max when metrics are enabled.
   SimTime max_replication_lag_us = 0;
 
-  /// True when the configured property and replica consistency both hold.
+  /// True when the configured property, replica consistency, and the
+  /// commit/quorum protocol checks all hold.
   bool ok() const {
-    return configured_property.ok && replica_consistency.ok;
+    return configured_property.ok && replica_consistency.ok &&
+           quorum_freshness.ok && commit_atomicity.ok && commit_nonblocking.ok;
   }
 
   /// Multi-line human-readable rendering.

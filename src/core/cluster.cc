@@ -17,6 +17,8 @@ const char* ControlOptionName(ControlOption option) {
       return "acyclic-reads(4.2)";
     case ControlOption::kFragmentwise:
       return "fragmentwise(4.3)";
+    case ControlOption::kQuorum:
+      return "quorum(R+W>N)";
   }
   return "?";
 }
@@ -33,6 +35,8 @@ const char* MoveProtocolName(MoveProtocol protocol) {
       return "move-with-seqnum(4.4.2B)";
     case MoveProtocol::kOmitPrep:
       return "omit-prep(4.4.3)";
+    case MoveProtocol::kPaxosCommit:
+      return "paxos-commit";
   }
   return "?";
 }
@@ -173,6 +177,36 @@ Status Cluster::Start() {
           " is not replicated at its agent's home node");
     }
   }
+  // Quorum control: validate the intersection property per governed
+  // fragment (R + W > N over its replica set) and reject agent moves —
+  // the quorum machinery pins each fragment's writer to its home.
+  {
+    bool any_quorum = config_.control == ControlOption::kQuorum;
+    for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+      if (ControlFor(f) == ControlOption::kQuorum) any_quorum = true;
+    }
+    if (any_quorum && config_.move_protocol != MoveProtocol::kForbidden) {
+      return Status::FailedPrecondition(
+          "ControlOption::kQuorum requires MoveProtocol::kForbidden");
+    }
+    if (any_quorum) {
+      for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+        if (ControlFor(f) != ControlOption::kQuorum) continue;
+        const std::vector<NodeId>& set = catalog_.ReplicaSet(f);
+        const int n = set.empty() ? topology_.node_count()
+                                  : static_cast<int>(set.size());
+        const int r = ReadQuorumFor(f);
+        const int w = WriteQuorumFor(f);
+        if (r < 1 || r > n || w < 1 || w > n || r + w <= n) {
+          return Status::FailedPrecondition(
+              "fragment " + catalog_.FragmentName(f) +
+              ": quorum sizes R=" + std::to_string(r) +
+              " W=" + std::to_string(w) + " violate 1<=R,W<=N and R+W>N (N=" +
+              std::to_string(n) + ")");
+        }
+      }
+    }
+  }
   // Validate the §4.2 restriction over the fragments it actually governs:
   // the read-access subgraph among kAcyclicReads-typed fragments must be
   // elementarily acyclic (all fragments, when that is the cluster default
@@ -257,6 +291,11 @@ Status Cluster::Start() {
   amnesia_down_.assign(topology_.node_count(), 0);
   remote_waits_.resize(topology_.node_count());
   ack_waits_.resize(topology_.node_count());
+  quorum_write_waits_.resize(topology_.node_count());
+  quorum_read_waits_.resize(topology_.node_count());
+  paxos_acceptors_.resize(topology_.node_count());
+  paxos_waits_.resize(topology_.node_count());
+  paxos_indoubt_.resize(topology_.node_count());
   if (parallel_) {
     history_shards_.resize(topology_.node_count());
     txn_stripe_next_.assign(topology_.node_count() + 1, 0);
@@ -319,6 +358,12 @@ Status Cluster::ValidateSpec(NodeId node, const TxnSpec& spec,
   for (ObjectId o : spec.read_set) {
     if (!catalog_.ValidObject(o)) {
       return Status::InvalidArgument("no such object in read set");
+    }
+    // Quorum reads assemble their versions over the network, so a
+    // read-only transaction may run at a node that holds no copy.
+    if (spec.read_only() &&
+        ControlFor(catalog_.FragmentOf(o)) == ControlOption::kQuorum) {
+      continue;
     }
     if (!catalog_.ReplicatedAt(catalog_.FragmentOf(o), node)) {
       return Status::PermissionDenied(
@@ -462,6 +507,10 @@ void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
     if (!spec.read_only() &&
         config_.move_protocol == MoveProtocol::kMajorityCommit) {
       ExecuteMajority(id, node, spec, x_preacquired, done, std::move(after));
+    } else if (!spec.read_only() &&
+               config_.move_protocol == MoveProtocol::kPaxosCommit) {
+      ExecutePaxosCommit(id, node, spec, x_preacquired, done,
+                         std::move(after));
     } else {
       ExecuteAndPropagate(id, node, spec, x_preacquired, done,
                           std::move(after));
@@ -471,6 +520,10 @@ void Cluster::SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done) {
   ControlOption effective = type_fragment == kInvalidFragment
                                 ? config_.control
                                 : ControlFor(type_fragment);
+  if (spec.read_only() && effective == ControlOption::kQuorum) {
+    ExecuteQuorumRead(id, node, spec, std::move(done));
+    return;
+  }
   if (effective != ControlOption::kReadLocks) {
     run(false, [] {});
     return;
@@ -670,9 +723,234 @@ void Cluster::ExecuteAndPropagate(TxnId id, NodeId node, const TxnSpec& spec,
             }
           }
         }
+        // kQuorum: the commit stands, but the client hears back only once
+        // W replicas have *installed* the write (or the wait times out —
+        // the write keeps propagating either way).
+        if (result.status.ok() && !spec.read_only() &&
+            ControlFor(spec.write_fragment) == ControlOption::kQuorum) {
+          after();
+          const FragmentId wf = spec.write_fragment;
+          const SeqNum seq = result.frag_seq;
+          const int needed = WriteQuorumFor(wf);
+          if (needed <= 1) {
+            QuorumWriteRecord rec;
+            rec.txn = id;
+            rec.fragment = wf;
+            rec.seq = seq;
+            rec.acks = 1;
+            rec.acked_at = engine_->Now();
+            HistorySink(node).RecordQuorumWrite(rec);
+            if (obs_) obs_->QuorumWriteAcked(node)->Add();
+            done(std::move(result));
+            return;
+          }
+          QuorumWriteWait wait;
+          wait.fragment = wf;
+          wait.seq = seq;
+          wait.needed = needed;
+          wait.ackers = {node};
+          wait.result = std::make_shared<TxnResult>(std::move(result));
+          wait.done = std::move(done);
+          wait.timeout_event = engine_->AfterNode(
+              node, config_.majority_ack_timeout, [this, id, node] {
+                auto& shard = quorum_write_waits_[node];
+                auto it = shard.find(id);
+                if (it == shard.end()) return;
+                QuorumWriteWait w = std::move(it->second);
+                shard.erase(it);
+                w.result->status = Status::Unavailable(
+                    "write quorum not reached (committed locally; still "
+                    "propagating)");
+                w.result->finished_at = engine_->Now();
+                Trace("fail", node, w.fragment, id, w.seq,
+                      "T" + std::to_string(id) +
+                          " Unavailable: write quorum not reached");
+                w.done(*w.result);
+              });
+          quorum_write_waits_[node][id] = std::move(wait);
+          return;
+        }
         after();
         done(std::move(result));
       });
+}
+
+void Cluster::OnQuorumAppliedAck(NodeId home, const QuorumAppliedAck& ack) {
+  auto& shard = quorum_write_waits_[home];
+  auto it = shard.find(ack.txn);
+  if (it == shard.end()) return;
+  QuorumWriteWait& wait = it->second;
+  if (!wait.ackers.insert(ack.acker).second) return;
+  if (static_cast<int>(wait.ackers.size()) < wait.needed) return;
+  engine_->CancelNode(home, wait.timeout_event);
+  QuorumWriteWait w = std::move(wait);
+  shard.erase(it);
+  QuorumWriteRecord rec;
+  rec.txn = ack.txn;
+  rec.fragment = w.fragment;
+  rec.seq = w.seq;
+  rec.acks = static_cast<int>(w.ackers.size());
+  rec.acked_at = engine_->Now();
+  HistorySink(home).RecordQuorumWrite(rec);
+  if (obs_) obs_->QuorumWriteAcked(home)->Add();
+  w.result->finished_at = engine_->Now();
+  if (tracing_active()) {
+    Trace("quorum-write", home, w.fragment, ack.txn, w.seq,
+          "T" + std::to_string(ack.txn) + " W=" + std::to_string(rec.acks) +
+              " acked");
+  }
+  w.done(*w.result);
+}
+
+void Cluster::ExecuteQuorumRead(TxnId id, NodeId node, const TxnSpec& spec,
+                                TxnCallback done) {
+  QuorumReadWait wait;
+  wait.spec = spec;
+  wait.started_at = engine_->Now();
+  wait.done = std::move(done);
+  std::map<FragmentId, std::vector<ObjectId>> by_fragment;
+  for (ObjectId o : spec.read_set) {
+    by_fragment[catalog_.FragmentOf(o)].push_back(o);
+  }
+  bool all_complete = true;
+  for (auto& [f, objects] : by_fragment) {
+    QuorumReadWait::FragmentGather& g = wait.gathers[f];
+    g.needed = ReadQuorumFor(f);
+    std::vector<NodeId> members = catalog_.ReplicaSet(f);
+    if (members.empty()) {
+      for (NodeId n = 0; n < topology_.node_count(); ++n) {
+        members.push_back(n);
+      }
+    }
+    // The requester's own replica counts toward R when it holds a copy.
+    if (std::find(members.begin(), members.end(), node) != members.end()) {
+      g.repliers.insert(node);
+      const ObjectStore& store = runtimes_[node]->store();
+      for (ObjectId o : objects) {
+        const VersionInfo& info = store.Info(o);
+        auto [slot, inserted] = g.best.try_emplace(o, info);
+        if (!inserted && info.frag_seq > slot->second.frag_seq) {
+          slot->second = info;
+        }
+      }
+    }
+    if (static_cast<int>(g.repliers.size()) < g.needed) {
+      all_complete = false;
+      auto req = std::make_shared<QuorumReadRequest>();
+      req->txn = id;
+      req->fragment = f;
+      req->requester = node;
+      req->objects = objects;
+      for (NodeId m : members) {
+        if (m != node) network_->Send(node, m, req);
+      }
+    }
+  }
+  if (all_complete) {
+    FinishQuorumRead(id, node, std::move(wait));
+    return;
+  }
+  wait.timeout_event = engine_->AfterNode(
+      node, config_.quorum_read_timeout, [this, id, node] {
+        auto& shard = quorum_read_waits_[node];
+        auto it = shard.find(id);
+        if (it == shard.end()) return;
+        QuorumReadWait w = std::move(it->second);
+        shard.erase(it);
+        Trace("fail", node, kInvalidFragment, id, 0,
+              "T" + std::to_string(id) + " Unavailable: quorum read timeout");
+        w.done(FailResult(id, Status::Unavailable("quorum read timed out"),
+                          engine_->Now()));
+      });
+  quorum_read_waits_[node][id] = std::move(wait);
+}
+
+void Cluster::OnQuorumReadReply(NodeId node, const QuorumReadReply& reply) {
+  auto& shard = quorum_read_waits_[node];
+  auto it = shard.find(reply.txn);
+  if (it == shard.end()) return;
+  QuorumReadWait& wait = it->second;
+  auto git = wait.gathers.find(reply.fragment);
+  if (git == wait.gathers.end()) return;
+  QuorumReadWait::FragmentGather& g = git->second;
+  if (static_cast<int>(g.repliers.size()) >= g.needed) return;
+  if (!g.repliers.insert(reply.replier).second) return;
+  for (size_t i = 0; i < reply.objects.size(); ++i) {
+    VersionInfo info;
+    info.value = reply.values[i];
+    info.frag_seq = reply.seqs[i];
+    info.writer = reply.writers[i];
+    auto [slot, inserted] = g.best.try_emplace(reply.objects[i], info);
+    if (!inserted && info.frag_seq > slot->second.frag_seq) {
+      slot->second = info;
+    }
+  }
+  if (static_cast<int>(g.repliers.size()) < g.needed) return;
+  for (const auto& [f, gather] : wait.gathers) {
+    if (static_cast<int>(gather.repliers.size()) < gather.needed) return;
+  }
+  engine_->CancelNode(node, wait.timeout_event);
+  QuorumReadWait w = std::move(wait);
+  shard.erase(it);
+  FinishQuorumRead(reply.txn, node, std::move(w));
+}
+
+void Cluster::FinishQuorumRead(TxnId id, NodeId node, QuorumReadWait wait) {
+  const SimTime now = engine_->Now();
+  std::vector<Value> values;
+  values.reserve(wait.spec.read_set.size());
+  for (ObjectId o : wait.spec.read_set) {
+    const QuorumReadWait::FragmentGather& g =
+        wait.gathers[catalog_.FragmentOf(o)];
+    auto bit = g.best.find(o);
+    values.push_back(bit == g.best.end() ? Value{} : bit->second.value);
+  }
+  TxnResult result;
+  result.id = id;
+  result.reads = values;
+  result.finished_at = now;
+  if (wait.spec.body) {
+    Result<std::vector<WriteOp>> body = wait.spec.body(values);
+    if (!body.ok()) {
+      result.status = body.status();
+      if (tracing_active()) {
+        Trace(result.status.IsFailedPrecondition() ? "decline" : "fail",
+              node, kInvalidFragment, id, 0,
+              "T" + std::to_string(id) + " " + result.status.ToString());
+      }
+      wait.done(std::move(result));
+      return;
+    }
+  }
+  History& sink = HistorySink(node);
+  for (const auto& [f, g] : wait.gathers) {
+    QuorumReadRecord rec;
+    rec.reader = id;
+    rec.node = node;
+    rec.fragment = f;
+    rec.replies = static_cast<int>(g.repliers.size());
+    rec.at = wait.started_at;
+    for (const auto& [o, info] : g.best) {
+      rec.observed.emplace_back(o, info.frag_seq);
+      ReadRecord rr;
+      rr.reader = id;
+      rr.node = node;
+      rr.object = o;
+      rr.version_writer = info.writer;
+      rr.version_seq = info.frag_seq;
+      rr.at = now;
+      sink.RecordRead(rr);
+    }
+    sink.RecordQuorumRead(rec);
+  }
+  MarkCommittedAt(node, id, 0);
+  if (obs_) obs_->QuorumReadServed(node)->Add();
+  if (tracing_active()) {
+    Trace("commit", node, kInvalidFragment, id, 0,
+          "T" + std::to_string(id) + " OK (quorum read)");
+  }
+  result.status = Status::Ok();
+  wait.done(std::move(result));
 }
 
 void Cluster::ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
@@ -787,6 +1065,402 @@ void Cluster::OnMajorityAck(NodeId home, const QuasiAck& ack) {
     shard.erase(it);
     go();
   }
+}
+
+namespace {
+/// Recovery rounds a proposer runs before giving up until connectivity
+/// changes (mirrors the gap repairer's strike policy, so an unreachable
+/// slot cannot keep the event queue busy forever). Heals, link-ups, and
+/// node revivals reset the count via ReschedulePaxosRecovery.
+constexpr int kPaxosMaxStrikes = 10;
+}  // namespace
+
+void Cluster::ExecutePaxosCommit(TxnId id, NodeId node, const TxnSpec& spec,
+                                 bool x_preacquired, TxnCallback done,
+                                 std::function<void()> after) {
+  NodeRuntime& rt = *runtimes_[node];
+  FragmentId wf = spec.write_fragment;
+  bool release_locks = !x_preacquired;
+  if (PaxosFragmentInDoubt(node, wf)) {
+    // A revived home with an undecided durable slot: the slot's locks died
+    // in the crash, so a new prepare could read past its pending write.
+    // Classic in-doubt blocking — decline until the outcome lands (the
+    // surviving acceptors' recovery rounds are already driving it).
+    Trace("decline", node, wf, id, 0,
+          "T" + std::to_string(id) + " paxos slot in doubt");
+    after();
+    done(FailResult(
+        id, Status::Unavailable("paxos slot in doubt after crash recovery"),
+        engine_->Now()));
+    return;
+  }
+  rt.scheduler().Prepare(
+      id, spec, x_preacquired,
+      [this, id, node, wf, release_locks, done,
+       after](TxnResult prepared) {
+        NodeRuntime& rt = *runtimes_[node];
+        if (!prepared.status.ok()) {
+          rt.scheduler().AbortPrepared(id, release_locks);
+          Trace(prepared.status.IsFailedPrecondition() ? "decline" : "fail",
+                node, wf, id, 0,
+                "T" + std::to_string(id) + " " + prepared.status.ToString());
+          after();
+          done(std::move(prepared));
+          return;
+        }
+        FragmentStream& stream = rt.stream(wf);
+        SeqNum seq = stream.next_seq++;
+        auto result = std::make_shared<TxnResult>(std::move(prepared));
+        result->frag_seq = seq;
+
+        QuasiTxn quasi;
+        quasi.origin_txn = id;
+        quasi.fragment = wf;
+        quasi.seq = seq;
+        quasi.origin_node = node;
+        quasi.origin_time = engine_->Now();
+        quasi.writes = result->writes;
+
+        const auto key = std::make_pair(wf, seq);
+        PaxosInstance& inst = paxos_acceptors_[node][key];
+        inst.has_value = true;
+        inst.value = quasi;
+        inst.epoch = stream.epoch;
+        inst.prepared_txn = id;
+        inst.release_locks = release_locks;
+        inst.result = result;
+        inst.done = done;
+        inst.after = after;
+        // The proposer timeout only bounds how long the *client* waits:
+        // the value stays prepared and the recovery rounds finish the
+        // commit — it is never abandoned (the non-blocking property).
+        inst.client_timeout = engine_->AfterNode(
+            node, config_.majority_ack_timeout, [this, node, key] {
+              auto& shard = paxos_acceptors_[node];
+              auto it = shard.find(key);
+              if (it == shard.end() || it->second.decided) return;
+              Trace("fail", node, key.first, it->second.prepared_txn,
+                    key.second, "paxos outcome pending recovery");
+              FinishPaxosClient(
+                  node, it->second,
+                  Status::Unavailable(
+                      "paxos majority not reached; outcome pending "
+                      "recovery"));
+            });
+
+        PaxosWait wait;
+        wait.ballot = 0;
+        wait.needed = MajoritySizeFor(wf);
+        wait.ackers = {node};
+        if (wait.acks >= wait.needed) {
+          // Single-replica slot: decided by the proposer's own accept.
+          PaxosDecide(node, wf, seq);
+          return;
+        }
+        paxos_waits_[node][key] = std::move(wait);
+        SchedulePaxosRecovery(node, wf, seq);
+
+        auto accept = std::make_shared<PaxosAccept>();
+        accept->ballot = 0;
+        accept->quasi = quasi;
+        accept->epoch = stream.epoch;
+        accept->proposer = node;
+        auto broadcast = [this, node, wf, id, seq, accept] {
+          auto& shard = paxos_acceptors_[node];
+          auto it = shard.find(std::make_pair(wf, seq));
+          // An amnesia crash inside the fsync window wiped the slot (and
+          // possibly re-filled it for a different txn): the accepts were
+          // never sent, so the seq is genuinely free for reuse. A downed
+          // node stays silent; revival re-arms the recovery rounds.
+          if (it == shard.end() || it->second.prepared_txn != id ||
+              it->second.decided || !topology_.IsNodeUp(node)) {
+            return;
+          }
+          Status st = SendToReplicas(node, wf, accept);
+          FRAGDB_CHECK(st.ok());
+          if (tracing_active()) {
+            Trace("paxos-propose", node, wf, id, seq,
+                  "T" + std::to_string(id) + " ballot=0");
+          }
+        };
+        if (NodeDurability* d = durability(node)) {
+          // Gray & Lamport's coordinator log write: the slot allocation
+          // must be durable before any acceptor can see the slot, or an
+          // amnesia-revived home could re-allocate the seq for a different
+          // value — two values for one slot, and replica divergence. The
+          // broadcast therefore waits out the group-commit fsync window.
+          d->OnPaxosSlotAllocated(quasi, stream.epoch);
+          engine_->AfterNode(node, config_.durability.wal_fsync_time,
+                             std::move(broadcast));
+        } else {
+          // No durability ⇒ no amnesia crashes ⇒ slots are never reused.
+          broadcast();
+        }
+      });
+}
+
+void Cluster::OnPaxosAccept(NodeId node, NodeId from, const PaxosAccept& msg) {
+  (void)from;
+  const auto key = std::make_pair(msg.quasi.fragment, msg.quasi.seq);
+  PaxosInstance& inst = paxos_acceptors_[node][key];
+  if (inst.decided) {
+    // Late proposer of an already-learned slot: teach it the outcome.
+    auto out = std::make_shared<PaxosOutcome>();
+    out->fragment = key.first;
+    out->seq = key.second;
+    network_->Send(node, msg.proposer, out);
+    return;
+  }
+  if (msg.ballot < inst.max_ballot) return;  // stale proposer
+  inst.max_ballot = msg.ballot;
+  if (!inst.has_value) {
+    inst.has_value = true;
+    inst.value = msg.quasi;
+    inst.epoch = msg.epoch;
+  }
+  inst.strikes = 0;  // live proposer traffic: recovery may try again
+  auto acc = std::make_shared<PaxosAccepted>();
+  acc->fragment = key.first;
+  acc->seq = key.second;
+  acc->ballot = msg.ballot;
+  acc->acceptor = node;
+  network_->Send(node, msg.proposer, acc);
+  SchedulePaxosRecovery(node, key.first, key.second);
+}
+
+void Cluster::OnPaxosAccepted(NodeId node, const PaxosAccepted& msg) {
+  auto& shard = paxos_waits_[node];
+  const auto key = std::make_pair(msg.fragment, msg.seq);
+  auto it = shard.find(key);
+  if (it == shard.end()) return;
+  PaxosWait& wait = it->second;
+  if (wait.ballot != msg.ballot) return;
+  if (!wait.ackers.insert(msg.acceptor).second) return;
+  wait.acks = static_cast<int>(wait.ackers.size());
+  if (wait.acks < wait.needed) return;
+  shard.erase(it);
+  PaxosDecide(node, msg.fragment, msg.seq);
+  auto out = std::make_shared<PaxosOutcome>();
+  out->fragment = msg.fragment;
+  out->seq = msg.seq;
+  SendToReplicas(node, msg.fragment, out);
+}
+
+void Cluster::OnPaxosOutcome(NodeId node, const PaxosOutcome& msg) {
+  const auto key = std::make_pair(msg.fragment, msg.seq);
+  auto& shard = paxos_acceptors_[node];
+  auto it = shard.find(key);
+  if (it == shard.end()) {
+    // Outcome learned before (or without) the value: remember it; the
+    // contents arrive through the ordinary catch-up paths (gap repair,
+    // crash recovery), which carry the installed stream.
+    shard[key].decided = true;
+    return;
+  }
+  PaxosDecide(node, msg.fragment, msg.seq);
+}
+
+void Cluster::PaxosDecide(NodeId node, FragmentId fragment, SeqNum seq) {
+  auto& shard = paxos_acceptors_[node];
+  auto it = shard.find({fragment, seq});
+  if (it == shard.end()) return;
+  PaxosInstance& inst = it->second;
+  if (inst.decided) return;
+  inst.decided = true;
+  paxos_waits_[node].erase({fragment, seq});
+  FRAGDB_CHECK(inst.has_value);
+  const TxnId txn = inst.value.origin_txn;
+  CommitDecisionRecord rec;
+  rec.node = node;
+  rec.fragment = fragment;
+  rec.seq = seq;
+  rec.txn = txn;
+  rec.commit = true;
+  rec.at = engine_->Now();
+  HistorySink(node).RecordDecision(rec);
+  MarkCommittedAt(node, txn, seq);
+  if (obs_) obs_->PaxosDecided(node)->Add();
+  NodeRuntime& rt = *runtimes_[node];
+  if (inst.prepared_txn != kInvalidTxn && node == inst.value.origin_node) {
+    rt.scheduler().CommitPrepared(inst.prepared_txn, fragment,
+                                  inst.value.writes, seq,
+                                  inst.release_locks);
+    rt.RecordLocalCommit(inst.value);
+  } else {
+    rt.EnqueueQuasi(inst.value, inst.epoch);
+  }
+  if (tracing_active()) {
+    Trace("paxos-decide", node, fragment, txn, seq,
+          "T" + std::to_string(txn) + " commit");
+  }
+  FinishPaxosClient(node, inst, Status::Ok());
+}
+
+void Cluster::FinishPaxosClient(NodeId node, PaxosInstance& inst,
+                                Status status) {
+  if (!inst.done) return;
+  if (status.ok()) engine_->CancelNode(node, inst.client_timeout);
+  inst.result->status = std::move(status);
+  inst.result->finished_at = engine_->Now();
+  auto after = std::move(inst.after);
+  auto done = std::move(inst.done);
+  inst.after = nullptr;
+  inst.done = nullptr;
+  if (after) after();
+  done(*inst.result);
+}
+
+void Cluster::SchedulePaxosRecovery(NodeId node, FragmentId fragment,
+                                    SeqNum seq) {
+  auto& shard = paxos_acceptors_[node];
+  auto it = shard.find({fragment, seq});
+  if (it == shard.end() || it->second.decided) return;
+  if (it->second.recovery_armed) return;
+  it->second.recovery_armed = true;
+  engine_->AfterNode(node, config_.paxos_recovery_timeout,
+                     [this, node, fragment, seq] {
+                       PaxosRecoveryTick(node, fragment, seq);
+                     });
+}
+
+void Cluster::PaxosRecoveryTick(NodeId node, FragmentId fragment,
+                                SeqNum seq) {
+  auto& shard = paxos_acceptors_[node];
+  auto it = shard.find({fragment, seq});
+  if (it == shard.end()) return;  // wiped by an amnesia crash
+  PaxosInstance& inst = it->second;
+  if (inst.decided) {
+    inst.recovery_armed = false;
+    return;
+  }
+  if (inst.strikes >= kPaxosMaxStrikes) {
+    // Give up until connectivity changes (ReschedulePaxosRecovery re-arms
+    // on heal / link-up / revival), so quiescence stays reachable.
+    inst.recovery_armed = false;
+    return;
+  }
+  inst.strikes += 1;
+  auto rearm = [this, node, fragment, seq] {
+    engine_->AfterNode(node, config_.paxos_recovery_timeout,
+                       [this, node, fragment, seq] {
+                         PaxosRecoveryTick(node, fragment, seq);
+                       });
+  };
+  if (!topology_.IsNodeUp(node) || amnesia_down_[node]) {
+    // Ticking while dead would spin the event queue forever; revival
+    // re-arms through ReschedulePaxosRecovery.
+    inst.recovery_armed = false;
+    return;
+  }
+  if (!inst.has_value) {
+    rearm();
+    return;
+  }
+  // A proposal that cannot reach a majority is futile, and worse: two
+  // acceptors stranded in the same minority would keep resetting each
+  // other's strike counters with their doomed proposals, ticking forever.
+  // Stand down until connectivity improves (every heal / link-up /
+  // repartition / revival path re-arms via ReschedulePaxosRecovery).
+  std::vector<NodeId> members = catalog_.ReplicaSet(fragment);
+  if (members.empty()) {
+    for (NodeId n = 0; n < topology_.node_count(); ++n) members.push_back(n);
+  }
+  int reachable = 0;
+  for (NodeId m : members) {
+    if (m == node || topology_.Reachable(node, m)) ++reachable;
+  }
+  if (reachable < MajoritySizeFor(fragment)) {
+    inst.recovery_armed = false;
+    return;
+  }
+  inst.round += 1;
+  const uint64_t ballot =
+      static_cast<uint64_t>(inst.round) * topology_.node_count() + node + 1;
+  if (inst.max_ballot < ballot) inst.max_ballot = ballot;
+  PaxosWait wait;
+  wait.ballot = ballot;
+  wait.needed = MajoritySizeFor(fragment);
+  wait.ackers = {node};
+  if (wait.acks >= wait.needed) {
+    PaxosDecide(node, fragment, seq);
+    return;
+  }
+  paxos_waits_[node][{fragment, seq}] = std::move(wait);
+  auto accept = std::make_shared<PaxosAccept>();
+  accept->ballot = ballot;
+  accept->quasi = inst.value;
+  accept->epoch = inst.epoch;
+  accept->proposer = node;
+  SendToReplicas(node, fragment, accept);
+  if (obs_) obs_->PaxosRecoveryRounds(node)->Add();
+  if (tracing_active()) {
+    Trace("paxos-recover", node, fragment, inst.value.origin_txn, seq,
+          "ballot=" + std::to_string(ballot));
+  }
+  rearm();
+}
+
+void Cluster::ReschedulePaxosRecovery() {
+  if (!started_ || config_.move_protocol != MoveProtocol::kPaxosCommit) {
+    return;
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(paxos_acceptors_.size()); ++n) {
+    if (!topology_.IsNodeUp(n) || amnesia_down_[n]) continue;
+    for (auto& [key, inst] : paxos_acceptors_[n]) {
+      if (inst.decided || !inst.has_value) continue;
+      inst.strikes = 0;
+      if (inst.recovery_armed) continue;
+      inst.recovery_armed = true;
+      const FragmentId f = key.first;
+      const SeqNum s = key.second;
+      engine_->AfterNode(n, config_.paxos_recovery_timeout,
+                         [this, n, f, s] { PaxosRecoveryTick(n, f, s); });
+    }
+  }
+}
+
+CheckReport Cluster::CheckCommitNonBlocking() const {
+  for (NodeId n = 0; n < static_cast<NodeId>(runtimes_.size()); ++n) {
+    for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
+      if (!catalog_.ReplicatedAt(f, n)) continue;
+      const FragmentStream& s = runtimes_[n]->stream(f);
+      for (const auto& [seq, quasi] : s.prepared) {
+        if (seq <= s.applied_seq) continue;
+        return CheckReport::Fail(
+            "N" + std::to_string(n) + " holds T" +
+                std::to_string(quasi.origin_txn) + " (F" + std::to_string(f) +
+                " seq " + std::to_string(seq) +
+                ") prepared but undecided — a blocked commit",
+            {quasi.origin_txn});
+      }
+    }
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(paxos_acceptors_.size()); ++n) {
+    for (const auto& [key, inst] : paxos_acceptors_[n]) {
+      if (inst.decided || !inst.has_value) continue;
+      return CheckReport::Fail(
+          "N" + std::to_string(n) + " holds an undecided Paxos slot (F" +
+              std::to_string(key.first) + " seq " +
+              std::to_string(key.second) + ") for T" +
+              std::to_string(inst.value.origin_txn),
+          {inst.value.origin_txn});
+    }
+  }
+  return CheckReport::Pass();
+}
+
+int Cluster::ReadQuorumFor(FragmentId fragment) const {
+  const std::vector<NodeId>& set = catalog_.ReplicaSet(fragment);
+  const int n =
+      set.empty() ? topology_.node_count() : static_cast<int>(set.size());
+  return config_.read_quorum > 0 ? config_.read_quorum : n / 2 + 1;
+}
+
+int Cluster::WriteQuorumFor(FragmentId fragment) const {
+  const std::vector<NodeId>& set = catalog_.ReplicaSet(fragment);
+  const int n =
+      set.empty() ? topology_.node_count() : static_cast<int>(set.size());
+  return config_.write_quorum > 0 ? config_.write_quorum : n / 2 + 1;
 }
 
 int Cluster::MajoritySize() const { return topology_.node_count() / 2 + 1; }
@@ -976,17 +1650,23 @@ Status Cluster::Partition(const std::vector<std::vector<NodeId>>& groups) {
   }
   Trace("partition", detail);
   if (obs_) obs_->Partitions()->Add();
-  return topology_.Partition(groups);
+  Status st = topology_.Partition(groups);
+  // A repartition can reconnect previously separated nodes.
+  if (st.ok()) ReschedulePaxosRecovery();
+  return st;
 }
 
 void Cluster::HealAll() {
   Trace("heal", "");
   if (obs_) obs_->Heals()->Add();
   topology_.HealAll();
+  ReschedulePaxosRecovery();
 }
 
 Status Cluster::SetLinkUp(NodeId a, NodeId b, bool up) {
-  return topology_.SetLinkUp(a, b, up);
+  Status st = topology_.SetLinkUp(a, b, up);
+  if (st.ok() && up) ReschedulePaxosRecovery();
+  return st;
 }
 
 Status Cluster::SetNodeUp(NodeId node, bool up) {
@@ -1002,6 +1682,7 @@ Status Cluster::SetNodeUp(NodeId node, bool up) {
   if (st.ok() && availability_) {
     availability_->SetNodeDown(node, engine_->Now(), !up);
   }
+  if (st.ok() && up) ReschedulePaxosRecovery();
   return st;
 }
 
@@ -1034,6 +1715,25 @@ Status Cluster::CrashNode(NodeId node, CrashMode mode) {
     engine_->CancelNode(node, wait.timeout_event);
   }
   ack_waits_[node].clear();
+  // Quorum and Paxos volatile state dies with the node the same way. The
+  // Paxos slot values themselves are safe to forget: a slot carries one
+  // unique value, so a wiped acceptor can never enable a conflicting
+  // decision — at worst a recovery round has to find its majority among
+  // the survivors. Pending recovery-tick events no-op on the empty map.
+  for (auto& [id, wait] : quorum_write_waits_[node]) {
+    engine_->CancelNode(node, wait.timeout_event);
+  }
+  quorum_write_waits_[node].clear();
+  for (auto& [id, wait] : quorum_read_waits_[node]) {
+    engine_->CancelNode(node, wait.timeout_event);
+  }
+  quorum_read_waits_[node].clear();
+  for (auto& [key, inst] : paxos_acceptors_[node]) {
+    engine_->CancelNode(node, inst.client_timeout);
+  }
+  paxos_acceptors_[node].clear();
+  paxos_waits_[node].clear();
+  paxos_indoubt_[node].clear();  // re-derived from the WAL at revival
   // Remote read-lock waits this node initiated: mark abandoned so a late
   // grant is released back to its home instead of leaking the lock.
   for (auto& [key, wait] : remote_waits_[node]) {
@@ -1069,6 +1769,7 @@ Status Cluster::ReviveNode(NodeId node, RecoveryCallback done) {
     if (obs_) obs_->NodeUps()->Add();
     FRAGDB_RETURN_IF_ERROR(topology_.SetNodeUp(node, true));
     if (availability_) availability_->SetNodeDown(node, engine_->Now(), false);
+    ReschedulePaxosRecovery();
     if (done) done(RecoveryStats{});
     return Status::Ok();
   }
@@ -1114,6 +1815,52 @@ void Cluster::OnLocalReplayDone(NodeId node) {
     availability_->SetNodeDown(node, now, false);
     availability_->SetCatchingUp(node, now, true);
   }
+  // In-doubt slots the WAL itself later applied (their kQuasi record came
+  // after the kPaxosSlot one) were decided before the crash: mark them so
+  // recovery does not re-propose an already-installed value.
+  auto& frags = paxos_indoubt_[node];
+  for (auto it = frags.begin(); it != frags.end();) {
+    const SeqNum applied = runtimes_[node]->stream(it->first).applied_seq;
+    std::set<SeqNum>& slots = it->second;
+    for (auto sit = slots.begin(); sit != slots.end();) {
+      if (*sit > applied) {
+        ++sit;
+        continue;
+      }
+      auto ait = paxos_acceptors_[node].find({it->first, *sit});
+      if (ait != paxos_acceptors_[node].end()) ait->second.decided = true;
+      sit = slots.erase(sit);
+    }
+    it = slots.empty() ? frags.erase(it) : std::next(it);
+  }
+  ReschedulePaxosRecovery();
+}
+
+void Cluster::NotePaxosInDoubt(NodeId node, const QuasiTxn& quasi,
+                               Epoch epoch) {
+  paxos_indoubt_[node][quasi.fragment].insert(quasi.seq);
+  PaxosInstance& inst = paxos_acceptors_[node][{quasi.fragment, quasi.seq}];
+  if (!inst.has_value) {
+    inst.has_value = true;
+    inst.value = quasi;
+    inst.epoch = epoch;
+  }
+}
+
+bool Cluster::PaxosFragmentInDoubt(NodeId node, FragmentId fragment) {
+  auto& frags = paxos_indoubt_[node];
+  auto it = frags.find(fragment);
+  if (it == frags.end()) return false;
+  SeqNum applied = runtimes_[node]->stream(fragment).applied_seq;
+  std::set<SeqNum>& slots = it->second;
+  while (!slots.empty() && *slots.begin() <= applied) {
+    slots.erase(slots.begin());
+  }
+  if (slots.empty()) {
+    frags.erase(it);
+    return false;
+  }
+  return true;
 }
 
 void Cluster::RefreshHomeReachability() {
@@ -1140,6 +1887,9 @@ CheckpointImage Cluster::CaptureCheckpoint(NodeId node) {
     sc.epoch_base = s.epoch_base;
     sc.applied_seq = s.applied_seq;
     sc.next_seq = s.next_seq;
+    for (auto it = s.log.begin(); it != s.log.end(); ++it) {
+      sc.log.push_back(it->value);
+    }
     image.streams.push_back(sc);
   }
   return image;
@@ -1249,10 +1999,17 @@ CheckReport Cluster::CheckConfiguredProperty(const HistoryIndex* index) const {
   }
   // With per-fragment overrides, global serializability is promised only
   // when every fragment (and the default, which governs anonymous
-  // readers) is an SR-grade option.
-  bool all_sr = config_.control != ControlOption::kFragmentwise;
+  // readers) is an SR-grade option. kQuorum promises fragmentwise
+  // serializability plus quorum freshness.
+  bool all_sr = config_.control == ControlOption::kReadLocks ||
+                config_.control == ControlOption::kAcyclicReads;
+  bool any_quorum = config_.control == ControlOption::kQuorum;
   for (FragmentId f = 0; f < catalog_.fragment_count(); ++f) {
-    if (ControlFor(f) == ControlOption::kFragmentwise) all_sr = false;
+    ControlOption c = ControlFor(f);
+    if (c == ControlOption::kFragmentwise || c == ControlOption::kQuorum) {
+      all_sr = false;
+    }
+    if (c == ControlOption::kQuorum) any_quorum = true;
   }
   std::optional<HistoryIndex> local;
   if (index == nullptr) {
@@ -1260,7 +2017,10 @@ CheckReport Cluster::CheckConfiguredProperty(const HistoryIndex* index) const {
     index = &*local;
   }
   if (all_sr) return CheckGlobalSerializability(*index);
-  return CheckFragmentwiseSerializability(*index, catalog_.fragment_count());
+  CheckReport r =
+      CheckFragmentwiseSerializability(*index, catalog_.fragment_count());
+  if (!r.ok || !any_quorum) return r;
+  return CheckQuorumFreshness(*index);
 }
 
 }  // namespace fragdb

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -264,6 +265,19 @@ class Cluster {
   /// replication.
   CheckReport CheckReplicaSetConsistency() const;
 
+  /// Quiescence-time non-blocking check: no replica may be left holding a
+  /// prepared-but-undecided update. Under kMajorityCommit a coordinator
+  /// crash between prepare and commit strands exactly such entries (the
+  /// classical 2PC blocking window); Paxos Commit's recovery rounds are
+  /// required to clear them. Fails with the stuck (node, fragment, seq).
+  CheckReport CheckCommitNonBlocking() const;
+
+  /// Effective read/write quorum of `fragment` under ControlOption::kQuorum:
+  /// the configured value, or a majority of the fragment's replica set when
+  /// the config leaves it 0. Start() validates R + W > N.
+  int ReadQuorumFor(FragmentId fragment) const;
+  int WriteQuorumFor(FragmentId fragment) const;
+
   // --- Internal surface (used by NodeRuntime and the move protocols) ------
 
   Network& network() { return *network_; }
@@ -300,6 +314,15 @@ class Cluster {
   /// handler runs in the home node's event context; `home` routes the
   /// lookup to that node's ack-wait shard.
   void OnMajorityAck(NodeId home, const QuasiAck& ack);
+  /// A replica's installed-ack arrived at the quorum write's origin node.
+  void OnQuorumAppliedAck(NodeId home, const QuorumAppliedAck& ack);
+  /// One replica's versions arrived at the quorum read's requester.
+  void OnQuorumReadReply(NodeId node, const QuorumReadReply& reply);
+  /// Paxos Commit acceptor/proposer/learner steps, each running in the
+  /// event context of the node the message arrived at.
+  void OnPaxosAccept(NodeId node, NodeId from, const PaxosAccept& msg);
+  void OnPaxosAccepted(NodeId node, const PaxosAccepted& msg);
+  void OnPaxosOutcome(NodeId node, const PaxosOutcome& msg);
   /// §4.4.3 A(2): commit the surviving writes of a missing transaction as
   /// a fresh update transaction at `home`, then run the fragment's
   /// corrective action.
@@ -321,6 +344,11 @@ class Cluster {
   /// Called by the recovery manager when `node`'s local replay finished:
   /// the node rejoins the network (queued traffic starts flowing again).
   void OnLocalReplayDone(NodeId node);
+  /// Called by recovery replay for a durable kPaxosSlot record whose
+  /// outcome is not (yet) in the local state: the slot is in doubt at the
+  /// revived home until its decision is observed, and the value is
+  /// re-seated so the home can propose it in recovery rounds.
+  void NotePaxosInDoubt(NodeId node, const QuasiTxn& quasi, Epoch epoch);
   /// Snapshot of `node`'s recoverable state (checkpoint capture).
   CheckpointImage CaptureCheckpoint(NodeId node);
 
@@ -365,6 +393,72 @@ class Cluster {
     std::function<void()> on_majority;
     EventId timeout_event = -1;
   };
+  /// A committed quorum write waiting for W installed-acks before the
+  /// client callback fires. The transaction is already committed locally
+  /// and broadcast; the wait only defers the client's `done` (a timeout
+  /// reports Unavailable while the write keeps propagating).
+  struct QuorumWriteWait {
+    FragmentId fragment = kInvalidFragment;
+    SeqNum seq = 0;
+    int needed = 0;
+    std::set<NodeId> ackers;  // replicas counted, including the home
+    std::shared_ptr<TxnResult> result;
+    TxnCallback done;
+    EventId timeout_event = -1;
+  };
+  /// An R-quorum read gathering per-fragment version sets.
+  struct QuorumReadWait {
+    struct FragmentGather {
+      int needed = 0;
+      std::set<NodeId> repliers;
+      /// Per object: freshest (seq, value, writer) seen so far.
+      std::map<ObjectId, VersionInfo> best;
+    };
+    TxnSpec spec;
+    SimTime started_at = 0;
+    std::map<FragmentId, FragmentGather> gathers;
+    TxnCallback done;
+    EventId timeout_event = -1;
+  };
+  /// One Paxos Commit consensus slot at one node: acceptor state
+  /// (max_ballot, the value accepted) plus, at the origin home, the
+  /// prepared transaction and the client callback. The consensus value of
+  /// a slot is fixed (only the home proposes at ballot 0; recovery
+  /// proposers re-propose the value they hold), so F+1 accepts at any
+  /// ballot decide commit.
+  struct PaxosInstance {
+    uint64_t max_ballot = 0;
+    bool has_value = false;
+    bool decided = false;
+    QuasiTxn value;
+    Epoch epoch = 0;
+    /// Origin home only: the scheduler-prepared transaction to commit on
+    /// decide, and whether CommitPrepared should release its locks.
+    TxnId prepared_txn = kInvalidTxn;
+    bool release_locks = false;
+    /// Recovery rounds already started at this node (ballot numbering).
+    int round = 0;
+    bool recovery_armed = false;
+    /// Consecutive fruitless recovery rounds; past the strike limit the
+    /// node stops re-arming until connectivity improves.
+    int strikes = 0;
+    /// Origin home only: client completion (fired once, on decide or on
+    /// the proposer timeout — whichever comes first; the commit itself is
+    /// never abandoned).
+    std::shared_ptr<TxnResult> result;
+    TxnCallback done;
+    std::function<void()> after;
+    EventId client_timeout = -1;
+  };
+  /// A proposer counting PaxosAccepted votes for one (fragment, seq) slot
+  /// at one ballot. Carries no client state — that lives in the home's
+  /// PaxosInstance — so recovery rounds can overwrite it freely.
+  struct PaxosWait {
+    uint64_t ballot = 0;
+    int acks = 1;  // self
+    int needed = 0;
+    std::set<NodeId> ackers;
+  };
 
   /// Validation + registration shared by Submit/SubmitReadOnlyAt.
   void SubmitAt(NodeId node, const TxnSpec& spec, TxnCallback done);
@@ -397,6 +491,37 @@ class Cluster {
   void ExecuteMajority(TxnId id, NodeId node, const TxnSpec& spec,
                        bool x_preacquired, TxnCallback done,
                        std::function<void()> after);
+  /// kQuorum read-only execution: gather versions from R replicas per
+  /// fragment and serve each object's freshest version. Bypasses the
+  /// scheduler (no local read), so it works at non-replica nodes too.
+  void ExecuteQuorumRead(TxnId id, NodeId node, const TxnSpec& spec,
+                         TxnCallback done);
+  /// Completes a finished quorum read: freshest versions, body, records.
+  void FinishQuorumRead(TxnId id, NodeId node, QuorumReadWait wait);
+  /// Paxos Commit execution: prepare, propose at ballot 0 to the
+  /// fragment's 2F+1 replicas, decide on F+1 accepts. Never aborts; a
+  /// proposer timeout reports Unavailable and leaves the recovery rounds
+  /// to finish the commit (non-blocking).
+  void ExecutePaxosCommit(TxnId id, NodeId node, const TxnSpec& spec,
+                          bool x_preacquired, TxnCallback done,
+                          std::function<void()> after);
+  /// Marks a Paxos slot decided at `node` and applies the value: the
+  /// origin home commits its prepared transaction; replicas feed the
+  /// quasi-transaction into the ordinary install pipeline.
+  void PaxosDecide(NodeId node, FragmentId fragment, SeqNum seq);
+  /// Fires the home's client callback for a decided/timed-out slot (once).
+  void FinishPaxosClient(NodeId node, PaxosInstance& inst, Status status);
+  /// Arms (once) the per-slot recovery timer at `node`.
+  void SchedulePaxosRecovery(NodeId node, FragmentId fragment, SeqNum seq);
+  /// One recovery round: re-propose the held value at a fresh unique
+  /// ballot; re-arms itself while the slot stays undecided.
+  void PaxosRecoveryTick(NodeId node, FragmentId fragment, SeqNum seq);
+  /// Connectivity improved (heal / link-up / revival): reset the strike
+  /// counters and re-arm recovery for every undecided slot at live nodes.
+  void ReschedulePaxosRecovery();
+  /// True while `fragment` still has an undecided in-doubt slot at `node`
+  /// (prunes slots the applied prefix has since passed).
+  bool PaxosFragmentInDoubt(NodeId node, FragmentId fragment);
 
   // Move-protocol orchestration (implemented in move_protocols.cc).
   void StartMove(AgentId agent, NodeId from, NodeId to);
@@ -442,6 +567,22 @@ class Cluster {
       remote_waits_;
   /// §4.4.1 ack waits, sharded by the home node preparing the update.
   std::vector<std::map<TxnId, AckWait>> ack_waits_;
+  /// kQuorum write waits, sharded by the origin home node.
+  std::vector<std::map<TxnId, QuorumWriteWait>> quorum_write_waits_;
+  /// kQuorum read gathers, sharded by the requesting node.
+  std::vector<std::map<TxnId, QuorumReadWait>> quorum_read_waits_;
+  /// Paxos Commit consensus slots, sharded by node (acceptor + home state).
+  std::vector<std::map<std::pair<FragmentId, SeqNum>, PaxosInstance>>
+      paxos_acceptors_;
+  /// Paxos proposer vote counts, sharded by the proposing node.
+  std::vector<std::map<std::pair<FragmentId, SeqNum>, PaxosWait>>
+      paxos_waits_;
+  /// Durable Paxos slots found still undecided when a home revived from
+  /// amnesia, sharded by node. The crash destroyed the slots' locks, so
+  /// until a slot's outcome lands, new update prepares on its fragment are
+  /// declined (classic in-doubt blocking at a recovered coordinator);
+  /// entries are pruned lazily once applied_seq passes them.
+  std::vector<std::map<FragmentId, std::set<SeqNum>>> paxos_indoubt_;
   /// Durability subsystem (empty/null unless config_.durability.enabled).
   std::vector<std::unique_ptr<StableStorage>> stable_;
   std::vector<std::unique_ptr<NodeDurability>> durability_;

@@ -22,6 +22,14 @@ enum class ControlOption {
   /// §4.3 — fixed agents; no read restrictions at all. Guarantees
   /// fragmentwise serializability and mutual consistency.
   kFragmentwise,
+  /// Post-1987 extension (Kumar & Agarwal, arXiv 1406.7423): per-fragment
+  /// read-quorum/write-quorum replication layered on the §4.3 machinery.
+  /// Updates commit only after `write_quorum` replicas have *installed*
+  /// the quasi-transaction; read-only transactions gather versions from
+  /// `read_quorum` replicas and serve the freshest. With R+W>N (validated
+  /// at Start) every R-read observes every W-acked write — the quorum
+  /// freshness guarantee, machine-checked by CheckQuorumFreshness.
+  kQuorum,
 };
 
 /// The agent-movement protocols of paper §4.4.
@@ -43,6 +51,14 @@ enum class MoveProtocol {
   /// corrective actions restore mutual consistency (fragmentwise
   /// serializability may be lost).
   kOmitPrep,
+  /// Post-1987 extension (Gray & Lamport, arXiv cs/0408036): every update
+  /// commits through a Paxos instance over the fragment's replica set
+  /// (2F+1 acceptors, F+1 majority) instead of the blocking §4.4.1
+  /// prepare/ack round. Non-blocking: if the coordinator crashes after
+  /// proposing, any acceptor holding the value finishes the commit via
+  /// ballot-numbered recovery rounds. Agents do not move under this
+  /// protocol (like kForbidden).
+  kPaxosCommit,
 };
 
 /// Returns a short human-readable name for reports.
@@ -83,8 +99,28 @@ struct ClusterConfig {
   SimTime remote_lock_timeout = Millis(200);
 
   /// §4.4.1: how long the home node waits for majority acknowledgments
-  /// before aborting the update as Unavailable.
+  /// before aborting the update as Unavailable. Under kPaxosCommit this
+  /// bounds how long the *proposer* waits before reporting Unavailable to
+  /// the client; the commit itself is never abandoned (recovery rounds
+  /// finish it once a majority is reachable).
   SimTime majority_ack_timeout = Millis(200);
+
+  /// kQuorum: replicas a read-only transaction must hear from (R) and
+  /// replicas that must have installed an update before its commit is
+  /// acknowledged (W). 0 = majority of the fragment's replica set.
+  /// Start() rejects configurations with R+W <= N for any fragment.
+  int read_quorum = 0;
+  int write_quorum = 0;
+
+  /// kQuorum: how long a read-only transaction waits for its R-quorum of
+  /// version replies before aborting as Unavailable.
+  SimTime quorum_read_timeout = Millis(200);
+
+  /// kPaxosCommit: how long an acceptor holding an undecided value waits
+  /// before starting (or retrying) a recovery round of its own. Each
+  /// undecided acceptor re-arms this timer per round, so a coordinator
+  /// crash mid-commit delays the commit, never blocks it.
+  SimTime paxos_recovery_timeout = Millis(100);
 
   /// Physical travel time of a moving agent (the paper's tape in a truck /
   /// card in a pocket).

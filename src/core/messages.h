@@ -126,6 +126,71 @@ struct ForwardMissing : MessagePayload {
   size_t ByteSize() const override { return QuasiTxnWireSize(quasi); }
 };
 
+/// Quorum reads (ControlOption::kQuorum): the reading node asks each
+/// replica of a fragment for its current versions of the objects it wants.
+struct QuorumReadRequest : MessagePayload {
+  const char* TypeName() const override { return "quorum-read"; }
+  TxnId txn = kInvalidTxn;
+  FragmentId fragment = kInvalidFragment;
+  NodeId requester = kInvalidNode;
+  std::vector<ObjectId> objects;
+  size_t ByteSize() const override { return 24 + objects.size() * 8; }
+};
+
+/// One replica's versions: parallel arrays over the requested objects.
+struct QuorumReadReply : MessagePayload {
+  const char* TypeName() const override { return "quorum-read-reply"; }
+  TxnId txn = kInvalidTxn;
+  FragmentId fragment = kInvalidFragment;
+  NodeId replier = kInvalidNode;
+  std::vector<ObjectId> objects;
+  std::vector<Value> values;
+  std::vector<SeqNum> seqs;
+  std::vector<TxnId> writers;
+  size_t ByteSize() const override { return 24 + objects.size() * 32; }
+};
+
+/// Quorum writes: a replica acknowledges that it has *installed* (not
+/// merely buffered) a quasi-transaction, so the origin can count it
+/// toward the write quorum W.
+struct QuorumAppliedAck : MessagePayload {
+  const char* TypeName() const override { return "quorum-applied-ack"; }
+  TxnId txn = kInvalidTxn;
+  FragmentId fragment = kInvalidFragment;
+  SeqNum seq = 0;
+  NodeId acker = kInvalidNode;
+};
+
+/// Paxos Commit (MoveProtocol::kPaxosCommit): the proposer (ballot 0 =
+/// the coordinating home; higher ballots = recovery rounds) asks the
+/// fragment's replica set to accept the quasi-transaction at its slot.
+struct PaxosAccept : MessagePayload {
+  const char* TypeName() const override { return "paxos-accept"; }
+  uint64_t ballot = 0;
+  QuasiTxn quasi;
+  Epoch epoch = 0;
+  NodeId proposer = kInvalidNode;
+  size_t ByteSize() const override { return 16 + QuasiTxnWireSize(quasi); }
+};
+
+struct PaxosAccepted : MessagePayload {
+  const char* TypeName() const override { return "paxos-accepted"; }
+  FragmentId fragment = kInvalidFragment;
+  SeqNum seq = 0;
+  uint64_t ballot = 0;
+  NodeId acceptor = kInvalidNode;
+};
+
+/// The learned outcome, broadcast by whichever proposer first assembled an
+/// F+1 majority (and unicast to late proposers by already-decided
+/// acceptors).
+struct PaxosOutcome : MessagePayload {
+  const char* TypeName() const override { return "paxos-outcome"; }
+  FragmentId fragment = kInvalidFragment;
+  SeqNum seq = 0;
+  bool commit = true;
+};
+
 /// Crash-recovery peer catch-up (recovery subsystem): where the recovering
 /// node stands on one fragment after replaying its local WAL.
 struct RecoveryPosition {

@@ -24,6 +24,14 @@ Status Cluster::MoveAgent(AgentId agent, NodeId to_node, MoveCallback done) {
   if (config_.move_protocol == MoveProtocol::kForbidden) {
     return Status::PermissionDenied("agents are fixed in this configuration");
   }
+  if (config_.move_protocol == MoveProtocol::kPaxosCommit) {
+    // Paxos Commit replaces the §4.4 movement protocols outright: the
+    // coordinator is expendable because every commit is decided by an
+    // acceptor majority, so there is no token to hand over.
+    return Status::FailedPrecondition(
+        "paxos-commit clusters do not move agents; any majority can finish "
+        "an in-flight commit, so there is no token hand-over to perform");
+  }
   for (FragmentId f : catalog_.TokensOf(agent)) {
     if (!catalog_.ReplicatedAt(f, to_node)) {
       return Status::FailedPrecondition(
@@ -103,6 +111,7 @@ void Cluster::StartMove(AgentId agent, NodeId from, NodeId to) {
         case MoveProtocol::kOmitPrep:
         case MoveProtocol::kMajorityCommit:
         case MoveProtocol::kForbidden:
+        case MoveProtocol::kPaxosCommit:
           break;
       }
     }
@@ -212,7 +221,8 @@ void Cluster::ArriveMove(
       return;
     }
     case MoveProtocol::kForbidden:
-      FRAGDB_CHECK(false);
+    case MoveProtocol::kPaxosCommit:
+      FRAGDB_CHECK(false);  // MoveAgent rejects both before StartMove
   }
 }
 

@@ -34,6 +34,13 @@ namespace fragdb {
 /// commits are not mutually atomic — a reader can observe fragment A's
 /// part before fragment B's part arrives. Single-fragment atomicity
 /// (Property 2) is preserved for every part.
+///
+/// Under MoveProtocol::kPaxosCommit each part routes through the
+/// non-blocking Paxos Commit path like any other update: every part's
+/// outcome is decided by an acceptor majority, so a part never blocks on
+/// its home crashing mid-commit (CheckCommitAtomicity covers the parts
+/// like any other slot). Cross-part atomicity is unchanged — parts still
+/// commit independently, in line with the §3.2 footnote's sketch.
 struct MultiFragmentResult {
   Status status;
   /// Per-fragment transaction results (committed parts), in fragment order.

@@ -88,6 +88,18 @@ void NodeRuntime::HandleMessage(const Message& msg) {
     OnRecoveryQuery(*m);
   } else if (auto* m = dynamic_cast<const RecoveryReply*>(p)) {
     OnRecoveryReply(*m);
+  } else if (auto* m = dynamic_cast<const QuorumReadRequest*>(p)) {
+    OnQuorumReadRequest(*m);
+  } else if (auto* m = dynamic_cast<const QuorumReadReply*>(p)) {
+    cluster_->OnQuorumReadReply(id_, *m);
+  } else if (auto* m = dynamic_cast<const QuorumAppliedAck*>(p)) {
+    cluster_->OnQuorumAppliedAck(id_, *m);
+  } else if (auto* m = dynamic_cast<const PaxosAccept*>(p)) {
+    cluster_->OnPaxosAccept(id_, msg.from, *m);
+  } else if (auto* m = dynamic_cast<const PaxosAccepted*>(p)) {
+    cluster_->OnPaxosAccepted(id_, *m);
+  } else if (auto* m = dynamic_cast<const PaxosOutcome*>(p)) {
+    cluster_->OnPaxosOutcome(id_, *m);
   } else {
     FRAGDB_LOG(kWarning) << "node " << id_ << ": unknown message payload";
   }
@@ -169,6 +181,17 @@ void NodeRuntime::TryInstallNext(FragmentId f) {
     // Replication lag: commit at the origin to install here. The home's
     // own (re)install of its quasi-transaction is not replication.
     if (quasi.origin_node != id_) {
+      // Quorum writes count applied replicas, not received ones: the home
+      // defers the client until W replicas have actually installed, so the
+      // ack only leaves here once the install callback has run.
+      if (cluster_->ControlFor(f) == ControlOption::kQuorum) {
+        auto ack = std::make_shared<QuorumAppliedAck>();
+        ack->txn = quasi.origin_txn;
+        ack->fragment = f;
+        ack->seq = quasi.seq;
+        ack->acker = id_;
+        cluster_->network().Send(id_, quasi.origin_node, ack);
+      }
       SimTime lag = cluster_->engine()->Now() - quasi.origin_time;
       if (ClusterInstruments* ins = cluster_->instruments()) {
         ins->ReplicationLag(id_, f)->Observe(lag);
@@ -611,6 +634,21 @@ void NodeRuntime::OnRecoveryReply(const RecoveryReply& msg) {
   if (RecoveryManager* rm = cluster_->recovery_manager()) {
     rm->OnReply(id_, msg);
   }
+}
+
+void NodeRuntime::OnQuorumReadRequest(const QuorumReadRequest& msg) {
+  auto reply = std::make_shared<QuorumReadReply>();
+  reply->txn = msg.txn;
+  reply->fragment = msg.fragment;
+  reply->replier = id_;
+  reply->objects = msg.objects;
+  for (ObjectId o : msg.objects) {
+    const VersionInfo& info = store_->Info(o);
+    reply->values.push_back(info.value);
+    reply->seqs.push_back(info.frag_seq);
+    reply->writers.push_back(info.writer);
+  }
+  cluster_->network().Send(id_, msg.requester, reply);
 }
 
 // --------------------------------------------------------------------------

@@ -167,6 +167,7 @@ class NodeRuntime {
   void OnMissingData(const MissingData& msg);
   void OnRecoveryQuery(const RecoveryQuery& msg);
   void OnRecoveryReply(const RecoveryReply& msg);
+  void OnQuorumReadRequest(const QuorumReadRequest& msg);
 
   // --- Loss gap repair (config.gap_repair_interval) -----------------------
   /// Arms a delayed repair query when the fragment's holdback shows a gap.

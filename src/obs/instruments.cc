@@ -45,6 +45,14 @@ ClusterInstruments::ClusterInstruments(MetricsRegistry* registry, int nodes,
         registry_->GetCounter(NodeKey("txn_unavailable_total", n)));
     txn_rejected_.push_back(
         registry_->GetCounter(NodeKey("txn_rejected_total", n)));
+    quorum_write_acked_.push_back(
+        registry_->GetCounter(NodeKey("quorum_write_acked_total", n)));
+    quorum_read_served_.push_back(
+        registry_->GetCounter(NodeKey("quorum_read_served_total", n)));
+    paxos_decided_.push_back(
+        registry_->GetCounter(NodeKey("paxos_decided_total", n)));
+    paxos_recovery_rounds_.push_back(
+        registry_->GetCounter(NodeKey("paxos_recovery_rounds_total", n)));
     commit_latency_us_.push_back(
         registry_->GetHistogram(NodeKey("commit_latency_us", n)));
     lock_wait_us_.push_back(

@@ -62,6 +62,12 @@ class ClusterInstruments {
   Counter* TxnUnavailable(NodeId n) { return txn_unavailable_[n]; }
   Counter* TxnRejected(NodeId n) { return txn_rejected_[n]; }
 
+  // Per-node quorum / Paxos Commit protocol progress.
+  Counter* QuorumWriteAcked(NodeId n) { return quorum_write_acked_[n]; }
+  Counter* QuorumReadServed(NodeId n) { return quorum_read_served_[n]; }
+  Counter* PaxosDecided(NodeId n) { return paxos_decided_[n]; }
+  Counter* PaxosRecoveryRounds(NodeId n) { return paxos_recovery_rounds_[n]; }
+
   // Per-node timing distributions (microseconds).
   Histogram* CommitLatency(NodeId n) { return commit_latency_us_[n]; }
   Histogram* LockWait(NodeId n) { return lock_wait_us_[n]; }
@@ -144,6 +150,8 @@ class ClusterInstruments {
 
   std::vector<Counter*> txn_submitted_, txn_committed_, txn_declined_,
       txn_unavailable_, txn_rejected_;
+  std::vector<Counter*> quorum_write_acked_, quorum_read_served_,
+      paxos_decided_, paxos_recovery_rounds_;
   std::vector<Histogram*> commit_latency_us_, lock_wait_us_, lock_hold_us_,
       read_staleness_us_;
   std::vector<Histogram*> replication_lag_us_;

@@ -34,6 +34,18 @@ std::string CheckpointImage::Encode() const {
     PutI64(&p, s.epoch_base);
     PutI64(&p, s.applied_seq);
     PutI64(&p, s.next_seq);
+    PutU32(&p, static_cast<uint32_t>(s.log.size()));
+    for (const QuasiTxn& q : s.log) {
+      PutI64(&p, q.origin_txn);
+      PutI64(&p, q.seq);
+      PutI32(&p, q.origin_node);
+      PutI64(&p, q.origin_time);
+      PutU32(&p, static_cast<uint32_t>(q.writes.size()));
+      for (const WriteOp& w : q.writes) {
+        PutI64(&p, w.object);
+        PutI64(&p, w.value);
+      }
+    }
   }
   std::string out;
   out.reserve(p.size() + 8);
@@ -78,6 +90,29 @@ bool CheckpointImage::Decode(const std::string& bytes, CheckpointImage* out) {
     s.epoch_base = r.I64();
     s.applied_seq = r.I64();
     s.next_seq = r.I64();
+    uint32_t nlog = r.U32();
+    // Cheap sanity bound before reserving: each entry is >= 32 bytes.
+    if (!r.ok || static_cast<size_t>(nlog) * 32 > payload.size()) {
+      return false;
+    }
+    s.log.resize(nlog);
+    for (uint32_t j = 0; j < nlog; ++j) {
+      QuasiTxn& q = s.log[j];
+      q.fragment = s.fragment;
+      q.origin_txn = r.I64();
+      q.seq = r.I64();
+      q.origin_node = r.I32();
+      q.origin_time = r.I64();
+      uint32_t nwrites = r.U32();
+      if (!r.ok || static_cast<size_t>(nwrites) * 16 > payload.size()) {
+        return false;
+      }
+      q.writes.resize(nwrites);
+      for (uint32_t k = 0; k < nwrites; ++k) {
+        q.writes[k].object = r.I64();
+        q.writes[k].value = r.I64();
+      }
+    }
   }
   if (!r.ok || r.pos != payload.size()) return false;
   *out = std::move(image);

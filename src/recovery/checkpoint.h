@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/transaction.h"
 #include "common/types.h"
 #include "storage/object_store.h"
 
@@ -16,6 +17,11 @@ struct StreamCheckpoint {
   SeqNum epoch_base = 0;
   SeqNum applied_seq = 0;
   SeqNum next_seq = 1;
+  /// The applied lineage at checkpoint time. Without it, a revived node
+  /// could no longer serve catch-up suffixes to replicas that fell behind
+  /// before its crash (recovery replies and gap repair both read the
+  /// stream log, which is otherwise volatile).
+  std::vector<QuasiTxn> log;
 };
 
 /// A full snapshot of one node's recoverable state: every object version

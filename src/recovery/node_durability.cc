@@ -39,6 +39,17 @@ void NodeDurability::OnEpochChanged(FragmentId fragment, Epoch new_epoch,
   AfterAppend();
 }
 
+void NodeDurability::OnPaxosSlotAllocated(const QuasiTxn& quasi, Epoch epoch) {
+  WalRecord record;
+  record.type = WalRecord::Type::kPaxosSlot;
+  record.fragment = quasi.fragment;
+  record.epoch = epoch;
+  record.quasi = quasi;
+  wal_.Append(record);
+  ++stats_.wal_records;
+  AfterAppend();
+}
+
 void NodeDurability::AfterAppend() {
   if (checkpoint_in_flight_) return;
   if (config_->checkpoint_wal_bytes > 0 &&
@@ -86,6 +97,10 @@ void NodeDurability::CommitCheckpoint(const CheckpointImage& image) {
     if (record.type == WalRecord::Type::kEpochChange) {
       covered = record.epoch <= pos.epoch;
     } else {
+      // kQuasi and kPaxosSlot alike: covered once the image's applied
+      // prefix includes the seq. An in-doubt slot (allocated, not yet
+      // applied) must survive truncation — its value may exist nowhere
+      // else if the accept broadcast never left the node.
       covered = record.epoch < pos.epoch ||
                 (record.epoch == pos.epoch && record.quasi.seq <= pos.applied_seq);
     }

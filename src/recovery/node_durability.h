@@ -99,6 +99,12 @@ class NodeDurability {
   void OnEpochChanged(FragmentId fragment, Epoch new_epoch,
                       SeqNum epoch_base);
 
+  /// A Paxos Commit proposer on this node allocated `quasi.seq` and filled
+  /// it with `quasi` under `epoch`. Must be appended before the accept
+  /// broadcast leaves the node (the caller defers the broadcast past the
+  /// fsync window).
+  void OnPaxosSlotAllocated(const QuasiTxn& quasi, Epoch epoch);
+
   /// Begins a checkpoint now (commit still takes checkpoint_write_time).
   /// No-op if one is already in flight.
   void ForceCheckpoint();

@@ -77,6 +77,9 @@ void RecoveryManager::RestoreLocal(NodeId node, Session* session) {
       s.epoch_base = sc.epoch_base;
       s.applied_seq = sc.applied_seq;
       s.next_seq = sc.next_seq;
+      // Reseat the applied lineage so the revived node can serve catch-up
+      // suffixes (recovery replies, gap repair) for pre-crash seqs again.
+      for (const QuasiTxn& q : sc.log) s.log.Put(q.seq, q);
     }
   }
 
@@ -94,6 +97,22 @@ void RecoveryManager::RestoreLocal(NodeId node, Session* session) {
       s.log.EraseGreaterThan(record.epoch_base);
       s.applied_seq = std::min(s.applied_seq, record.epoch_base);
       ++session->stats.wal_records_replayed;
+      continue;
+    }
+    if (record.type == WalRecord::Type::kPaxosSlot) {
+      // A proposer allocated this seq before the crash; acceptors may hold
+      // its value, so the revived home must never hand the slot out again —
+      // and until the slot's outcome lands, conflicting new work on the
+      // fragment stays blocked (the slot's locks died with the crash). The
+      // record carries the value, so the home can drive the decision even
+      // when the crash beat the accept broadcast.
+      if (record.epoch == s.epoch && record.quasi.seq > s.applied_seq) {
+        s.next_seq = std::max(s.next_seq, record.quasi.seq + 1);
+        cluster_->NotePaxosInDoubt(node, record.quasi, record.epoch);
+        ++session->stats.wal_records_replayed;
+      } else {
+        ++session->stats.wal_records_skipped;
+      }
       continue;
     }
     const QuasiTxn& q = record.quasi;

@@ -40,8 +40,11 @@ bool DecodePayload(const std::string& payload, WalRecord* out) {
     out->epoch_base = r.I64();
     return r.ok && r.pos == payload.size();
   }
-  if (type != static_cast<uint8_t>(WalRecord::Type::kQuasi)) return false;
-  out->type = WalRecord::Type::kQuasi;
+  if (type != static_cast<uint8_t>(WalRecord::Type::kQuasi) &&
+      type != static_cast<uint8_t>(WalRecord::Type::kPaxosSlot)) {
+    return false;
+  }
+  out->type = static_cast<WalRecord::Type>(type);
   QuasiTxn& q = out->quasi;
   q.fragment = out->fragment;
   q.origin_txn = r.I64();

@@ -14,23 +14,33 @@
 
 namespace fragdb {
 
-/// One write-ahead-log record. Two kinds:
+/// One write-ahead-log record. Three kinds:
 ///  * kQuasi — a quasi-transaction was applied to this replica (either a
 ///    local commit at the home node or a remote install), together with the
 ///    stream epoch it was applied under;
 ///  * kEpochChange — the fragment's stream moved to a new epoch with the
-///    given base (a §4.4.3 move or token recovery observed by this node).
+///    given base (a §4.4.3 move or token recovery observed by this node);
+///  * kPaxosSlot — a Paxos Commit proposer allocated a sequence number and
+///    filled it with this value (Gray & Lamport's coordinator "BeginCommit"
+///    record, transaction included). It must be durable before any acceptor
+///    sees the slot: a prepared-but-undecided slot appears in no kQuasi
+///    record, so without it an amnesia-revived home could reuse the seq for
+///    a different value and break the one-value-per-slot invariant the
+///    protocol rests on. Replay advances next_seq past the slot, marks the
+///    fragment in doubt, and re-seats the value so the revived home can
+///    drive the slot to a decision itself.
 ///
 /// Replaying the records of a WAL in append order over a checkpoint image
 /// reproduces the replica's durable state exactly.
 struct WalRecord {
-  enum class Type : uint8_t { kQuasi = 1, kEpochChange = 2 };
+  enum class Type : uint8_t { kQuasi = 1, kEpochChange = 2, kPaxosSlot = 3 };
 
   Type type = Type::kQuasi;
   FragmentId fragment = kInvalidFragment;
-  Epoch epoch = 0;        // kQuasi: epoch applied under; kEpochChange: new epoch
+  Epoch epoch = 0;        // kQuasi/kPaxosSlot: epoch the value belongs to;
+                          // kEpochChange: the new epoch
   SeqNum epoch_base = 0;  // kEpochChange only
-  QuasiTxn quasi;         // kQuasi only
+  QuasiTxn quasi;         // kQuasi and kPaxosSlot (quasi.seq is the slot)
 };
 
 /// On-disk framing: [u32 payload_len][u32 fnv1a(payload)][payload].

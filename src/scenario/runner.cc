@@ -16,6 +16,9 @@ ScenarioRunner::ScenarioRunner(Scenario scenario,
       rng_(options.seed) {
   ClusterConfig config;
   config.control = options_.control;
+  config.move_protocol = options_.move_protocol;
+  config.read_quorum = options_.read_quorum;
+  config.write_quorum = options_.write_quorum;
   config.observability = options_.observability;
   config.engine = options_.engine;
   parallel_ = options_.engine.kind == EngineKind::kParallel;
@@ -104,6 +107,13 @@ void ScenarioRunner::SubmitOne(int agent_index) {
   spec.write_fragment = fragments_[i];
   spec.label = "cell" + std::to_string(i);
   double theta = profile_.zipf_theta();
+  // The extra draw is gated behind the option so every pre-existing cell
+  // keeps its golden RNG stream byte-for-byte.
+  if (options_.read_only_fraction > 0 &&
+      rng.NextBool(options_.read_only_fraction)) {
+    spec.write_fragment = kInvalidFragment;  // quorum-assembled read
+    spec.label += "-ro";
+  }
   ObjectId own = objects_[i][rng.NextZipf(objects_[i].size(), theta)];
   spec.read_set.push_back(own);
   if (!readable_[i].empty() && options_.read_fan > 0) {
@@ -122,13 +132,15 @@ void ScenarioRunner::SubmitOne(int agent_index) {
       spec.read_set.push_back(objs[rng.NextZipf(objs.size(), theta)]);
     }
   }
-  ObjectId target = own;
-  spec.body = [target](const std::vector<Value>& reads)
-      -> Result<std::vector<WriteOp>> {
-    Value sum = 0;
-    for (Value v : reads) sum += v;
-    return std::vector<WriteOp>{{target, sum + 1}};
-  };
+  if (!spec.read_only()) {
+    ObjectId target = own;
+    spec.body = [target](const std::vector<Value>& reads)
+        -> Result<std::vector<WriteOp>> {
+      Value sum = 0;
+      for (Value v : reads) sum += v;
+      return std::vector<WriteOp>{{target, sum + 1}};
+    };
+  }
   SimTime submitted_at = cluster_->Now();
   cluster_->Submit(spec, [this, submitted_at](const TxnResult& r) {
     MetricsSink().Record(r, submitted_at);
@@ -221,6 +233,8 @@ ScenarioCellReport ScenarioRunner::Run() {
   report.property_ok = audit.configured_property.ok;
   report.fragmentwise_ok = audit.fragmentwise.ok;
   report.consistent_ok = audit.replica_consistency.ok;
+  report.quorum_ok = audit.quorum_freshness.ok;
+  report.paxos_ok = audit.commit_atomicity.ok && audit.commit_nonblocking.ok;
   // Recovery audit: every compiled revive must have completed, and every
   // amnesia crash must have run the recovery pipeline.
   report.recovery_ok = fault_stats_.failures == 0 &&
@@ -250,6 +264,13 @@ ScenarioCellReport ScenarioRunner::Run() {
     report.failure_detail = "property: " + audit.configured_property.detail;
   } else if (!audit.replica_consistency.ok) {
     report.failure_detail = "consistency: " + audit.replica_consistency.detail;
+  } else if (!report.quorum_ok) {
+    report.failure_detail = "quorum: " + audit.quorum_freshness.detail;
+  } else if (!report.paxos_ok) {
+    report.failure_detail =
+        "paxos: " + (audit.commit_atomicity.ok
+                         ? audit.commit_nonblocking.detail
+                         : audit.commit_atomicity.detail);
   } else if (!report.recovery_ok) {
     report.failure_detail = "recovery: a compiled crash window failed";
   } else if (!timeline.ok) {

@@ -38,6 +38,18 @@ struct ScenarioRunOptions {
   SimTime link_latency = Millis(5);
   uint64_t seed = 1;
   ControlOption control = ControlOption::kFragmentwise;
+  /// Commit protocol for update transactions. kPaxosCommit turns every
+  /// update into a non-blocking consensus commit; kQuorum control requires
+  /// this stays kForbidden.
+  MoveProtocol move_protocol = MoveProtocol::kForbidden;
+  /// Per-fragment read/write quorum sizes (0 = majority default). Only
+  /// meaningful with control == kQuorum; Start() enforces R+W > N.
+  int read_quorum = 0;
+  int write_quorum = 0;
+  /// Fraction of arrivals submitted as read-only quorum reads instead of
+  /// updates. Only consulted when > 0 (keeps golden RNG streams intact for
+  /// every pre-existing cell) and meaningful only under kQuorum.
+  double read_only_fraction = 0.0;
   /// 0 = auto: enable the cluster's gap repairer (50ms) iff the scenario
   /// has loss windows. Any other value is passed through.
   SimTime gap_repair_interval = 0;
@@ -73,6 +85,8 @@ struct ScenarioCellReport {
   bool consistent_ok = true;   // mutual consistency at quiescence
   bool recovery_ok = true;     // every compiled revive ran to completion
   bool timeline_ok = true;     // availability intervals structurally sound
+  bool quorum_ok = true;       // R+W>N freshness (trivially true off-quorum)
+  bool paxos_ok = true;        // commit atomicity + non-blocking termination
   bool forced_failure = false; // options.force_verify_failure fired
   std::string failure_detail;  // first failing checker's message
 
@@ -97,7 +111,7 @@ struct ScenarioCellReport {
 
   bool ok() const {
     return fifo_ok && property_ok && consistent_ok && recovery_ok &&
-           timeline_ok && !forced_failure;
+           timeline_ok && quorum_ok && paxos_ok && !forced_failure;
   }
 };
 

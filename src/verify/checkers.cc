@@ -137,6 +137,96 @@ CheckReport CheckFragmentwiseSerializability(const History& history,
                                           fragment_count);
 }
 
+CheckReport CheckQuorumFreshness(const HistoryIndex& index) {
+  const History& history = index.history();
+  if (history.quorum_reads().empty()) return CheckReport::Pass();
+  // Per fragment: sweep W-acked writes and completed reads in time order,
+  // maintaining the per-object floor (newest W-acked sequence). Every
+  // read started after a write's W-ack must observe at least the floor.
+  std::map<FragmentId, std::vector<const QuorumWriteRecord*>> writes_by_frag;
+  for (const QuorumWriteRecord& w : history.quorum_writes()) {
+    writes_by_frag[w.fragment].push_back(&w);
+  }
+  std::map<FragmentId, std::vector<const QuorumReadRecord*>> reads_by_frag;
+  for (const QuorumReadRecord& r : history.quorum_reads()) {
+    reads_by_frag[r.fragment].push_back(&r);
+  }
+  for (auto& [fragment, reads] : reads_by_frag) {
+    std::vector<const QuorumWriteRecord*>& writes = writes_by_frag[fragment];
+    std::sort(writes.begin(), writes.end(),
+              [](const QuorumWriteRecord* a, const QuorumWriteRecord* b) {
+                return std::tie(a->acked_at, a->seq) <
+                       std::tie(b->acked_at, b->seq);
+              });
+    std::sort(reads.begin(), reads.end(),
+              [](const QuorumReadRecord* a, const QuorumReadRecord* b) {
+                return std::tie(a->at, a->reader) <
+                       std::tie(b->at, b->reader);
+              });
+    std::map<ObjectId, std::pair<SeqNum, TxnId>> floor;
+    size_t next_write = 0;
+    for (const QuorumReadRecord* read : reads) {
+      // Strictly-before: a W-ack and a read start at the same instant are
+      // concurrent and impose no obligation.
+      while (next_write < writes.size() &&
+             writes[next_write]->acked_at < read->at) {
+        const QuorumWriteRecord* w = writes[next_write++];
+        for (const WriteOp& op : index.WritesOf(w->txn)) {
+          auto& slot = floor[op.object];
+          if (w->seq > slot.first) slot = {w->seq, w->txn};
+        }
+      }
+      for (const auto& [object, seq] : read->observed) {
+        auto it = floor.find(object);
+        if (it == floor.end() || seq >= it->second.first) continue;
+        std::ostringstream os;
+        os << "T" << read->reader << " quorum read of object " << object
+           << " on F" << fragment << " at t=" << read->at
+           << "us observed seq " << seq << " < seq " << it->second.first
+           << " of T" << it->second.second
+           << ", which reached its write quorum earlier";
+        return CheckReport::Fail(os.str(), {read->reader, it->second.second});
+      }
+    }
+  }
+  return CheckReport::Pass();
+}
+
+CheckReport CheckQuorumFreshness(const History& history) {
+  return CheckQuorumFreshness(HistoryIndex(history));
+}
+
+CheckReport CheckCommitAtomicity(const History& history) {
+  // All decisions of one (fragment, seq) slot must agree, and a slot that
+  // decided commit must correspond to a transaction the history marks
+  // committed.
+  std::map<std::pair<FragmentId, SeqNum>, const CommitDecisionRecord*> first;
+  for (const CommitDecisionRecord& d : history.decisions()) {
+    auto [it, inserted] = first.try_emplace({d.fragment, d.seq}, &d);
+    const CommitDecisionRecord* head = it->second;
+    if (!inserted && head->commit != d.commit) {
+      std::ostringstream os;
+      os << "commit decision for F" << d.fragment << " seq " << d.seq
+         << " disagrees: N" << head->node << " decided "
+         << (head->commit ? "commit" : "abort") << ", N" << d.node
+         << " decided " << (d.commit ? "commit" : "abort");
+      return CheckReport::Fail(os.str(), {head->txn, d.txn});
+    }
+  }
+  for (const auto& [slot, d] : first) {
+    if (!d->commit || d->txn == kInvalidTxn) continue;
+    const TxnRecord* rec = history.FindTxn(d->txn);
+    if (rec == nullptr || !rec->committed) {
+      std::ostringstream os;
+      os << "F" << slot.first << " seq " << slot.second
+         << " decided commit for T" << d->txn
+         << " but the history does not mark it committed";
+      return CheckReport::Fail(os.str(), {d->txn});
+    }
+  }
+  return CheckReport::Pass();
+}
+
 CheckReport CheckMutualConsistency(
     const std::vector<const ObjectStore*>& replicas) {
   if (replicas.size() < 2) return CheckReport::Pass();

@@ -57,6 +57,24 @@ CheckReport CheckProperty2(const HistoryIndex& index, FragmentId fragment);
 CheckReport CheckFragmentwiseSerializability(const HistoryIndex& index,
                                              int fragment_count);
 
+/// Quorum freshness (ControlOption::kQuorum, R+W>N): every completed
+/// R-quorum read must observe, for each object it read, a version at least
+/// as new as the newest write to that object that had reached its write
+/// quorum before the read began. The records come straight from the
+/// protocol (QuorumWriteRecord at W-ack, QuorumReadRecord at read
+/// completion); write sets are resolved through the history's installs.
+CheckReport CheckQuorumFreshness(const History& history);
+
+/// Index-aware variant: identical verdict, write sets resolved through
+/// the prebuilt index.
+CheckReport CheckQuorumFreshness(const HistoryIndex& index);
+
+/// Paxos Commit atomicity: every (fragment, seq) slot's recorded
+/// decisions agree on the outcome, and a slot decided `commit` has its
+/// transaction marked committed in the history — participants never
+/// disagree about whether a transaction happened.
+CheckReport CheckCommitAtomicity(const History& history);
+
 /// Mutual consistency: all replicas hold identical contents. Valid only at
 /// quiescence (all propagation drained).
 CheckReport CheckMutualConsistency(

@@ -58,6 +58,16 @@ void History::AbsorbShard(History* shard) {
                    std::make_move_iterator(shard->installs_.begin()),
                    std::make_move_iterator(shard->installs_.end()));
   shard->installs_.clear();
+  quorum_writes_.insert(quorum_writes_.end(), shard->quorum_writes_.begin(),
+                        shard->quorum_writes_.end());
+  shard->quorum_writes_.clear();
+  quorum_reads_.insert(quorum_reads_.end(),
+                       std::make_move_iterator(shard->quorum_reads_.begin()),
+                       std::make_move_iterator(shard->quorum_reads_.end()));
+  shard->quorum_reads_.clear();
+  decisions_.insert(decisions_.end(), shard->decisions_.begin(),
+                    shard->decisions_.end());
+  shard->decisions_.clear();
   for (const auto& [node, count] : shard->next_node_order_) {
     int64_t& mine = next_node_order_[node];
     mine = std::max(mine, count);
@@ -65,6 +75,18 @@ void History::AbsorbShard(History* shard) {
 }
 
 void History::RecordRead(const ReadRecord& read) { reads_.push_back(read); }
+
+void History::RecordQuorumWrite(const QuorumWriteRecord& record) {
+  quorum_writes_.push_back(record);
+}
+
+void History::RecordQuorumRead(const QuorumReadRecord& record) {
+  quorum_reads_.push_back(record);
+}
+
+void History::RecordDecision(const CommitDecisionRecord& record) {
+  decisions_.push_back(record);
+}
 
 void History::RecordInstall(NodeId node, const QuasiTxn& quasi, SimTime at) {
   InstallRecord rec;

@@ -58,6 +58,44 @@ struct InstallRecord {
   SimTime origin_time = 0;
 };
 
+/// A write that reached its write quorum (ControlOption::kQuorum): W
+/// replicas had installed `txn`'s quasi-transaction by `acked_at`. From
+/// that instant on, any R-read whose quorum intersects the W replicas
+/// must observe version `seq` (or later) for every object `txn` wrote —
+/// the obligation CheckQuorumFreshness enforces.
+struct QuorumWriteRecord {
+  TxnId txn = kInvalidTxn;
+  FragmentId fragment = kInvalidFragment;
+  SeqNum seq = 0;
+  int acks = 0;  // replicas counted toward W (including the home)
+  SimTime acked_at = 0;
+};
+
+/// One fragment's slice of a completed R-quorum read: the per-object
+/// freshest versions the reader assembled from its reply set, stamped
+/// with the read's *start* time (the freshness obligation is against
+/// writes acked before the read began).
+struct QuorumReadRecord {
+  TxnId reader = kInvalidTxn;
+  NodeId node = kInvalidNode;
+  FragmentId fragment = kInvalidFragment;
+  int replies = 0;  // distinct replicas heard (including the reader)
+  SimTime at = 0;   // read start
+  std::vector<std::pair<ObjectId, SeqNum>> observed;
+};
+
+/// One participant learning a Paxos Commit outcome for a (fragment, seq)
+/// slot. CheckCommitAtomicity demands every record of a slot agree on
+/// `commit` and that a committed slot's transaction is marked committed.
+struct CommitDecisionRecord {
+  NodeId node = kInvalidNode;
+  FragmentId fragment = kInvalidFragment;
+  SeqNum seq = 0;
+  TxnId txn = kInvalidTxn;
+  bool commit = true;
+  SimTime at = 0;
+};
+
 /// Append-only record of a run, consumed by the serialization-graph
 /// builders and checkers. The engine writes it through narrow hooks, so
 /// the checkers validate the engine instead of trusting it.
@@ -90,9 +128,22 @@ class History {
   /// Records an install; assigns node_order automatically.
   void RecordInstall(NodeId node, const QuasiTxn& quasi, SimTime at);
 
+  void RecordQuorumWrite(const QuorumWriteRecord& record);
+  void RecordQuorumRead(const QuorumReadRecord& record);
+  void RecordDecision(const CommitDecisionRecord& record);
+
   const std::map<TxnId, TxnRecord>& txns() const { return txns_; }
   const std::vector<ReadRecord>& reads() const { return reads_; }
   const std::vector<InstallRecord>& installs() const { return installs_; }
+  const std::vector<QuorumWriteRecord>& quorum_writes() const {
+    return quorum_writes_;
+  }
+  const std::vector<QuorumReadRecord>& quorum_reads() const {
+    return quorum_reads_;
+  }
+  const std::vector<CommitDecisionRecord>& decisions() const {
+    return decisions_;
+  }
 
   const TxnRecord* FindTxn(TxnId id) const;
 
@@ -115,6 +166,9 @@ class History {
   std::map<TxnId, TxnRecord> txns_;
   std::vector<ReadRecord> reads_;
   std::vector<InstallRecord> installs_;
+  std::vector<QuorumWriteRecord> quorum_writes_;
+  std::vector<QuorumReadRecord> quorum_reads_;
+  std::vector<CommitDecisionRecord> decisions_;
   std::map<NodeId, int64_t> next_node_order_;
 };
 

@@ -14,6 +14,8 @@ SyntheticWorkload::SyntheticWorkload(const SyntheticOptions& options)
   ClusterConfig config;
   config.control = options_.control;
   config.move_protocol = options_.move_protocol;
+  config.read_quorum = options_.read_quorum;
+  config.write_quorum = options_.write_quorum;
   config.observability = options_.observability;
   cluster_ = std::make_unique<Cluster>(
       config, Topology::FullMesh(options_.nodes, options_.link_latency));
@@ -66,6 +68,12 @@ void SyntheticWorkload::SubmitOne(int agent_index) {
   spec.agent = agents_[i];
   spec.write_fragment = fragments_[i];
   spec.label = "syn" + std::to_string(i);
+  // Gated behind the option: no extra draw on pre-existing golden streams.
+  if (options_.read_only_fraction > 0 &&
+      rng_.NextBool(options_.read_only_fraction)) {
+    spec.write_fragment = kInvalidFragment;  // quorum-assembled read
+    spec.label += "-ro";
+  }
 
   // Reads: one zipf-chosen object of the own fragment plus a Poisson-ish
   // number of foreign objects drawn from the readable set.
@@ -89,13 +97,15 @@ void SyntheticWorkload::SubmitOne(int agent_index) {
           objs[rng_.NextZipf(objs.size(), options_.zipf_theta)]);
     }
   }
-  ObjectId target = own;
-  spec.body = [target](const std::vector<Value>& reads)
-      -> Result<std::vector<WriteOp>> {
-    Value sum = 0;
-    for (Value v : reads) sum += v;
-    return std::vector<WriteOp>{{target, sum + 1}};
-  };
+  if (!spec.read_only()) {
+    ObjectId target = own;
+    spec.body = [target](const std::vector<Value>& reads)
+        -> Result<std::vector<WriteOp>> {
+      Value sum = 0;
+      for (Value v : reads) sum += v;
+      return std::vector<WriteOp>{{target, sum + 1}};
+    };
+  }
   SimTime submitted_at = cluster_->Now();
   cluster_->Submit(spec, [this, submitted_at](const TxnResult& r) {
     metrics_.Record(r, submitted_at);
@@ -154,6 +164,10 @@ SyntheticReport SyntheticWorkload::Run() {
   CheckReport property = cluster_->CheckConfiguredProperty();
   report.property_ok = property.ok;
   report.property_detail = property.detail;
+  if (options_.move_protocol == MoveProtocol::kPaxosCommit) {
+    report.commit_atomic = CheckCommitAtomicity(cluster_->history()).ok &&
+                           cluster_->CheckCommitNonBlocking().ok;
+  }
   report.partitions_injected = partitions_injected_;
   return report;
 }

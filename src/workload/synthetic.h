@@ -38,6 +38,13 @@ struct SyntheticOptions {
   uint64_t seed = 1;
   ControlOption control = ControlOption::kFragmentwise;
   MoveProtocol move_protocol = MoveProtocol::kForbidden;
+  /// Per-fragment read/write quorum sizes (0 = majority default), only
+  /// meaningful with control == kQuorum (which requires kForbidden moves).
+  int read_quorum = 0;
+  int write_quorum = 0;
+  /// Fraction of arrivals submitted as read-only quorum reads. Consulted
+  /// only when > 0 so pre-existing runs keep their golden RNG streams.
+  double read_only_fraction = 0.0;
   /// Forwarded to ClusterConfig::observability (off by default).
   ObservabilityConfig observability;
 };
@@ -49,6 +56,9 @@ struct SyntheticReport {
   bool mutually_consistent = false;
   bool property_ok = false;  // CheckConfiguredProperty
   std::string property_detail;
+  /// Commit atomicity + non-blocking termination; trivially true unless
+  /// the run used MoveProtocol::kPaxosCommit.
+  bool commit_atomic = true;
   uint64_t partitions_injected = 0;
 };
 

@@ -224,5 +224,119 @@ TEST(PredicateTest, EmptyPredicateIsSingleFragment) {
   EXPECT_TRUE(IsSingleFragment(p, c));
 }
 
+// A history where T1's write of object 0 (seq 5) reached its W quorum at
+// t=100, shared by the quorum-freshness tests below.
+struct QuorumHistory {
+  HistoryBuilder b;
+  QuorumHistory() {
+    b.Txn(1, 0, 0);
+    b.Commit(1, 5);
+    b.Write(1, 0, 5, {{0, 42}});
+    QuorumWriteRecord w;
+    w.txn = 1;
+    w.fragment = 0;
+    w.seq = 5;
+    w.acks = 3;
+    w.acked_at = 100;
+    b.h.RecordQuorumWrite(w);
+  }
+  void ReadObserving(SimTime at, SeqNum seq) {
+    QuorumReadRecord r;
+    r.reader = 2;
+    r.node = 1;
+    r.fragment = 0;
+    r.replies = 2;
+    r.at = at;
+    r.observed = {{0, seq}};
+    b.h.RecordQuorumRead(r);
+  }
+};
+
+TEST(QuorumFreshnessTest, NoReadsPassesTrivially) {
+  QuorumHistory q;
+  EXPECT_TRUE(CheckQuorumFreshness(q.b.h).ok);
+}
+
+TEST(QuorumFreshnessTest, FreshReadAfterAckPasses) {
+  QuorumHistory q;
+  q.ReadObserving(200, 5);
+  EXPECT_TRUE(CheckQuorumFreshness(q.b.h).ok);
+}
+
+TEST(QuorumFreshnessTest, StaleReadAfterAckedWriteFails) {
+  QuorumHistory q;
+  q.ReadObserving(200, 4);  // started after the W-ack, missed the write
+  CheckReport report = CheckQuorumFreshness(q.b.h);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.detail.find("reached its write quorum earlier"),
+            std::string::npos)
+      << report.detail;
+  ASSERT_EQ(report.witnesses.size(), 2u);
+  EXPECT_EQ(report.witnesses[0], 2);
+  EXPECT_EQ(report.witnesses[1], 1);
+}
+
+TEST(QuorumFreshnessTest, ConcurrentReadImposesNoObligation) {
+  // The read started at the same instant the W-ack landed (and another
+  // before it): concurrent, so the stale observation is legal.
+  QuorumHistory q;
+  q.ReadObserving(100, 4);
+  q.ReadObserving(50, 0);
+  EXPECT_TRUE(CheckQuorumFreshness(q.b.h).ok);
+}
+
+CommitDecisionRecord Decision(NodeId node, SeqNum seq, TxnId txn,
+                              bool commit) {
+  CommitDecisionRecord d;
+  d.node = node;
+  d.fragment = 0;
+  d.seq = seq;
+  d.txn = txn;
+  d.commit = commit;
+  d.at = 100;
+  return d;
+}
+
+TEST(CommitAtomicityTest, AgreeingDecisionsPass) {
+  HistoryBuilder b;
+  b.Txn(1, 0, 0);
+  b.Commit(1, 1);
+  b.h.RecordDecision(Decision(0, 1, 1, true));
+  b.h.RecordDecision(Decision(1, 1, 1, true));
+  EXPECT_TRUE(CheckCommitAtomicity(b.h).ok);
+}
+
+TEST(CommitAtomicityTest, DisagreeingDecisionsFail) {
+  // Two participants of the same (fragment, seq) slot learned opposite
+  // outcomes — exactly the split Paxos Commit must make impossible.
+  HistoryBuilder b;
+  b.Txn(1, 0, 0);
+  b.Commit(1, 1);
+  b.h.RecordDecision(Decision(0, 1, 1, true));
+  b.h.RecordDecision(Decision(1, 1, 1, false));
+  CheckReport report = CheckCommitAtomicity(b.h);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.detail.find("disagrees"), std::string::npos)
+      << report.detail;
+}
+
+TEST(CommitAtomicityTest, CommitDecisionWithoutCommittedTxnFails) {
+  HistoryBuilder b;
+  b.Txn(7, 0, 0);  // registered but never marked committed
+  b.h.RecordDecision(Decision(2, 3, 7, true));
+  CheckReport report = CheckCommitAtomicity(b.h);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.detail.find("does not mark it committed"),
+            std::string::npos)
+      << report.detail;
+}
+
+TEST(CommitAtomicityTest, AbortDecisionsNeedNoCommittedTxn) {
+  HistoryBuilder b;
+  b.h.RecordDecision(Decision(0, 1, 9, false));
+  b.h.RecordDecision(Decision(1, 1, 9, false));
+  EXPECT_TRUE(CheckCommitAtomicity(b.h).ok);
+}
+
 }  // namespace
 }  // namespace fragdb

@@ -97,6 +97,10 @@ struct ScenarioCell {
   std::string scenario;
   ControlOption control;
   uint64_t seed;
+  MoveProtocol move_protocol = MoveProtocol::kForbidden;
+  int read_quorum = 0;
+  int write_quorum = 0;
+  double read_only_fraction = 0.0;
 };
 
 /// Everything observable about one cell, rendered to a comparable string:
@@ -109,6 +113,10 @@ std::string RunCellFingerprint(const ScenarioCell& cell) {
   ScenarioRunOptions opt;
   opt.seed = cell.seed;
   opt.control = cell.control;
+  opt.move_protocol = cell.move_protocol;
+  opt.read_quorum = cell.read_quorum;
+  opt.write_quorum = cell.write_quorum;
+  opt.read_only_fraction = cell.read_only_fraction;
   opt.observability.metrics = true;
   opt.observability.timelines = true;
   ScenarioRunner runner(*scenario, opt);
@@ -136,6 +144,16 @@ TEST(ScenarioDeterminismTest, CellsAreBitIdenticalAcrossThreadCounts) {
   for (const char* name : {"flapping_split", "loss_burst", "amnesia_crash"}) {
     for (uint64_t seed : {1ull, 2ull}) {
       cells.push_back({name, ControlOption::kFragmentwise, seed});
+      // The two new spectrum points ride the same scenarios: quorum
+      // consensus control with a read-heavy mix, and Paxos Commit updates.
+      ScenarioCell quorum{name, ControlOption::kQuorum, seed};
+      quorum.read_quorum = 2;
+      quorum.write_quorum = 4;
+      quorum.read_only_fraction = 0.3;
+      cells.push_back(quorum);
+      ScenarioCell paxos{name, ControlOption::kFragmentwise, seed};
+      paxos.move_protocol = MoveProtocol::kPaxosCommit;
+      cells.push_back(paxos);
     }
   }
 

@@ -312,5 +312,204 @@ TEST_P(AmnesiaCrashFuzz, RandomCrashRecoveryCyclesStayConsistent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AmnesiaCrashFuzz,
                          ::testing::Values(5, 31, 99, 512, 8080));
 
+// ---------------------------------------------------------------------------
+// Quorum control under random partitions and link flaps: every completed
+// R-quorum read must observe every write whose W-quorum ack preceded it
+// (R + W > N guarantees the quorums intersect), and replicas converge.
+// ---------------------------------------------------------------------------
+
+class QuorumFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuorumFuzz, FreshnessSurvivesPartitionsAndFlaps) {
+  Rng rng(GetParam());
+  const int kNodes = 5;
+  ClusterConfig config;
+  config.control = ControlOption::kQuorum;
+  config.read_quorum = 2;
+  config.write_quorum = 4;
+  Cluster cluster(config, Topology::FullMesh(kNodes, Millis(4)));
+  FragmentId frag = cluster.DefineFragment("F");
+  ObjectId x = *cluster.DefineObject(frag, "x", 0);
+  AgentId agent = cluster.DefineUserAgent("owner");
+  ASSERT_TRUE(cluster.AssignToken(frag, agent).ok());
+  ASSERT_TRUE(cluster.SetAgentHome(agent, 0).ok());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const SimTime kEnd = Millis(1200);
+  for (SimTime t = 0; t < kEnd; t += Millis(10)) {
+    if (rng.NextBool(0.5)) {
+      Value v = 1 + static_cast<Value>(rng.NextBelow(9));
+      cluster.sim().At(t, [&cluster, agent, frag, x, v] {
+        TxnSpec spec;
+        spec.agent = agent;
+        spec.write_fragment = frag;
+        spec.read_set = {x};
+        spec.body = [x, v](const std::vector<Value>& reads)
+            -> Result<std::vector<WriteOp>> {
+          return std::vector<WriteOp>{{x, reads[0] + v}};
+        };
+        cluster.Submit(spec, nullptr);
+      });
+    } else {
+      NodeId reader = static_cast<NodeId>(rng.NextBelow(kNodes));
+      cluster.sim().At(t, [&cluster, reader, x] {
+        TxnSpec probe;
+        probe.agent = kInvalidAgent;
+        probe.read_set = {x};
+        cluster.SubmitReadOnlyAt(reader, probe, nullptr);
+      });
+    }
+    if (rng.NextBool(0.15)) {
+      NodeId a = static_cast<NodeId>(rng.NextBelow(kNodes));
+      NodeId b = static_cast<NodeId>(rng.NextBelow(kNodes));
+      bool up = rng.NextBool(0.5);
+      cluster.sim().At(t + 1, [&cluster, a, b, up] {
+        if (a != b) (void)cluster.SetLinkUp(a, b, up);
+      });
+    }
+    if (t % Millis(200) == Millis(100)) {
+      cluster.sim().At(t + 2, [&cluster, &rng] {
+        std::vector<NodeId> left, right;
+        for (NodeId n = 0; n < kNodes; ++n) {
+          (rng.NextBool(0.5) ? left : right).push_back(n);
+        }
+        if (!left.empty() && !right.empty()) {
+          (void)cluster.Partition({left, right});
+        }
+      });
+      cluster.sim().At(t + Millis(80), [&cluster] { cluster.HealAll(); });
+    }
+  }
+  cluster.RunUntil(kEnd);
+  cluster.HealAll();
+  cluster.RunToQuiescence();
+
+  EXPECT_GT(cluster.history().quorum_reads().size(), 0u)
+      << "seed " << GetParam();
+  EXPECT_TRUE(CheckQuorumFreshness(cluster.history()).ok)
+      << "seed " << GetParam() << ": "
+      << CheckQuorumFreshness(cluster.history()).detail;
+  EXPECT_TRUE(CheckMutualConsistency(cluster.Replicas()).ok)
+      << "seed " << GetParam();
+  EXPECT_TRUE(cluster.CheckConfiguredProperty().ok) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuorumFuzz,
+                         ::testing::Values(11, 47, 123, 777, 6502));
+
+// ---------------------------------------------------------------------------
+// Paxos Commit under random amnesia crashes and partitions: every
+// (fragment, seq) slot must decide one outcome everywhere, no replica may
+// end prepared-but-undecided, and replicas converge.
+// ---------------------------------------------------------------------------
+
+class PaxosCrashFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PaxosCrashFuzz, AtomicityAndNonBlockingSurviveCrashes) {
+  Rng rng(GetParam());
+  const int kNodes = 5;
+  ClusterConfig config;
+  config.control = ControlOption::kFragmentwise;
+  config.move_protocol = MoveProtocol::kPaxosCommit;
+  config.durability.enabled = true;
+  config.durability.checkpoint_interval = Millis(20);
+  Cluster cluster(config, Topology::FullMesh(kNodes, Millis(4)));
+  FragmentId frag = cluster.DefineFragment("F");
+  ObjectId x = *cluster.DefineObject(frag, "x", 0);
+  AgentId agent = cluster.DefineUserAgent("owner");
+  ASSERT_TRUE(cluster.AssignToken(frag, agent).ok());
+  ASSERT_TRUE(cluster.SetAgentHome(agent, 0).ok());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const SimTime kEnd = Millis(1500);
+  for (SimTime t = 0; t < kEnd; t += Millis(10)) {
+    Value v = 1 + static_cast<Value>(rng.NextBelow(9));
+    cluster.sim().At(t, [&cluster, agent, frag, x, v] {
+      TxnSpec spec;
+      spec.agent = agent;
+      spec.write_fragment = frag;
+      spec.read_set = {x};
+      spec.body = [x, v](const std::vector<Value>& reads)
+          -> Result<std::vector<WriteOp>> {
+        return std::vector<WriteOp>{{x, reads[0] + v}};
+      };
+      cluster.Submit(spec, nullptr);
+    });
+  }
+
+  // The home (the Paxos coordinator) crashes more often than anyone else:
+  // that is the window Paxos Commit exists to survive.
+  int crashes_executed = 0;
+  for (int episode = 0; episode < 8; ++episode) {
+    NodeId victim = rng.NextBool(0.5)
+                        ? 0
+                        : static_cast<NodeId>(rng.NextBelow(kNodes));
+    SimTime at = static_cast<SimTime>(rng.NextBelow(kEnd - Millis(250)));
+    SimTime downtime = Millis(10 + static_cast<SimTime>(rng.NextBelow(190)));
+    cluster.sim().At(at, [&cluster, &crashes_executed, victim] {
+      if (!cluster.topology().IsNodeUp(victim)) return;
+      ASSERT_TRUE(cluster.CrashNode(victim, CrashMode::kAmnesia).ok());
+      ++crashes_executed;
+    });
+    cluster.sim().At(at + downtime, [&cluster, victim] {
+      if (!cluster.IsAmnesiaDown(victim)) return;
+      ASSERT_TRUE(cluster.ReviveNode(victim, nullptr).ok());
+    });
+  }
+  for (int episode = 0; episode < 4; ++episode) {
+    SimTime at = static_cast<SimTime>(rng.NextBelow(kEnd - Millis(150)));
+    cluster.sim().At(at, [&cluster, &rng] {
+      std::vector<NodeId> left, right;
+      for (NodeId n = 0; n < kNodes; ++n) {
+        (rng.NextBool(0.5) ? left : right).push_back(n);
+      }
+      if (!left.empty() && !right.empty()) {
+        (void)cluster.Partition({left, right});
+      }
+    });
+    cluster.sim().At(at + Millis(100), [&cluster] { cluster.HealAll(); });
+  }
+
+  cluster.RunUntil(kEnd);
+  cluster.HealAll();
+  cluster.RunToQuiescence();
+  for (NodeId n = 0; n < kNodes; ++n) {
+    if (cluster.IsAmnesiaDown(n)) {
+      ASSERT_TRUE(cluster.ReviveNode(n, nullptr).ok());
+    }
+  }
+  cluster.RunToQuiescence();
+  // An amnesia crash is message loss in disguise: a quasi consumed just
+  // before the crash is gone, and if it was the stream's tail there is no
+  // successor to leave gap evidence. Same anti-entropy as lossy scenarios.
+  cluster.StartGapRepairSweep();
+  cluster.RunToQuiescence();
+
+  EXPECT_GT(crashes_executed, 0) << "seed " << GetParam();
+  EXPECT_GT(cluster.history().decisions().size(), 0u)
+      << "seed " << GetParam();
+  EXPECT_TRUE(CheckCommitAtomicity(cluster.history()).ok)
+      << "seed " << GetParam() << ": "
+      << CheckCommitAtomicity(cluster.history()).detail;
+  EXPECT_TRUE(cluster.CheckCommitNonBlocking().ok)
+      << "seed " << GetParam() << ": "
+      << cluster.CheckCommitNonBlocking().detail;
+  std::string dump;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    const FragmentStream& s = cluster.runtime(n).stream(frag);
+    dump += " N" + std::to_string(n) + " x=" +
+            std::to_string(cluster.ReadAt(n, x)) +
+            " applied=" + std::to_string(s.applied_seq) +
+            " next=" + std::to_string(s.next_seq) +
+            " prepared=" + std::to_string(s.prepared.size());
+  }
+  EXPECT_TRUE(CheckMutualConsistency(cluster.Replicas()).ok)
+      << "seed " << GetParam() << dump;
+  EXPECT_TRUE(cluster.CheckConfiguredProperty().ok) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosCrashFuzz,
+                         ::testing::Values(13, 59, 321, 911, 2718));
+
 }  // namespace
 }  // namespace fragdb

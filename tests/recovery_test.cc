@@ -175,7 +175,20 @@ TEST(CheckpointTest, EncodeDecodeRoundTrip) {
   CheckpointImage image;
   image.taken_at = 12345;
   image.versions = {{7, 101, 3, 99}, {-2, kInvalidTxn, 0, 0}};
-  image.streams = {{0, 2, 5, 9, 10}};
+  StreamCheckpoint stream;
+  stream.fragment = 0;
+  stream.epoch = 2;
+  stream.epoch_base = 5;
+  stream.applied_seq = 9;
+  stream.next_seq = 10;
+  QuasiTxn applied;
+  applied.origin_txn = 41;
+  applied.seq = 9;
+  applied.origin_node = 1;
+  applied.origin_time = 777;
+  applied.writes = {{3, 64}, {4, -1}};
+  stream.log.push_back(applied);
+  image.streams = {stream};
 
   CheckpointImage out;
   ASSERT_TRUE(CheckpointImage::Decode(image.Encode(), &out));
@@ -190,6 +203,16 @@ TEST(CheckpointTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(out.StreamFor(0).epoch_base, 5);
   EXPECT_EQ(out.StreamFor(0).applied_seq, 9);
   EXPECT_EQ(out.StreamFor(0).next_seq, 10);
+  // The applied lineage rides along so a revived node can serve suffixes.
+  ASSERT_EQ(out.streams[0].log.size(), 1u);
+  EXPECT_EQ(out.streams[0].log[0].origin_txn, 41);
+  EXPECT_EQ(out.streams[0].log[0].fragment, 0);
+  EXPECT_EQ(out.streams[0].log[0].seq, 9);
+  EXPECT_EQ(out.streams[0].log[0].origin_node, 1);
+  EXPECT_EQ(out.streams[0].log[0].origin_time, 777);
+  ASSERT_EQ(out.streams[0].log[0].writes.size(), 2u);
+  EXPECT_EQ(out.streams[0].log[0].writes[1].object, 4);
+  EXPECT_EQ(out.streams[0].log[0].writes[1].value, -1);
   // Absent fragments decode to defaults.
   EXPECT_EQ(out.StreamFor(3).epoch, 0);
 }
